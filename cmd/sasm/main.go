@@ -1,0 +1,105 @@
+// Command sasm is the S86 assembler and disassembler.
+//
+// Usage:
+//
+//	sasm [-o out.self] [-crt] program.s      assemble to a SELF binary
+//	sasm -d image.self                       disassemble a SELF binary
+//	sasm -symbols program.s                  print the symbol table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"splitmem/internal/asm"
+	"splitmem/internal/guest"
+	"splitmem/internal/isa"
+	"splitmem/internal/loader"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output SELF file (default: stdout summary only)")
+		disasm  = flag.Bool("d", false, "disassemble a SELF binary")
+		symbols = flag.Bool("symbols", false, "print the symbol table")
+		listing = flag.Bool("l", false, "print an assembler listing")
+		withCRT = flag.Bool("crt", false, "append the guest C runtime")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sasm [flags] file")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *disasm {
+		prog, err := loader.Unmarshal(raw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i := range prog.Sections {
+			s := &prog.Sections[i]
+			fmt.Printf("section %s at %#08x (%d bytes, %s)\n", s.Name, s.Addr, s.Size, loader.PermString(s.Perm))
+			if s.Executable() {
+				fmt.Print(isa.Disassemble(s.Data, s.Addr, 0))
+			}
+		}
+		return
+	}
+
+	src := string(raw)
+	if *withCRT {
+		src = guest.WithCRT(src)
+	}
+	var prog *loader.Program
+	if *listing {
+		var list string
+		prog, list, err = asm.AssembleListing(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(list)
+	} else {
+		prog, err = asm.Assemble(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *symbols {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return prog.Symbols[names[i]] < prog.Symbols[names[j]] })
+		for _, n := range names {
+			fmt.Printf("%08x  %s\n", prog.Symbols[n], n)
+		}
+	}
+	sum, err := prog.Checksum()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("entry %#08x, %d sections, checksum %016x\n", prog.Entry, len(prog.Sections), sum)
+	if *out != "" {
+		bin, err := prog.Marshal()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, bin, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, len(bin))
+	}
+}

@@ -1,0 +1,103 @@
+// Command splitmem-attacklab regenerates the effectiveness evaluation of
+// the paper: Table 1 (benchmark attacks foiled), Table 2 (real-world
+// vulnerabilities), Fig. 5 (response modes), plus the NX-bypass and
+// mixed-page demonstrations that motivate the work.
+//
+// Usage:
+//
+//	splitmem-attacklab [-table1] [-table2] [-fig5] [-bypass] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"splitmem"
+	"splitmem/internal/attacks"
+	"splitmem/internal/bench"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "run the Wilander-style benchmark grid")
+		table2 = flag.Bool("table2", false, "run the five real-world exploits")
+		fig5   = flag.Bool("fig5", false, "demonstrate the response modes")
+		bypass = flag.Bool("bypass", false, "run the NX-bypass and mixed-page attacks")
+		all    = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+	if !(*table1 || *table2 || *fig5 || *bypass) {
+		*all = true
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *all || *table1 {
+		t, err := bench.Table1()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if *all || *table2 {
+		t, err := bench.Table2()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if *all || *fig5 {
+		out, err := bench.Fig5()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+	}
+	if *all || *bypass {
+		fmt.Println("NX-bypass (mprotect re-protection) attack:")
+		for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit} {
+			r, err := attacks.RunNXBypass(splitmem.Config{Protection: prot})
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("  %-9s %s\n", prot, r)
+		}
+		fmt.Println("\nMixed code+data page attack (Fig. 1b):")
+		cfgs := []struct {
+			name string
+			cfg  splitmem.Config
+		}{
+			{"none", splitmem.Config{Protection: splitmem.ProtNone}},
+			{"nx", splitmem.Config{Protection: splitmem.ProtNX}},
+			{"split", splitmem.Config{Protection: splitmem.ProtSplit}},
+			{"split(mixed-only)+nx", splitmem.Config{Protection: splitmem.ProtSplitNX, MixedOnly: true}},
+		}
+		for _, c := range cfgs {
+			r, err := attacks.RunMixedPage(c.cfg)
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("  %-21s %s\n", c.name, r)
+		}
+
+		fmt.Println("\nstrcpy overflow with NUL/LF-free encoded payload:")
+		for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtSplit} {
+			r, err := attacks.RunStrcpyScenario(splitmem.Config{Protection: prot})
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("  %-9s %s\n", prot, r)
+		}
+
+		fmt.Println("\nleak-free heap spray (16 blocks, PIC shellcode):")
+		for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit} {
+			r, err := attacks.RunHeapSpray(splitmem.Config{Protection: prot}, 16)
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("  %-9s %s\n", prot, r)
+		}
+	}
+}

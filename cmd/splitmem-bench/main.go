@@ -1,0 +1,54 @@
+// Command splitmem-bench regenerates the performance evaluation of the
+// paper (Table 3 and Figures 6-9).
+//
+// Usage:
+//
+//	splitmem-bench [-table3] [-fig6] [-fig7] [-fig8] [-fig9] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"splitmem/internal/bench"
+)
+
+func main() {
+	var (
+		table3 = flag.Bool("table3", false, "print the configuration table")
+		fig6   = flag.Bool("fig6", false, "run the normalized application benchmarks")
+		fig7   = flag.Bool("fig7", false, "run the context-switch stress tests")
+		fig8   = flag.Bool("fig8", false, "run the Apache page-size sweep")
+		fig9   = flag.Bool("fig9", false, "run the fractional-splitting sweep")
+		all    = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9) {
+		*all = true
+	}
+	if *all || *table3 {
+		fmt.Println(bench.Table3().Render())
+	}
+	figs := []struct {
+		on  bool
+		fn  func() (*bench.Figure, error)
+		tag string
+	}{
+		{*all || *fig6, bench.Fig6, "fig6"},
+		{*all || *fig7, bench.Fig7, "fig7"},
+		{*all || *fig8, bench.Fig8, "fig8"},
+		{*all || *fig9, bench.Fig9, "fig9"},
+	}
+	for _, f := range figs {
+		if !f.on {
+			continue
+		}
+		fig, err := f.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", f.tag, err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+	}
+}

@@ -1,0 +1,139 @@
+// Command splitmem-run executes an S86 guest program (assembly source or
+// SELF binary) on the simulated machine under a chosen protection policy
+// and response mode, wiring the host's stdin/stdout to the guest.
+//
+// Usage:
+//
+//	splitmem-run [-prot none|nx|split|split+nx] [-response break|observe|forensics]
+//	             [-crt] [-stats] [-events] program.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+func main() {
+	var (
+		prot     = flag.String("prot", "split", "protection: none, nx, split, split+nx")
+		response = flag.String("response", "break", "response mode: break, observe, forensics")
+		withCRT  = flag.Bool("crt", false, "append the guest C runtime to the program")
+		stats    = flag.Bool("stats", false, "print machine statistics on exit")
+		events   = flag.Bool("events", false, "print the kernel event log on exit")
+		jsonOut  = flag.Bool("json", false, "print the event log as JSON lines on exit")
+		traceN   = flag.Int("trace", 0, "record and print the last N executed instructions")
+		budget   = flag.Uint64("budget", 0, "cycle budget (0 = unlimited)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: splitmem-run [flags] program.s|program.self")
+		os.Exit(2)
+	}
+
+	cfg := splitmem.Config{}
+	cfg.TraceDepth = *traceN
+	switch *prot {
+	case "none":
+		cfg.Protection = splitmem.ProtNone
+	case "nx":
+		cfg.Protection = splitmem.ProtNX
+	case "split":
+		cfg.Protection = splitmem.ProtSplit
+	case "split+nx":
+		cfg.Protection = splitmem.ProtSplitNX
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protection %q\n", *prot)
+		os.Exit(2)
+	}
+	switch *response {
+	case "break":
+		cfg.Response = splitmem.Break
+	case "observe":
+		cfg.Response = splitmem.Observe
+	case "forensics":
+		cfg.Response = splitmem.Forensics
+		cfg.ForensicShellcode = splitmem.ExitShellcode()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown response %q\n", *response)
+		os.Exit(2)
+	}
+
+	path := flag.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, err := splitmem.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var p *splitmem.Process
+	if strings.HasSuffix(path, ".self") {
+		p, err = m.LoadBinary(raw, path)
+	} else {
+		src := string(raw)
+		if *withCRT {
+			src = guest.WithCRT(src)
+		}
+		p, err = m.LoadAsm(src, path)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Feed host stdin (if any) to the guest.
+	if in, err := io.ReadAll(os.Stdin); err == nil && len(in) > 0 {
+		p.StdinWrite(in)
+	}
+	p.StdinClose()
+
+	res := m.Run(*budget)
+	os.Stdout.Write(p.StdoutDrain())
+
+	if *events {
+		for _, ev := range m.Events() {
+			fmt.Fprintf(os.Stderr, "[%12d] %-18s pid=%d %s\n", ev.Cycles, ev.Kind, ev.PID, ev.Text)
+		}
+	}
+	if *jsonOut {
+		if b, err := m.EventsJSONL(); err == nil {
+			os.Stderr.Write(b)
+		}
+	}
+	if *traceN > 0 {
+		fmt.Fprintf(os.Stderr, "--- execution trace (last %d instructions) ---\n%s", *traceN, m.TraceTail())
+	}
+	if *stats {
+		s := m.Stats()
+		fmt.Fprintf(os.Stderr, "cycles=%d instrs=%d pagefaults=%d debugtraps=%d ctxsw=%d\n",
+			s.Cycles, s.Instructions, s.PageFaults, s.DebugTraps, s.CtxSwitches)
+		fmt.Fprintf(os.Stderr, "itlb hits/misses=%d/%d dtlb=%d/%d\n",
+			s.ITLBHits, s.ITLBMisses, s.DTLBHits, s.DTLBMisses)
+		if m.Protection() == splitmem.ProtSplit || m.Protection() == splitmem.ProtSplitNX {
+			fmt.Fprintf(os.Stderr, "split: pages=%d dataTLBloads=%d codeTLBloads=%d detections=%d\n",
+				s.Split.TotalSplits, s.Split.DataTLBLoads, s.Split.CodeTLBLoads, s.Split.Detections)
+		}
+	}
+
+	switch {
+	case res.Reason != splitmem.ReasonAllDone:
+		fmt.Fprintf(os.Stderr, "run stopped: %v\n", res.Reason)
+		os.Exit(3)
+	default:
+		if killed, sig := p.Killed(); killed {
+			fmt.Fprintf(os.Stderr, "process killed: %v at %#08x\n", sig, p.FaultAddr())
+			os.Exit(128 + int(sig))
+		}
+		_, status := p.Exited()
+		os.Exit(status)
+	}
+}

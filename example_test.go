@@ -1,0 +1,113 @@
+package splitmem_test
+
+import (
+	"fmt"
+
+	"splitmem"
+)
+
+// Example demonstrates the library's core promise: the same code injection
+// succeeds on a conventional von Neumann machine and is architecturally
+// impossible under split memory.
+func Example() {
+	victim := `
+_start:
+    sub esp, 1024
+    mov ecx, esp        ; buffer
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, 3          ; read(0, buffer, 1024)
+    int 0x80
+    jmp ecx             ; hijacked control transfer
+`
+	// Position-independent shellcode: call/pop GetPC, then execve.
+	shellcode := []byte{
+		0xE8, 0, 0, 0, 0, // call .+0
+		0x5B,                    // pop ebx
+		0x05, 0x03, 14, 0, 0, 0, // add ebx, 14 (-> path)
+		0xB8, 11, 0, 0, 0, // mov eax, SYS_EXECVE
+		0xCD, 0x80, // int 0x80
+	}
+	shellcode = append(shellcode, []byte("/bin/sh\x00")...)
+
+	for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtSplit} {
+		m := splitmem.MustNew(splitmem.Config{Protection: prot})
+		p, err := m.LoadAsm(victim, "victim")
+		if err != nil {
+			panic(err)
+		}
+		p.StdinWrite(shellcode)
+		m.Run(0)
+		fmt.Printf("%s: shell=%v\n", prot, p.ShellSpawned())
+	}
+	// Output:
+	// none: shell=true
+	// split: shell=false
+}
+
+// ExampleMachine_EventsOf shows how detections report exactly where and
+// what was injected: the bytes come from the data twin at the hijacked EIP.
+func ExampleMachine_EventsOf() {
+	victim := `
+_start:
+    mov ebx, 0
+    mov ecx, buf
+    mov edx, 64
+    mov eax, 3
+    int 0x80
+    mov ecx, buf
+    jmp ecx
+.data
+buf: .space 64
+`
+	m := splitmem.MustNew(splitmem.Config{Protection: splitmem.ProtSplit})
+	p, _ := m.LoadAsm(victim, "victim")
+	p.StdinWrite([]byte{0x90, 0x90, 0xCD, 0x80}) // nop; nop; int 0x80
+	m.Run(0)
+
+	for _, ev := range m.EventsOf(splitmem.EvInjectionDetected) {
+		fmt.Printf("injected code detected, first bytes: % x\n", ev.Data[:4])
+	}
+	killed, sig := p.Killed()
+	fmt.Printf("killed=%v signal=%v\n", killed, sig)
+	// Output:
+	// injected code detected, first bytes: 90 90 cd 80
+	// killed=true signal=SIGILL
+}
+
+// ExampleConfig_observe runs the honeypot configuration: the attack is
+// allowed to proceed under Sebek-style keystroke logging.
+func ExampleConfig_observe() {
+	victim := `
+_start:
+    mov ebx, 0
+    mov ecx, buf
+    mov edx, 64
+    mov eax, 3
+    int 0x80
+    mov ecx, buf
+    jmp ecx
+.data
+buf: .space 64
+`
+	m := splitmem.MustNew(splitmem.Config{
+		Protection: splitmem.ProtSplit,
+		Response:   splitmem.Observe,
+	})
+	p, _ := m.LoadAsm(victim, "victim")
+	// execve("/bin/sh") shellcode, position independent.
+	sc := []byte{0xE8, 0, 0, 0, 0, 0x5B, 0x05, 0x03, 14, 0, 0, 0,
+		0xB8, 11, 0, 0, 0, 0xCD, 0x80}
+	sc = append(sc, []byte("/bin/sh\x00")...)
+	p.StdinWrite(sc)
+	m.Run(0)
+	fmt.Printf("shell=%v observed=%v\n",
+		p.ShellSpawned(), len(m.EventsOf(splitmem.EvInjectionObserved)) > 0)
+
+	p.StdinWrite([]byte("whoami\n"))
+	m.Run(0)
+	fmt.Printf("attacker sees: %s", p.StdoutDrain())
+	// Output:
+	// shell=true observed=true
+	// attacker sees: root
+}

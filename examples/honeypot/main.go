@@ -1,0 +1,29 @@
+// Honeypot: run the wu-ftpd-style server in observe mode (the attack is
+// allowed to continue under Sebek-style keystroke logging) and in forensics
+// mode (the injected shellcode is dumped and replaced with exit(0)),
+// reproducing the paper's Fig. 5 demonstrations.
+//
+//	go run ./examples/honeypot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"splitmem"
+	"splitmem/internal/attacks"
+)
+
+func main() {
+	for _, mode := range []splitmem.ResponseMode{splitmem.Observe, splitmem.Forensics} {
+		r, err := attacks.RunFig5(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(attacks.RenderFig5(r))
+	}
+	fmt.Println("In observe mode the attacker believes the exploit worked; every")
+	fmt.Println("keystroke was recorded. In forensics mode the system captured the")
+	fmt.Println("shellcode at the exact moment it was about to execute and ran")
+	fmt.Println("exit(0) in its place.")
+}

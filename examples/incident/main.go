@@ -1,0 +1,68 @@
+// Incident report: the operations surface of the split-memory kernel. A
+// victim is exploited under forensics mode while an execution trace rides
+// along; afterwards the host assembles an incident report — JSONL events
+// for a collector, the captured shellcode, and the instruction trail that
+// led to the hijack.
+//
+//	go run ./examples/incident
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"splitmem"
+)
+
+const victim = `
+_start:
+    mov ebx, 0
+    mov ecx, buf
+    mov edx, 128
+    mov eax, 3          ; read "network" input
+    int 0x80
+    mov ecx, buf
+    jmp ecx             ; corrupted dispatch
+.data
+buf: .space 128
+`
+
+func main() {
+	m := splitmem.MustNew(splitmem.Config{
+		Protection:        splitmem.ProtSplit,
+		Response:          splitmem.Forensics,
+		ForensicShellcode: splitmem.ExitShellcode(),
+		TraceDepth:        8,
+	})
+	p, err := m.LoadAsm(victim, "paymentd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The attack: NOP sled + execve shellcode (position independent).
+	payload := []byte{0x90, 0x90, 0x90, 0x90,
+		0xE8, 0, 0, 0, 0, 0x5B, 0x05, 0x03, 14, 0, 0, 0,
+		0xB8, 11, 0, 0, 0, 0xCD, 0x80}
+	payload = append(payload, []byte("/bin/sh\x00")...)
+	p.StdinWrite(payload)
+	m.Run(0)
+
+	fmt.Println("==== incident report ====")
+	exited, status := p.Exited()
+	fmt.Printf("process %q: exited=%v status=%d (forensic shellcode ran in place of the payload)\n\n",
+		p.Name, exited, status)
+
+	fmt.Println("-- events (JSONL, ready for a collector) --")
+	jsonl, err := m.EventsJSONL()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(string(jsonl))
+
+	for _, ev := range m.EventsOf(splitmem.EvForensicDump) {
+		fmt.Printf("\n-- captured payload at EIP=%#08x (read from the data twin) --\n", ev.Addr)
+		fmt.Printf("% x\n", ev.Data)
+	}
+
+	fmt.Println("\n-- instruction trail into the hijack --")
+	fmt.Print(m.TraceTail())
+}

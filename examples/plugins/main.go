@@ -1,0 +1,101 @@
+// Plugins: validated dynamic loading under split memory (§4.3). A server
+// that accepts plugins over the network cannot normally execute them under
+// split memory — received bytes only ever reach data twins. The dlload
+// syscall is the sanctioned path: the kernel verifies the module against a
+// known digest (the DigSig/VerifiedExec stand-in) and only then installs it
+// on both twins. A tampered module is rejected; a plain injected one is
+// unfetchable.
+//
+//	go run ./examples/plugins
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"splitmem"
+	"splitmem/internal/guest"
+	"splitmem/internal/loader"
+)
+
+const hostProg = `
+_start:
+    mov ebx, 0x50000000    ; load address
+    mov ecx, MODLEN
+    mov edx, digest
+    mov eax, 210           ; dlload(dest, len, &digest)
+    int 0x80
+    cmp eax, 0
+    jnz load_failed
+    mov eax, 0x50000000
+    call eax               ; run the plugin; returns its result in eax
+    push eax
+    mov eax, okmsg
+    push eax
+    call print
+    add esp, 4
+    pop ebx
+    mov eax, 1
+    int 0x80               ; exit(plugin result)
+load_failed:
+    push eax
+    mov eax, badmsg
+    push eax
+    call print
+    add esp, 4
+    pop ebx
+    mov eax, 1
+    int 0x80
+.data
+okmsg:  .asciz "plugin verified and executed\n"
+badmsg: .asciz "plugin REJECTED by signature check\n"
+digest: .word DIG_LO, DIG_HI
+`
+
+const pluginSrc = `
+.text 0x50000000
+    mov eax, 42            ; the plugin's work
+    ret
+`
+
+func run(tampered bool) {
+	plugin, err := splitmem.Assemble(pluginSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	module := plugin.Sections[0].Data
+	digest := loader.FNV1a(module)
+
+	src := hostProg
+	src = strings.ReplaceAll(src, "MODLEN", fmt.Sprint(len(module)))
+	src = strings.ReplaceAll(src, "DIG_LO", fmt.Sprint(uint32(digest)))
+	src = strings.ReplaceAll(src, "DIG_HI", fmt.Sprint(uint32(digest>>32)))
+
+	m := splitmem.MustNew(splitmem.Config{Protection: splitmem.ProtSplit})
+	host, err := m.LoadAsm(guest.WithCRT(src), "plugin-host")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sent := append([]byte(nil), module...)
+	if tampered {
+		sent[0] = 0x90 // a supply-chain attacker flips a byte in flight
+	}
+	host.StdinWrite(sent)
+	m.Run(0)
+	fmt.Print(string(host.StdoutDrain()))
+	if exited, status := host.Exited(); exited {
+		fmt.Printf("  host exit status: %d\n", int32(status))
+	}
+	for _, ev := range m.EventsOf(splitmem.EvLibraryLoad) {
+		fmt.Printf("  [kernel] %s\n", ev.Text)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("-- genuine plugin --")
+	run(false)
+	fmt.Println("-- tampered plugin --")
+	run(true)
+}

@@ -1,0 +1,78 @@
+// Quickstart: assemble a tiny guest program, run it on the virtual-Harvard
+// (split memory) machine, and watch a straightforward code injection fail.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"splitmem"
+)
+
+// victim reads attacker-controlled bytes into a stack buffer and jumps into
+// it — the four stages of a code injection attack (§3.2) distilled.
+const victim = `
+_start:
+    sub esp, 1024
+    mov ecx, esp        ; buffer
+    mov ebx, 0          ; stdin
+    mov edx, 1024
+    mov eax, 3          ; read(0, buffer, 1024)
+    int 0x80
+    jmp ecx             ; hijacked control transfer
+`
+
+// shellcode builds execve("/bin/sh") machine code for the given address.
+func shellcode(addr uint32) []byte {
+	code := []byte{0xBB, 0, 0, 0, 0, 0xB8, 11, 0, 0, 0, 0xCD, 0x80}
+	binary.LittleEndian.PutUint32(code[1:], addr+uint32(len(code)))
+	return append(code, []byte("/bin/sh\x00")...)
+}
+
+func attack(prot splitmem.Protection) {
+	// Probe run to learn where the buffer lands (deterministic layout).
+	probe := splitmem.MustNew(splitmem.Config{Protection: splitmem.ProtNone})
+	pp, err := probe.LoadAsm(victim, "probe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe.Run(0)
+	bufAddr := pp.Ctx.R[1] // ECX at the blocking read
+
+	m := splitmem.MustNew(splitmem.Config{Protection: prot})
+	p, err := m.LoadAsm(victim, "victim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.StdinWrite(shellcode(bufAddr))
+	m.Run(0)
+
+	fmt.Printf("%-8s: ", prot)
+	switch {
+	case p.ShellSpawned():
+		fmt.Println("ATTACK SUCCEEDED - attacker has a shell")
+	default:
+		killed, sig := p.Killed()
+		fmt.Printf("attack foiled (killed=%v %v)", killed, sig)
+		if evs := m.EventsOf(splitmem.EvInjectionDetected); len(evs) > 0 {
+			fmt.Printf("; injection detected at %#08x", evs[0].Addr)
+			if len(evs[0].Data) >= 8 {
+				fmt.Printf(", injected bytes: % x...", evs[0].Data[:8])
+			}
+		}
+		fmt.Println()
+	}
+	st := m.Stats()
+	fmt.Printf("          cycles=%d  split pages=%d  dTLB loads=%d  iTLB loads=%d\n",
+		st.Cycles, st.Split.TotalSplits, st.Split.DataTLBLoads, st.Split.CodeTLBLoads)
+}
+
+func main() {
+	fmt.Println("The same code injection against three memory architectures:")
+	for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit} {
+		attack(prot)
+	}
+}

@@ -1,0 +1,431 @@
+package splitmem_test
+
+// Tests for the features the paper sketches but does not prototype:
+// the recovery response mode (§4.5), validated dynamic library loading
+// (§4.3), and the software-managed-TLB realization (§4.7), plus the
+// documented limitations of §7 demonstrated as executable facts.
+
+import (
+	"strings"
+	"testing"
+
+	"splitmem"
+	"splitmem/internal/guest"
+	"splitmem/internal/loader"
+)
+
+// victimWithRecovery registers a recovery handler, then runs the classic
+// read-and-jump injection. Under Recovery mode, the kernel transfers
+// control to the handler instead of crashing.
+const victimWithRecovery = `
+_start:
+    mov ebx, recover_cb
+    mov eax, 200           ; register_recovery(handler)
+    int 0x80
+    sub esp, 1024
+    mov ecx, esp
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, 3             ; read the "attack"
+    int 0x80
+    jmp ecx                ; hijack
+
+recover_cb:
+    ; graceful recovery: report and exit cleanly
+    mov ebx, 1
+    mov ecx, msg
+    mov edx, 10
+    mov eax, 4
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+msg: .asciz "recovered\n"
+`
+
+func TestRecoveryMode(t *testing.T) {
+	m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit, Response: splitmem.Recovery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(victimWithRecovery, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StdinWrite([]byte{0x90, 0x90, 0xCD, 0x80}) // injected bytes
+	res := m.Run(50_000_000)
+	if res.Reason != splitmem.ReasonAllDone {
+		t.Fatalf("run: %v", res.Reason)
+	}
+	exited, status := p.Exited()
+	if !exited || status != 0 {
+		killed, sig := p.Killed()
+		t.Fatalf("exited=%v status=%d killed=%v sig=%v", exited, status, killed, sig)
+	}
+	if got := string(p.StdoutDrain()); !strings.Contains(got, "recovered") {
+		t.Fatalf("stdout=%q", got)
+	}
+	if len(m.EventsOf(splitmem.EvInjectionDetected)) == 0 {
+		t.Fatal("detection event missing")
+	}
+}
+
+func TestRecoveryModeWithoutHandlerKills(t *testing.T) {
+	// Same attack, recovery mode, but the program never registered: falls
+	// back to break behavior.
+	src := `
+_start:
+    sub esp, 1024
+    mov ecx, esp
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, 3
+    int 0x80
+    jmp ecx
+`
+	m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit, Response: splitmem.Recovery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(src, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StdinWrite([]byte{0x90})
+	m.Run(50_000_000)
+	killed, sig := p.Killed()
+	if !killed || sig != splitmem.SIGILL {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+}
+
+// dlloadProg loads a module at 0x50000000 after verifying its digest, then
+// calls it; the module returns 123 in EAX which becomes the exit status.
+const dlloadProg = `
+_start:
+    mov ebx, 0x50000000    ; destination
+    mov ecx, modlen
+    load ecx, [ecx]
+    mov edx, digest
+    mov eax, 210           ; dlload(dest, len, digest)
+    int 0x80
+    cmp eax, 0
+    jnz fail
+    mov eax, 0x50000000
+    call eax               ; run the verified module
+    mov ebx, eax
+    mov eax, 1
+    int 0x80
+fail:
+    mov ebx, eax
+    mov eax, 1
+    int 0x80
+.data
+modlen: .word 0            ; patched by the host via stdin protocol? no: fixed below
+digest: .word 0, 0
+`
+
+// buildModule assembles the plugin: mov eax, 123; ret.
+func buildModule(t *testing.T) []byte {
+	t.Helper()
+	prog, err := splitmem.Assemble(`
+.text 0x50000000
+    mov eax, 123
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Sections[0].Data
+}
+
+func TestDlloadVerifiedModule(t *testing.T) {
+	module := buildModule(t)
+	digest := loader.FNV1a(module)
+
+	// Patch modlen and digest into the program source.
+	src := strings.Replace(dlloadProg, "modlen: .word 0            ; patched by the host via stdin protocol? no: fixed below",
+		"modlen: .word "+itoa(len(module)), 1)
+	src = strings.Replace(src, "digest: .word 0, 0",
+		"digest: .word "+itoa(int(uint32(digest)))+", "+itoa(int(uint32(digest>>32))), 1)
+
+	for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtSplit} {
+		m, err := splitmem.New(splitmem.Config{Protection: prot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.LoadAsm(src, "dlload")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.StdinWrite(module) // the module "file" arrives over the stream
+		res := m.Run(50_000_000)
+		if res.Reason != splitmem.ReasonAllDone {
+			t.Fatalf("%v: run %v", prot, res.Reason)
+		}
+		exited, status := p.Exited()
+		if !exited || status != 123 {
+			killed, sig := p.Killed()
+			t.Fatalf("%v: exited=%v status=%d killed=%v sig=%v", prot, exited, status, killed, sig)
+		}
+	}
+}
+
+func TestDlloadRejectsTamperedModule(t *testing.T) {
+	module := buildModule(t)
+	digest := loader.FNV1a(module)
+	// The attacker tampers with the module in flight.
+	evil := append([]byte(nil), module...)
+	evil[0] = 0x90
+
+	src := strings.Replace(dlloadProg, "modlen: .word 0            ; patched by the host via stdin protocol? no: fixed below",
+		"modlen: .word "+itoa(len(module)), 1)
+	src = strings.Replace(src, "digest: .word 0, 0",
+		"digest: .word "+itoa(int(uint32(digest)))+", "+itoa(int(uint32(digest>>32))), 1)
+
+	m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(src, "dlload-evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StdinWrite(evil)
+	m.Run(50_000_000)
+	_, status := p.Exited()
+	if int32(status) != -13 { // -EACCES propagated by the guest
+		t.Fatalf("status=%d want -13", int32(status))
+	}
+	var rejected bool
+	for _, ev := range m.EventsOf(splitmem.EvLibraryLoad) {
+		if strings.Contains(ev.Text, "REJECTED") {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Fatal("no rejection event")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [16]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// TestSoftTLBCorrectAndFaster: the §4.7 software-TLB realization must be
+// functionally identical and measurably cheaper than the x86 trick.
+func TestSoftTLBCorrectAndFaster(t *testing.T) {
+	prog := guest.WithCRT(`
+_start:
+    mov eax, 32
+    push eax
+    call malloc
+    add esp, 4
+    mov esi, eax
+    mov eax, msg
+    push eax
+    push esi
+    call strcpy
+    add esp, 8
+    push esi
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+.data
+msg: .asciz "soft-tlb-ok\n"
+`)
+	var cycles [2]uint64
+	for i, soft := range []bool{false, true} {
+		m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit, SoftTLB: soft})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.LoadAsm(prog, "soft")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(50_000_000)
+		if got := string(p.StdoutDrain()); got != "soft-tlb-ok\n" {
+			t.Fatalf("soft=%v: output %q", soft, got)
+		}
+		cycles[i] = m.Cycles()
+	}
+	if cycles[1] >= cycles[0] {
+		t.Fatalf("soft-TLB loads (%d cycles) should beat the x86 trick (%d)", cycles[1], cycles[0])
+	}
+	t.Logf("x86 trick: %d cycles; soft-TLB: %d cycles (%.1f%% saved)",
+		cycles[0], cycles[1], 100*(1-float64(cycles[1])/float64(cycles[0])))
+}
+
+// TestSoftTLBStillBlocksInjection: the cheaper loading path must preserve
+// the security property.
+func TestSoftTLBStillBlocksInjection(t *testing.T) {
+	src := `
+_start:
+    sub esp, 1024
+    mov ecx, esp
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, 3
+    int 0x80
+    jmp ecx
+`
+	m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit, SoftTLB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(src, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StdinWrite([]byte{0xCD, 0x80})
+	m.Run(50_000_000)
+	if p.ShellSpawned() {
+		t.Fatal("injection succeeded under soft-TLB split memory")
+	}
+	if killed, sig := p.Killed(); !killed || sig != splitmem.SIGILL {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+}
+
+// TestTraceTail: the execution tracer records the retired instruction
+// stream, ending at the hijacked address when a victim dies.
+func TestTraceTail(t *testing.T) {
+	src := `
+_start:
+    sub esp, 1024
+    mov ecx, esp
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, 3
+    int 0x80
+    jmp ecx
+`
+	m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit, TraceDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(src, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StdinWrite([]byte{0x90})
+	m.Run(10_000_000)
+	tail := m.TraceTail()
+	if !strings.Contains(tail, "jmp ecx") {
+		t.Fatalf("trace should contain the hijacking jump:\n%s", tail)
+	}
+	if !strings.Contains(tail, "int 0x80") {
+		t.Fatalf("trace should contain the read syscall:\n%s", tail)
+	}
+	// A machine without tracing returns an empty tail.
+	m2, _ := splitmem.New(splitmem.Config{})
+	if m2.TraceTail() != "" {
+		t.Fatal("tail should be empty without TraceDepth")
+	}
+}
+
+// TestLazyTwins: the demand-paged twin optimization (§5.1) must preserve
+// behavior and protection while allocating far fewer frames.
+func TestLazyTwins(t *testing.T) {
+	// A data-heavy program: 64 KiB bss that is written but never executed.
+	prog := `
+_start:
+    mov esi, big
+    mov ecx, 65536
+fill:
+    storeb [esi], ecx
+    inc esi
+    dec ecx
+    cmp ecx, 0
+    jnz fill
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+big: .space 65536
+`
+	var allocs [2]uint64
+	for i, lazy := range []bool{false, true} {
+		m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit, LazyTwins: lazy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.LoadAsm(prog, "bigdata")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Run(0)
+		if res.Reason != splitmem.ReasonAllDone {
+			t.Fatalf("lazy=%v: %v", lazy, res.Reason)
+		}
+		if exited, status := p.Exited(); !exited || status != 0 {
+			t.Fatalf("lazy=%v: exited=%v status=%d", lazy, exited, status)
+		}
+		allocs[i] = m.CPU().Phys.Allocations()
+	}
+	// The lazy variant must allocate at least 14 fewer frames (the 16 bss
+	// pages' twins minus slack for the data/stack pages it still touches).
+	if allocs[1]+14 > allocs[0] {
+		t.Fatalf("lazy=%d frames vs eager=%d: no saving", allocs[1], allocs[0])
+	}
+	t.Logf("frames allocated: eager=%d lazy=%d", allocs[0], allocs[1])
+}
+
+// TestLazyTwinsStillBlockInjection: the deferred twin is synthesized at
+// attack time, never copied from the (attacker-controlled) data twin.
+func TestLazyTwinsStillBlockInjection(t *testing.T) {
+	src := `
+_start:
+    sub esp, 1024
+    mov ecx, esp
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, 3
+    int 0x80
+    jmp ecx
+`
+	for _, mode := range []splitmem.ResponseMode{splitmem.Break, splitmem.Observe} {
+		m, err := splitmem.New(splitmem.Config{
+			Protection: splitmem.ProtSplit, Response: mode, LazyTwins: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.LoadAsm(src, "victim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.StdinWrite([]byte{0xBB, 1, 0, 0, 0, 0xB8, 11, 0, 0, 0, 0xCD, 0x80})
+		m.Run(50_000_000)
+		if len(m.EventsOf(splitmem.EvInjectionDetected)) == 0 {
+			t.Fatalf("mode=%v: no detection", mode)
+		}
+		if mode == splitmem.Break {
+			if killed, sig := p.Killed(); !killed || sig != splitmem.SIGILL {
+				t.Fatalf("mode=%v: killed=%v sig=%v", mode, killed, sig)
+			}
+		}
+	}
+}

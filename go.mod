@@ -1,0 +1,3 @@
+module splitmem
+
+go 1.22

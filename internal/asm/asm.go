@@ -1,0 +1,301 @@
+// Package asm implements a two-pass assembler for the S86 instruction set.
+// Guest programs — the C runtime, the vulnerable servers, the performance
+// workloads — are written in S86 assembly and assembled into SELF images at
+// runtime (no external toolchain).
+//
+// Syntax summary:
+//
+//	; comment               # comment
+//	.text [addr]            ; switch to the text section (default 0x08048000, r-x)
+//	.data [addr]            ; switch to the data section (default 0x08060000, rw-)
+//	.section name addr rwx  ; define/switch to a custom section
+//	.entry sym              ; program entry point (default _start, else start of .text)
+//	.equ NAME, expr         ; constant
+//	.word e1, e2, ...       ; 32-bit little-endian words
+//	.byte e1, e2, ...       ; bytes
+//	.ascii "str"            ; string bytes
+//	.asciz "str"            ; NUL-terminated string
+//	.space n [, fill]       ; n bytes of fill (default 0)
+//	.align n                ; pad to an n-byte boundary
+//
+//	label:  mov eax, 42     ; operands: reg, imm expression, or [reg+disp]
+//	        load eax, [ebp+8]
+//	        store [ebp-4], eax
+//	        jz done
+//
+// Pseudo-instructions: inc r / dec r (add/sub 1).
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"splitmem/internal/isa"
+	"splitmem/internal/loader"
+)
+
+// Default section load addresses.
+const (
+	DefaultTextAddr = 0x08048000
+	DefaultDataAddr = 0x08060000
+)
+
+type section struct {
+	name string
+	addr uint32
+	perm byte
+	pc   uint32 // layout cursor relative to addr
+	buf  []byte // encoded bytes (pass 2)
+}
+
+type stmtKind int
+
+const (
+	stLabel stmtKind = iota
+	stDirective
+	stInstr
+)
+
+type stmt struct {
+	kind     stmtKind
+	line     int
+	name     string   // label name / directive name / mnemonic
+	args     []string // operand strings
+	raw      string   // remainder after directive name (for string directives)
+	section  int      // section index at layout time
+	addr     uint32   // assigned address (labels, instrs, data)
+	size     uint32   // layout size
+	instArgs []operand
+}
+
+type operandKind int
+
+const (
+	opReg operandKind = iota
+	opMem
+	opExpr
+)
+
+type operand struct {
+	kind operandKind
+	reg  byte   // opReg, opMem base
+	expr string // opExpr value / opMem displacement expression ("" = 0)
+	neg  bool   // opMem: displacement is subtracted
+}
+
+// Assembler holds state across the two passes. Create one per Assemble call.
+type assembler struct {
+	stmts    []stmt
+	sections []section
+	cur      int // current section index; -1 before any section directive
+	symbols  map[string]uint32
+	entryStr string
+}
+
+// Assemble translates S86 assembly source into a SELF program.
+func Assemble(src string) (*loader.Program, error) {
+	a := &assembler{cur: -1, symbols: map[string]uint32{}}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	return a.emit()
+}
+
+// MustAssemble is Assemble for known-good embedded sources; it panics on
+// error and is intended for tests and package initialization of canned
+// guest programs.
+func MustAssemble(src string) *loader.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(fmt.Sprintf("asm: %v", err))
+	}
+	return p
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// ---- pass 0: parse ----
+
+func (a *assembler) parse(src string) error {
+	for i, line := range strings.Split(src, "\n") {
+		ln := i + 1
+		text := stripComment(line)
+		text = strings.TrimSpace(text)
+		for text != "" {
+			// Leading labels, possibly several on one line.
+			if idx := labelEnd(text); idx >= 0 {
+				a.stmts = append(a.stmts, stmt{kind: stLabel, line: ln, name: text[:idx]})
+				text = strings.TrimSpace(text[idx+1:])
+				continue
+			}
+			break
+		}
+		if text == "" {
+			continue
+		}
+		if text[0] == '.' && isDirective(text) {
+			name, rest := splitWord(text)
+			a.stmts = append(a.stmts, stmt{
+				kind: stDirective, line: ln, name: name,
+				args: splitArgs(rest), raw: rest,
+			})
+			continue
+		}
+		name, rest := splitWord(text)
+		s := stmt{kind: stInstr, line: ln, name: strings.ToLower(name)}
+		for _, arg := range splitArgs(rest) {
+			op, err := parseOperand(arg)
+			if err != nil {
+				return a.errf(ln, "%v", err)
+			}
+			s.instArgs = append(s.instArgs, op)
+			s.args = append(s.args, arg)
+		}
+		a.stmts = append(a.stmts, s)
+	}
+	return nil
+}
+
+// stripComment removes ; and # comments, respecting string and character
+// literals.
+func stripComment(line string) string {
+	inStr, inChar := false, false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case inChar:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChar = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '\'':
+			inChar = true
+		case c == ';' || c == '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// labelEnd returns the index of the ':' terminating a leading label, or -1.
+func labelEnd(s string) int {
+	if len(s) == 0 || !isIdentStart(s[0]) {
+		return -1
+	}
+	i := 0
+	for i < len(s) && isIdentChar(s[i]) {
+		i++
+	}
+	if i < len(s) && s[i] == ':' {
+		return i
+	}
+	return -1
+}
+
+var directives = map[string]bool{
+	".text": true, ".data": true, ".section": true, ".entry": true,
+	".equ": true, ".word": true, ".byte": true, ".ascii": true,
+	".asciz": true, ".space": true, ".align": true,
+}
+
+func isDirective(s string) bool {
+	name, _ := splitWord(s)
+	return directives[name]
+}
+
+func splitWord(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+// splitArgs splits on top-level commas, respecting brackets and quotes.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var args []string
+	depth := 0
+	inStr, inChar := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case inChar:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChar = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '\'':
+			inChar = true
+		case c == '[' || c == '(':
+			depth++
+		case c == ']' || c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			args = append(args, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args
+}
+
+func parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, fmt.Errorf("empty operand")
+	}
+	if r, ok := isa.RegByName(strings.ToLower(s)); ok {
+		return operand{kind: opReg, reg: r}, nil
+	}
+	if s[0] == '[' {
+		if s[len(s)-1] != ']' {
+			return operand{}, fmt.Errorf("unterminated memory operand %q", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		// base register, optional +expr or -expr
+		var regName, disp string
+		var neg bool
+		if i := strings.IndexAny(inner, "+-"); i >= 0 {
+			regName = strings.TrimSpace(inner[:i])
+			disp = strings.TrimSpace(inner[i+1:])
+			neg = inner[i] == '-'
+		} else {
+			regName = inner
+		}
+		r, ok := isa.RegByName(strings.ToLower(regName))
+		if !ok {
+			return operand{}, fmt.Errorf("memory operand %q must start with a base register", s)
+		}
+		return operand{kind: opMem, reg: r, expr: disp, neg: neg}, nil
+	}
+	return operand{kind: opExpr, expr: s}, nil
+}

@@ -1,0 +1,182 @@
+package asm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"splitmem/internal/guest"
+	"splitmem/internal/isa"
+)
+
+// TestAssembleDeterministic: identical source must produce bit-identical
+// binaries (required for the dlload digest scheme).
+func TestAssembleDeterministic(t *testing.T) {
+	src := guest.WithCRT(`
+_start:
+    mov eax, msg
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+.data
+msg: .asciz "det\n"
+`)
+	a, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := a.Marshal()
+	bb, _ := b.Marshal()
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("assembly is not deterministic")
+	}
+}
+
+// TestQuickAssembleNoPanic: arbitrary junk source must produce an error or
+// a program, never a panic.
+func TestQuickAssembleNoPanic(t *testing.T) {
+	words := []string{
+		"mov", "add", "load", "store", "jmp", "call", "ret", "push", "pop",
+		"eax", "ebx", "esp", "[ebp+4]", "[", "]", ",", ":", "0x10", "-1",
+		".text", ".data", ".word", ".byte", ".asciz", ".space", ".align",
+		".equ", ".entry", ".section", "label", "\"str\"", "'c'", "+", "*",
+		"(", ")", ";", "\n",
+	}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < int(n); i++ {
+			sb.WriteString(words[r.Intn(len(words))])
+			if r.Intn(3) == 0 {
+				sb.WriteString("\n")
+			} else {
+				sb.WriteString(" ")
+			}
+		}
+		_, _ = Assemble(sb.String()) // must not panic
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEncodedInstructionsDecode: every instruction the assembler emits
+// must decode back to a defined instruction of the same length (text
+// sections contain no undecodable bytes).
+func TestQuickEncodedInstructionsDecode(t *testing.T) {
+	mnems := []struct {
+		text string
+	}{
+		{"mov eax, %d"}, {"add ebx, %d"}, {"sub ecx, %d"}, {"cmp edx, %d"},
+		{"and esi, %d"}, {"or edi, %d"}, {"xor eax, %d"}, {"mul ebx, %d"},
+		{"mov eax, ebx"}, {"add ecx, edx"}, {"push esi"}, {"pop edi"},
+		{"load eax, [ebp+%d]"}, {"store [esp+%d], eax"}, {"lea esi, [edi+%d]"},
+		{"loadb ecx, [ebx+%d]"}, {"storeb [eax+%d], edx"},
+		{"shl eax, 3"}, {"shr ebx, 7"}, {"nop"}, {"ret"}, {"int 0x80"},
+		{"inc eax"}, {"dec ebx"},
+	}
+	f := func(seed int64, count uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		sb.WriteString("_start:\n")
+		n := int(count)%40 + 1
+		for i := 0; i < n; i++ {
+			m := mnems[r.Intn(len(mnems))]
+			line := m.text
+			if strings.Contains(line, "%d") {
+				line = fmt.Sprintf(line, r.Intn(4096))
+			}
+			sb.WriteString("    " + line + "\n")
+		}
+		prog, err := Assemble(sb.String())
+		if err != nil {
+			return false
+		}
+		code := prog.Sections[0].Data
+		for len(code) > 0 {
+			in, err := isa.Decode(code)
+			if err != nil {
+				return false
+			}
+			code = code[in.Size:]
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCRTAssemblesStandalone ensures the runtime on its own is well-formed
+// (every guest program depends on it).
+func TestCRTAssemblesStandalone(t *testing.T) {
+	prog, err := Assemble("_start: ret\n" + guest.CRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"exit", "read", "write", "strlen", "strcpy", "memcpy", "print",
+		"read_line", "read_exact", "atoi", "itoa_hex", "htoi",
+		"malloc", "free", "setjmp", "longjmp",
+	} {
+		if _, ok := prog.Symbol(name); !ok {
+			t.Errorf("CRT missing %s", name)
+		}
+	}
+}
+
+func TestAssembleListing(t *testing.T) {
+	src := `_start:
+    mov eax, 1
+    int 0x80
+.data
+msg: .asciz "hi"
+`
+	prog, listing, err := AssembleListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entry == 0 {
+		t.Fatal("no program")
+	}
+	for _, want := range []string{
+		"08048000  b8 01 00 00 00", // mov eax, 1
+		"08048005  cd 80",          // int 0x80
+		"08060000  68 69 00",       // "hi\0"
+		"mov eax, 1",
+	} {
+		if !strings.Contains(listing, want) {
+			t.Fatalf("listing missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+func TestAssembleListingMatchesAssemble(t *testing.T) {
+	src := guest.WithCRT("_start: ret\n")
+	a, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := AssembleListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := a.Marshal()
+	bb, _ := b.Marshal()
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("listing assembly diverges from plain assembly")
+	}
+}

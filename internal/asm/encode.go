@@ -1,0 +1,482 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"splitmem/internal/isa"
+	"splitmem/internal/loader"
+)
+
+// instrShape describes how a mnemonic maps onto opcodes for each operand
+// combination.
+type instrShape struct {
+	rr  isa.Op // reg, reg
+	ri  isa.Op // reg, imm32
+	ri8 isa.Op // reg, imm8
+	rm  isa.Op // reg, [mem]
+	mr  isa.Op // [mem], reg
+	rel isa.Op // rel32 branch
+	r   isa.Op // single register
+	i8  isa.Op // single imm8
+	n   isa.Op // no operands
+}
+
+var shapes = map[string]instrShape{
+	"mov":    {rr: isa.OpMov, ri: isa.OpMovImm},
+	"add":    {rr: isa.OpAdd, ri: isa.OpAddImm},
+	"sub":    {rr: isa.OpSub, ri: isa.OpSubImm},
+	"and":    {rr: isa.OpAnd, ri: isa.OpAndImm},
+	"or":     {rr: isa.OpOr, ri: isa.OpOrImm},
+	"xor":    {rr: isa.OpXor, ri: isa.OpXorImm},
+	"cmp":    {rr: isa.OpCmp, ri: isa.OpCmpImm},
+	"mul":    {rr: isa.OpMul, ri: isa.OpMulImm},
+	"div":    {rr: isa.OpDiv},
+	"mod":    {rr: isa.OpMod},
+	"shl":    {ri8: isa.OpShl},
+	"shr":    {ri8: isa.OpShr},
+	"load":   {rm: isa.OpLoad},
+	"loadb":  {rm: isa.OpLoadB},
+	"lea":    {rm: isa.OpLea},
+	"store":  {mr: isa.OpStore},
+	"storeb": {mr: isa.OpStoreB},
+	"push":   {r: isa.OpPush},
+	"pop":    {r: isa.OpPop},
+	"jmp":    {rel: isa.OpJmp, r: isa.OpJmpReg},
+	"call":   {rel: isa.OpCall, r: isa.OpCallReg},
+	"jz":     {rel: isa.OpJz},
+	"je":     {rel: isa.OpJz},
+	"jnz":    {rel: isa.OpJnz},
+	"jne":    {rel: isa.OpJnz},
+	"jl":     {rel: isa.OpJl},
+	"jge":    {rel: isa.OpJge},
+	"jg":     {rel: isa.OpJg},
+	"jle":    {rel: isa.OpJle},
+	"jb":     {rel: isa.OpJb},
+	"jae":    {rel: isa.OpJae},
+	"ja":     {rel: isa.OpJa},
+	"jbe":    {rel: isa.OpJbe},
+	"int":    {i8: isa.OpInt},
+	"ret":    {n: isa.OpRet},
+	"nop":    {n: isa.OpNop},
+	"hlt":    {n: isa.OpHlt},
+	"int3":   {n: isa.OpInt3},
+	"ud":     {n: isa.OpUndef},
+}
+
+// selectOp chooses the opcode and operand layout for a statement. The
+// returned instr has registers filled in; immediates/displacements are
+// resolved in pass 2. kind tells pass 2 how to interpret expressions.
+type selected struct {
+	op      isa.Op
+	r1, r2  byte
+	expr    string // immediate / displacement / branch target / int vector
+	negDisp bool
+	isRel   bool // expr is a branch target (pc-relative encoding)
+}
+
+func selectInstr(s *stmt) (selected, error) {
+	name := s.name
+	// Pseudo-instructions.
+	switch name {
+	case "inc", "dec":
+		if len(s.instArgs) != 1 || s.instArgs[0].kind != opReg {
+			return selected{}, fmt.Errorf("%s takes one register", name)
+		}
+		op := isa.OpAddImm
+		if name == "dec" {
+			op = isa.OpSubImm
+		}
+		return selected{op: op, r1: s.instArgs[0].reg, expr: "1"}, nil
+	}
+	sh, ok := shapes[name]
+	if !ok {
+		return selected{}, fmt.Errorf("unknown mnemonic %q", name)
+	}
+	args := s.instArgs
+	switch len(args) {
+	case 0:
+		if sh.n == 0 {
+			return selected{}, fmt.Errorf("%s requires operands", name)
+		}
+		return selected{op: sh.n}, nil
+	case 1:
+		a := args[0]
+		switch {
+		case a.kind == opReg && sh.r != 0:
+			return selected{op: sh.r, r1: a.reg}, nil
+		case a.kind == opExpr && sh.rel != 0:
+			return selected{op: sh.rel, expr: a.expr, isRel: true}, nil
+		case a.kind == opExpr && sh.i8 != 0:
+			return selected{op: sh.i8, expr: a.expr}, nil
+		}
+	case 2:
+		a, b := args[0], args[1]
+		switch {
+		case a.kind == opReg && b.kind == opReg && sh.rr != 0:
+			return selected{op: sh.rr, r1: a.reg, r2: b.reg}, nil
+		case a.kind == opReg && b.kind == opExpr && sh.ri != 0:
+			return selected{op: sh.ri, r1: a.reg, expr: b.expr}, nil
+		case a.kind == opReg && b.kind == opExpr && sh.ri8 != 0:
+			return selected{op: sh.ri8, r1: a.reg, expr: b.expr}, nil
+		case a.kind == opReg && b.kind == opMem && sh.rm != 0:
+			return selected{op: sh.rm, r1: a.reg, r2: b.reg, expr: b.expr, negDisp: b.neg}, nil
+		case a.kind == opMem && b.kind == opReg && sh.mr != 0:
+			return selected{op: sh.mr, r1: a.reg, r2: b.reg, expr: a.expr, negDisp: a.neg}, nil
+		}
+	}
+	return selected{}, fmt.Errorf("invalid operands for %s: %s", name, strings.Join(s.args, ", "))
+}
+
+func instrSize(sel selected) uint32 {
+	return uint32(isa.Len(isa.Instr{Op: sel.op}))
+}
+
+// ---- pass 1: layout ----
+
+func (a *assembler) layout() error {
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		switch s.kind {
+		case stLabel:
+			if a.cur < 0 {
+				a.startDefaultText()
+			}
+			if _, dup := a.symbols[s.name]; dup {
+				return a.errf(s.line, "duplicate symbol %q", s.name)
+			}
+			sec := &a.sections[a.cur]
+			a.symbols[s.name] = sec.addr + sec.pc
+			s.section, s.addr = a.cur, sec.addr+sec.pc
+		case stDirective:
+			if err := a.layoutDirective(s); err != nil {
+				return err
+			}
+		case stInstr:
+			if a.cur < 0 {
+				a.startDefaultText()
+			}
+			sel, err := selectInstr(s)
+			if err != nil {
+				return a.errf(s.line, "%v", err)
+			}
+			sec := &a.sections[a.cur]
+			s.section, s.addr = a.cur, sec.addr+sec.pc
+			s.size = instrSize(sel)
+			sec.pc += s.size
+		}
+	}
+	return nil
+}
+
+func (a *assembler) startDefaultText() {
+	a.cur = a.findOrAddSection(".text", DefaultTextAddr, loader.PermR|loader.PermX)
+}
+
+func (a *assembler) findOrAddSection(name string, addr uint32, perm byte) int {
+	for i := range a.sections {
+		if a.sections[i].name == name {
+			return i
+		}
+	}
+	a.sections = append(a.sections, section{name: name, addr: addr, perm: perm})
+	return len(a.sections) - 1
+}
+
+func (a *assembler) lookup1(name string) (uint32, bool) {
+	v, ok := a.symbols[name]
+	return v, ok
+}
+
+func (a *assembler) layoutDirective(s *stmt) error {
+	switch s.name {
+	case ".text", ".data":
+		addr, perm := uint32(DefaultTextAddr), byte(loader.PermR|loader.PermX)
+		if s.name == ".data" {
+			addr, perm = DefaultDataAddr, loader.PermR|loader.PermW
+		}
+		if len(s.args) >= 1 && s.args[0] != "" {
+			v, err := evalExpr(s.args[0], a.lookup1)
+			if err != nil {
+				return a.errf(s.line, "%v", err)
+			}
+			addr = v
+		}
+		idx := a.findOrAddSection(s.name, addr, perm)
+		if len(s.args) >= 1 && s.args[0] != "" && a.sections[idx].pc == 0 {
+			a.sections[idx].addr = addr
+		}
+		a.cur = idx
+	case ".section":
+		if len(s.args) < 1 {
+			return a.errf(s.line, ".section requires a name")
+		}
+		fields := strings.Fields(s.args[0])
+		name := fields[0]
+		exists := false
+		for i := range a.sections {
+			if a.sections[i].name == name {
+				a.cur = i
+				exists = true
+				break
+			}
+		}
+		if exists {
+			break
+		}
+		if len(fields) < 3 {
+			return a.errf(s.line, ".section %s requires addr and perms on first use", name)
+		}
+		addr, err := evalExpr(fields[1], a.lookup1)
+		if err != nil {
+			return a.errf(s.line, "%v", err)
+		}
+		perm, err := parsePerm(fields[2])
+		if err != nil {
+			return a.errf(s.line, "%v", err)
+		}
+		a.cur = a.findOrAddSection(name, addr, perm)
+	case ".entry":
+		if len(s.args) != 1 {
+			return a.errf(s.line, ".entry requires one symbol")
+		}
+		a.entryStr = s.args[0]
+	case ".equ":
+		if len(s.args) != 2 {
+			return a.errf(s.line, ".equ requires NAME, expr")
+		}
+		name := strings.TrimSpace(s.args[0])
+		if _, dup := a.symbols[name]; dup {
+			return a.errf(s.line, "duplicate symbol %q", name)
+		}
+		v, err := evalExpr(s.args[1], a.lookup1)
+		if err != nil {
+			return a.errf(s.line, "%v", err)
+		}
+		a.symbols[name] = v
+	case ".word", ".byte", ".ascii", ".asciz", ".space", ".align":
+		if a.cur < 0 {
+			return a.errf(s.line, "%s outside any section", s.name)
+		}
+		sec := &a.sections[a.cur]
+		s.section, s.addr = a.cur, sec.addr+sec.pc
+		size, err := a.dataSize(s, sec.pc)
+		if err != nil {
+			return err
+		}
+		s.size = size
+		sec.pc += size
+	default:
+		return a.errf(s.line, "unknown directive %s", s.name)
+	}
+	return nil
+}
+
+func (a *assembler) dataSize(s *stmt, pc uint32) (uint32, error) {
+	switch s.name {
+	case ".word":
+		return 4 * uint32(len(s.args)), nil
+	case ".byte":
+		return uint32(len(s.args)), nil
+	case ".ascii", ".asciz":
+		str, _, err := parseString(s.raw)
+		if err != nil {
+			return 0, a.errf(s.line, "%v", err)
+		}
+		n := uint32(len(str))
+		if s.name == ".asciz" {
+			n++
+		}
+		return n, nil
+	case ".space":
+		if len(s.args) < 1 {
+			return 0, a.errf(s.line, ".space requires a size")
+		}
+		n, err := evalExpr(s.args[0], a.lookup1)
+		if err != nil {
+			return 0, a.errf(s.line, ".space size: %v (must be resolvable at layout time)", err)
+		}
+		return n, nil
+	case ".align":
+		if len(s.args) != 1 {
+			return 0, a.errf(s.line, ".align requires a boundary")
+		}
+		n, err := evalExpr(s.args[0], a.lookup1)
+		if err != nil || n == 0 || n&(n-1) != 0 {
+			return 0, a.errf(s.line, ".align requires a power-of-two boundary")
+		}
+		return (n - pc%n) % n, nil
+	}
+	return 0, a.errf(s.line, "unhandled data directive %s", s.name)
+}
+
+func parsePerm(s string) (byte, error) {
+	var p byte
+	for _, c := range s {
+		switch c {
+		case 'r':
+			p |= loader.PermR
+		case 'w':
+			p |= loader.PermW
+		case 'x':
+			p |= loader.PermX
+		case '-':
+		default:
+			return 0, fmt.Errorf("bad permission string %q", s)
+		}
+	}
+	return p, nil
+}
+
+// ---- pass 2: emit ----
+
+func (a *assembler) lookup(name string) (uint32, bool) {
+	v, ok := a.symbols[name]
+	return v, ok
+}
+
+func (a *assembler) emit() (*loader.Program, error) {
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		switch s.kind {
+		case stInstr:
+			if err := a.emitInstr(s); err != nil {
+				return nil, err
+			}
+		case stDirective:
+			if err := a.emitData(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p := &loader.Program{Symbols: a.symbols}
+	for i := range a.sections {
+		sec := &a.sections[i]
+		if sec.pc == 0 {
+			continue
+		}
+		p.Sections = append(p.Sections, loader.Section{
+			Name: sec.name,
+			Addr: sec.addr,
+			Size: sec.pc,
+			Perm: sec.perm,
+			Data: sec.buf,
+		})
+	}
+	// Entry point resolution.
+	switch {
+	case a.entryStr != "":
+		v, err := evalExpr(a.entryStr, a.lookup)
+		if err != nil {
+			return nil, fmt.Errorf(".entry: %v", err)
+		}
+		p.Entry = v
+	default:
+		if v, ok := a.symbols["_start"]; ok {
+			p.Entry = v
+		} else {
+			for i := range p.Sections {
+				if p.Sections[i].Name == ".text" {
+					p.Entry = p.Sections[i].Addr
+					break
+				}
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *assembler) emitInstr(s *stmt) error {
+	sel, err := selectInstr(s)
+	if err != nil {
+		return a.errf(s.line, "%v", err)
+	}
+	in := isa.Instr{Op: sel.op, R1: sel.r1, R2: sel.r2}
+	if sel.expr != "" || sel.isRel {
+		v, err := evalExpr(sel.expr, a.lookup)
+		if err != nil {
+			return a.errf(s.line, "%v", err)
+		}
+		if sel.negDisp {
+			v = -v
+		}
+		if sel.isRel {
+			v -= s.addr + s.size
+		}
+		if sel.op == isa.OpInt && v > 0xFF {
+			return a.errf(s.line, "int vector %#x exceeds a byte", v)
+		}
+		if (sel.op == isa.OpShl || sel.op == isa.OpShr) && v > 0xFF {
+			return a.errf(s.line, "shift count %#x exceeds a byte", v)
+		}
+		in.Imm = v
+	}
+	sec := &a.sections[s.section]
+	before := len(sec.buf)
+	sec.buf = isa.Encode(sec.buf, in)
+	if uint32(len(sec.buf)-before) != s.size {
+		return a.errf(s.line, "internal: size mismatch for %s (%d != %d)", s.name, len(sec.buf)-before, s.size)
+	}
+	return nil
+}
+
+func (a *assembler) emitData(s *stmt) error {
+	if s.size == 0 && s.name != ".word" && s.name != ".byte" {
+		return nil
+	}
+	switch s.name {
+	case ".word":
+		sec := &a.sections[s.section]
+		for _, arg := range s.args {
+			v, err := evalExpr(arg, a.lookup)
+			if err != nil {
+				return a.errf(s.line, "%v", err)
+			}
+			sec.buf = append(sec.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	case ".byte":
+		sec := &a.sections[s.section]
+		for _, arg := range s.args {
+			v, err := evalExpr(arg, a.lookup)
+			if err != nil {
+				return a.errf(s.line, "%v", err)
+			}
+			if v > 0xFF && v < 0xFFFFFF00 {
+				return a.errf(s.line, ".byte value %#x out of range", v)
+			}
+			sec.buf = append(sec.buf, byte(v))
+		}
+	case ".ascii", ".asciz":
+		str, _, err := parseString(s.raw)
+		if err != nil {
+			return a.errf(s.line, "%v", err)
+		}
+		sec := &a.sections[s.section]
+		sec.buf = append(sec.buf, str...)
+		if s.name == ".asciz" {
+			sec.buf = append(sec.buf, 0)
+		}
+	case ".space":
+		fill := byte(0)
+		if len(s.args) >= 2 {
+			v, err := evalExpr(s.args[1], a.lookup)
+			if err != nil {
+				return a.errf(s.line, "%v", err)
+			}
+			fill = byte(v)
+		}
+		sec := &a.sections[s.section]
+		for i := uint32(0); i < s.size; i++ {
+			sec.buf = append(sec.buf, fill)
+		}
+	case ".align":
+		sec := &a.sections[s.section]
+		for i := uint32(0); i < s.size; i++ {
+			sec.buf = append(sec.buf, 0)
+		}
+	}
+	return nil
+}

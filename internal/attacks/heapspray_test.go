@@ -1,0 +1,59 @@
+package attacks
+
+import (
+	"testing"
+
+	"splitmem"
+)
+
+// TestHeapSpray: the leak-free spray succeeds on the unprotected machine
+// (validating the PIC shellcode and the blind guess) and is foiled by both
+// NX and split memory.
+func TestHeapSpray(t *testing.T) {
+	r, err := RunHeapSpray(splitmem.Config{Protection: splitmem.ProtNone}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Succeeded() {
+		t.Fatalf("spray failed unprotected: %+v", r)
+	}
+	for _, prot := range []splitmem.Protection{splitmem.ProtNX, splitmem.ProtSplit} {
+		r, err := RunHeapSpray(splitmem.Config{Protection: prot}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Succeeded() {
+			t.Fatalf("%v: spray succeeded: %+v", prot, r)
+		}
+	}
+}
+
+// TestPICShellcodeIsPositionIndependent: the same bytes work at two
+// unrelated addresses.
+func TestPICShellcodeIsPositionIndependent(t *testing.T) {
+	victim := `
+_start:
+    sub esp, 1024
+    mov ecx, esp
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, 3
+    int 0x80
+    jmp ecx
+`
+	for seed := int64(0); seed < 2; seed++ {
+		m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtNone, RandomizeStack: true, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.LoadAsm(victim, "pic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.StdinWrite(PICShellcode())
+		m.Run(10_000_000)
+		if !p.ShellSpawned() {
+			t.Fatalf("seed %d: PIC shellcode failed", seed)
+		}
+	}
+}

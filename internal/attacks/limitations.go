@@ -1,0 +1,181 @@
+package attacks
+
+import (
+	"strings"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+// Executable demonstrations of the limitations the paper owns in §7:
+//
+//  1. return-into-existing-code (ret2libc-style) attacks are NOT stopped —
+//     no injected code ever executes;
+//  2. non-control-data attacks are NOT stopped — the attacker only corrupts
+//     decision-making data;
+//  3. self-modifying code does not work on split pages — writes reach only
+//     the data twin and never become fetchable.
+
+// ret2existingSrc contains a privileged function already in the binary
+// (spawning a debug shell); the attacker overflows the stack and returns
+// into it instead of injecting code.
+const ret2existingSrc = `
+_start:
+    call vuln
+    mov eax, survived
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+
+; the "libc" function the attacker returns into
+debug_shell:
+    mov ebx, shpath
+    mov eax, SYS_EXECVE
+    int 0x80
+
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 64
+    mov eax, 512
+    push eax
+    lea eax, [ebp-64]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    mov esp, ebp
+    pop ebp
+    ret
+
+.data
+survived: .asciz "SURVIVED\n"
+shpath:   .asciz "/bin/sh"
+`
+
+// RunRet2Existing mounts the return-into-existing-code attack.
+func RunRet2Existing(cfg splitmem.Config) (Result, error) {
+	t, err := NewTarget(cfg, ret2existingSrc, "ret2existing")
+	if err != nil {
+		return Result{}, err
+	}
+	prog, err := splitmem.Assemble(guest.WithCRT(ret2existingSrc))
+	if err != nil {
+		return Result{}, err
+	}
+	target, _ := prog.Symbol("debug_shell")
+	payload := pad(nil, 64, 0x41)
+	payload = append(payload, le32(0x42424242)...) // saved ebp
+	payload = append(payload, le32(target)...)     // return into existing code
+	t.Send(payload)
+	t.Close()
+	t.Run()
+	return t.Result(), nil
+}
+
+// nonControlDataSrc models a privilege flag adjacent to a vulnerable
+// buffer: the attacker flips is_admin without touching any code pointer.
+const nonControlDataSrc = `
+_start:
+    mov eax, 512
+    push eax
+    mov eax, userbuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact        ; overflows userbuf into is_admin
+    add esp, 12
+    mov ecx, is_admin
+    load eax, [ecx]
+    cmp eax, 0
+    jnz grant
+    mov eax, denied
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+grant:
+    mov eax, secret
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+.data
+userbuf:  .space 64
+is_admin: .word 0
+denied:   .asciz "access denied\n"
+secret:   .asciz "SECRET: launch codes 0000\n"
+`
+
+// RunNonControlData mounts the non-control-data attack; "success" is
+// reading the secret, with no code injection at all.
+func RunNonControlData(cfg splitmem.Config) (bool, error) {
+	t, err := NewTarget(cfg, nonControlDataSrc, "noncontrol")
+	if err != nil {
+		return false, err
+	}
+	payload := pad(nil, 64, 0x41)
+	payload = append(payload, le32(1)...) // is_admin = 1
+	t.Send(payload)
+	t.Close()
+	t.Run()
+	r := t.Result()
+	return strings.Contains(r.Output, "SECRET"), nil
+}
+
+// selfModifyingSrc writes a tiny routine into its own rwx scratch area and
+// jumps to it — legitimate JIT-style self-modification.
+const selfModifyingSrc = `
+_start:
+    ; write "mov ebx, 9; mov eax, 1; int 0x80" into the scratch area
+    mov esi, scratch
+    mov edx, 0xbb
+    storeb [esi], edx
+    mov edx, 9
+    storeb [esi+1], edx
+    mov edx, 0
+    storeb [esi+2], edx
+    storeb [esi+3], edx
+    storeb [esi+4], edx
+    mov edx, 0xb8
+    storeb [esi+5], edx
+    mov edx, 1
+    storeb [esi+6], edx
+    mov edx, 0
+    storeb [esi+7], edx
+    storeb [esi+8], edx
+    storeb [esi+9], edx
+    mov edx, 0xcd
+    storeb [esi+10], edx
+    mov edx, 0x80
+    storeb [esi+11], edx
+    jmp esi
+
+.section jit 0x08090000 rwx
+scratch: .space 64
+`
+
+// RunSelfModifying executes the JIT-style program; under split memory the
+// generated code is unreachable (§7's first limitation), so the program
+// cannot exit 9.
+func RunSelfModifying(cfg splitmem.Config) (exited bool, status int, err error) {
+	m, err := splitmem.New(cfg)
+	if err != nil {
+		return false, 0, err
+	}
+	p, err := m.LoadAsm(selfModifyingSrc, "jit")
+	if err != nil {
+		return false, 0, err
+	}
+	m.Run(50_000_000)
+	exited, status = p.Exited()
+	return exited, status, nil
+}

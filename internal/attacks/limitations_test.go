@@ -1,0 +1,58 @@
+package attacks
+
+import (
+	"testing"
+
+	"splitmem"
+)
+
+// TestRet2ExistingNotStopped documents §7: attacks that reuse code already
+// in the process succeed under split memory too (as the paper says, ASLR is
+// the orthogonal complement).
+func TestRet2ExistingNotStopped(t *testing.T) {
+	for _, prot := range []splitmem.Protection{
+		splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit,
+	} {
+		r, err := RunRet2Existing(splitmem.Config{Protection: prot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Succeeded() {
+			t.Fatalf("%v: return-into-existing-code should succeed everywhere (it injects nothing): %+v", prot, r)
+		}
+	}
+}
+
+// TestNonControlDataNotStopped documents §7: data-only attacks are out of
+// scope for a code/data separation.
+func TestNonControlDataNotStopped(t *testing.T) {
+	for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtSplit} {
+		leaked, err := RunNonControlData(splitmem.Config{Protection: prot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !leaked {
+			t.Fatalf("%v: the non-control-data attack should leak the secret", prot)
+		}
+	}
+}
+
+// TestSelfModifyingCodeLimitation documents §7: legitimate self-modifying
+// code works on von Neumann machines and breaks on the split architecture —
+// the generated instructions land on the data twin.
+func TestSelfModifyingCodeLimitation(t *testing.T) {
+	exited, status, err := RunSelfModifying(splitmem.Config{Protection: splitmem.ProtNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exited || status != 9 {
+		t.Fatalf("unprotected JIT should work: exited=%v status=%d", exited, status)
+	}
+	exited, status, err = RunSelfModifying(splitmem.Config{Protection: splitmem.ProtSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exited && status == 9 {
+		t.Fatal("split memory cannot execute self-modified code — the paper's own limitation")
+	}
+}

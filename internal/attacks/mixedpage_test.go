@@ -1,0 +1,93 @@
+package attacks
+
+import (
+	"testing"
+
+	"splitmem"
+)
+
+// TestMixedPage reproduces the Fig. 1b motivation: NX cannot protect a page
+// that holds both code and data, split memory can — including in the
+// "supplement NX" deployment that splits only mixed pages (§4.2.1).
+func TestMixedPage(t *testing.T) {
+	cases := []struct {
+		name        string
+		cfg         splitmem.Config
+		wantFoiled  bool
+		description string
+	}{
+		{"unprotected", splitmem.Config{Protection: splitmem.ProtNone}, false, "baseline"},
+		{"nx", splitmem.Config{Protection: splitmem.ProtNX}, false,
+			"the mixed page must remain executable, so NX is blind to it"},
+		{"split", splitmem.Config{Protection: splitmem.ProtSplit}, true,
+			"full split memory separates the page's code and data views"},
+		{"split-mixed-only+nx", splitmem.Config{Protection: splitmem.ProtSplitNX, MixedOnly: true}, true,
+			"splitting only mixed pages while NX covers the rest"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := RunMixedPage(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantFoiled && r.Succeeded() {
+				t.Fatalf("%s: attack succeeded: %+v", tc.description, r)
+			}
+			if !tc.wantFoiled && !r.Succeeded() {
+				t.Fatalf("%s: attack should succeed here: %+v", tc.description, r)
+			}
+		})
+	}
+}
+
+// TestMixedOnlyResponseCaveat documents §4.2.1's warning: "only protecting
+// the mixed pages ... may limit the use of the various response modes".
+// With MixedOnly+NX, an injection into a *plain* data page is caught by the
+// NX bit — a hard kill with no observe option — while an injection into the
+// mixed page still enjoys the full observe machinery.
+func TestMixedOnlyResponseCaveat(t *testing.T) {
+	cfg := splitmem.Config{
+		Protection: splitmem.ProtSplitNX,
+		MixedOnly:  true,
+		Response:   splitmem.Observe,
+	}
+	// Plain-page injection: NX kill, no observe, no shell.
+	plainVictim := `
+_start:
+    sub esp, 1024
+    mov ecx, esp
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, 3
+    int 0x80
+    jmp ecx
+`
+	m, err := splitmem.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(plainVictim, "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StdinWrite(ExecveShellcode(0))
+	m.Run(50_000_000)
+	if p.ShellSpawned() {
+		t.Fatal("NX page injection must not be observable into a shell")
+	}
+	if killed, _ := p.Killed(); !killed {
+		t.Fatal("plain-page injection should hard-kill under NX")
+	}
+	if len(m.EventsOf(splitmem.EvInjectionObserved)) != 0 {
+		t.Fatal("observe mode cannot apply to an unsplit page")
+	}
+
+	// Mixed-page injection: observe mode works (the page is split).
+	r, err := RunMixedPage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Succeeded() {
+		t.Fatalf("observe mode on the mixed page should let the attack continue: %+v", r)
+	}
+}

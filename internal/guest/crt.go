@@ -1,0 +1,516 @@
+// Package guest holds the S86 assembly sources that run inside the
+// simulator: a small C-runtime (syscall wrappers, string routines, a
+// dlmalloc-style allocator with the classic unsafe unlink, setjmp/longjmp),
+// the vulnerable servers modeled on the paper's five real-world targets,
+// and the performance workloads.
+package guest
+
+// CRT is the guest C runtime. Append it to a program with WithCRT. The
+// calling convention is cdecl-like: arguments pushed right to left, return
+// value in EAX; EAX/ECX/EDX are caller-saved, EBX/ESI/EDI/EBP callee-saved;
+// the caller pops its arguments.
+const CRT = `
+; ======================= S86 guest C runtime =======================
+.equ SYS_EXIT, 1
+.equ SYS_FORK, 2
+.equ SYS_READ, 3
+.equ SYS_WRITE, 4
+.equ SYS_CLOSE, 6
+.equ SYS_WAITPID, 7
+.equ SYS_EXECVE, 11
+.equ SYS_TIME, 13
+.equ SYS_GETPID, 20
+.equ SYS_PIPE, 42
+.equ SYS_BRK, 45
+.equ SYS_MMAP, 90
+.equ SYS_MPROTECT, 125
+.equ SYS_YIELD, 158
+
+.text
+
+; exit(status) - does not return
+exit:
+    load ebx, [esp+4]
+    mov eax, SYS_EXIT
+    int 0x80
+
+; eax = read(fd, buf, n)
+read:
+    push ebx
+    load ebx, [esp+8]
+    load ecx, [esp+12]
+    load edx, [esp+16]
+    mov eax, SYS_READ
+    int 0x80
+    pop ebx
+    ret
+
+; eax = write(fd, buf, n)
+write:
+    push ebx
+    load ebx, [esp+8]
+    load ecx, [esp+12]
+    load edx, [esp+16]
+    mov eax, SYS_WRITE
+    int 0x80
+    pop ebx
+    ret
+
+; eax = strlen(s)
+strlen:
+    load ecx, [esp+4]
+    mov eax, 0
+_strlen_loop:
+    loadb edx, [ecx]
+    cmp edx, 0
+    jz _strlen_done
+    inc eax
+    inc ecx
+    jmp _strlen_loop
+_strlen_done:
+    ret
+
+; eax = strcpy(dst, src) - no bounds check, by design
+strcpy:
+    push esi
+    load eax, [esp+8]
+    load ecx, [esp+12]
+    mov edx, eax
+_strcpy_loop:
+    loadb esi, [ecx]
+    storeb [edx], esi
+    cmp esi, 0
+    jz _strcpy_done
+    inc ecx
+    inc edx
+    jmp _strcpy_loop
+_strcpy_done:
+    pop esi
+    ret
+
+; eax = memcpy(dst, src, n)
+memcpy:
+    push esi
+    push edi
+    load edi, [esp+12]
+    load esi, [esp+16]
+    load ecx, [esp+20]
+    mov eax, edi
+_memcpy_loop:
+    cmp ecx, 0
+    jz _memcpy_done
+    loadb edx, [esi]
+    storeb [edi], edx
+    inc esi
+    inc edi
+    dec ecx
+    jmp _memcpy_loop
+_memcpy_done:
+    pop edi
+    pop esi
+    ret
+
+; print(s): write(1, s, strlen(s))
+print:
+    push ebx
+    load ebx, [esp+8]      ; s
+    push ebx
+    call strlen
+    add esp, 4
+    mov edx, eax           ; len
+    mov ecx, ebx           ; s
+    mov ebx, 1
+    mov eax, SYS_WRITE
+    int 0x80
+    pop ebx
+    ret
+
+; eax = read_line(fd, buf, max): reads until newline or max-1 bytes;
+; strips the newline, NUL-terminates, returns length. Returns -1 on EOF
+; with nothing read.
+read_line:
+    push ebx
+    push esi
+    push edi
+    load esi, [esp+20]     ; buf cursor
+    mov edi, 0             ; count
+_rl_loop:
+    load eax, [esp+24]     ; max
+    dec eax
+    cmp edi, eax
+    jge _rl_done
+    ; read(fd, esi, 1)
+    load ebx, [esp+16]     ; fd
+    mov ecx, esi
+    mov edx, 1
+    mov eax, SYS_READ
+    int 0x80
+    cmp eax, 1
+    jnz _rl_eof
+    loadb eax, [esi]
+    cmp eax, '\n'
+    jz _rl_done
+    inc esi
+    inc edi
+    jmp _rl_loop
+_rl_eof:
+    cmp edi, 0
+    jnz _rl_done
+    mov eax, 0
+    storeb [esi], eax      ; NUL-terminate the empty buffer
+    mov eax, -1
+    jmp _rl_out
+_rl_done:
+    mov eax, 0
+    storeb [esi], eax
+    mov eax, edi
+_rl_out:
+    pop edi
+    pop esi
+    pop ebx
+    ret
+
+; eax = read_exact(fd, buf, n): loops until n bytes read or EOF; returns
+; bytes read.
+read_exact:
+    push ebx
+    push esi
+    push edi
+    load esi, [esp+20]     ; buf
+    mov edi, 0             ; got
+_re_loop:
+    load edx, [esp+24]     ; n
+    sub edx, edi
+    cmp edx, 0
+    jle _re_done
+    load ebx, [esp+16]
+    mov ecx, esi
+    mov eax, SYS_READ
+    int 0x80
+    cmp eax, 0
+    jle _re_done
+    add esi, eax
+    add edi, eax
+    jmp _re_loop
+_re_done:
+    mov eax, edi
+    pop edi
+    pop esi
+    pop ebx
+    ret
+
+; eax = atoi(s): parse unsigned decimal, stops at first non-digit
+atoi:
+    load ecx, [esp+4]
+    mov eax, 0
+_atoi_loop:
+    loadb edx, [ecx]
+    cmp edx, '0'
+    jl _atoi_done
+    cmp edx, '9'
+    jg _atoi_done
+    sub edx, '0'
+    mul eax, 10
+    add eax, edx
+    inc ecx
+    jmp _atoi_loop
+_atoi_done:
+    ret
+
+; itoa_hex(buf, val): writes exactly 8 lowercase hex digits + NUL
+itoa_hex:
+    push ebx
+    push esi
+    load esi, [esp+12]     ; buf
+    load ebx, [esp+16]     ; val
+    mov ecx, 8
+_ih_loop:
+    mov edx, ebx
+    shr edx, 28
+    cmp edx, 10
+    jl _ih_digit
+    add edx, 'a'-10
+    jmp _ih_store
+_ih_digit:
+    add edx, '0'
+_ih_store:
+    storeb [esi], edx
+    inc esi
+    shl ebx, 4
+    dec ecx
+    cmp ecx, 0
+    jnz _ih_loop
+    mov edx, 0
+    storeb [esi], edx
+    pop esi
+    pop ebx
+    ret
+
+; eax = htoi(s): parse lowercase hex
+htoi:
+    load ecx, [esp+4]
+    mov eax, 0
+_htoi_loop:
+    loadb edx, [ecx]
+    cmp edx, '0'
+    jl _htoi_done
+    cmp edx, '9'
+    jg _htoi_alpha
+    sub edx, '0'
+    jmp _htoi_acc
+_htoi_alpha:
+    cmp edx, 'a'
+    jl _htoi_done
+    cmp edx, 'f'
+    jg _htoi_done
+    sub edx, 'a'-10
+_htoi_acc:
+    shl eax, 4
+    add eax, edx
+    inc ecx
+    jmp _htoi_loop
+_htoi_done:
+    ret
+
+; eax = strcmp(a, b): <0, 0, >0 like C (byte-wise unsigned difference)
+strcmp:
+    push esi
+    push edi
+    load esi, [esp+12]     ; a
+    load edi, [esp+16]     ; b
+_sc_loop:
+    loadb eax, [esi]
+    loadb edx, [edi]
+    cmp eax, edx
+    jnz _sc_diff
+    cmp eax, 0
+    jz _sc_eq
+    inc esi
+    inc edi
+    jmp _sc_loop
+_sc_diff:
+    sub eax, edx
+    jmp _sc_out
+_sc_eq:
+    mov eax, 0
+_sc_out:
+    pop edi
+    pop esi
+    ret
+
+; eax = memset(dst, c, n)
+memset:
+    push edi
+    load edi, [esp+8]      ; dst
+    load edx, [esp+12]     ; c
+    load ecx, [esp+16]     ; n
+    mov eax, edi
+_ms_loop:
+    cmp ecx, 0
+    jle _ms_done
+    storeb [edi], edx
+    inc edi
+    dec ecx
+    jmp _ms_loop
+_ms_done:
+    pop edi
+    ret
+
+; itoa_dec(buf, val): unsigned decimal, NUL-terminated
+itoa_dec:
+    push ebx
+    push esi
+    push edi
+    load esi, [esp+16]     ; buf
+    load eax, [esp+20]     ; val
+    mov ebx, 10
+    mov edi, esp           ; use the stack as a digit scratchpad
+_id_digits:
+    mov edx, eax
+    mod edx, ebx
+    add edx, '0'
+    sub edi, 4
+    store [edi], edx
+    div eax, ebx
+    cmp eax, 0
+    jnz _id_digits
+_id_emit:
+    cmp edi, esp
+    jz _id_done
+    load edx, [edi]
+    storeb [esi], edx
+    inc esi
+    add edi, 4
+    jmp _id_emit
+_id_done:
+    mov edx, 0
+    storeb [esi], edx
+    pop edi
+    pop esi
+    pop ebx
+    ret
+
+; ---------------- allocator (dlmalloc-style, unsafe unlink) -----------
+; Chunk layout:  [size|inuse][payload...]
+; Free chunk:    [size][fd][bk]  - doubly linked through a head pseudo-chunk.
+; free() forward-coalesces with an adjacent free chunk via unlink(), whose
+; two unchecked pointer writes are the classic write-what-where primitive
+; exploited by the wu-ftpd scenario.
+
+; eax = malloc(n)
+malloc:
+    push ebx
+    push esi
+    push edi
+    load edx, [esp+16]     ; n
+    add edx, 11            ; header + align
+    mov ebx, edx
+    and ebx, 0xfffffff8    ; ebx = chunk size
+    ; first-fit search of the free list
+    mov esi, _mhead
+    load edi, [esi+4]      ; edi = head.fd
+_m_search:
+    cmp edi, 0
+    jz _m_grow
+    load eax, [edi]        ; chunk size (inuse bit clear on the list)
+    cmp eax, ebx
+    jae _m_found
+    load edi, [edi+4]      ; edi = edi->fd
+    jmp _m_search
+_m_found:
+    ; unlink(edi): FD=edi->fd; BK=edi->bk; BK->fd=FD; if FD: FD->bk=BK
+    load eax, [edi+4]      ; FD
+    load edx, [edi+8]      ; BK
+    store [edx+4], eax     ; BK->fd = FD   <-- unchecked write
+    cmp eax, 0
+    jz _m_take
+    store [eax+8], edx     ; FD->bk = BK   <-- unchecked write
+_m_take:
+    load eax, [edi]
+    or eax, 1
+    store [edi], eax       ; mark inuse
+    lea eax, [edi+4]
+    jmp _m_out
+_m_grow:
+    ; bump the break by exactly one chunk - sequential allocations are
+    ; therefore adjacent, as on a fresh dlmalloc heap
+    mov ecx, _mend_ptr
+    load edi, [ecx]
+    cmp edi, 0
+    jnz _m_havebase
+    ; first call: find the current break
+    mov eax, SYS_BRK
+    push ebx
+    mov ebx, 0
+    int 0x80
+    pop ebx
+    mov edi, eax
+_m_havebase:
+    mov esi, edi           ; esi = new chunk address
+    add edi, ebx
+    push ebx
+    mov ebx, edi
+    mov eax, SYS_BRK
+    int 0x80
+    pop ebx
+    mov ecx, _mend_ptr
+    store [ecx], edi
+    mov eax, ebx
+    or eax, 1
+    store [esi], eax
+    lea eax, [esi+4]
+_m_out:
+    pop edi
+    pop esi
+    pop ebx
+    ret
+
+; free(p)
+free:
+    push ebx
+    push esi
+    load esi, [esp+12]     ; p
+    cmp esi, 0
+    jz _f_out
+    sub esi, 4             ; esi = chunk
+    load eax, [esi]
+    and eax, 0xfffffffe    ; clear inuse
+    store [esi], eax
+    ; forward coalesce: next = chunk + size
+    mov ecx, esi
+    add ecx, eax           ; ecx = next chunk
+    mov edx, _mend_ptr
+    load edx, [edx]
+    cmp ecx, edx
+    jae _f_insert          ; next beyond the heap: no coalesce
+    load edx, [ecx]        ; next.size|inuse
+    mov ebx, edx
+    and ebx, 1
+    cmp ebx, 0
+    jnz _f_insert          ; next in use
+    ; unlink(next): FD=next->fd; BK=next->bk; BK->fd=FD; if FD: FD->bk=BK
+    load eax, [ecx+4]      ; FD
+    load ebx, [ecx+8]      ; BK
+    store [ebx+4], eax     ; BK->fd = FD   <-- write-what-where when forged
+    cmp eax, 0
+    jz _f_merge
+    store [eax+8], ebx     ; FD->bk = BK
+_f_merge:
+    load eax, [esi]
+    load edx, [ecx]
+    and edx, 0xfffffffe
+    add eax, edx
+    store [esi], eax
+_f_insert:
+    ; insert chunk at the head of the free list
+    mov ecx, _mhead
+    load eax, [ecx+4]      ; old first
+    store [esi+4], eax     ; chunk->fd = old first
+    store [esi+8], ecx     ; chunk->bk = head
+    cmp eax, 0
+    jz _f_sethead
+    store [eax+8], esi     ; old->bk = chunk
+_f_sethead:
+    store [ecx+4], esi     ; head.fd = chunk
+_f_out:
+    pop esi
+    pop ebx
+    ret
+
+; ---------------- setjmp / longjmp ----------------
+; jmp_buf layout: [ebx][esi][edi][ebp][esp][eip]  (24 bytes)
+
+; eax = setjmp(buf) - returns 0 directly, nonzero via longjmp
+setjmp:
+    load eax, [esp+4]      ; buf
+    store [eax], ebx
+    store [eax+4], esi
+    store [eax+8], edi
+    store [eax+12], ebp
+    lea ecx, [esp+4]       ; esp as it will be after ret
+    store [eax+16], ecx
+    load ecx, [esp]        ; return address
+    store [eax+20], ecx
+    mov eax, 0
+    ret
+
+; longjmp(buf, val) - does not return
+longjmp:
+    load edx, [esp+4]      ; buf
+    load eax, [esp+8]      ; val
+    load ebx, [edx]
+    load esi, [edx+4]
+    load edi, [edx+8]
+    load ebp, [edx+12]
+    load esp, [edx+16]
+    load ecx, [edx+20]
+    jmp ecx
+
+.data
+.align 8
+_mhead:    .word 0, 0, 0   ; pseudo-chunk head of the free list
+_mend_ptr: .word 0         ; current heap break
+`
+
+// WithCRT appends the runtime to a guest program source.
+func WithCRT(prog string) string { return prog + "\n" + CRT }

@@ -1,0 +1,413 @@
+package guest_test
+
+import (
+	"testing"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+// runCRT runs a guest program (with the CRT appended) under the given
+// protection and returns the machine and process after completion.
+func runCRT(t *testing.T, prot splitmem.Protection, src, input string) (*splitmem.Machine, *splitmem.Process) {
+	t.Helper()
+	m, err := splitmem.New(splitmem.Config{Protection: prot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(guest.WithCRT(src), "crt-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if input != "" {
+		p.StdinWrite([]byte(input))
+		p.StdinClose()
+	}
+	res := m.Run(100_000_000)
+	if res.Reason == splitmem.ReasonBudget {
+		t.Fatal("budget exhausted")
+	}
+	return m, p
+}
+
+func expectOutput(t *testing.T, src, input, want string) {
+	t.Helper()
+	for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtSplit} {
+		_, p := runCRT(t, prot, src, input)
+		exited, status := p.Exited()
+		if !exited || status != 0 {
+			killed, sig := p.Killed()
+			t.Fatalf("%v: exited=%v status=%d killed=%v sig=%v addr=%#x",
+				prot, exited, status, killed, sig, p.FaultAddr())
+		}
+		if got := string(p.StdoutDrain()); got != want {
+			t.Fatalf("%v: output %q want %q", prot, got, want)
+		}
+	}
+}
+
+func TestMallocStrcpyPrint(t *testing.T) {
+	expectOutput(t, `
+_start:
+    mov eax, 32
+    push eax
+    call malloc
+    add esp, 4
+    mov esi, eax
+    mov eax, msg
+    push eax
+    push esi
+    call strcpy
+    add esp, 8
+    push esi
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+.data
+msg: .asciz "heap-ok\n"
+`, "", "heap-ok\n")
+}
+
+func TestMallocFreeReuse(t *testing.T) {
+	expectOutput(t, `
+_start:
+    mov eax, 32
+    push eax
+    call malloc
+    add esp, 4
+    mov esi, eax           ; p
+    push esi
+    call free
+    add esp, 4
+    mov eax, 24
+    push eax
+    call malloc
+    add esp, 4
+    cmp eax, esi           ; q should reuse p's chunk
+    jnz fail
+    mov eax, ok
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+fail:
+    mov eax, bad
+    push eax
+    call print
+    add esp, 4
+    mov eax, 1
+    push eax
+    call exit
+.data
+ok:  .asciz "reuse-ok\n"
+bad: .asciz "reuse-bad\n"
+`, "", "reuse-ok\n")
+}
+
+func TestMallocAdjacency(t *testing.T) {
+	// Two sequential mallocs must be adjacent (q == p + chunksize), the
+	// property the heap exploits rely on.
+	expectOutput(t, `
+_start:
+    mov eax, 64
+    push eax
+    call malloc
+    add esp, 4
+    mov esi, eax           ; p
+    mov eax, 64
+    push eax
+    call malloc
+    add esp, 4
+    mov edi, eax           ; q
+    sub edi, esi
+    cmp edi, 72            ; (64+4+7)&~7 = 72
+    jnz fail
+    mov eax, ok
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+fail:
+    mov eax, bad
+    push eax
+    call print
+    add esp, 4
+    mov eax, 1
+    push eax
+    call exit
+.data
+ok:  .asciz "adjacent\n"
+bad: .asciz "not-adjacent\n"
+`, "", "adjacent\n")
+}
+
+func TestSetjmpLongjmp(t *testing.T) {
+	expectOutput(t, `
+_start:
+    mov eax, jb
+    push eax
+    call setjmp
+    add esp, 4
+    cmp eax, 0
+    jnz second
+    mov eax, m1
+    push eax
+    call print
+    add esp, 4
+    mov eax, 1
+    push eax
+    mov eax, jb
+    push eax
+    call longjmp
+second:
+    mov eax, m2
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+.data
+jb: .space 24
+m1: .asciz "first "
+m2: .asciz "second"
+`, "", "first second")
+}
+
+func TestReadLineAtoiItoa(t *testing.T) {
+	expectOutput(t, `
+_start:
+    mov eax, 32
+    push eax
+    mov eax, buf
+    push eax
+    mov eax, 0
+    push eax
+    call read_line
+    add esp, 12
+    mov eax, buf
+    push eax
+    call atoi
+    add esp, 4
+    inc eax
+    push eax
+    mov eax, hexbuf
+    push eax
+    call itoa_hex
+    add esp, 8
+    mov eax, hexbuf
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+.data
+buf:    .space 32
+hexbuf: .space 12
+`, "123\n", "0000007c")
+}
+
+func TestStrlenMemcpy(t *testing.T) {
+	expectOutput(t, `
+_start:
+    mov eax, src
+    push eax
+    call strlen
+    add esp, 4
+    push eax               ; n
+    mov eax, src
+    push eax
+    mov eax, dst
+    push eax
+    call memcpy
+    add esp, 12
+    mov eax, dst
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+.data
+src: .asciz "copied"
+dst: .space 16
+`, "", "copied")
+}
+
+// TestUnlinkWriteWhatWhere demonstrates the allocator's unsafe unlink as a
+// primitive: forging a free chunk header past an allocation and freeing the
+// victim writes an attacker-chosen word to an attacker-chosen address. This
+// validates the substrate the wu-ftpd scenario builds on.
+func TestUnlinkWriteWhatWhere(t *testing.T) {
+	expectOutput(t, `
+_start:
+    mov eax, 64
+    push eax
+    call malloc
+    add esp, 4
+    mov esi, eax           ; p
+    mov eax, 64
+    push eax
+    call malloc            ; q - extends the heap so the forged chunk is
+    add esp, 4             ; inside the break
+    ; forge a free chunk header over q's chunk at p+68:
+    ; size=16 (inuse clear), fd=marker, bk=target-4
+    lea edi, [esi+68]
+    mov eax, 16
+    store [edi], eax
+    mov eax, marker
+    store [edi+4], eax     ; FD = marker address (the "what")
+    mov eax, target
+    sub eax, 4
+    store [edi+8], eax     ; BK = target-4 (the "where": BK->fd = FD)
+    push esi
+    call free              ; forward coalesce unlinks the forged chunk
+    add esp, 4
+    ; unlink wrote: *(target) = marker, *(marker+8) = target-4
+    mov ecx, target
+    load eax, [ecx]
+    cmp eax, marker
+    jnz fail
+    mov ecx, marker
+    load eax, [ecx+8]
+    mov edx, target
+    sub edx, 4
+    cmp eax, edx
+    jnz fail
+    mov eax, ok
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+fail:
+    mov eax, bad
+    push eax
+    call print
+    add esp, 4
+    mov eax, 1
+    push eax
+    call exit
+.data
+target: .word 0
+marker: .space 16
+ok:  .asciz "www-ok\n"
+bad: .asciz "www-bad\n"
+`, "", "www-ok\n")
+}
+
+func TestStrcmp(t *testing.T) {
+	expectOutput(t, `
+_start:
+    mov eax, s2
+    push eax
+    mov eax, s1
+    push eax
+    call strcmp
+    add esp, 8
+    cmp eax, 0
+    jnz fail
+    mov eax, s3
+    push eax
+    mov eax, s1
+    push eax
+    call strcmp
+    add esp, 8
+    cmp eax, 0
+    jge fail               ; "abc" < "abd"
+    mov eax, s1
+    push eax
+    mov eax, s3
+    push eax
+    call strcmp
+    add esp, 8
+    cmp eax, 0
+    jle fail               ; "abd" > "abc"
+    mov eax, ok
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+fail:
+    mov eax, bad
+    push eax
+    call print
+    add esp, 4
+    mov eax, 1
+    push eax
+    call exit
+.data
+s1: .asciz "abc"
+s2: .asciz "abc"
+s3: .asciz "abd"
+ok:  .asciz "strcmp-ok\n"
+bad: .asciz "strcmp-bad\n"
+`, "", "strcmp-ok\n")
+}
+
+func TestMemsetItoaDec(t *testing.T) {
+	expectOutput(t, `
+_start:
+    ; memset(buf, 'z', 5) then print
+    mov eax, 5
+    push eax
+    mov eax, 'z'
+    push eax
+    mov eax, buf
+    push eax
+    call memset
+    add esp, 12
+    mov eax, buf
+    push eax
+    call print
+    add esp, 4
+    ; itoa_dec(num, 40961) then print
+    mov eax, 40961
+    push eax
+    mov eax, num
+    push eax
+    call itoa_dec
+    add esp, 8
+    mov eax, num
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+.data
+buf: .space 16
+num: .space 16
+`, "", "zzzzz40961")
+}
+
+func TestItoaDecZero(t *testing.T) {
+	expectOutput(t, `
+_start:
+    mov eax, 0
+    push eax
+    mov eax, num
+    push eax
+    call itoa_dec
+    add esp, 8
+    mov eax, num
+    push eax
+    call print
+    add esp, 4
+    mov eax, 0
+    push eax
+    call exit
+.data
+num: .space 8
+`, "", "0")
+}

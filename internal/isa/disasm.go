@@ -1,0 +1,85 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders in with S86 assembler syntax. Branch targets are shown as
+// relative displacements; use DisasmAt to resolve absolute targets.
+func (in Instr) String() string {
+	return in.render(0, false)
+}
+
+// DisasmAt renders the instruction assuming it is located at virtual address
+// addr, resolving relative branch targets to absolute addresses.
+func (in Instr) DisasmAt(addr uint32) string {
+	return in.render(addr, true)
+}
+
+func (in Instr) render(addr uint32, abs bool) string {
+	name := in.Op.Name()
+	switch in.Op {
+	case OpNop, OpRet, OpInt3, OpHlt, OpUndef, OpInvalid:
+		return name
+	case OpMovImm:
+		return fmt.Sprintf("%s %s, 0x%x", name, RegName(in.R1), in.Imm)
+	case OpPush, OpPop, OpJmpReg, OpCallReg:
+		return fmt.Sprintf("%s %s", name, RegName(in.R1))
+	case OpAdd, OpOr, OpAnd, OpSub, OpXor, OpCmp, OpMov, OpMul, OpDiv, OpMod:
+		return fmt.Sprintf("%s %s, %s", name, RegName(in.R1), RegName(in.R2))
+	case OpAddImm, OpOrImm, OpAndImm, OpSubImm, OpXorImm, OpCmpImm, OpMulImm:
+		return fmt.Sprintf("%s %s, 0x%x", name, RegName(in.R1), in.Imm)
+	case OpShl, OpShr:
+		return fmt.Sprintf("%s %s, %d", name, RegName(in.R1), in.Imm)
+	case OpLoad, OpLoadB, OpLea:
+		return fmt.Sprintf("%s %s, [%s%s]", name, RegName(in.R1), RegName(in.R2), dispStr(in.Imm))
+	case OpStore, OpStoreB:
+		return fmt.Sprintf("%s [%s%s], %s", name, RegName(in.R1), dispStr(in.Imm), RegName(in.R2))
+	case OpJb, OpJae, OpJbe, OpJa, OpJz, OpJnz, OpJle, OpJl, OpJge, OpJg, OpJmp, OpCall:
+		if abs {
+			return fmt.Sprintf("%s 0x%x", name, addr+uint32(in.Size)+in.Imm)
+		}
+		return fmt.Sprintf("%s .%+d", name, int32(in.Imm))
+	case OpInt:
+		return fmt.Sprintf("%s 0x%x", name, in.Imm)
+	}
+	return name
+}
+
+func dispStr(d uint32) string {
+	sd := int32(d)
+	switch {
+	case sd == 0:
+		return ""
+	case sd < 0:
+		return fmt.Sprintf("-0x%x", -sd)
+	default:
+		return fmt.Sprintf("+0x%x", sd)
+	}
+}
+
+// Disassemble decodes and formats up to max instructions from code, labeling
+// each line with its address starting at base. Undefined bytes are rendered
+// as ".byte 0xNN" so that shellcode dumps remain readable. It is used by the
+// forensics response mode and the sasm CLI.
+func Disassemble(code []byte, base uint32, max int) string {
+	var sb strings.Builder
+	off := 0
+	for n := 0; off < len(code) && (max <= 0 || n < max); n++ {
+		in, err := Decode(code[off:])
+		addr := base + uint32(off)
+		if err != nil {
+			fmt.Fprintf(&sb, "%08x:  %02x                    .byte 0x%02x\n", addr, code[off], code[off])
+			off++
+			continue
+		}
+		hex := make([]string, 0, in.Size)
+		for i := 0; i < in.Size; i++ {
+			hex = append(hex, fmt.Sprintf("%02x", code[off+i]))
+		}
+		fmt.Fprintf(&sb, "%08x:  %-21s %s\n", addr, strings.Join(hex, " "), in.DisasmAt(addr))
+		off += in.Size
+	}
+	return sb.String()
+}

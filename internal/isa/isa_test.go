@@ -1,0 +1,244 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allOps lists every defined canonical opcode with a representative operand
+// shape for round-trip testing.
+func allOps() []Instr {
+	return []Instr{
+		{Op: OpNop}, {Op: OpRet}, {Op: OpInt3}, {Op: OpHlt},
+		{Op: OpMovImm, R1: EAX, Imm: 0xdeadbeef},
+		{Op: OpMovImm, R1: EDI, Imm: 1},
+		{Op: OpPush, R1: EBP}, {Op: OpPop, R1: EBX},
+		{Op: OpAdd, R1: EAX, R2: ECX}, {Op: OpSub, R1: ESP, R2: EDX},
+		{Op: OpAnd, R1: EBX, R2: ESI}, {Op: OpOr, R1: EDI, R2: EAX},
+		{Op: OpXor, R1: EAX, R2: EAX}, {Op: OpCmp, R1: ECX, R2: EDX},
+		{Op: OpMov, R1: EBP, R2: ESP},
+		{Op: OpMul, R1: EAX, R2: EBX}, {Op: OpDiv, R1: EAX, R2: ECX},
+		{Op: OpMod, R1: EDX, R2: EDI},
+		{Op: OpAddImm, R1: ESP, Imm: 64}, {Op: OpSubImm, R1: ESP, Imm: 64},
+		{Op: OpAndImm, R1: EAX, Imm: 0xff}, {Op: OpOrImm, R1: EAX, Imm: 0x100},
+		{Op: OpXorImm, R1: ECX, Imm: ^uint32(0)},
+		{Op: OpCmpImm, R1: EBX, Imm: 10}, {Op: OpMulImm, R1: ESI, Imm: 3},
+		{Op: OpShl, R1: EAX, Imm: 4}, {Op: OpShr, R1: EDX, Imm: 31},
+		{Op: OpLoad, R1: EAX, R2: EBP, Imm: 0xfffffff8},
+		{Op: OpLoadB, R1: ECX, R2: ESI, Imm: 0},
+		{Op: OpStore, R1: EBP, R2: EAX, Imm: 8},
+		{Op: OpStoreB, R1: EDI, R2: EDX, Imm: 1},
+		{Op: OpLea, R1: ESI, R2: ESP, Imm: 16},
+		{Op: OpJmp, Imm: 0x100}, {Op: OpCall, Imm: 0xfffffff0},
+		{Op: OpJz, Imm: 4}, {Op: OpJnz, Imm: 4}, {Op: OpJl, Imm: 4},
+		{Op: OpJge, Imm: 4}, {Op: OpJg, Imm: 4}, {Op: OpJle, Imm: 4},
+		{Op: OpJb, Imm: 4}, {Op: OpJae, Imm: 4}, {Op: OpJa, Imm: 4},
+		{Op: OpJbe, Imm: 4},
+		{Op: OpJmpReg, R1: EAX}, {Op: OpCallReg, R1: EDX},
+		{Op: OpInt, Imm: 0x80},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, want := range allOps() {
+		enc := Encode(nil, want)
+		if len(enc) != Len(want) {
+			t.Errorf("%v: encoded %d bytes, Len says %d", want, len(enc), Len(want))
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Errorf("%v: decode error: %v", want, err)
+			continue
+		}
+		want.Size = len(enc)
+		if got != want {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestEncLenMatchesDecode(t *testing.T) {
+	for _, in := range allOps() {
+		enc := Encode(nil, in)
+		n, ok := EncLen(enc[0])
+		if !ok {
+			t.Errorf("%v: EncLen says undefined", in)
+			continue
+		}
+		if n != len(enc) {
+			t.Errorf("%v: EncLen=%d, encoding is %d bytes", in, n, len(enc))
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	for _, in := range allOps() {
+		enc := Encode(nil, in)
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := Decode(enc[:cut]); err != ErrTruncated {
+				// A cut of length >=1 may also decode as a shorter valid
+				// instruction only if the first byte is a 1-byte op, which
+				// cannot happen here because cut < len(enc) and len>=1 means
+				// cut==0 for 1-byte ops.
+				if cut == 0 {
+					t.Errorf("%v cut=0: want ErrTruncated, got %v", in, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeUndefined(t *testing.T) {
+	undef := [][]byte{
+		{0x00}, {0x0F}, {0x02}, {0x17}, {0xAB}, {0xFE}, {0xF0},
+		{byte(OpMov), 9, 0},                // bad register
+		{byte(OpLoad), 0, 200, 0, 0, 0, 0}, // bad base register
+	}
+	for _, b := range undef {
+		if _, err := Decode(b); err != ErrUndefined {
+			t.Errorf("Decode(% x): want ErrUndefined, got %v", b, err)
+		}
+	}
+}
+
+// TestPaperShellcodeDecodes verifies that the exit(0) shellcode published in
+// the paper (Section 6.1.3) decodes as the same instruction sequence on S86.
+func TestPaperShellcodeDecodes(t *testing.T) {
+	shellcode := []byte(
+		"\xbb\x00\x00\x00\x00" + // mov ebx, 0
+			"\xb8\x01\x00\x00\x00" + // mov eax, 1
+			"\xcd\x80") // int 0x80
+	want := []Instr{
+		{Op: OpMovImm, R1: EBX, Imm: 0, Size: 5},
+		{Op: OpMovImm, R1: EAX, Imm: 1, Size: 5},
+		{Op: OpInt, Imm: 0x80, Size: 2},
+	}
+	off := 0
+	for i, w := range want {
+		got, err := Decode(shellcode[off:])
+		if err != nil {
+			t.Fatalf("instr %d: %v", i, err)
+		}
+		if got != w {
+			t.Fatalf("instr %d: got %+v want %+v", i, got, w)
+		}
+		off += got.Size
+	}
+	if off != len(shellcode) {
+		t.Fatalf("consumed %d of %d bytes", off, len(shellcode))
+	}
+}
+
+// Property: any byte string either fails to decode or decodes to an
+// instruction that re-encodes to the same prefix bytes.
+func TestQuickDecodeEncodeIdentity(t *testing.T) {
+	f := func(b []byte) bool {
+		in, err := Decode(b)
+		if err != nil {
+			return true
+		}
+		enc := Encode(nil, in)
+		return bytes.Equal(enc, b[:in.Size])
+	}
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Rand:     rand.New(rand.NewSource(42)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	names := []string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+	for i, n := range names {
+		if RegName(byte(i)) != n {
+			t.Errorf("RegName(%d) = %q, want %q", i, RegName(byte(i)), n)
+		}
+		r, ok := RegByName(n)
+		if !ok || r != byte(i) {
+			t.Errorf("RegByName(%q) = %d,%v want %d", n, r, ok, i)
+		}
+	}
+	if _, ok := RegByName("r8"); ok {
+		t.Error("RegByName(r8) should fail")
+	}
+	if RegName(12) != "r12" {
+		t.Errorf("RegName(12) = %q", RegName(12))
+	}
+}
+
+func TestDisassembleShellcode(t *testing.T) {
+	shellcode := []byte("\xbb\x00\x00\x00\x00\xb8\x01\x00\x00\x00\xcd\x80")
+	out := Disassemble(shellcode, 0xbf000000, 0)
+	for _, want := range []string{"mov ebx, 0x0", "mov eax, 0x1", "int 0x80", "bf000000:"} {
+		if !contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleUndefinedBytes(t *testing.T) {
+	out := Disassemble([]byte{0x0F, 0x90}, 0, 0)
+	if !contains(out, ".byte 0x0f") || !contains(out, "nop") {
+		t.Errorf("unexpected disassembly:\n%s", out)
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	branches := []Op{OpJmp, OpCall, OpRet, OpJz, OpJmpReg, OpCallReg, OpJa}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	for _, op := range []Op{OpNop, OpMov, OpLoad, OpInt} {
+		if op.IsBranch() {
+			t.Errorf("%v should not be a branch", op)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+// TestDisasmGolden pins the assembly rendering of every operand shape.
+func TestDisasmGolden(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpHlt}, "hlt"},
+		{Instr{Op: OpInt3}, "int3"},
+		{Instr{Op: OpUndef}, "ud"},
+		{Instr{Op: OpMovImm, R1: EAX, Imm: 0x2a}, "mov eax, 0x2a"},
+		{Instr{Op: OpMov, R1: EBP, R2: ESP}, "mov ebp, esp"},
+		{Instr{Op: OpAddImm, R1: ESP, Imm: 16}, "add esp, 0x10"},
+		{Instr{Op: OpShl, R1: ECX, Imm: 4}, "shl ecx, 4"},
+		{Instr{Op: OpLoad, R1: EAX, R2: EBP, Imm: 8}, "load eax, [ebp+0x8]"},
+		{Instr{Op: OpLoad, R1: EAX, R2: EBP, Imm: 0xfffffffc}, "load eax, [ebp-0x4]"},
+		{Instr{Op: OpLoad, R1: EAX, R2: ESI, Imm: 0}, "load eax, [esi]"},
+		{Instr{Op: OpStoreB, R1: EDI, R2: EDX, Imm: 1}, "storeb [edi+0x1], edx"},
+		{Instr{Op: OpLea, R1: ESI, R2: ESP, Imm: 64}, "lea esi, [esp+0x40]"},
+		{Instr{Op: OpPush, R1: EBX}, "push ebx"},
+		{Instr{Op: OpPop, R1: EDI}, "pop edi"},
+		{Instr{Op: OpJmpReg, R1: ECX}, "jmp ecx"},
+		{Instr{Op: OpCallReg, R1: EAX}, "call eax"},
+		{Instr{Op: OpInt, Imm: 0x80}, "int 0x80"},
+		{Instr{Op: OpJz, Imm: 4, Size: 5}, "jz .+4"},
+		{Instr{Op: OpJmp, Imm: 0xfffffff6, Size: 5}, "jmp .-10"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("%+v: got %q want %q", tt.in, got, tt.want)
+		}
+	}
+	// Absolute rendering resolves branch targets.
+	in := Instr{Op: OpCall, Imm: 0x10, Size: 5}
+	if got := in.DisasmAt(0x8048000); got != "call 0x8048015" {
+		t.Errorf("DisasmAt: %q", got)
+	}
+}

@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"splitmem/internal/cpu"
+	"splitmem/internal/isa"
+	"splitmem/internal/loader"
+	"splitmem/internal/mem"
+)
+
+// Validated dynamic library loading (§4.3): "memory splitting could simply
+// validate the signature of the loaded library prior to loading and
+// splitting it" — the DigSig/VerifiedExec integration the paper points to.
+// The dlload syscall receives module bytes over the process's input stream,
+// verifies them against a caller-supplied digest, and only then maps them
+// r-x through the protection engine — which, for split memory, installs the
+// verified bytes on BOTH twins so the module is executable. This is the
+// only sanctioned path from received bytes to fetchable code.
+//
+// Extension syscalls (beyond the paper's prototype):
+//
+//	dlload(dest, len, digest_ptr)       -> 0 / -EACCES / -EINVAL / -EIO
+//	register_recovery(handler)          -> 0             (recovery mode)
+const (
+	SysDlload           = 210
+	SysRegisterRecovery = 200
+)
+
+// Extra errno values for the extension syscalls.
+const (
+	errEIO    = 5
+	errEACCES = 13
+	errEEXIST = 17
+)
+
+// MaxDlloadBytes caps a single validated module load.
+const MaxDlloadBytes = 1 << 20
+
+func (k *Kernel) sysDlload(p *Process, dest, length, digestPtr uint32) cpu.Action {
+	if dest&mem.PageMask != 0 || length == 0 || length > MaxDlloadBytes {
+		k.ret(-errEINVAL)
+		return cpu.ActResume
+	}
+	// The module body arrives on the input stream (the "file").
+	if len(p.stdin.data) < int(length) {
+		if p.stdin.eof {
+			k.ret(-errEIO)
+			return cpu.ActResume
+		}
+		return k.block(p, stateWaitStdin)
+	}
+	// Destination must be unmapped.
+	end := (dest + length + mem.PageMask) &^ uint32(mem.PageMask)
+	for vpn := dest >> mem.PageShift; vpn < end>>mem.PageShift; vpn++ {
+		if p.PT.Get(vpn).Present() {
+			k.ret(-errEEXIST)
+			return cpu.ActResume
+		}
+	}
+	if r := p.regionAt(dest); r != nil {
+		k.ret(-errEEXIST)
+		return cpu.ActResume
+	}
+	wantRaw, err := k.CopyFromUser(p, digestPtr, 8)
+	if err != nil {
+		k.ret(-errEFAULT)
+		return cpu.ActResume
+	}
+	want := binary.LittleEndian.Uint64(wantRaw)
+
+	body := p.stdin.data[:length]
+	got := loader.FNV1a(body)
+	if got != want {
+		p.stdin.data = p.stdin.data[length:] // consume the rejected module
+		k.Emit(Event{
+			Kind: EvLibraryLoad,
+			Addr: dest,
+			Text: fmt.Sprintf("REJECTED: digest %016x, expected %016x", got, want),
+		})
+		k.ret(-errEACCES)
+		return cpu.ActResume
+	}
+
+	// Verified: map the module r-x through the protection engine. For the
+	// split engine this copies the verified bytes onto both twins (the
+	// PermX path of MapPage), making the module fetchable.
+	for vpn := dest >> mem.PageShift; vpn < end>>mem.PageShift; vpn++ {
+		frame, err := k.m.Phys.Alloc()
+		if err != nil {
+			k.ret(-errEFAULT)
+			return cpu.ActResume
+		}
+		off := (vpn << mem.PageShift) - dest
+		chunk := body
+		if int(off) < len(chunk) {
+			chunk = chunk[off:]
+		} else {
+			chunk = nil
+		}
+		copy(k.m.Phys.Frame(frame), chunk)
+		k.prot.MapPage(k, p, vpn, frame, permR|permX)
+		k.m.AddCycles(k.m.Cost.DemandFill)
+	}
+	p.stdin.data = p.stdin.data[length:]
+	p.regions = append(p.regions, Region{Start: dest, End: end, Perm: permR | permX, Name: "dlload"})
+	for i := range p.regions {
+		if p.regions[i].Name == "heap" {
+			p.heap = &p.regions[i]
+		}
+	}
+	k.Emit(Event{
+		Kind: EvLibraryLoad,
+		Addr: dest,
+		Text: fmt.Sprintf("verified module at %#08x (%d bytes, digest %016x)", dest, length, got),
+	})
+	k.ret(0)
+	return cpu.ActResume
+}
+
+func (k *Kernel) sysRegisterRecovery(p *Process, handler uint32) cpu.Action {
+	p.RecoveryHandler = handler
+	k.ret(0)
+	return cpu.ActResume
+}
+
+// RecoveryEntry prepares the CPU context to enter the process's registered
+// recovery handler on a fresh stack (used by the split engine's recovery
+// response mode). Returns false if no handler is registered.
+func (k *Kernel) RecoveryEntry(p *Process) bool {
+	if p.RecoveryHandler == 0 {
+		return false
+	}
+	k.m.Ctx.EIP = p.RecoveryHandler
+	k.m.Ctx.R[isa.ESP] = p.initialSP - 64
+	k.m.Ctx.Flags = cpu.Flags{}
+	return true
+}

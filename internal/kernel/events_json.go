@@ -1,0 +1,58 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON export of the kernel event log, for honeypot pipelines (the paper's
+// observe mode is explicitly designed to feed monitoring infrastructure
+// like Sebek; structured output is how a modern collector would ingest it).
+
+// eventJSON is the wire form of an Event.
+type eventJSON struct {
+	Kind   string `json:"kind"`
+	PID    int    `json:"pid"`
+	Proc   string `json:"proc,omitempty"`
+	Cycles uint64 `json:"cycles"`
+	Addr   string `json:"addr,omitempty"`
+	Signal string `json:"signal,omitempty"`
+	Text   string `json:"text,omitempty"`
+	Data   string `json:"data,omitempty"` // hex
+}
+
+// MarshalJSON renders the event with a stable, human-auditable schema:
+// symbolic kind and signal names, hexadecimal addresses and payload bytes.
+func (e Event) MarshalJSON() ([]byte, error) {
+	out := eventJSON{
+		Kind:   e.Kind.String(),
+		PID:    e.PID,
+		Proc:   e.Proc,
+		Cycles: e.Cycles,
+		Text:   e.Text,
+	}
+	if e.Addr != 0 {
+		out.Addr = fmt.Sprintf("0x%08x", e.Addr)
+	}
+	if e.Signal != SIGNONE {
+		out.Signal = e.Signal.String()
+	}
+	if len(e.Data) > 0 {
+		out.Data = hex.EncodeToString(e.Data)
+	}
+	return json.Marshal(out)
+}
+
+// EventsJSONL renders events as JSON Lines (one object per line).
+func EventsJSONL(events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}

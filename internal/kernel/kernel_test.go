@@ -1,0 +1,954 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"splitmem/internal/asm"
+	"splitmem/internal/cpu"
+	"splitmem/internal/isa"
+	"splitmem/internal/loader"
+)
+
+func newKernel(t *testing.T, cfg Config) *Kernel {
+	t.Helper()
+	if cfg.Machine == nil {
+		m, err := cpu.New(cpu.Config{PhysBytes: 8 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Machine = m
+	}
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func spawn(t *testing.T, k *Kernel, src, name string) *Process {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(prog, ProcOptions{Name: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const exitSrc = `
+_start:
+    mov ebx, 5
+    mov eax, 1
+    int 0x80
+`
+
+func TestSpawnAndExit(t *testing.T) {
+	k := newKernel(t, Config{})
+	p := spawn(t, k, exitSrc, "exit5")
+	res := k.Run(0)
+	if res.Reason != ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	exited, status := p.Exited()
+	if !exited || status != 5 {
+		t.Fatalf("exited=%v status=%d", exited, status)
+	}
+	if !strings.Contains(p.Name, "exit5") {
+		t.Fatalf("name=%q", p.Name)
+	}
+}
+
+// TestFrameConservation: after every process exits, all frames return to
+// the free pool — the §5.4 teardown requirement, checked for fork trees,
+// COW, pipes and demand-paged heaps.
+func TestFrameConservation(t *testing.T) {
+	src := `
+_start:
+    ; grow the heap and dirty it
+    mov ebx, 0
+    mov eax, 45
+    int 0x80
+    mov ebx, eax
+    add ebx, 65536
+    mov eax, 45
+    int 0x80
+    mov ecx, eax
+    sub ecx, 100
+    mov edx, 7
+    storeb [ecx], edx
+    ; fork twice; children write to COW pages then exit
+    mov eax, 2
+    int 0x80
+    cmp eax, 0
+    jz child
+    mov eax, 2
+    int 0x80
+    cmp eax, 0
+    jz child
+    ; parent reaps both
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, 7
+    int 0x80
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, 7
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+child:
+    mov esi, datum
+    mov edx, 42
+    storeb [esi], edx      ; break a COW page
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+datum: .word 0
+`
+	k := newKernel(t, Config{})
+	free0 := k.Phys().FreeFrames()
+	p := spawn(t, k, src, "forker")
+	res := k.Run(0)
+	if res.Reason != ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if exited, status := p.Exited(); !exited || status != 0 {
+		t.Fatalf("exited=%v status=%d", exited, status)
+	}
+	if got := k.Phys().FreeFrames(); got != free0 {
+		t.Fatalf("leaked frames: %d free, started with %d", got, free0)
+	}
+}
+
+func TestCOWSemantics(t *testing.T) {
+	// Parent writes a value, forks; child overwrites; parent must still
+	// see its own value after the child exits.
+	src := `
+_start:
+    mov esi, shared
+    mov edx, 1
+    storeb [esi], edx
+    mov eax, 2             ; fork
+    int 0x80
+    cmp eax, 0
+    jz child
+    mov ebx, -1            ; waitpid
+    mov ecx, 0
+    mov eax, 7
+    int 0x80
+    mov esi, shared
+    loadb ebx, [esi]       ; parent's view -> exit status
+    mov eax, 1
+    int 0x80
+child:
+    mov esi, shared
+    mov edx, 99
+    storeb [esi], edx
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+shared: .word 0
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "cow")
+	k.Run(0)
+	exited, status := p.Exited()
+	if !exited || status != 1 {
+		t.Fatalf("exited=%v status=%d: child write leaked into parent", exited, status)
+	}
+}
+
+func TestWaitpidStatus(t *testing.T) {
+	// Child exits 3; parent receives pid and status<<8 via the status ptr.
+	src := `
+_start:
+    mov eax, 2
+    int 0x80
+    cmp eax, 0
+    jz child
+    mov esi, eax           ; child pid
+    mov ebx, -1
+    mov ecx, stat
+    mov eax, 7
+    int 0x80
+    cmp eax, esi           ; waitpid must return the child pid
+    jnz bad
+    mov ecx, stat
+    load ebx, [ecx]
+    shr ebx, 8             ; status>>8 == exit code
+    mov eax, 1
+    int 0x80
+bad:
+    mov ebx, 77
+    mov eax, 1
+    int 0x80
+child:
+    mov ebx, 3
+    mov eax, 1
+    int 0x80
+.data
+stat: .word 0
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "waiter")
+	k.Run(0)
+	_, status := p.Exited()
+	if status != 3 {
+		t.Fatalf("status=%d", status)
+	}
+}
+
+func TestWaitpidNoChildren(t *testing.T) {
+	src := `
+_start:
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, 7             ; waitpid with no children
+    int 0x80
+    mov ebx, eax
+    mov eax, 1
+    int 0x80
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "nochild")
+	k.Run(0)
+	_, status := p.Exited()
+	if int32(status) != -errECHILD {
+		t.Fatalf("status=%d want %d", int32(status), -errECHILD)
+	}
+}
+
+func TestPipeEOFAndBadFD(t *testing.T) {
+	src := `
+_start:
+    mov ebx, fds
+    mov eax, 42            ; pipe
+    int 0x80
+    ; close the write end
+    mov esi, fds
+    load ebx, [esi+4]
+    mov eax, 6             ; close
+    int 0x80
+    ; read -> EOF (0)
+    mov esi, fds
+    load ebx, [esi]
+    mov ecx, buf
+    mov edx, 4
+    mov eax, 3
+    int 0x80
+    cmp eax, 0
+    jnz bad
+    ; read from a bogus fd -> -EBADF
+    mov ebx, 99
+    mov ecx, buf
+    mov edx, 4
+    mov eax, 3
+    int 0x80
+    cmp eax, -9
+    jnz bad
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+bad:
+    mov ebx, 1
+    mov eax, 1
+    int 0x80
+.data
+fds: .word 0, 0
+buf: .space 8
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "pipeeof")
+	k.Run(0)
+	if _, status := p.Exited(); status != 0 {
+		t.Fatalf("status=%d", status)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// A single process reading from an empty pipe that still has a writer
+	// can never proceed: Run must report deadlock, not spin.
+	src := `
+_start:
+    mov ebx, fds
+    mov eax, 42
+    int 0x80
+    mov esi, fds
+    load ebx, [esi]
+    mov ecx, buf
+    mov edx, 4
+    mov eax, 3             ; read: blocks forever (we hold the write end)
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+fds: .word 0, 0
+buf: .space 8
+`
+	k := newKernel(t, Config{})
+	spawn(t, k, src, "deadlock")
+	res := k.Run(0)
+	if res.Reason != ReasonDeadlock {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+}
+
+func TestWaitingInputThenResume(t *testing.T) {
+	src := `
+_start:
+    mov ebx, 0
+    mov ecx, buf
+    mov edx, 4
+    mov eax, 3
+    int 0x80
+    mov ecx, buf
+    loadb ebx, [ecx]
+    mov eax, 1
+    int 0x80
+.data
+buf: .space 8
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "reader")
+	res := k.Run(0)
+	if res.Reason != ReasonWaitingInput {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	p.StdinWrite([]byte{42, 0, 0, 0})
+	res = k.Run(0)
+	if res.Reason != ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if _, status := p.Exited(); status != 42 {
+		t.Fatalf("status=%d", status)
+	}
+}
+
+func TestSchedulerFairness(t *testing.T) {
+	// Two spinning processes must both finish despite no blocking: the
+	// timeslice preempts them.
+	src := `
+_start:
+    mov ecx, 200000
+spin:
+    dec ecx
+    cmp ecx, 0
+    jnz spin
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+	k := newKernel(t, Config{Timeslice: 10_000})
+	p1 := spawn(t, k, src, "spin1")
+	p2 := spawn(t, k, src, "spin2")
+	res := k.Run(0)
+	if res.Reason != ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if e1, _ := p1.Exited(); !e1 {
+		t.Fatal("p1 did not finish")
+	}
+	if e2, _ := p2.Exited(); !e2 {
+		t.Fatal("p2 did not finish")
+	}
+	if k.Machine().Stats.CtxSwitches < 10 {
+		t.Fatalf("expected many preemptions, got %d", k.Machine().Stats.CtxSwitches)
+	}
+}
+
+func TestSegfaultReporting(t *testing.T) {
+	src := `
+_start:
+    mov ebx, 0xdead0000
+    load eax, [ebx]
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "segv")
+	k.Run(0)
+	killed, sig := p.Killed()
+	if !killed || sig != SIGSEGV {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+	if p.FaultAddr() != 0xdead0000 {
+		t.Fatalf("fault addr=%#x", p.FaultAddr())
+	}
+	evs := k.EventsOf(EvSignal)
+	if len(evs) != 1 || evs[0].Signal != SIGSEGV {
+		t.Fatalf("events=%v", evs)
+	}
+}
+
+func TestBrkGrowShrink(t *testing.T) {
+	src := `
+_start:
+    mov ebx, 0
+    mov eax, 45            ; brk(0) -> current
+    int 0x80
+    mov esi, eax
+    mov ebx, esi
+    add ebx, 8192
+    mov eax, 45            ; grow 2 pages
+    int 0x80
+    ; touch both pages
+    mov edx, 1
+    storeb [esi], edx
+    storeb [esi+4096], edx
+    ; shrink back
+    mov ebx, esi
+    mov eax, 45
+    int 0x80
+    ; touching the released page must now fault (the kernel kills us with
+    ; SIGSEGV, which the test asserts)
+    storeb [esi+4096], edx
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "brk")
+	k.Run(0)
+	killed, sig := p.Killed()
+	if !killed || sig != SIGSEGV {
+		t.Fatalf("killed=%v sig=%v: shrunk heap page still mapped", killed, sig)
+	}
+}
+
+func TestMmapAndMprotect(t *testing.T) {
+	src := `
+_start:
+    mov ebx, 0
+    mov ecx, 8192
+    mov edx, 3             ; rw
+    mov eax, 90            ; mmap
+    int 0x80
+    mov esi, eax
+    mov edx, 5
+    storeb [esi], edx      ; writable
+    ; mprotect(esi, 4096, r)
+    mov ebx, esi
+    mov ecx, 4096
+    mov edx, 1
+    mov eax, 125
+    int 0x80
+    cmp eax, 0
+    jnz bad
+    storeb [esi], edx      ; now read-only -> SIGSEGV
+bad:
+    mov ebx, 1
+    mov eax, 1
+    int 0x80
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "mmap")
+	k.Run(0)
+	killed, sig := p.Killed()
+	if !killed || sig != SIGSEGV {
+		t.Fatalf("killed=%v sig=%v: write-after-mprotect should fault", killed, sig)
+	}
+}
+
+func TestMprotectErrors(t *testing.T) {
+	src := `
+_start:
+    ; unaligned address -> -EINVAL
+    mov ebx, 0x40000001
+    mov ecx, 4096
+    mov edx, 1
+    mov eax, 125
+    int 0x80
+    cmp eax, -22
+    jnz bad
+    ; unmapped region -> -ENOMEM
+    mov ebx, 0x70000000
+    mov ecx, 4096
+    mov edx, 1
+    mov eax, 125
+    int 0x80
+    cmp eax, -12
+    jnz bad
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+bad:
+    mov ebx, 1
+    mov eax, 1
+    int 0x80
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "mprotect-err")
+	k.Run(0)
+	if _, status := p.Exited(); status != 0 {
+		t.Fatalf("status=%d", status)
+	}
+}
+
+func TestCopyUserCrossPage(t *testing.T) {
+	k := newKernel(t, Config{})
+	p := spawn(t, k, exitSrc, "copy")
+	// Write across the stack page boundary through the kernel interface.
+	base := p.Ctx.R[isa.ESP] - 8200
+	data := make([]byte, 8000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := k.CopyToUser(p, base, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.CopyFromUser(p, base, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: %d != %d", i, got[i], data[i])
+		}
+	}
+	// EFAULT outside any region.
+	if err := k.CopyToUser(p, 0xdddd0000, []byte{1}); err == nil {
+		t.Fatal("expected EFAULT")
+	}
+	if _, err := k.CopyFromUser(p, 0xdddd0000, 1); err == nil {
+		t.Fatal("expected EFAULT")
+	}
+}
+
+func TestCopyStringFromUser(t *testing.T) {
+	k := newKernel(t, Config{})
+	p := spawn(t, k, exitSrc, "str")
+	base := p.Ctx.R[isa.ESP] - 64
+	if err := k.CopyToUser(p, base, []byte("hello\x00world")); err != nil {
+		t.Fatal(err)
+	}
+	s, err := k.CopyStringFromUser(p, base, 32)
+	if err != nil || s != "hello" {
+		t.Fatalf("s=%q err=%v", s, err)
+	}
+	// Unterminated string is capped at max.
+	if err := k.CopyToUser(p, base, []byte("AAAAAAAA")); err != nil {
+		t.Fatal(err)
+	}
+	s, err = k.CopyStringFromUser(p, base, 4)
+	if err != nil || len(s) != 4 {
+		t.Fatalf("s=%q err=%v", s, err)
+	}
+}
+
+func TestStackRandomization(t *testing.T) {
+	sps := map[uint32]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		k := newKernel(t, Config{RandomizeStack: true, RandSeed: seed})
+		p := spawn(t, k, exitSrc, "rand")
+		sps[p.Ctx.R[isa.ESP]] = true
+	}
+	if len(sps) < 2 {
+		t.Fatalf("stack not randomized: %v", sps)
+	}
+	// Determinism: same seed, same placement.
+	k1 := newKernel(t, Config{RandomizeStack: true, RandSeed: 9})
+	k2 := newKernel(t, Config{RandomizeStack: true, RandSeed: 9})
+	p1 := spawn(t, k1, exitSrc, "a")
+	p2 := spawn(t, k2, exitSrc, "b")
+	if p1.Ctx.R[isa.ESP] != p2.Ctx.R[isa.ESP] {
+		t.Fatal("same seed must give the same layout")
+	}
+}
+
+func TestEventRingBuffer(t *testing.T) {
+	k := newKernel(t, Config{MaxEvents: 4})
+	for i := 0; i < 10; i++ {
+		k.Emit(Event{Kind: EvSebekLine, Text: "x"})
+	}
+	if len(k.Events()) != 4 {
+		t.Fatalf("events=%d want 4 (ring capped)", len(k.Events()))
+	}
+	k.ClearEvents()
+	if len(k.Events()) != 0 {
+		t.Fatal("events not cleared")
+	}
+}
+
+func TestEventHook(t *testing.T) {
+	var kinds []EventKind
+	k := newKernel(t, Config{EventHook: func(e Event) { kinds = append(kinds, e.Kind) }})
+	spawn(t, k, exitSrc, "hook")
+	k.Run(0)
+	if len(kinds) < 2 || kinds[0] != EvProcessStart {
+		t.Fatalf("kinds=%v", kinds)
+	}
+}
+
+func TestShellRespond(t *testing.T) {
+	tests := map[string]string{
+		"id":         "uid=0(root)",
+		"whoami":     "root",
+		"uname -a":   "Linux",
+		"echo hi":    "hi\n",
+		"ls":         "bin",
+		"frobnicate": "command not found",
+		"":           "",
+	}
+	for cmd, want := range tests {
+		got := shellRespond(cmd)
+		if want == "" && got != "" {
+			t.Errorf("%q -> %q", cmd, got)
+		} else if want != "" && !strings.Contains(got, want) {
+			t.Errorf("%q -> %q (want %q)", cmd, got, want)
+		}
+	}
+}
+
+func TestTakeLine(t *testing.T) {
+	buf := []byte("one\r\ntwo\nrest")
+	l, ok := takeLine(&buf)
+	if !ok || l != "one" {
+		t.Fatalf("l=%q ok=%v", l, ok)
+	}
+	l, ok = takeLine(&buf)
+	if !ok || l != "two" {
+		t.Fatalf("l=%q", l)
+	}
+	if _, ok := takeLine(&buf); ok {
+		t.Fatal("partial line should not be returned")
+	}
+	if string(buf) != "rest" {
+		t.Fatalf("buf=%q", buf)
+	}
+}
+
+func TestExecveShellFlow(t *testing.T) {
+	src := `
+_start:
+    mov ebx, path
+    mov eax, 11            ; execve
+    int 0x80
+.data
+path: .asciz "/bin/sh"
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "sh")
+	k.ArmSebek(p)
+	res := k.Run(0)
+	if res.Reason != ReasonWaitingInput {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if !p.ShellSpawned() {
+		t.Fatal("no shell event")
+	}
+	evs := k.EventsOf(EvShellSpawned)
+	if len(evs) != 1 || evs[0].Text != "/bin/sh" {
+		t.Fatalf("events=%v", evs)
+	}
+	p.StdinWrite([]byte("whoami\nexit\n"))
+	k.Run(0)
+	out := string(p.StdoutDrain())
+	if !strings.Contains(out, "root") {
+		t.Fatalf("out=%q", out)
+	}
+	var sebekSawCmd bool
+	for _, ev := range k.EventsOf(EvSebekLine) {
+		if strings.Contains(ev.Text, "whoami") {
+			sebekSawCmd = true
+		}
+	}
+	if !sebekSawCmd {
+		t.Fatal("sebek log missing the command")
+	}
+	if exited, _ := p.Exited(); !exited {
+		t.Fatal("shell should exit on 'exit'")
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	k := newKernel(t, Config{})
+	if _, err := k.Spawn(&loader.Program{}, ProcOptions{}); err == nil {
+		t.Fatal("empty program must be rejected")
+	}
+	// Overlapping sections are rejected by Validate before mapping.
+	bad := &loader.Program{
+		Entry: 0x1000,
+		Sections: []loader.Section{
+			{Name: "a", Addr: 0x1000, Size: 8192, Perm: loader.PermR | loader.PermX},
+			{Name: "b", Addr: 0x2000, Size: 4096, Perm: loader.PermR | loader.PermW},
+		},
+	}
+	if _, err := k.Spawn(bad, ProcOptions{}); err == nil {
+		t.Fatal("overlapping sections must be rejected")
+	}
+}
+
+func TestYieldRotation(t *testing.T) {
+	// Two processes yield in a loop; both must finish with far fewer
+	// cycles than a timeslice would force.
+	src := `
+_start:
+    mov esi, 50
+yloop:
+    mov eax, 158           ; sched_yield
+    int 0x80
+    dec esi
+    cmp esi, 0
+    jnz yloop
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+	k := newKernel(t, Config{})
+	p1 := spawn(t, k, src, "y1")
+	p2 := spawn(t, k, src, "y2")
+	res := k.Run(0)
+	if res.Reason != ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	e1, _ := p1.Exited()
+	e2, _ := p2.Exited()
+	if !e1 || !e2 {
+		t.Fatal("yielders did not finish")
+	}
+	if k.Machine().Stats.CtxSwitches < 50 {
+		t.Fatalf("yield should context switch, got %d", k.Machine().Stats.CtxSwitches)
+	}
+}
+
+func TestUnknownSyscall(t *testing.T) {
+	src := `
+_start:
+    mov eax, 9999
+    int 0x80
+    mov ebx, eax
+    mov eax, 1
+    int 0x80
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "nosys")
+	k.Run(0)
+	_, status := p.Exited()
+	if int32(status) != -errENOSYS {
+		t.Fatalf("status=%d", int32(status))
+	}
+}
+
+func TestNonSyscallInterruptKills(t *testing.T) {
+	src := `
+_start:
+    int 0x21
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "dos")
+	k.Run(0)
+	killed, sig := p.Killed()
+	if !killed || sig != SIGSEGV {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+}
+
+func TestDivideByZeroSignal(t *testing.T) {
+	src := `
+_start:
+    mov eax, 10
+    mov ecx, 0
+    div eax, ecx
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "div0")
+	k.Run(0)
+	killed, sig := p.Killed()
+	if !killed || sig != SIGFPE {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+}
+
+func TestEventsJSONL(t *testing.T) {
+	k := newKernel(t, Config{})
+	k.Emit(Event{Kind: EvInjectionDetected, PID: 3, Proc: "victim",
+		Addr: 0xbf001000, Data: []byte{0x90, 0xCD, 0x80}})
+	k.Emit(Event{Kind: EvSignal, PID: 3, Signal: SIGILL})
+	out, err := EventsJSONL(k.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`"kind":"injection-detected"`, `"addr":"0xbf001000"`,
+		`"data":"90cd80"`, `"signal":"SIGILL"`, `"pid":3`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %s", want, s)
+		}
+	}
+	if strings.Count(s, "\n") != 2 {
+		t.Fatalf("want 2 lines, got %q", s)
+	}
+}
+
+func TestHostKill(t *testing.T) {
+	src := `
+_start:
+spin:
+    jmp spin
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "spinner")
+	res := k.Run(100_000)
+	if res.Reason != ReasonBudget {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if !k.Kill(p.PID, SIGKILL) {
+		t.Fatal("kill failed")
+	}
+	if k.Kill(p.PID, SIGKILL) {
+		t.Fatal("double kill should report false")
+	}
+	if k.Kill(999, SIGKILL) {
+		t.Fatal("unknown pid should report false")
+	}
+	killed, sig := p.Killed()
+	if !killed || sig != SIGKILL {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+	if res := k.Run(0); res.Reason != ReasonAllDone {
+		t.Fatalf("after kill: %v", res.Reason)
+	}
+}
+
+func TestPipeCapacityBlocksWriter(t *testing.T) {
+	// The writer stuffs more than the pipe capacity; it must block until
+	// the reader drains, then complete.
+	src := `
+_start:
+    mov ebx, fds
+    mov eax, 42            ; pipe
+    int 0x80
+    mov eax, 2             ; fork
+    int 0x80
+    cmp eax, 0
+    jz reader
+
+    ; writer: 17 x 4096-byte writes = 69632 > 65536 capacity
+    mov esi, 17
+wloop:
+    push esi
+    mov esi, fds
+    load ebx, [esi+4]
+    mov ecx, blob
+    mov edx, 4096
+    mov eax, 4
+    int 0x80
+    pop esi
+    dec esi
+    cmp esi, 0
+    jnz wloop
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, 7             ; waitpid
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+
+reader:
+    ; drain 17 x 4096
+    mov esi, 17
+rloop:
+    push esi
+    mov esi, fds
+    load ebx, [esi]
+    mov ecx, blob2
+    mov edx, 4096
+    mov eax, 3
+    int 0x80
+    cmp eax, 4096
+    jnz rbad
+    pop esi
+    dec esi
+    cmp esi, 0
+    jnz rloop
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+rbad:
+    mov ebx, 1
+    mov eax, 1
+    int 0x80
+.data
+fds:   .word 0, 0
+blob:  .space 4096, 0x5a
+blob2: .space 4096
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "pipecap")
+	res := k.Run(0)
+	if res.Reason != ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if exited, status := p.Exited(); !exited || status != 0 {
+		t.Fatalf("exited=%v status=%d", exited, status)
+	}
+}
+
+func TestWaitpidSpecificChild(t *testing.T) {
+	// Fork two children; wait for the SECOND one's pid specifically.
+	src := `
+_start:
+    mov eax, 2
+    int 0x80
+    cmp eax, 0
+    jz child_a
+    mov esi, eax           ; pid A
+    mov eax, 2
+    int 0x80
+    cmp eax, 0
+    jz child_b
+    mov edi, eax           ; pid B
+    ; waitpid(B)
+    mov ebx, edi
+    mov ecx, 0
+    mov eax, 7
+    int 0x80
+    cmp eax, edi
+    jnz bad
+    ; then waitpid(A)
+    mov ebx, esi
+    mov ecx, 0
+    mov eax, 7
+    int 0x80
+    cmp eax, esi
+    jnz bad
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+bad:
+    mov ebx, 1
+    mov eax, 1
+    int 0x80
+child_a:
+    mov ecx, 5000
+aspin:
+    dec ecx
+    cmp ecx, 0
+    jnz aspin
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+child_b:
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+	k := newKernel(t, Config{})
+	p := spawn(t, k, src, "specific")
+	res := k.Run(0)
+	if res.Reason != ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if _, status := p.Exited(); status != 0 {
+		t.Fatalf("status=%d", status)
+	}
+}

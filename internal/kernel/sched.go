@@ -1,0 +1,217 @@
+package kernel
+
+import "splitmem/internal/cpu"
+
+// StopReason explains why Kernel.Run returned control to the host.
+type StopReason int
+
+// Run stop reasons.
+const (
+	// ReasonAllDone: every process has exited or been killed.
+	ReasonAllDone StopReason = iota + 1
+	// ReasonWaitingInput: all live processes are blocked waiting for host
+	// stdin input; the driver should feed data and call Run again.
+	ReasonWaitingInput
+	// ReasonBudget: the cycle budget given to Run was exhausted.
+	ReasonBudget
+	// ReasonDeadlock: live processes remain but none can ever run again
+	// (e.g. all blocked on pipes with no writer).
+	ReasonDeadlock
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case ReasonAllDone:
+		return "all-done"
+	case ReasonWaitingInput:
+		return "waiting-input"
+	case ReasonBudget:
+		return "budget"
+	case ReasonDeadlock:
+		return "deadlock"
+	}
+	return "unknown"
+}
+
+// RunResult summarizes a Run invocation.
+type RunResult struct {
+	Reason StopReason
+	Cycles uint64 // cycles consumed by this Run call
+}
+
+// Run drives the scheduler until every process finishes, everyone is
+// waiting on host input, or maxCycles simulated cycles elapse (0 = no
+// budget). It is the host's "power button": drivers alternate between Run
+// and feeding process stdin.
+func (k *Kernel) Run(maxCycles uint64) RunResult {
+	start := k.m.Cycles
+	deadline := ^uint64(0)
+	if maxCycles > 0 {
+		deadline = start + maxCycles
+	}
+	for {
+		k.serviceShells()
+		k.wakeStdinWaiters()
+		p := k.nextRunnable()
+		if p == nil {
+			return RunResult{Reason: k.idleReason(), Cycles: k.m.Cycles - start}
+		}
+		k.switchTo(p)
+		sliceEnd := k.m.Cycles + k.timeslice
+		if sliceEnd > deadline {
+			sliceEnd = deadline
+		}
+		for p.state == stateRunnable && k.m.Cycles < sliceEnd {
+			if k.m.Step() == cpu.StepStopped {
+				break
+			}
+		}
+		if k.cur != nil && k.cur.Alive() {
+			k.cur.Ctx = k.m.Ctx
+		}
+		if p.state == stateRunnable {
+			k.enqueue(p)
+		}
+		if k.m.Cycles >= deadline {
+			return RunResult{Reason: ReasonBudget, Cycles: k.m.Cycles - start}
+		}
+	}
+}
+
+// RunToCompletion runs with no budget and returns the result.
+func (k *Kernel) RunToCompletion() RunResult { return k.Run(0) }
+
+func (k *Kernel) idleReason() StopReason {
+	live := 0
+	waitingHost := 0
+	for _, p := range k.procs {
+		if !p.Alive() {
+			continue
+		}
+		live++
+		if p.state == stateWaitStdin || p.state == stateShell {
+			waitingHost++
+		}
+	}
+	switch {
+	case live == 0:
+		return ReasonAllDone
+	case waitingHost > 0:
+		return ReasonWaitingInput
+	default:
+		return ReasonDeadlock
+	}
+}
+
+// enqueue adds p to the run queue if it is not already queued.
+func (k *Kernel) enqueue(p *Process) {
+	for _, pid := range k.runq {
+		if pid == p.PID {
+			return
+		}
+	}
+	k.runq = append(k.runq, p.PID)
+}
+
+// nextRunnable pops the first actually-runnable process off the queue.
+func (k *Kernel) nextRunnable() *Process {
+	for len(k.runq) > 0 {
+		pid := k.runq[0]
+		k.runq = k.runq[1:]
+		p, ok := k.procs[pid]
+		if ok && p.state == stateRunnable {
+			return p
+		}
+	}
+	return nil
+}
+
+// switchTo performs a context switch: save the outgoing register file,
+// install the incoming pagetable (which flushes both TLBs — the dominant
+// cost source of the split-memory system, §4.6) and restore registers.
+func (k *Kernel) switchTo(p *Process) {
+	if k.cur == p {
+		return
+	}
+	if k.cur != nil && k.cur.Alive() {
+		k.cur.Ctx = k.m.Ctx
+	}
+	k.m.Ctx = p.Ctx
+	k.m.SetPagetable(p.PT)
+	if k.cur != nil {
+		k.m.AddCycles(k.m.Cost.CtxSwitch)
+		k.m.Stats.CtxSwitches++
+	}
+	k.cur = p
+}
+
+// wakeStdinWaiters moves processes blocked on stdin back to the run queue
+// when input (or EOF) has arrived from the host.
+func (k *Kernel) wakeStdinWaiters() {
+	for _, p := range k.procs {
+		if p.state == stateWaitStdin && (len(p.stdin.data) > 0 || p.stdin.eof) {
+			p.state = stateRunnable
+			k.enqueue(p)
+		}
+	}
+}
+
+// exitProcess terminates p voluntarily with the given status.
+func (k *Kernel) exitProcess(p *Process, status int) {
+	p.state = stateExited
+	p.exitCode = status
+	k.finishProcess(p)
+	k.Emit(Event{Kind: EvProcessExit, PID: p.PID, Proc: p.Name, Addr: uint32(status)})
+}
+
+// killProcess terminates p with a signal (the kernel's SIGSEGV/SIGILL
+// delivery; the paper's break response mode ends here).
+func (k *Kernel) killProcess(p *Process, sig Signal, addr uint32) {
+	p.state = stateKilled
+	p.killSig = sig
+	p.faultAddr = addr
+	k.finishProcess(p)
+	k.Emit(Event{Kind: EvSignal, PID: p.PID, Proc: p.Name, Signal: sig, Addr: addr})
+}
+
+func (k *Kernel) finishProcess(p *Process) {
+	k.releaseProcessMemory(p)
+	for fd := range p.fds {
+		k.closeFD(p, fd)
+	}
+	if k.cur == p {
+		k.cur = nil
+		// The machine must not keep executing with the dead pagetable.
+	}
+	// Wake a parent blocked in waitpid.
+	if parent, ok := k.procs[p.parent]; ok && parent.state == stateWaitChild {
+		if parent.waitAny || parent.waitPID == p.PID {
+			parent.state = stateRunnable
+			k.enqueue(parent)
+		}
+	}
+}
+
+// Kill terminates a process from the host side (e.g. a honeypot operator
+// pulling the plug on an observed attack). Returns false if the pid is
+// unknown or already dead.
+func (k *Kernel) Kill(pid int, sig Signal) bool {
+	p, ok := k.procs[pid]
+	if !ok || !p.Alive() {
+		return false
+	}
+	k.killProcess(p, sig, 0)
+	return true
+}
+
+// liveProcesses returns the number of processes still alive.
+func (k *Kernel) liveProcesses() int {
+	n := 0
+	for _, p := range k.procs {
+		if p.Alive() {
+			n++
+		}
+	}
+	return n
+}

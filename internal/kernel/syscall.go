@@ -1,0 +1,378 @@
+package kernel
+
+import (
+	"fmt"
+
+	"splitmem/internal/cpu"
+	"splitmem/internal/isa"
+)
+
+// Syscall numbers (Linux i386 flavored). Guest assembly uses matching .equ
+// constants from the crt.
+const (
+	SysExit     = 1
+	SysFork     = 2
+	SysRead     = 3
+	SysWrite    = 4
+	SysClose    = 6
+	SysWaitpid  = 7
+	SysExecve   = 11
+	SysTime     = 13
+	SysGetpid   = 20
+	SysPipe     = 42
+	SysBrk      = 45
+	SysMmap     = 90
+	SysMprotect = 125
+	SysYield    = 158
+)
+
+// errno values returned (negated) to the guest.
+const (
+	errEBADF  = 9
+	errEFAULT = 14
+	errEINVAL = 22
+	errECHILD = 10
+	errENOSYS = 38
+)
+
+const intInstrSize = 2 // "int 0x80" encodes to 2 bytes; blocking rewinds EIP
+
+// syscall dispatches the int 0x80 gate. EAX carries the number, EBX/ECX/EDX
+// the arguments, and the result is returned in EAX.
+func (k *Kernel) syscall(p *Process) cpu.Action {
+	k.syscalls++
+	nr := k.m.Ctx.R[isa.EAX]
+	a1 := k.m.Ctx.R[isa.EBX]
+	a2 := k.m.Ctx.R[isa.ECX]
+	a3 := k.m.Ctx.R[isa.EDX]
+	if k.cfg.TraceSyscalls {
+		k.Emit(Event{Kind: EvSyscall, Text: fmt.Sprintf("sys_%d(%#x, %#x, %#x)", nr, a1, a2, a3)})
+	}
+	switch nr {
+	case SysExit:
+		k.exitProcess(p, int(int32(a1)))
+		return cpu.ActStop
+	case SysFork:
+		child, err := k.fork(p)
+		if err != nil {
+			k.ret(-errEFAULT)
+			return cpu.ActResume
+		}
+		child.Ctx.R[isa.EAX] = 0
+		k.ret(int32(child.PID))
+		return cpu.ActResume
+	case SysRead:
+		return k.sysRead(p, a1, a2, a3)
+	case SysWrite:
+		return k.sysWrite(p, a1, a2, a3)
+	case SysClose:
+		if int(a1) >= len(p.fds) || p.fds[a1].kind == fdClosed {
+			k.ret(-errEBADF)
+		} else {
+			k.closeFD(p, int(a1))
+			k.ret(0)
+		}
+		return cpu.ActResume
+	case SysWaitpid:
+		return k.sysWaitpid(p, int(int32(a1)), a2)
+	case SysExecve:
+		return k.sysExecve(p, a1)
+	case SysTime:
+		k.ret(int32(uint32(k.m.Cycles)))
+		return cpu.ActResume
+	case SysGetpid:
+		k.ret(int32(p.PID))
+		return cpu.ActResume
+	case SysPipe:
+		return k.sysPipe(p, a1)
+	case SysBrk:
+		k.ret(int32(k.setBrk(p, a1)))
+		return cpu.ActResume
+	case SysMmap:
+		addr := k.mmapAnon(p, a2, byte(a3&7))
+		k.ret(int32(addr))
+		return cpu.ActResume
+	case SysMprotect:
+		k.ret(k.mprotect(p, a1, a2, byte(a3&7)))
+		return cpu.ActResume
+	case SysYield:
+		k.ret(0)
+		p.Ctx = k.m.Ctx
+		k.enqueue(p)
+		return cpu.ActStop
+	case SysDlload:
+		return k.sysDlload(p, a1, a2, a3)
+	case SysRegisterRecovery:
+		return k.sysRegisterRecovery(p, a1)
+	}
+	k.ret(-errENOSYS)
+	return cpu.ActResume
+}
+
+// ret stores a syscall result in the guest's EAX.
+func (k *Kernel) ret(v int32) { k.m.Ctx.R[isa.EAX] = uint32(v) }
+
+// block parks the process in the given state and rewinds EIP so the syscall
+// instruction re-executes when the process is woken (restartable syscalls).
+func (k *Kernel) block(p *Process, st procState) cpu.Action {
+	k.m.Ctx.EIP -= intInstrSize
+	p.Ctx = k.m.Ctx
+	p.state = st
+	return cpu.ActStop
+}
+
+func (k *Kernel) sysRead(p *Process, fd, buf, n uint32) cpu.Action {
+	if int(fd) >= len(p.fds) {
+		k.ret(-errEBADF)
+		return cpu.ActResume
+	}
+	desc := p.fds[fd]
+	switch desc.kind {
+	case fdStdin:
+		if len(p.stdin.data) == 0 {
+			if p.stdin.eof {
+				k.ret(0)
+				return cpu.ActResume
+			}
+			return k.block(p, stateWaitStdin)
+		}
+		cnt := int(n)
+		if cnt > len(p.stdin.data) {
+			cnt = len(p.stdin.data)
+		}
+		data := p.stdin.data[:cnt]
+		if err := k.CopyToUser(p, buf, data); err != nil {
+			k.ret(-errEFAULT)
+			return cpu.ActResume
+		}
+		if p.sebek {
+			k.Emit(Event{Kind: EvSebekLine, Text: string(data)})
+		}
+		p.stdin.data = p.stdin.data[cnt:]
+		k.m.AddCycles(k.m.Cost.IOByte * uint64(cnt))
+		k.ret(int32(cnt))
+		return cpu.ActResume
+	case fdPipe:
+		if !desc.read {
+			k.ret(-errEBADF)
+			return cpu.ActResume
+		}
+		pi := k.pipes[desc.pipe]
+		if pi == nil {
+			k.ret(-errEBADF)
+			return cpu.ActResume
+		}
+		if len(pi.buf) == 0 {
+			if pi.writers == 0 {
+				k.ret(0)
+				return cpu.ActResume
+			}
+			pi.waitR = append(pi.waitR, p.PID)
+			return k.block(p, stateWaitPipe)
+		}
+		cnt := int(n)
+		if cnt > len(pi.buf) {
+			cnt = len(pi.buf)
+		}
+		if err := k.CopyToUser(p, buf, pi.buf[:cnt]); err != nil {
+			k.ret(-errEFAULT)
+			return cpu.ActResume
+		}
+		pi.buf = pi.buf[cnt:]
+		k.wake(&pi.waitW)
+		k.ret(int32(cnt))
+		return cpu.ActResume
+	}
+	k.ret(-errEBADF)
+	return cpu.ActResume
+}
+
+func (k *Kernel) sysWrite(p *Process, fd, buf, n uint32) cpu.Action {
+	if int(fd) >= len(p.fds) {
+		k.ret(-errEBADF)
+		return cpu.ActResume
+	}
+	desc := p.fds[fd]
+	switch desc.kind {
+	case fdStdout:
+		data, err := k.CopyFromUser(p, buf, int(n))
+		if err != nil {
+			k.ret(-errEFAULT)
+			return cpu.ActResume
+		}
+		p.outbuf = append(p.outbuf, data...)
+		k.m.AddCycles(k.m.Cost.IOByte * uint64(len(data)))
+		k.ret(int32(len(data)))
+		return cpu.ActResume
+	case fdPipe:
+		if desc.read {
+			k.ret(-errEBADF)
+			return cpu.ActResume
+		}
+		pi := k.pipes[desc.pipe]
+		if pi == nil {
+			k.ret(-errEBADF)
+			return cpu.ActResume
+		}
+		if len(pi.buf) >= pipeCapacity {
+			pi.waitW = append(pi.waitW, p.PID)
+			return k.block(p, stateWaitPipe)
+		}
+		data, err := k.CopyFromUser(p, buf, int(n))
+		if err != nil {
+			k.ret(-errEFAULT)
+			return cpu.ActResume
+		}
+		pi.buf = append(pi.buf, data...)
+		k.wake(&pi.waitR)
+		k.ret(int32(len(data)))
+		return cpu.ActResume
+	}
+	k.ret(-errEBADF)
+	return cpu.ActResume
+}
+
+func (k *Kernel) sysWaitpid(p *Process, pid int, statusPtr uint32) cpu.Action {
+	reap := func(c *Process) cpu.Action {
+		status := c.exitCode << 8
+		if c.state == stateKilled {
+			status = int(c.killSig)
+		}
+		if statusPtr != 0 {
+			var b [4]byte
+			b[0] = byte(status)
+			b[1] = byte(status >> 8)
+			b[2] = byte(status >> 16)
+			b[3] = byte(status >> 24)
+			if err := k.CopyToUser(p, statusPtr, b[:]); err != nil {
+				k.ret(-errEFAULT)
+				return cpu.ActResume
+			}
+		}
+		delete(p.children, c.PID)
+		// The process record stays in the table (post-mortem inspection by
+		// the host); only the parent/child link is severed.
+		k.ret(int32(c.PID))
+		return cpu.ActResume
+	}
+	if len(p.children) == 0 {
+		k.ret(-errECHILD)
+		return cpu.ActResume
+	}
+	for cpid := range p.children {
+		c := k.procs[cpid]
+		if c == nil {
+			delete(p.children, cpid)
+			continue
+		}
+		if (pid == -1 || pid == cpid) && !c.Alive() {
+			return reap(c)
+		}
+	}
+	if pid != -1 && !p.children[pid] {
+		k.ret(-errECHILD)
+		return cpu.ActResume
+	}
+	p.waitAny = pid == -1
+	p.waitPID = pid
+	return k.block(p, stateWaitChild)
+}
+
+func (k *Kernel) sysExecve(p *Process, pathPtr uint32) cpu.Action {
+	path, err := k.CopyStringFromUser(p, pathPtr, 256)
+	if err != nil {
+		path = fmt.Sprintf("<bad ptr %#x>", pathPtr)
+	}
+	p.shellSpawned = true
+	p.Ctx = k.m.Ctx
+	p.state = stateShell
+	k.Emit(Event{Kind: EvShellSpawned, Addr: k.m.Ctx.EIP, Text: path})
+	if p.sebek {
+		k.Emit(Event{Kind: EvSebekLine, Text: fmt.Sprintf("[sebek] exec %s by pid %d", path, p.PID)})
+	}
+	return cpu.ActStop
+}
+
+func (k *Kernel) sysPipe(p *Process, ptr uint32) cpu.Action {
+	id := k.nextPipe
+	k.nextPipe++
+	k.pipes[id] = &pipe{readers: 1, writers: 1}
+	rfd := k.installFD(p, fdesc{kind: fdPipe, pipe: id, read: true})
+	wfd := k.installFD(p, fdesc{kind: fdPipe, pipe: id})
+	var b [8]byte
+	b[0], b[1], b[2], b[3] = byte(rfd), byte(rfd>>8), byte(rfd>>16), byte(rfd>>24)
+	b[4], b[5], b[6], b[7] = byte(wfd), byte(wfd>>8), byte(wfd>>16), byte(wfd>>24)
+	if err := k.CopyToUser(p, ptr, b[:]); err != nil {
+		k.ret(-errEFAULT)
+		return cpu.ActResume
+	}
+	k.ret(0)
+	return cpu.ActResume
+}
+
+const pipeCapacity = 65536
+
+// pipe is an in-kernel unidirectional byte channel.
+type pipe struct {
+	buf     []byte
+	readers int
+	writers int
+	waitR   []int // pids blocked reading
+	waitW   []int // pids blocked writing
+}
+
+func (k *Kernel) installFD(p *Process, d fdesc) int {
+	for i := range p.fds {
+		if p.fds[i].kind == fdClosed {
+			p.fds[i] = d
+			return i
+		}
+	}
+	p.fds = append(p.fds, d)
+	return len(p.fds) - 1
+}
+
+func (k *Kernel) closeFD(p *Process, fd int) {
+	if fd >= len(p.fds) {
+		return
+	}
+	d := p.fds[fd]
+	p.fds[fd] = fdesc{}
+	if d.kind == fdPipe {
+		k.pipeRef(d.pipe, d.read, -1)
+	}
+}
+
+// pipeRef adjusts a pipe end's reference count, waking blocked peers when an
+// end disappears (EOF / EPIPE-as-zero semantics).
+func (k *Kernel) pipeRef(id int, readEnd bool, delta int) {
+	pi := k.pipes[id]
+	if pi == nil {
+		return
+	}
+	if readEnd {
+		pi.readers += delta
+	} else {
+		pi.writers += delta
+	}
+	if pi.writers == 0 {
+		k.wake(&pi.waitR)
+	}
+	if pi.readers == 0 {
+		k.wake(&pi.waitW)
+	}
+	if pi.readers <= 0 && pi.writers <= 0 {
+		delete(k.pipes, id)
+	}
+}
+
+// wake moves every pid in the list back to the run queue.
+func (k *Kernel) wake(list *[]int) {
+	for _, pid := range *list {
+		if p, ok := k.procs[pid]; ok && p.state == stateWaitPipe {
+			p.state = stateRunnable
+			k.enqueue(p)
+		}
+	}
+	*list = (*list)[:0]
+}

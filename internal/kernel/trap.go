@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"splitmem/internal/cpu"
+	"splitmem/internal/paging"
+)
+
+// The kernel implements cpu.TrapHandler; this file is the interrupt
+// descriptor table.
+
+// PageFault is the kernel page-fault handler (the paper's §5.2). Order of
+// business: protector-managed (split) pages first, then demand paging,
+// copy-on-write, and finally SIGSEGV.
+func (k *Kernel) PageFault(addr uint32, code uint32) cpu.Action {
+	p := k.cur
+	if p == nil {
+		return cpu.ActStop
+	}
+	k.m.AddCycles(k.m.Cost.PFBase)
+
+	vpn := paging.VPN(addr)
+	e := p.PT.Get(vpn)
+
+	// Split-memory (and other protector) pages: the PTE carries the Split
+	// software bit; not every fault on such a page is ours (§5.2 warns about
+	// exactly this), so the protector can still decline.
+	if e.Split() {
+		switch k.prot.HandleFault(k, p, addr, code) {
+		case FaultHandled:
+			return cpu.ActResume
+		case FaultKill:
+			k.killProcess(p, SIGSEGV, addr)
+			return cpu.ActStop
+		}
+	}
+
+	// Demand paging: not-present fault inside a mapped region.
+	if !e.Present() {
+		if r := p.regionAt(addr); r != nil {
+			if err := k.demandMap(p, addr, r); err != nil {
+				k.killProcess(p, SIGSEGV, addr)
+				return cpu.ActStop
+			}
+			k.faultsGen++
+			return cpu.ActResume
+		}
+		k.killProcess(p, SIGSEGV, addr)
+		return cpu.ActStop
+	}
+
+	// Copy-on-write break.
+	if code&cpu.PFWrite != 0 && e.IsCOW() {
+		if err := k.breakCOW(p, vpn, e); err != nil {
+			k.killProcess(p, SIGSEGV, addr)
+			return cpu.ActStop
+		}
+		return cpu.ActResume
+	}
+
+	// NX / write-to-read-only / supervisor violations the protector did not
+	// claim: give the protector one more chance (the NX engine detects
+	// injected-code fetches here), then kill.
+	if verdict := k.prot.HandleFault(k, p, addr, code); verdict == FaultHandled {
+		return cpu.ActResume
+	}
+	k.killProcess(p, SIGSEGV, addr)
+	return cpu.ActStop
+}
+
+// DebugTrap is the debug-interrupt handler (§5.3): during a split
+// instruction-TLB load the page-fault handler sets the trap flag, and this
+// handler re-restricts the PTE afterwards.
+func (k *Kernel) DebugTrap() cpu.Action {
+	p := k.cur
+	if p == nil {
+		return cpu.ActStop
+	}
+	if k.prot.HandleDebug(k, p) {
+		return cpu.ActResume
+	}
+	// Stray single-step without protector bookkeeping: clear TF and carry on.
+	k.m.Ctx.Flags.TF = false
+	return cpu.ActResume
+}
+
+// Breakpoint handles int3: treated as SIGTRAP (no debugger attached).
+func (k *Kernel) Breakpoint() cpu.Action {
+	p := k.cur
+	if p == nil {
+		return cpu.ActStop
+	}
+	k.killProcess(p, SIGTRAP, k.m.Ctx.EIP)
+	return cpu.ActStop
+}
+
+// Interrupt dispatches software interrupts; vector 0x80 is the syscall gate.
+func (k *Kernel) Interrupt(vector byte) cpu.Action {
+	p := k.cur
+	if p == nil {
+		return cpu.ActStop
+	}
+	if vector != 0x80 {
+		k.killProcess(p, SIGSEGV, k.m.Ctx.EIP)
+		return cpu.ActStop
+	}
+	return k.syscall(p)
+}
+
+// Undefined handles #UD. Under the split-memory response engine this is the
+// moment an injected-code fetch is detected "right before" execution
+// (§4.5): the code twin of a data page holds no valid instructions.
+func (k *Kernel) Undefined() cpu.Action {
+	p := k.cur
+	if p == nil {
+		return cpu.ActStop
+	}
+	switch k.prot.HandleUndefined(k, p) {
+	case UDResume:
+		return cpu.ActResume
+	case UDKill:
+		k.killProcess(p, SIGILL, k.m.Ctx.EIP)
+		return cpu.ActStop
+	}
+	k.killProcess(p, SIGILL, k.m.Ctx.EIP)
+	return cpu.ActStop
+}
+
+// GeneralProtection handles privileged instructions in user mode.
+func (k *Kernel) GeneralProtection() cpu.Action {
+	p := k.cur
+	if p == nil {
+		return cpu.ActStop
+	}
+	k.killProcess(p, SIGSEGV, k.m.Ctx.EIP)
+	return cpu.ActStop
+}
+
+// DivideError delivers SIGFPE.
+func (k *Kernel) DivideError() cpu.Action {
+	p := k.cur
+	if p == nil {
+		return cpu.ActStop
+	}
+	k.killProcess(p, SIGFPE, k.m.Ctx.EIP)
+	return cpu.ActStop
+}

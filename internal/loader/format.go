@@ -1,0 +1,294 @@
+// Package loader defines SELF ("Simple Executable and Linkable Format"),
+// the on-disk binary format for S86 guest programs, mirroring the role ELF
+// plays for the paper's Linux prototype. A SELF image is a set of sections
+// with load addresses and R/W/X permissions, an entry point, and a symbol
+// table. The kernel's ELF-loader equivalent (internal/kernel) maps SELF
+// images into a process address space and — when split memory is enabled —
+// duplicates each page into code and data frames, exactly as the paper's
+// 90-line ELF loader patch does.
+package loader
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"splitmem/internal/mem"
+)
+
+// Section permission flags.
+const (
+	PermR = 1 << 0 // readable
+	PermW = 1 << 1 // writable
+	PermX = 1 << 2 // executable
+)
+
+// PermString renders flags as "rwx" notation.
+func PermString(p byte) string {
+	s := []byte("---")
+	if p&PermR != 0 {
+		s[0] = 'r'
+	}
+	if p&PermW != 0 {
+		s[1] = 'w'
+	}
+	if p&PermX != 0 {
+		s[2] = 'x'
+	}
+	return string(s)
+}
+
+// Section is one loadable region of a program image.
+type Section struct {
+	Name string
+	Addr uint32 // virtual load address
+	Size uint32 // size in memory; may exceed len(Data) (zero-filled tail)
+	Perm byte   // PermR|PermW|PermX
+	Data []byte
+}
+
+// Executable reports whether the section may be fetched from.
+func (s *Section) Executable() bool { return s.Perm&PermX != 0 }
+
+// Writable reports whether the section may be written.
+func (s *Section) Writable() bool { return s.Perm&PermW != 0 }
+
+// Mixed reports whether the section is both writable and executable — the
+// "mixed code and data" case (Fig. 1b of the paper) that pure
+// execute-disable-bit schemes cannot protect.
+func (s *Section) Mixed() bool { return s.Executable() && s.Writable() }
+
+// End returns the first address past the section.
+func (s *Section) End() uint32 { return s.Addr + s.Size }
+
+// Program is a parsed SELF image.
+type Program struct {
+	Entry    uint32
+	Sections []Section
+	Symbols  map[string]uint32
+}
+
+// Symbol returns the address of a named symbol.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// Validate checks structural invariants: non-overlapping page-aligned-able
+// sections, entry inside an executable section, sizes covering data.
+func (p *Program) Validate() error {
+	if len(p.Sections) == 0 {
+		return fmt.Errorf("loader: program has no sections")
+	}
+	secs := make([]Section, len(p.Sections))
+	copy(secs, p.Sections)
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Addr < secs[j].Addr })
+	for i := range secs {
+		s := &secs[i]
+		if s.Size == 0 {
+			return fmt.Errorf("loader: section %q is empty", s.Name)
+		}
+		if uint32(len(s.Data)) > s.Size {
+			return fmt.Errorf("loader: section %q data (%d) exceeds size (%d)", s.Name, len(s.Data), s.Size)
+		}
+		if s.Addr+s.Size < s.Addr {
+			return fmt.Errorf("loader: section %q wraps the address space", s.Name)
+		}
+		if i > 0 && s.Addr < secs[i-1].End() {
+			return fmt.Errorf("loader: sections %q and %q overlap", secs[i-1].Name, s.Name)
+		}
+	}
+	entryOK := false
+	for i := range p.Sections {
+		s := &p.Sections[i]
+		if s.Executable() && p.Entry >= s.Addr && p.Entry < s.End() {
+			entryOK = true
+			break
+		}
+	}
+	if !entryOK {
+		return fmt.Errorf("loader: entry %#x is not inside an executable section", p.Entry)
+	}
+	return nil
+}
+
+// PageSpan returns the inclusive first and exclusive last virtual page
+// numbers the section occupies.
+func (s *Section) PageSpan() (first, last uint32) {
+	return s.Addr >> mem.PageShift, (s.End() + mem.PageMask) >> mem.PageShift
+}
+
+// selfMagic identifies a serialized SELF image.
+var selfMagic = [4]byte{0x7F, 'S', '8', '6'}
+
+const selfVersion = 1
+
+// Marshal serializes the program to the SELF wire format.
+func (p *Program) Marshal() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(selfMagic[:])
+	w32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	wstr := func(s string) {
+		w32(uint32(len(s)))
+		buf.WriteString(s)
+	}
+	w32(selfVersion)
+	w32(p.Entry)
+	w32(uint32(len(p.Sections)))
+	for i := range p.Sections {
+		s := &p.Sections[i]
+		wstr(s.Name)
+		w32(s.Addr)
+		w32(s.Size)
+		w32(uint32(s.Perm))
+		w32(uint32(len(s.Data)))
+		buf.Write(s.Data)
+	}
+	// Deterministic symbol order.
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w32(uint32(len(names)))
+	for _, n := range names {
+		wstr(n)
+		w32(p.Symbols[n])
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal parses a SELF image.
+func Unmarshal(b []byte) (*Program, error) {
+	r := bytes.NewReader(b)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != selfMagic {
+		return nil, fmt.Errorf("loader: bad SELF magic")
+	}
+	r32 := func() (uint32, error) {
+		var v [4]byte
+		if _, err := io.ReadFull(r, v[:]); err != nil {
+			return 0, fmt.Errorf("loader: truncated image")
+		}
+		return binary.LittleEndian.Uint32(v[:]), nil
+	}
+	rstr := func() (string, error) {
+		n, err := r32()
+		if err != nil {
+			return "", err
+		}
+		if n > uint32(r.Len()) {
+			return "", fmt.Errorf("loader: truncated string")
+		}
+		s := make([]byte, n)
+		if _, err := io.ReadFull(r, s); err != nil {
+			return "", fmt.Errorf("loader: truncated string")
+		}
+		return string(s), nil
+	}
+	ver, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != selfVersion {
+		return nil, fmt.Errorf("loader: unsupported SELF version %d", ver)
+	}
+	p := &Program{Symbols: map[string]uint32{}}
+	if p.Entry, err = r32(); err != nil {
+		return nil, err
+	}
+	nsec, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	if nsec > 1024 {
+		return nil, fmt.Errorf("loader: implausible section count %d", nsec)
+	}
+	for i := uint32(0); i < nsec; i++ {
+		var s Section
+		if s.Name, err = rstr(); err != nil {
+			return nil, err
+		}
+		if s.Addr, err = r32(); err != nil {
+			return nil, err
+		}
+		if s.Size, err = r32(); err != nil {
+			return nil, err
+		}
+		perm, err := r32()
+		if err != nil {
+			return nil, err
+		}
+		s.Perm = byte(perm)
+		dlen, err := r32()
+		if err != nil {
+			return nil, err
+		}
+		if dlen > uint32(r.Len()) {
+			return nil, fmt.Errorf("loader: truncated section data")
+		}
+		s.Data = make([]byte, dlen)
+		if _, err := io.ReadFull(r, s.Data); err != nil {
+			return nil, fmt.Errorf("loader: truncated section data")
+		}
+		p.Sections = append(p.Sections, s)
+	}
+	nsym, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	if nsym > 1<<20 {
+		return nil, fmt.Errorf("loader: implausible symbol count %d", nsym)
+	}
+	for i := uint32(0); i < nsym; i++ {
+		name, err := rstr()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r32()
+		if err != nil {
+			return nil, err
+		}
+		p.Symbols[name] = v
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FNV1a computes the 64-bit FNV-1a digest used as the stand-in for the
+// DigSig/VerifiedExec binary signatures the paper delegates to ([28],[29]):
+// the kernel's validated library loading (dlload) verifies module bytes
+// against it before splitting them into code and data twins.
+func FNV1a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// Checksum computes the image digest (FNV-1a over the canonical
+// serialization).
+func (p *Program) Checksum() (uint64, error) {
+	b, err := p.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	return FNV1a(b), nil
+}

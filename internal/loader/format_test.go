@@ -1,0 +1,181 @@
+package loader
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func validProgram() *Program {
+	return &Program{
+		Entry: 0x08048000,
+		Sections: []Section{
+			{Name: ".text", Addr: 0x08048000, Size: 64, Perm: PermR | PermX, Data: []byte{0x90, 0xC3}},
+			{Name: ".data", Addr: 0x08060000, Size: 4096, Perm: PermR | PermW, Data: []byte("hello")},
+		},
+		Symbols: map[string]uint32{"_start": 0x08048000, "msg": 0x08060000},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := map[string]func(*Program){
+		"no sections":    func(p *Program) { p.Sections = nil },
+		"empty section":  func(p *Program) { p.Sections[0].Size = 0 },
+		"data over size": func(p *Program) { p.Sections[0].Size = 1 },
+		"overlap": func(p *Program) {
+			p.Sections[1].Addr = p.Sections[0].Addr + 4
+		},
+		"wraps": func(p *Program) {
+			p.Sections[1].Addr = 0xFFFFFFF0
+			p.Sections[1].Size = 0x100
+		},
+		"entry outside text": func(p *Program) { p.Entry = 0x08060000 },
+		"entry not executable": func(p *Program) {
+			p.Sections[0].Perm = PermR
+		},
+	}
+	for name, mutate := range tests {
+		p := validProgram()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	p := validProgram()
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Entry != p.Entry || len(q.Sections) != len(p.Sections) {
+		t.Fatal("header mismatch")
+	}
+	for i := range p.Sections {
+		a, b := &p.Sections[i], &q.Sections[i]
+		if a.Name != b.Name || a.Addr != b.Addr || a.Size != b.Size ||
+			a.Perm != b.Perm || string(a.Data) != string(b.Data) {
+			t.Fatalf("section %d mismatch", i)
+		}
+	}
+	for k, v := range p.Symbols {
+		if q.Symbols[k] != v {
+			t.Fatalf("symbol %s", k)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	good, _ := validProgram().Marshal()
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("ELF!"),
+		good[:8],
+		good[:len(good)-3],
+	}
+	for i, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Bad version.
+	bad := append([]byte(nil), good...)
+	bad[4] = 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+// TestUnmarshalTruncationFuzz: every prefix of a valid image must fail
+// cleanly (no panic).
+func TestUnmarshalTruncationFuzz(t *testing.T) {
+	good, _ := validProgram().Marshal()
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := Unmarshal(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestQuickUnmarshalNoPanic feeds random mutations of a valid image.
+func TestQuickUnmarshalNoPanic(t *testing.T) {
+	good, _ := validProgram().Marshal()
+	f := func(pos uint16, val byte) bool {
+		b := append([]byte(nil), good...)
+		b[int(pos)%len(b)] = val
+		_, _ = Unmarshal(b) // must not panic; error is fine
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumStable(t *testing.T) {
+	a, err := validProgram().Checksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := validProgram().Checksum()
+	if a != b {
+		t.Fatal("checksum not deterministic")
+	}
+	mod := validProgram()
+	mod.Sections[0].Data[0] = 0xCC
+	c, _ := mod.Checksum()
+	if c == a {
+		t.Fatal("checksum insensitive to content")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	tests := map[byte]string{
+		0:                     "---",
+		PermR:                 "r--",
+		PermR | PermW:         "rw-",
+		PermR | PermX:         "r-x",
+		PermR | PermW | PermX: "rwx",
+	}
+	for p, want := range tests {
+		if got := PermString(p); got != want {
+			t.Errorf("%#x: %q want %q", p, got, want)
+		}
+	}
+}
+
+func TestSectionHelpers(t *testing.T) {
+	s := Section{Addr: 0x1800, Size: 0x1000, Perm: PermR | PermW | PermX}
+	if !s.Mixed() || !s.Executable() || !s.Writable() {
+		t.Fatal("helpers broken")
+	}
+	first, last := s.PageSpan()
+	if first != 1 || last != 3 {
+		t.Fatalf("span %d..%d", first, last)
+	}
+	if s.End() != 0x2800 {
+		t.Fatalf("end=%#x", s.End())
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	p := validProgram()
+	if v, ok := p.Symbol("msg"); !ok || v != 0x08060000 {
+		t.Fatal("symbol lookup")
+	}
+	if _, ok := p.Symbol("nope"); ok {
+		t.Fatal("ghost symbol")
+	}
+}

@@ -1,0 +1,149 @@
+// Package mem implements the simulated physical memory: a flat array of
+// 4 KiB frames with a free-list allocator and per-frame reference counts
+// (used by copy-on-write sharing in the kernel).
+package mem
+
+import "fmt"
+
+// PageSize is the size of a physical frame and of a virtual page, in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PageMask masks the offset within a page.
+const PageMask = PageSize - 1
+
+// Physical is the machine's physical memory.
+//
+// Frames are identified by frame number (physical address >> PageShift).
+// Frame 0 is reserved and never handed out, so a zero frame number can be
+// used as "no frame" by callers.
+type Physical struct {
+	data     []byte
+	nframes  uint32
+	free     []uint32 // free-list stack of frame numbers
+	refs     []uint16 // reference count per frame; 0 = free
+	allocCnt uint64   // lifetime allocations, for stats
+}
+
+// NewPhysical creates a physical memory of the given size, which must be a
+// positive multiple of PageSize.
+func NewPhysical(size int) (*Physical, error) {
+	if size <= 0 || size%PageSize != 0 {
+		return nil, fmt.Errorf("mem: size %d is not a positive multiple of %d", size, PageSize)
+	}
+	n := uint32(size / PageSize)
+	p := &Physical{
+		data:    make([]byte, size),
+		nframes: n,
+		refs:    make([]uint16, n),
+		free:    make([]uint32, 0, n-1),
+	}
+	// Push high frames first so allocation order is low-to-high; frame 0 is
+	// reserved.
+	for f := n - 1; f >= 1; f-- {
+		p.free = append(p.free, f)
+	}
+	p.refs[0] = 1
+	return p, nil
+}
+
+// Size returns the total physical memory size in bytes.
+func (p *Physical) Size() int { return len(p.data) }
+
+// NumFrames returns the total number of frames, including reserved frame 0.
+func (p *Physical) NumFrames() uint32 { return p.nframes }
+
+// FreeFrames returns the number of currently allocatable frames.
+func (p *Physical) FreeFrames() int { return len(p.free) }
+
+// Allocations returns the lifetime number of frame allocations.
+func (p *Physical) Allocations() uint64 { return p.allocCnt }
+
+// ErrOutOfMemory is returned when no free frame is available.
+var ErrOutOfMemory = fmt.Errorf("mem: out of physical frames")
+
+// Alloc allocates a zeroed frame with reference count 1.
+func (p *Physical) Alloc() (uint32, error) {
+	if len(p.free) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	f := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.refs[f] = 1
+	p.allocCnt++
+	clear(p.Frame(f))
+	return f, nil
+}
+
+// IncRef increments the reference count of an allocated frame.
+func (p *Physical) IncRef(f uint32) {
+	if f == 0 || f >= p.nframes || p.refs[f] == 0 {
+		panic(fmt.Sprintf("mem: IncRef of unallocated frame %d", f))
+	}
+	p.refs[f]++
+}
+
+// RefCount returns the current reference count of frame f.
+func (p *Physical) RefCount(f uint32) int {
+	if f >= p.nframes {
+		return 0
+	}
+	return int(p.refs[f])
+}
+
+// Free decrements the reference count of frame f, returning it to the free
+// list when the count reaches zero.
+func (p *Physical) Free(f uint32) {
+	if f == 0 || f >= p.nframes || p.refs[f] == 0 {
+		panic(fmt.Sprintf("mem: Free of unallocated frame %d", f))
+	}
+	p.refs[f]--
+	if p.refs[f] == 0 {
+		p.free = append(p.free, f)
+	}
+}
+
+// Frame returns the backing bytes of frame f. The slice aliases physical
+// memory: writes through it are real stores.
+func (p *Physical) Frame(f uint32) []byte {
+	if f >= p.nframes {
+		panic(fmt.Sprintf("mem: frame %d out of range", f))
+	}
+	off := int(f) << PageShift
+	return p.data[off : off+PageSize : off+PageSize]
+}
+
+// Byte returns the byte at physical address pa.
+func (p *Physical) Byte(pa uint32) byte { return p.data[pa] }
+
+// SetByte writes the byte at physical address pa.
+func (p *Physical) SetByte(pa uint32, v byte) { p.data[pa] = v }
+
+// Read32 reads a little-endian 32-bit word at physical address pa, which may
+// span a frame boundary.
+func (p *Physical) Read32(pa uint32) uint32 {
+	if int(pa)+4 <= len(p.data) && pa&PageMask <= PageSize-4 {
+		b := p.data[pa:]
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(p.data[pa+i]) << (8 * i)
+	}
+	return v
+}
+
+// Write32 writes a little-endian 32-bit word at physical address pa.
+func (p *Physical) Write32(pa uint32, v uint32) {
+	p.data[pa] = byte(v)
+	p.data[pa+1] = byte(v >> 8)
+	p.data[pa+2] = byte(v >> 16)
+	p.data[pa+3] = byte(v >> 24)
+}
+
+// CopyFrame copies the contents of frame src into frame dst.
+func (p *Physical) CopyFrame(dst, src uint32) {
+	copy(p.Frame(dst), p.Frame(src))
+}

@@ -1,0 +1,109 @@
+// Package nx implements the execute-disable-bit baseline the paper compares
+// against (§2): Intel XD / AMD NX page-level protection as deployed by
+// Windows DEP and PaX PAGEEXEC. Pages whose section lacks execute
+// permission get the NX bit; an instruction fetch from such a page raises a
+// protection fault and the process is killed.
+//
+// The baseline inherits the limitations the paper motivates with:
+//
+//   - it requires hardware support (a Machine with NXEnabled);
+//   - it cannot protect mixed code-and-data pages (a page that must be
+//     executable cannot be NX even if it is also writable);
+//   - it can be bypassed by re-protection attacks: code already in the
+//     process (via a crafted stack) can call mprotect to make the injected
+//     region executable (§2, [4] / Skape & Skywing).
+package nx
+
+import (
+	"splitmem/internal/cpu"
+	"splitmem/internal/kernel"
+	"splitmem/internal/loader"
+	"splitmem/internal/paging"
+)
+
+// Engine is the execute-disable protection policy; it implements
+// kernel.Protector.
+type Engine struct {
+	detections uint64
+}
+
+// New creates an NX engine. The machine must have NXEnabled set or the NX
+// bits it writes are ignored (legacy hardware — exactly the gap the paper's
+// software-only technique fills).
+func New() *Engine { return &Engine{} }
+
+// Name implements kernel.Protector.
+func (e *Engine) Name() string { return "nx" }
+
+// Detections returns how many injected-code fetches were blocked.
+func (e *Engine) Detections() uint64 { return e.detections }
+
+// MapPage implements kernel.Protector: plain user mapping with NX on
+// non-executable pages. A mixed (write+execute) page necessarily stays
+// executable — the protection hole Fig. 1b describes.
+func (e *Engine) MapPage(k *kernel.Kernel, p *kernel.Process, vpn uint32, frame uint32, perm byte) {
+	ent := paging.Entry(0).WithFrame(frame).With(paging.Present | paging.User)
+	if perm&loader.PermW != 0 {
+		ent = ent.With(paging.Writable)
+	}
+	if perm&loader.PermX == 0 {
+		ent = ent.With(paging.NX)
+	}
+	p.PT.Set(vpn, ent)
+}
+
+// HandleFault implements kernel.Protector: an instruction fetch that faults
+// on a present NX page is an injected-code execution attempt (DEP-style
+// detection at step 4 of the attack).
+func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Process, addr uint32, code uint32) kernel.FaultVerdict {
+	if code&cpu.PFFetch == 0 || code&cpu.PFPresent == 0 {
+		return kernel.FaultNotMine
+	}
+	ent := p.PT.Get(paging.VPN(addr))
+	if !ent.Present() || !ent.NoExec() {
+		return kernel.FaultNotMine
+	}
+	e.detections++
+	k.Emit(kernel.Event{
+		Kind: kernel.EvInjectionDetected,
+		Addr: addr,
+		Text: "execute-disable (NX) violation",
+	})
+	return kernel.FaultKill
+}
+
+// HandleDebug implements kernel.Protector.
+func (e *Engine) HandleDebug(*kernel.Kernel, *kernel.Process) bool { return false }
+
+// HandleUndefined implements kernel.Protector.
+func (e *Engine) HandleUndefined(*kernel.Kernel, *kernel.Process) kernel.UDVerdict {
+	return kernel.UDNotMine
+}
+
+// DataFrame implements kernel.Protector.
+func (e *Engine) DataFrame(*kernel.Process, uint32) (uint32, bool) { return 0, false }
+
+// ForkPage implements kernel.Protector (NX pages use normal COW).
+func (e *Engine) ForkPage(*kernel.Kernel, *kernel.Process, *kernel.Process, uint32, paging.Entry) (paging.Entry, bool) {
+	return 0, false
+}
+
+// ReleasePage implements kernel.Protector.
+func (e *Engine) ReleasePage(*kernel.Kernel, *kernel.Process, uint32, paging.Entry) bool {
+	return false
+}
+
+// ProtectPage implements kernel.Protector: mprotect updates both the
+// writable and the NX bit — which is precisely what the re-protection
+// bypass attack abuses to make its injected buffer executable.
+func (e *Engine) ProtectPage(k *kernel.Kernel, p *kernel.Process, vpn uint32, ent paging.Entry, perm byte) bool {
+	ne := ent.Without(paging.Writable | paging.NX)
+	if perm&loader.PermW != 0 {
+		ne = ne.With(paging.Writable)
+	}
+	if perm&loader.PermX == 0 {
+		ne = ne.With(paging.NX)
+	}
+	p.PT.Set(vpn, ne)
+	return true
+}

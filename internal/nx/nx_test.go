@@ -1,0 +1,164 @@
+package nx
+
+import (
+	"testing"
+
+	"splitmem/internal/asm"
+	"splitmem/internal/cpu"
+	"splitmem/internal/kernel"
+	"splitmem/internal/paging"
+)
+
+func newNXKernel(t *testing.T) (*kernel.Kernel, *Engine) {
+	t.Helper()
+	m, err := cpu.New(cpu.Config{PhysBytes: 8 << 20, NXEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New()
+	k, err := kernel.New(kernel.Config{Machine: m, Protector: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, eng
+}
+
+func spawnSrc(t *testing.T, k *kernel.Kernel, src string) *kernel.Process {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(prog, kernel.ProcOptions{Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNXBitsSetPerSection(t *testing.T) {
+	src := `
+_start:
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+d: .word 1
+`
+	k, _ := newNXKernel(t)
+	p := spawnSrc(t, k, src)
+	var sawExec, sawData bool
+	p.PT.Range(func(vpn uint32, e paging.Entry) bool {
+		if e.NoExec() {
+			sawData = true
+			if !e.Writable() {
+				t.Errorf("NX page %#x should be the writable data page", vpn)
+			}
+		} else {
+			sawExec = true
+			if e.Writable() {
+				t.Errorf("executable page %#x should not be writable", vpn)
+			}
+		}
+		return true
+	})
+	if !sawExec || !sawData {
+		t.Fatal("expected both executable and NX pages")
+	}
+}
+
+func TestNXBlocksDataExecution(t *testing.T) {
+	src := `
+_start:
+    mov ebx, 0
+    mov ecx, payload
+    mov edx, 8
+    mov eax, 3             ; read injected bytes
+    int 0x80
+    mov ecx, payload
+    jmp ecx
+.data
+payload: .space 8
+`
+	k, eng := newNXKernel(t)
+	p := spawnSrc(t, k, src)
+	p.StdinWrite([]byte{0x90, 0x90})
+	k.Run(0)
+	killed, sig := p.Killed()
+	if !killed || sig != kernel.SIGSEGV {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+	if eng.Detections() != 1 {
+		t.Fatalf("detections=%d", eng.Detections())
+	}
+	if len(k.EventsOf(kernel.EvInjectionDetected)) != 1 {
+		t.Fatal("no detection event")
+	}
+}
+
+func TestNXAllowsNormalExecution(t *testing.T) {
+	src := `
+_start:
+    mov esi, d
+    load ebx, [esi]
+    mov eax, 1
+    int 0x80
+.data
+d: .word 9
+`
+	k, _ := newNXKernel(t)
+	p := spawnSrc(t, k, src)
+	k.Run(0)
+	if _, status := p.Exited(); status != 9 {
+		t.Fatalf("status=%d", status)
+	}
+}
+
+func TestNXMprotectClearsBit(t *testing.T) {
+	// mprotect(+x) clears NX: the bypass primitive.
+	src := `
+_start:
+    mov ebx, 0
+    mov ecx, 4096
+    mov edx, 7             ; rwx
+    mov eax, 90            ; mmap
+    int 0x80
+    mov esi, eax
+    ; write a tiny program: mov ebx, 4; mov eax, 1; int 0x80
+    mov edx, 0xbb
+    storeb [esi], edx
+    mov edx, 4
+    storeb [esi+1], edx
+    mov edx, 0
+    storeb [esi+2], edx
+    storeb [esi+3], edx
+    storeb [esi+4], edx
+    mov edx, 0xb8
+    storeb [esi+5], edx
+    mov edx, 1
+    storeb [esi+6], edx
+    mov edx, 0
+    storeb [esi+7], edx
+    storeb [esi+8], edx
+    storeb [esi+9], edx
+    mov edx, 0xcd
+    storeb [esi+10], edx
+    mov edx, 0x80
+    storeb [esi+11], edx
+    jmp esi                ; rwx mmap region: executable under NX
+`
+	k, _ := newNXKernel(t)
+	p := spawnSrc(t, k, src)
+	k.Run(0)
+	exited, status := p.Exited()
+	if !exited || status != 4 {
+		killed, sig := p.Killed()
+		t.Fatalf("exited=%v status=%d killed=%v sig=%v", exited, status, killed, sig)
+	}
+}
+
+func TestEngineName(t *testing.T) {
+	if New().Name() != "nx" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,150 @@
+// Package paging implements x86-style pagetables for the S86 simulator: a
+// two-level structure of 64-bit pagetable entries with Present, Writable,
+// User/Supervisor, Accessed, Dirty and NX bits, plus the software-available
+// SPLIT bit used by the split-memory engine to tag virtualized-Harvard pages.
+package paging
+
+import "splitmem/internal/mem"
+
+// PTE bit layout (matches x86 where a bit exists there).
+const (
+	Present  uint64 = 1 << 0  // page is mapped
+	Writable uint64 = 1 << 1  // user-mode writes allowed
+	User     uint64 = 1 << 2  // user-mode access allowed; clear = supervisor only ("restricted")
+	Accessed uint64 = 1 << 5  // set by the hardware walker on any access
+	Dirty    uint64 = 1 << 6  // set by the hardware walker on write
+	Split    uint64 = 1 << 9  // software bit: page is managed by the split-memory engine
+	COW      uint64 = 1 << 10 // software bit: copy-on-write page
+	Demand   uint64 = 1 << 11 // software bit: allocate on first touch
+	NX       uint64 = 1 << 63 // no-execute (only honored when the machine has NX support)
+
+	frameShift = 12
+	frameMask  = uint64(0xFFFFF) << frameShift
+)
+
+// Entry is a single pagetable entry.
+type Entry uint64
+
+// Present reports whether the entry maps a frame.
+func (e Entry) Present() bool { return uint64(e)&Present != 0 }
+
+// Writable reports whether user-mode writes are permitted.
+func (e Entry) Writable() bool { return uint64(e)&Writable != 0 }
+
+// User reports whether user-mode access is permitted ("unrestricted").
+func (e Entry) User() bool { return uint64(e)&User != 0 }
+
+// Split reports whether the split-memory engine manages this page.
+func (e Entry) Split() bool { return uint64(e)&Split != 0 }
+
+// IsCOW reports whether the page is copy-on-write.
+func (e Entry) IsCOW() bool { return uint64(e)&COW != 0 }
+
+// IsDemand reports whether the page is demand-allocated and untouched.
+func (e Entry) IsDemand() bool { return uint64(e)&Demand != 0 }
+
+// NoExec reports whether instruction fetch is forbidden (NX).
+func (e Entry) NoExec() bool { return uint64(e)&NX != 0 }
+
+// Frame returns the physical frame number the entry maps.
+func (e Entry) Frame() uint32 { return uint32((uint64(e) & frameMask) >> frameShift) }
+
+// WithFrame returns e mapped to frame f.
+func (e Entry) WithFrame(f uint32) Entry {
+	return Entry((uint64(e) &^ frameMask) | (uint64(f) << frameShift & frameMask))
+}
+
+// With returns e with the given flag bits set.
+func (e Entry) With(flags uint64) Entry { return Entry(uint64(e) | flags) }
+
+// Without returns e with the given flag bits cleared.
+func (e Entry) Without(flags uint64) Entry { return Entry(uint64(e) &^ flags) }
+
+const (
+	dirBits   = 10
+	tableBits = 10
+	dirSize   = 1 << dirBits
+	tableSize = 1 << tableBits
+)
+
+// Table is a per-process two-level pagetable. The zero value is an empty
+// address space ready for use.
+type Table struct {
+	dirs [dirSize]*[tableSize]Entry
+}
+
+// split a vpn into directory and table indices.
+func splitVPN(vpn uint32) (uint32, uint32) {
+	return vpn >> tableBits, vpn & (tableSize - 1)
+}
+
+// VPN returns the virtual page number of addr.
+func VPN(addr uint32) uint32 { return addr >> mem.PageShift }
+
+// Get returns the entry for virtual page number vpn (zero Entry when the
+// containing directory is absent).
+func (t *Table) Get(vpn uint32) Entry {
+	d, i := splitVPN(vpn)
+	tab := t.dirs[d]
+	if tab == nil {
+		return 0
+	}
+	return tab[i]
+}
+
+// Set stores the entry for virtual page number vpn, materializing the
+// directory as needed.
+func (t *Table) Set(vpn uint32, e Entry) {
+	d, i := splitVPN(vpn)
+	tab := t.dirs[d]
+	if tab == nil {
+		tab = new([tableSize]Entry)
+		t.dirs[d] = tab
+	}
+	tab[i] = e
+}
+
+// Range calls fn for every present entry, in ascending vpn order. If fn
+// returns false iteration stops.
+func (t *Table) Range(fn func(vpn uint32, e Entry) bool) {
+	for d := 0; d < dirSize; d++ {
+		tab := t.dirs[d]
+		if tab == nil {
+			continue
+		}
+		for i := 0; i < tableSize; i++ {
+			e := tab[i]
+			if e == 0 {
+				continue
+			}
+			if !fn(uint32(d<<tableBits|i), e) {
+				return
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the table (entries only; frames are shared).
+func (t *Table) Clone() *Table {
+	nt := new(Table)
+	for d, tab := range t.dirs {
+		if tab == nil {
+			continue
+		}
+		cp := *tab
+		nt.dirs[d] = &cp
+	}
+	return nt
+}
+
+// CountPresent returns the number of present entries.
+func (t *Table) CountPresent() int {
+	n := 0
+	t.Range(func(_ uint32, e Entry) bool {
+		if e.Present() {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,136 @@
+package paging
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryBits(t *testing.T) {
+	var e Entry
+	if e.Present() || e.User() || e.Writable() || e.Split() || e.NoExec() {
+		t.Fatal("zero entry has bits set")
+	}
+	e = e.With(Present | Writable | User | Split | NX | COW | Demand)
+	if !e.Present() || !e.User() || !e.Writable() || !e.Split() || !e.NoExec() || !e.IsCOW() || !e.IsDemand() {
+		t.Fatal("bits not set")
+	}
+	e = e.Without(User | NX)
+	if e.User() || e.NoExec() {
+		t.Fatal("bits not cleared")
+	}
+	if !e.Present() || !e.Split() {
+		t.Fatal("unrelated bits disturbed")
+	}
+}
+
+func TestEntryFrame(t *testing.T) {
+	e := Entry(0).With(Present | User).WithFrame(0x12345)
+	if e.Frame() != 0x12345 {
+		t.Fatalf("frame=%#x", e.Frame())
+	}
+	if !e.Present() || !e.User() {
+		t.Fatal("flags clobbered by WithFrame")
+	}
+	e2 := e.WithFrame(0x7)
+	if e2.Frame() != 7 || !e2.Present() {
+		t.Fatalf("refit frame=%#x present=%v", e2.Frame(), e2.Present())
+	}
+}
+
+func TestVPN(t *testing.T) {
+	if VPN(0xbf000abc) != 0xbf000 {
+		t.Fatalf("VPN=%#x", VPN(0xbf000abc))
+	}
+	if VPN(0xFFF) != 0 || VPN(0x1000) != 1 {
+		t.Fatal("page boundary wrong")
+	}
+}
+
+func TestTableGetSet(t *testing.T) {
+	var tab Table
+	if tab.Get(0x8048) != 0 {
+		t.Fatal("empty table nonzero")
+	}
+	e := Entry(0).With(Present | User).WithFrame(33)
+	tab.Set(0x8048, e)
+	if tab.Get(0x8048) != e {
+		t.Fatal("get != set")
+	}
+	// Different directory.
+	tab.Set(0xbffff, e.WithFrame(44))
+	if tab.Get(0xbffff).Frame() != 44 || tab.Get(0x8048).Frame() != 33 {
+		t.Fatal("cross-directory interference")
+	}
+}
+
+func TestRangeOrderAndEarlyStop(t *testing.T) {
+	var tab Table
+	vpns := []uint32{0xbffff, 0x80048, 0x80049, 0x100}
+	for _, v := range vpns {
+		tab.Set(v, Entry(0).With(Present))
+	}
+	var got []uint32
+	tab.Range(func(vpn uint32, _ Entry) bool {
+		got = append(got, vpn)
+		return true
+	})
+	want := []uint32{0x100, 0x80048, 0x80049, 0xbffff}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %#x want %#x at %d", got[i], want[i], i)
+		}
+	}
+	n := 0
+	tab.Range(func(uint32, Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop: visited %d", n)
+	}
+}
+
+func TestClone(t *testing.T) {
+	var tab Table
+	tab.Set(5, Entry(0).With(Present).WithFrame(1))
+	cl := tab.Clone()
+	cl.Set(5, Entry(0).With(Present).WithFrame(2))
+	cl.Set(6, Entry(0).With(Present).WithFrame(3))
+	if tab.Get(5).Frame() != 1 {
+		t.Fatal("clone writes leaked into original")
+	}
+	if tab.Get(6) != 0 {
+		t.Fatal("clone set leaked")
+	}
+	if cl.Get(5).Frame() != 2 {
+		t.Fatal("clone not writable")
+	}
+}
+
+func TestCountPresent(t *testing.T) {
+	var tab Table
+	tab.Set(1, Entry(0).With(Present))
+	tab.Set(2, Entry(0).With(Split)) // not present
+	tab.Set(3, Entry(0).With(Present|Split))
+	if n := tab.CountPresent(); n != 2 {
+		t.Fatalf("CountPresent=%d", n)
+	}
+}
+
+// Property: Set then Get is the identity for any vpn within the 20-bit
+// space, and WithFrame/Frame round-trips any 20-bit frame number.
+func TestQuickTableRoundTrip(t *testing.T) {
+	f := func(vpn, frame uint32, flags uint16) bool {
+		vpn &= 0xFFFFF
+		frame &= 0xFFFFF
+		e := Entry(uint64(flags) &^ 0x1FF).With(Present).WithFrame(frame)
+		var tab Table
+		tab.Set(vpn, e)
+		return tab.Get(vpn) == e && tab.Get(vpn).Frame() == frame
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package tlb models the split translation lookaside buffers of the S86
+// machine. Modern x86 parts keep separate instruction and data TLBs; the
+// split-memory technique (Riley/Jiang/Xu) works precisely because the two
+// can be deliberately desynchronized: an entry cached in one TLB keeps
+// serving translations after the pagetable entry has been re-restricted or
+// re-pointed, so the same virtual page resolves to different physical frames
+// for fetches and for loads/stores.
+//
+// The model is architectural, not microarchitectural: fully-associative,
+// true-LRU replacement, per-entry caching of the frame number and the
+// User/Writable/NX permission bits exactly as they stood in the PTE when the
+// hardware walker filled the entry. (A map index accelerates the lookup; the
+// visible behavior is that of a fully-associative LRU array.)
+package tlb
+
+// Entry is one cached translation.
+type Entry struct {
+	Frame    uint32 // physical frame number
+	User     bool   // PTE User bit at fill time
+	Writable bool   // PTE Writable bit at fill time
+	NoExec   bool   // PTE NX bit at fill time
+}
+
+type slot struct {
+	vpn   uint32
+	entry Entry
+	used  uint64 // LRU timestamp
+	valid bool
+}
+
+// TLB is a single translation lookaside buffer.
+type TLB struct {
+	slots []slot
+	index map[uint32]int // vpn -> slot, for valid slots only
+	tick  uint64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	flushes   uint64
+}
+
+// New creates a TLB with the given number of entries (minimum 1).
+func New(size int) *TLB {
+	if size < 1 {
+		size = 1
+	}
+	return &TLB{
+		slots: make([]slot, size),
+		index: make(map[uint32]int, size),
+	}
+}
+
+// Size returns the TLB capacity in entries.
+func (t *TLB) Size() int { return len(t.slots) }
+
+// Lookup returns the cached translation for virtual page number vpn.
+func (t *TLB) Lookup(vpn uint32) (Entry, bool) {
+	if i, ok := t.index[vpn]; ok {
+		s := &t.slots[i]
+		t.tick++
+		s.used = t.tick
+		t.hits++
+		return s.entry, true
+	}
+	t.misses++
+	return Entry{}, false
+}
+
+// Probe is like Lookup but does not update LRU state or statistics. It is a
+// test/introspection helper (real hardware has no such port; the kernel
+// never uses it).
+func (t *TLB) Probe(vpn uint32) (Entry, bool) {
+	if i, ok := t.index[vpn]; ok {
+		return t.slots[i].entry, true
+	}
+	return Entry{}, false
+}
+
+// Insert fills the translation for vpn, evicting the least recently used
+// entry if the TLB is full. An existing entry for vpn is overwritten.
+func (t *TLB) Insert(vpn uint32, e Entry) {
+	t.tick++
+	if i, ok := t.index[vpn]; ok {
+		s := &t.slots[i]
+		s.entry = e
+		s.used = t.tick
+		return
+	}
+	// Prefer an invalid slot, else evict the true LRU entry.
+	var victim *slot
+	vi := -1
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.valid {
+			victim, vi = s, i
+			break
+		}
+		if victim == nil || s.used < victim.used {
+			victim, vi = s, i
+		}
+	}
+	if victim.valid {
+		delete(t.index, victim.vpn)
+		t.evictions++
+	}
+	*victim = slot{vpn: vpn, entry: e, used: t.tick, valid: true}
+	t.index[vpn] = vi
+}
+
+// Invalidate drops any cached translation for vpn (the invlpg operation
+// targets both TLBs; the machine calls this on each).
+func (t *TLB) Invalidate(vpn uint32) {
+	if i, ok := t.index[vpn]; ok {
+		t.slots[i].valid = false
+		delete(t.index, vpn)
+	}
+}
+
+// Flush drops every cached translation (CR3 reload).
+func (t *TLB) Flush() {
+	for i := range t.slots {
+		t.slots[i].valid = false
+	}
+	clear(t.index)
+	t.flushes++
+}
+
+// Valid returns the number of valid entries.
+func (t *TLB) Valid() int { return len(t.index) }
+
+// Stats reports hit/miss/eviction/flush counters.
+func (t *TLB) Stats() (hits, misses, evictions, flushes uint64) {
+	return t.hits, t.misses, t.evictions, t.flushes
+}
+
+// ResetStats zeroes the statistics counters.
+func (t *TLB) ResetStats() {
+	t.hits, t.misses, t.evictions, t.flushes = 0, 0, 0, 0
+}

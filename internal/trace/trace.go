@@ -1,0 +1,86 @@
+// Package trace provides a fixed-size execution-trace ring buffer for the
+// S86 machine: the last N retired instructions with their addresses and
+// cycle counts. The splitmem-run tool uses it for post-mortem listings of
+// killed processes, and forensic tooling can attach it to enrich
+// injection-detection reports with the instructions that led up to the
+// hijack.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"splitmem/internal/isa"
+)
+
+// Entry is one retired instruction.
+type Entry struct {
+	Cycles uint64
+	EIP    uint32
+	Instr  isa.Instr
+}
+
+// Ring is a fixed-capacity execution trace. The zero value is unusable;
+// create one with NewRing.
+type Ring struct {
+	buf  []Entry
+	pos  int
+	full bool
+}
+
+// NewRing creates a ring holding the last n entries (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Entry, n)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of recorded entries (up to Cap).
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.pos
+}
+
+// Add records one entry, evicting the oldest when full.
+func (r *Ring) Add(e Entry) {
+	r.buf[r.pos] = e
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+		r.full = true
+	}
+}
+
+// Reset clears the ring.
+func (r *Ring) Reset() {
+	r.pos = 0
+	r.full = false
+}
+
+// Entries returns the recorded entries, oldest first.
+func (r *Ring) Entries() []Entry {
+	if !r.full {
+		out := make([]Entry, r.pos)
+		copy(out, r.buf[:r.pos])
+		return out
+	}
+	out := make([]Entry, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	out = append(out, r.buf[:r.pos]...)
+	return out
+}
+
+// String renders the trace as a disassembly listing, oldest first.
+func (r *Ring) String() string {
+	var sb strings.Builder
+	for _, e := range r.Entries() {
+		fmt.Fprintf(&sb, "[%12d] %08x  %s\n", e.Cycles, e.EIP, e.Instr.DisasmAt(e.EIP))
+	}
+	return sb.String()
+}

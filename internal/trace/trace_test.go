@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"splitmem/internal/isa"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(3)
+	if r.Cap() != 3 || r.Len() != 0 {
+		t.Fatalf("cap=%d len=%d", r.Cap(), r.Len())
+	}
+	r.Add(Entry{Cycles: 1, EIP: 0x10})
+	r.Add(Entry{Cycles: 2, EIP: 0x20})
+	if r.Len() != 2 {
+		t.Fatalf("len=%d", r.Len())
+	}
+	es := r.Entries()
+	if es[0].EIP != 0x10 || es[1].EIP != 0x20 {
+		t.Fatalf("entries=%v", es)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.Add(Entry{Cycles: i, EIP: uint32(i) * 0x10})
+	}
+	es := r.Entries()
+	if len(es) != 3 {
+		t.Fatalf("len=%d", len(es))
+	}
+	// Oldest first: 3, 4, 5.
+	for i, want := range []uint64{3, 4, 5} {
+		if es[i].Cycles != want {
+			t.Fatalf("entry %d: cycles=%d want %d", i, es[i].Cycles, want)
+		}
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2)
+	r.Add(Entry{})
+	r.Add(Entry{})
+	r.Add(Entry{})
+	r.Reset()
+	if r.Len() != 0 || len(r.Entries()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRingMinCap(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap=%d", r.Cap())
+	}
+}
+
+func TestRingString(t *testing.T) {
+	r := NewRing(2)
+	r.Add(Entry{Cycles: 7, EIP: 0x8048000, Instr: isa.Instr{Op: isa.OpNop, Size: 1}})
+	out := r.String()
+	if !strings.Contains(out, "08048000") || !strings.Contains(out, "nop") {
+		t.Fatalf("out=%q", out)
+	}
+}

@@ -1,0 +1,210 @@
+package workloads
+
+import (
+	"fmt"
+
+	"splitmem"
+)
+
+// gzip-style streaming compressor (§6.2, Fig. 6): generates pseudo-random
+// data with an LCG across a large demand-paged buffer, then RLE-compresses
+// it into a second buffer. The access pattern streams through far more
+// pages than the DTLB holds, so the split system pays a trap-mediated
+// data-TLB load per page — the paper's 87%-of-full-speed case.
+const gzipSrc = `
+.equ SYS_EXIT, 1
+.equ SYS_BRK, 45
+_start:
+    ; src = brk(0); grow by src + dst (+ slack)
+    mov ebx, 0
+    mov eax, SYS_BRK
+    int 0x80
+    mov esi, eax            ; esi = src
+    mov ebx, eax
+    mov ecx, g_srcsize
+    load ecx, [ecx]
+    add ebx, ecx
+    add ebx, ecx
+    add ebx, ecx            ; worst-case RLE output is 2x the input
+    add ebx, 4096
+    mov eax, SYS_BRK
+    int 0x80
+    mov edi, esi
+    mov ecx, g_srcsize
+    load ecx, [ecx]
+    add edi, ecx            ; edi = dst = src + srcsize
+
+    ; generate: LCG word stream (word-wise, like a buffered file read)
+    mov eax, 12345          ; seed
+    mov ebx, esi            ; cursor
+    mov ecx, g_srcsize
+    load ecx, [ecx]
+    shr ecx, 2              ; words
+gen:
+    mul eax, 1103515245
+    add eax, 12345
+    mov edx, eax
+    and edx, 0x03030303     ; small alphabet so runs exist
+    store [ebx], edx
+    add ebx, 4
+    dec ecx
+    cmp ecx, 0
+    jnz gen
+
+    ; compress: word-wise RLE with a rolling checksum
+    mov ebx, esi            ; read cursor
+    mov ecx, g_srcsize
+    load ecx, [ecx]
+    shr ecx, 2
+    mov edx, 0              ; run length
+    load eax, [ebx]         ; current value
+compress:
+    cmp ecx, 0
+    jle flush
+    push edx
+    load edx, [ebx]
+    cmp edx, eax
+    pop edx
+    jnz emit
+    inc edx
+    add ebx, 4
+    dec ecx
+    jmp compress
+emit:
+    store [edi], edx
+    load eax, [ebx]
+    store [edi+4], eax
+    add edi, 8
+    mov edx, 0
+    jmp compress
+flush:
+    store [edi], edx
+    store [edi+4], eax
+
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+.data
+g_srcsize: .word 1048576
+`
+
+// RunGzip compresses 1 MiB and reports bytes processed as work.
+func RunGzip(cfg splitmem.Config) (Metrics, error) {
+	return runProgram(cfg, gzipSrc, "wl-gzip", "", 1048576)
+}
+
+// nbench-style compute kernels (§6.2, Fig. 6): integer arithmetic, bit
+// twiddling and an in-place insertion sort over one page of data — tiny
+// working set, so split memory's cost is paid once and amortized to
+// near-zero (the paper's ~97% case).
+const nbenchSrc = `
+.equ SYS_EXIT, 1
+_start:
+    ; kernel 1: integer arithmetic loop
+    mov eax, 1
+    mov ebx, 0
+    mov edi, 1000003
+    mov ecx, 300000
+arith:
+    mul eax, 13
+    add eax, 7
+    mod eax, edi
+    add ebx, eax
+    dec ecx
+    cmp ecx, 0
+    jnz arith
+
+    ; kernel 2: bit twiddling
+    mov eax, 0xdeadbeef
+    mov ecx, 300000
+bits:
+    mov edx, eax
+    shl edx, 3
+    xor eax, edx
+    mov edx, eax
+    shr edx, 5
+    xor eax, edx
+    dec ecx
+    cmp ecx, 0
+    jnz bits
+
+    ; kernel 3: insertion sort over 256 scrambled bytes, repeated
+    mov ecx, 8              ; passes
+sortpass:
+    push ecx
+    ; scramble
+    mov eax, ecx
+    add eax, 987654321
+    mov ebx, arr
+    mov ecx, 256
+scramble:
+    mul eax, 1103515245
+    add eax, 12345
+    mov edx, eax
+    shr edx, 16
+    storeb [ebx], edx
+    inc ebx
+    dec ecx
+    cmp ecx, 0
+    jnz scramble
+    ; sort
+    mov esi, arr
+    mov ecx, 1
+outer:
+    cmp ecx, 256
+    jge sorted
+    mov edi, ecx
+inner:
+    cmp edi, 0
+    jle next
+    mov eax, esi
+    add eax, edi
+    loadb edx, [eax-1]
+    loadb ebx, [eax]
+    cmp ebx, edx
+    jge next
+    storeb [eax-1], ebx
+    storeb [eax], edx
+    dec edi
+    jmp inner
+next:
+    inc ecx
+    jmp outer
+sorted:
+    pop ecx
+    dec ecx
+    cmp ecx, 0
+    jnz sortpass
+
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+.data
+arr: .space 1024, 0x55
+`
+
+// RunNbench runs the compute kernels and reports iterations as work.
+func RunNbench(cfg splitmem.Config) (Metrics, error) {
+	return runProgram(cfg, nbenchSrc, "wl-nbench", "", 600000+32*1024)
+}
+
+// Validate basic agreement: compressing under any protection must produce
+// the same machine-visible behavior. Exposed for tests.
+func ValidateComputeConsistency(prots []splitmem.Protection) error {
+	var first Metrics
+	for i, p := range prots {
+		m, err := RunNbench(splitmem.Config{Protection: p})
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			first = m
+		}
+		if m.Work != first.Work {
+			return fmt.Errorf("work mismatch across protections")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"fmt"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+// The ApacheBench experiment (§6.2, Figs. 6-8): a pre-fork style web server
+// with a dispatcher and four workers connected by pipes (the accepted-
+// socket handoff of a real pre-fork server). Each request costs two context
+// switches — dispatcher to worker and back — so small responses are
+// dominated by TLB-flush-induced re-splitting while large responses are
+// dominated by response generation and NIC time, reproducing the paper's
+// page-size behavior.
+const httpdSrc = `
+_start:
+    ; config line: "<size> <requests>"
+    mov eax, 32
+    push eax
+    mov eax, linebuf
+    push eax
+    mov eax, 0
+    push eax
+    call read_line
+    add esp, 12
+    mov eax, linebuf
+    push eax
+    call atoi
+    add esp, 4
+    mov ecx, g_size
+    store [ecx], eax
+    ; skip to the space, parse request count
+    mov ecx, linebuf
+find_sp:
+    loadb eax, [ecx]
+    cmp eax, ' '
+    jz found_sp
+    inc ecx
+    jmp find_sp
+found_sp:
+    inc ecx
+    push ecx
+    call atoi
+    add esp, 4
+    mov ecx, g_reqs
+    store [ecx], eax
+
+    ; create 4 request pipes and 4 ack pipes
+    mov edi, 0
+mkpipes:
+    cmp edi, 4
+    jge dofork
+    mov eax, edi
+    shl eax, 3
+    mov ebx, req_fds
+    add ebx, eax
+    mov eax, SYS_PIPE
+    int 0x80
+    mov eax, edi
+    shl eax, 3
+    mov ebx, ack_fds
+    add ebx, eax
+    mov eax, SYS_PIPE
+    int 0x80
+    inc edi
+    jmp mkpipes
+
+dofork:
+    mov edi, 0
+forkloop:
+    cmp edi, 4
+    jge parent
+    mov eax, SYS_FORK
+    int 0x80
+    cmp eax, 0
+    jz child
+    inc edi
+    jmp forkloop
+
+; ---------------- worker (edi = index) ----------------
+child:
+    ; allocate the response buffer: base = brk(0); brk(base+size)
+    mov ebx, 0
+    mov eax, SYS_BRK
+    int 0x80
+    mov esi, eax           ; esi = response buffer
+    mov ebx, eax
+    mov ecx, g_size
+    load ecx, [ecx]
+    add ebx, ecx
+    add ebx, 4096
+    mov eax, SYS_BRK
+    int 0x80
+child_loop:
+    ; read(req_fds[i].r, tok, 4)
+    mov eax, edi
+    shl eax, 3
+    mov ecx, req_fds
+    add ecx, eax
+    load ebx, [ecx]
+    mov ecx, tokbuf
+    mov edx, 4
+    mov eax, SYS_READ
+    int 0x80
+    cmp eax, 4
+    jnz child_exit
+    mov ecx, tokbuf
+    loadb eax, [ecx]
+    cmp eax, 'Q'
+    jz child_exit
+    ; generate the response: touch every 32nd byte (header/copy work)
+    mov ecx, g_size
+    load ecx, [ecx]
+    mov edx, esi
+gen:
+    cmp ecx, 0
+    jle gen_done
+    storeb [edx], ecx
+    add edx, 32
+    sub ecx, 32
+    jmp gen
+gen_done:
+    ; write(1, buf, size) - the NIC transfer
+    mov ebx, 1
+    mov ecx, esi
+    mov edx, g_size
+    load edx, [edx]
+    mov eax, SYS_WRITE
+    int 0x80
+    ; ack the dispatcher
+    mov eax, edi
+    shl eax, 3
+    mov ecx, ack_fds
+    add ecx, eax
+    load ebx, [ecx+4]
+    mov ecx, tokbuf
+    mov edx, 4
+    mov eax, SYS_WRITE
+    int 0x80
+    jmp child_loop
+child_exit:
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+; ---------------- dispatcher ----------------
+parent:
+    mov esi, 0             ; request counter
+parent_loop:
+    mov eax, g_reqs
+    load eax, [eax]
+    cmp esi, eax
+    jge shutdown
+    ; hand the "connection" to worker (r mod 4)
+    mov eax, esi
+    and eax, 3
+    shl eax, 3
+    mov ecx, req_fds
+    add ecx, eax
+    load ebx, [ecx+4]
+    mov ecx, tok_go
+    mov edx, 4
+    mov eax, SYS_WRITE
+    int 0x80
+    ; wait for completion
+    mov eax, esi
+    and eax, 3
+    shl eax, 3
+    mov ecx, ack_fds
+    add ecx, eax
+    load ebx, [ecx]
+    mov ecx, tokbuf2
+    mov edx, 4
+    mov eax, SYS_READ
+    int 0x80
+    inc esi
+    jmp parent_loop
+
+shutdown:
+    mov edi, 0
+killloop:
+    cmp edi, 4
+    jge reap
+    mov eax, edi
+    shl eax, 3
+    mov ecx, req_fds
+    add ecx, eax
+    load ebx, [ecx+4]
+    mov ecx, tok_quit
+    mov edx, 4
+    mov eax, SYS_WRITE
+    int 0x80
+    inc edi
+    jmp killloop
+reap:
+    mov edi, 0
+reaploop:
+    cmp edi, 4
+    jge done
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, SYS_WAITPID
+    int 0x80
+    inc edi
+    jmp reaploop
+done:
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+.data
+linebuf:  .space 32
+tokbuf:   .space 8
+tokbuf2:  .space 8
+tok_go:   .ascii "GO!!"
+tok_quit: .ascii "QUIT"
+g_size:   .word 0
+g_reqs:   .word 0
+.align 8
+req_fds:  .space 32
+ack_fds:  .space 32
+`
+
+// RunHTTPD serves `requests` responses of `size` bytes through the 4-worker
+// server and reports requests as the work unit.
+func RunHTTPD(cfg splitmem.Config, size, requests int) (Metrics, error) {
+	if size <= 0 || requests <= 0 {
+		return Metrics{}, fmt.Errorf("workloads: httpd needs positive size and requests")
+	}
+	input := fmt.Sprintf("%d %d\n", size, requests)
+	return runProgram(cfg, guest.WithCRT(httpdSrc), "wl-httpd", input, float64(requests))
+}

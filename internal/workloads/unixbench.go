@@ -1,0 +1,387 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"splitmem"
+)
+
+// The Unixbench-style microbenchmark suite (§6.2, Figs. 6-7, 9).
+
+// syscall overhead: a tight getpid loop.
+const syscallSrc = `
+.equ SYS_EXIT, 1
+.equ SYS_GETPID, 20
+_start:
+    mov ecx, 20000
+sloop:
+    mov eax, SYS_GETPID
+    int 0x80
+    dec ecx
+    cmp ecx, 0
+    jnz sloop
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+`
+
+// pipe throughput: one process writes and reads 512-byte blocks through its
+// own pipe (no context switching).
+const pipeTputSrc = `
+.equ SYS_EXIT, 1
+.equ SYS_READ, 3
+.equ SYS_WRITE, 4
+.equ SYS_PIPE, 42
+_start:
+    mov ebx, fds
+    mov eax, SYS_PIPE
+    int 0x80
+    mov ecx, 2000
+ploop:
+    push ecx
+    mov esi, fds
+    load ebx, [esi+4]
+    mov ecx, buf
+    mov edx, 512
+    mov eax, SYS_WRITE
+    int 0x80
+    mov esi, fds
+    load ebx, [esi]
+    mov ecx, buf
+    mov edx, 512
+    mov eax, SYS_READ
+    int 0x80
+    pop ecx
+    dec ecx
+    cmp ecx, 0
+    jnz ploop
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+.data
+fds: .word 0, 0
+buf: .space 512
+`
+
+// pipe-based context switching: two processes ping-pong a 4-byte token —
+// the paper's designated worst case ("Unixbench pipe ctxsw", Fig. 7). Kept
+// deliberately tight (one code page, one data page) so the cost is pure
+// switch-and-resplit.
+const pipeCtxswSrc = `
+.equ SYS_EXIT, 1
+.equ SYS_FORK, 2
+.equ SYS_READ, 3
+.equ SYS_WRITE, 4
+.equ SYS_WAITPID, 7
+.equ SYS_PIPE, 42
+_start:
+    mov ebx, ab            ; parent -> child pipe
+    mov eax, SYS_PIPE
+    int 0x80
+    mov ebx, ba            ; child -> parent pipe
+    mov eax, SYS_PIPE
+    int 0x80
+    mov eax, SYS_FORK
+    int 0x80
+    cmp eax, 0
+    jz child
+
+    mov ecx, ITERS
+parent_loop:
+    push ecx
+    mov esi, ab
+    load ebx, [esi+4]
+    mov ecx, tok
+    mov edx, 4
+    mov eax, SYS_WRITE
+    int 0x80
+    mov esi, ba
+    load ebx, [esi]
+    mov ecx, tok
+    mov edx, 4
+    mov eax, SYS_READ
+    int 0x80
+    pop ecx
+    dec ecx
+    cmp ecx, 0
+    jnz parent_loop
+    ; tell the child to stop, then reap it
+    mov esi, ab
+    load ebx, [esi+4]
+    mov ecx, quitt
+    mov edx, 4
+    mov eax, SYS_WRITE
+    int 0x80
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, SYS_WAITPID
+    int 0x80
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+child:
+child_loop:
+    mov esi, ab
+    load ebx, [esi]
+    mov ecx, tok2
+    mov edx, 4
+    mov eax, SYS_READ
+    int 0x80
+    mov ecx, tok2
+    loadb eax, [ecx]
+    cmp eax, 'Q'
+    jz child_done
+    mov esi, ba
+    load ebx, [esi+4]
+    mov ecx, tok2
+    mov edx, 4
+    mov eax, SYS_WRITE
+    int 0x80
+    jmp child_loop
+child_done:
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+.data
+ab:    .word 0, 0
+ba:    .word 0, 0
+tok:   .ascii "ping"
+tok2:  .space 4
+quitt: .ascii "QUIT"
+`
+
+// pipe-based context switching with a working set: like pipeCtxswSrc, but
+// each process also touches an 8-page array and does some per-request
+// computation each iteration. Used for the Fig. 9 fractional-splitting
+// sweep, where the fraction of split pages determines how much of the
+// working set must be re-split after each switch.
+const pipeCtxswWSSrc = `
+.equ SYS_EXIT, 1
+.equ SYS_FORK, 2
+.equ SYS_READ, 3
+.equ SYS_WRITE, 4
+.equ SYS_WAITPID, 7
+.equ SYS_PIPE, 42
+_start:
+    mov ebx, ab
+    mov eax, SYS_PIPE
+    int 0x80
+    mov ebx, ba
+    mov eax, SYS_PIPE
+    int 0x80
+    mov eax, SYS_FORK
+    int 0x80
+    cmp eax, 0
+    jz child
+
+    mov ecx, ITERS
+parent_loop:
+    push ecx
+    call touch
+    mov esi, ab
+    load ebx, [esi+4]
+    mov ecx, tok
+    mov edx, 4
+    mov eax, SYS_WRITE
+    int 0x80
+    mov esi, ba
+    load ebx, [esi]
+    mov ecx, tok
+    mov edx, 4
+    mov eax, SYS_READ
+    int 0x80
+    pop ecx
+    dec ecx
+    cmp ecx, 0
+    jnz parent_loop
+    mov esi, ab
+    load ebx, [esi+4]
+    mov ecx, quitt
+    mov edx, 4
+    mov eax, SYS_WRITE
+    int 0x80
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, SYS_WAITPID
+    int 0x80
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+child:
+child_loop:
+    mov esi, ab
+    load ebx, [esi]
+    mov ecx, tok2
+    mov edx, 4
+    mov eax, SYS_READ
+    int 0x80
+    mov ecx, tok2
+    loadb eax, [ecx]
+    cmp eax, 'Q'
+    jz child_done
+    call touch
+    mov esi, ba
+    load ebx, [esi+4]
+    mov ecx, tok2
+    mov edx, 4
+    mov eax, SYS_WRITE
+    int 0x80
+    jmp child_loop
+child_done:
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+; touch one word on each of the 8 working-set pages, then compute a while
+touch:
+    mov esi, warr
+    mov edx, 8
+touch_loop:
+    load eax, [esi]
+    add eax, 1
+    store [esi], eax
+    add esi, 4096
+    dec edx
+    cmp edx, 0
+    jnz touch_loop
+    mov edx, 400
+spin:
+    mul eax, 13
+    add eax, 7
+    dec edx
+    cmp edx, 0
+    jnz spin
+    ret
+
+.data
+ab:    .word 0, 0
+ba:    .word 0, 0
+tok:   .ascii "ping"
+tok2:  .space 4
+quitt: .ascii "QUIT"
+.section ws 0x09000000 rw
+warr:  .space 32768
+`
+
+// process creation: fork + exit + waitpid in a loop.
+const spawnSrc = `
+.equ SYS_EXIT, 1
+.equ SYS_FORK, 2
+.equ SYS_WAITPID, 7
+_start:
+    mov esi, 60
+floop:
+    mov eax, SYS_FORK
+    int 0x80
+    cmp eax, 0
+    jz fchild
+    mov ebx, -1
+    mov ecx, 0
+    mov eax, SYS_WAITPID
+    int 0x80
+    dec esi
+    cmp esi, 0
+    jnz floop
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+fchild:
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+`
+
+// buffered writes ("filesystem throughput" stand-in): 4 KiB writes to fd 1.
+const fswriteSrc = `
+.equ SYS_EXIT, 1
+.equ SYS_WRITE, 4
+_start:
+    mov esi, 400
+wloop:
+    mov ebx, 1
+    mov ecx, buf
+    mov edx, 4096
+    mov eax, SYS_WRITE
+    int 0x80
+    dec esi
+    cmp esi, 0
+    jnz wloop
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+.data
+buf: .space 4096, 0x42
+`
+
+func withIters(src string, iters int) string {
+	return fmt.Sprintf(".equ ITERS, %d\n%s", iters, src)
+}
+
+// RunSyscall measures raw syscall dispatch.
+func RunSyscall(cfg splitmem.Config) (Metrics, error) {
+	return runProgram(cfg, syscallSrc, "wl-syscall", "", 20000)
+}
+
+// RunPipeThroughput measures single-process pipe bandwidth.
+func RunPipeThroughput(cfg splitmem.Config) (Metrics, error) {
+	return runProgram(cfg, pipeTputSrc, "wl-pipetput", "", 2000*512)
+}
+
+// RunPipeCtxsw measures the pipe-based context-switch ping-pong.
+func RunPipeCtxsw(cfg splitmem.Config, iters int) (Metrics, error) {
+	return runProgram(cfg, withIters(pipeCtxswSrc, iters), "wl-pipectxsw", "", float64(iters))
+}
+
+// RunPipeCtxswWS is the working-set variant used by the Fig. 9 sweep.
+func RunPipeCtxswWS(cfg splitmem.Config, iters int) (Metrics, error) {
+	return runProgram(cfg, withIters(pipeCtxswWSSrc, iters), "wl-pipectxsw-ws", "", float64(iters))
+}
+
+// RunSpawn measures fork+wait process creation.
+func RunSpawn(cfg splitmem.Config) (Metrics, error) {
+	return runProgram(cfg, spawnSrc, "wl-spawn", "", 60)
+}
+
+// RunFswrite measures buffered 4 KiB writes.
+func RunFswrite(cfg splitmem.Config) (Metrics, error) {
+	return runProgram(cfg, fswriteSrc, "wl-fswrite", "", 400*4096)
+}
+
+// UnixbenchScore runs the whole suite under cfg and base, returning the
+// geometric mean of the per-test normalized scores (the paper's "Unixbench
+// index" treatment) along with the per-test ratios.
+func UnixbenchScore(base, cfg splitmem.Config) (float64, map[string]float64, error) {
+	tests := []struct {
+		name string
+		run  func(splitmem.Config) (Metrics, error)
+	}{
+		{"syscall", RunSyscall},
+		{"pipe-throughput", RunPipeThroughput},
+		{"pipe-ctxsw", func(c splitmem.Config) (Metrics, error) { return RunPipeCtxsw(c, 400) }},
+		{"spawn", RunSpawn},
+		{"fswrite", RunFswrite},
+	}
+	ratios := make(map[string]float64, len(tests))
+	logSum := 0.0
+	for _, tt := range tests {
+		b, err := tt.run(base)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%s baseline: %w", tt.name, err)
+		}
+		p, err := tt.run(cfg)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%s protected: %w", tt.name, err)
+		}
+		r := Normalized(b, p)
+		ratios[tt.name] = r
+		if r <= 0 {
+			return 0, ratios, fmt.Errorf("%s: non-positive ratio", tt.name)
+		}
+		logSum += math.Log(r)
+	}
+	return math.Exp(logSum / float64(len(tests))), ratios, nil
+}

@@ -1,0 +1,66 @@
+// Package workloads implements the performance evaluation programs of §6.2:
+// an ApacheBench-style multi-process web server, a gzip-style streaming
+// compressor, nbench-style compute kernels, and the Unixbench-style
+// microbenchmark suite (syscall, pipe throughput, pipe-based context
+// switching, process creation, buffered writes). Each runs as real guest
+// code on the simulated machine; results are simulated-cycle counts, and
+// the benchmark harness reports performance normalized to an unprotected
+// run, exactly as Figs. 6-9 do.
+package workloads
+
+import (
+	"fmt"
+
+	"splitmem"
+)
+
+// Metrics reports one workload run.
+type Metrics struct {
+	Cycles uint64  // simulated cycles consumed
+	Work   float64 // workload-specific work units completed (requests, bytes, iterations)
+}
+
+// Throughput is work per megacycle.
+func (m Metrics) Throughput() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return m.Work / (float64(m.Cycles) / 1e6)
+}
+
+// Normalized returns protected throughput relative to baseline.
+func Normalized(baseline, protected Metrics) float64 {
+	bt := baseline.Throughput()
+	if bt == 0 {
+		return 0
+	}
+	return protected.Throughput() / bt
+}
+
+// runProgram boots a machine under cfg, spawns src (raw, no CRT unless the
+// source includes it), feeds input, runs to completion and returns metrics
+// with the given work amount.
+func runProgram(cfg splitmem.Config, src, name, input string, work float64) (Metrics, error) {
+	m, err := splitmem.New(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	p, err := m.LoadAsm(src, name)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("%s: %w", name, err)
+	}
+	if input != "" {
+		p.StdinWrite([]byte(input))
+		p.StdinClose()
+	}
+	res := m.Run(40_000_000_000)
+	if res.Reason != splitmem.ReasonAllDone {
+		return Metrics{}, fmt.Errorf("%s: run stopped: %v (alive=%v)", name, res.Reason, p.Alive())
+	}
+	if exited, status := p.Exited(); !exited || status != 0 {
+		killed, sig := p.Killed()
+		return Metrics{}, fmt.Errorf("%s: exited=%v status=%d killed=%v sig=%v addr=%#x",
+			name, exited, status, killed, sig, p.FaultAddr())
+	}
+	return Metrics{Cycles: m.Cycles(), Work: work}, nil
+}

@@ -1,0 +1,154 @@
+package workloads
+
+import (
+	"testing"
+
+	"splitmem"
+	"splitmem/internal/guest"
+)
+
+func base() splitmem.Config { return splitmem.Config{Protection: splitmem.ProtNone} }
+func split() splitmem.Config {
+	return splitmem.Config{Protection: splitmem.ProtSplit}
+}
+
+func TestHTTPDServes(t *testing.T) {
+	m, err := RunHTTPD(base(), 1024, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles == 0 || m.Work != 20 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestHTTPDSplitSlower(t *testing.T) {
+	b, err := RunHTTPD(base(), 4096, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunHTTPD(split(), 4096, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Normalized(b, p)
+	if r >= 1 || r < 0.1 {
+		t.Fatalf("httpd normalized %f out of plausible range", r)
+	}
+}
+
+func TestGzip(t *testing.T) {
+	b, err := RunGzip(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunGzip(split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Normalized(b, p)
+	t.Logf("gzip normalized: %.3f", r)
+	if r >= 1 || r < 0.5 {
+		t.Fatalf("gzip normalized %f out of plausible range", r)
+	}
+}
+
+func TestNbench(t *testing.T) {
+	b, err := RunNbench(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunNbench(split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Normalized(b, p)
+	t.Logf("nbench normalized: %.3f", r)
+	if r >= 1.001 || r < 0.85 {
+		t.Fatalf("nbench normalized %f should be close to 1", r)
+	}
+}
+
+func TestPipeCtxsw(t *testing.T) {
+	b, err := RunPipeCtxsw(base(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunPipeCtxsw(split(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Normalized(b, p)
+	t.Logf("pipe-ctxsw normalized: %.3f", r)
+	if r > 0.75 {
+		t.Fatalf("pipe ctxsw should be the worst case, got %f", r)
+	}
+	if r < 0.1 {
+		t.Fatalf("pipe ctxsw %f implausibly slow", r)
+	}
+}
+
+func TestUnixbenchSuite(t *testing.T) {
+	score, ratios, err := UnixbenchScore(base(), split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("unixbench score: %.3f ratios: %v", score, ratios)
+	if score >= 1 || score < 0.3 {
+		t.Fatalf("unixbench score %f out of plausible range", score)
+	}
+}
+
+func TestPipeCtxswWS(t *testing.T) {
+	b, err := RunPipeCtxswWS(base(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunPipeCtxswWS(split(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Normalized(b, p)
+	t.Logf("pipe-ctxsw-ws normalized: %.3f", r)
+	if r >= 1 {
+		t.Fatal("working-set variant must show overhead")
+	}
+}
+
+func TestComputeConsistency(t *testing.T) {
+	if err := ValidateComputeConsistency([]splitmem.Protection{
+		splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPDResponseBytes: every request produces exactly `size` bytes on
+// the worker's socket, under both memory architectures.
+func TestHTTPDResponseBytes(t *testing.T) {
+	for _, cfg := range []splitmem.Config{base(), split()} {
+		m, err := splitmem.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.LoadAsm(guest.WithCRT(httpdSrc), "httpd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.StdinWrite([]byte("512 8\n"))
+		p.StdinClose()
+		res := m.Run(0)
+		if res.Reason != splitmem.ReasonAllDone {
+			t.Fatalf("%v", res.Reason)
+		}
+		total := 0
+		for pid := 2; pid <= 5; pid++ {
+			if w, ok := m.Kernel().Process(pid); ok {
+				total += len(w.StdoutDrain())
+			}
+		}
+		if total != 8*512 {
+			t.Fatalf("served %d bytes, want %d", total, 8*512)
+		}
+	}
+}

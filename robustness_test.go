@@ -1,0 +1,203 @@
+package splitmem_test
+
+// Robustness: the simulator must never panic, whatever a guest does — random
+// byte soup as code, every protection x response combination against every
+// scenario, deterministic event streams.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"splitmem"
+	"splitmem/internal/attacks"
+)
+
+// TestRandomCodeNeverPanics: execute pages of random bytes under every
+// protection. The guest may crash (that is the point of the machine's fault
+// model); the host must not.
+func TestRandomCodeNeverPanics(t *testing.T) {
+	prots := []splitmem.Protection{
+		splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit, splitmem.ProtSplitNX,
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 24; trial++ {
+		blob := make([]byte, 512)
+		rng.Read(blob)
+		// Assemble a SELF image whose text section is raw random bytes by
+		// emitting them as .byte directives.
+		src := ".text 0x08048000\n_start:\n"
+		for i, b := range blob {
+			if i%16 == 0 {
+				src += ".byte "
+			}
+			src += fmt.Sprintf("0x%02x", b)
+			if i%16 == 15 || i == len(blob)-1 {
+				src += "\n"
+			} else {
+				src += ", "
+			}
+		}
+		prot := prots[trial%len(prots)]
+		m, err := splitmem.New(splitmem.Config{Protection: prot, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.LoadAsm(src, "chaos")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.StdinClose()
+		res := m.Run(2_000_000) // random code may loop; budget it
+		_ = res
+		_ = p.Alive()
+	}
+}
+
+// TestScenarioMatrix: all five real-world scenarios under every
+// protection/response combination. Invariants: exploits always succeed
+// unprotected, never under split memory, and the machine always terminates.
+func TestScenarioMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is broad")
+	}
+	responses := []splitmem.ResponseMode{splitmem.Break, splitmem.Observe, splitmem.Forensics, splitmem.Recovery}
+	for _, sc := range attacks.Scenarios() {
+		for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit} {
+			for _, resp := range responses {
+				name := fmt.Sprintf("%s/%v/%v", sc.Key, prot, resp)
+				t.Run(name, func(t *testing.T) {
+					cfg := splitmem.Config{Protection: prot, Response: resp}
+					if resp == splitmem.Forensics {
+						cfg.ForensicShellcode = splitmem.ExitShellcode()
+					}
+					r, err := attacks.RunScenario(sc.Key, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					switch prot {
+					case splitmem.ProtNone:
+						if !r.Succeeded() {
+							t.Fatalf("unprotected exploit failed: %+v", r)
+						}
+					case splitmem.ProtSplit:
+						// Observe mode deliberately lets the attack through;
+						// every other response must stop it.
+						if resp != splitmem.Observe && r.Succeeded() {
+							t.Fatalf("split/%v: exploit succeeded: %+v", resp, r)
+						}
+						if resp == splitmem.Observe && !r.Succeeded() {
+							t.Fatalf("split/observe should let it continue: %+v", r)
+						}
+						if !r.Detected {
+							t.Fatalf("split/%v: no detection event: %+v", resp, r)
+						}
+					case splitmem.ProtNX:
+						if r.Succeeded() {
+							t.Fatalf("nx: exploit succeeded: %+v", r)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDeterminism: two identical runs of a nontrivial attack produce
+// identical cycle counts and event streams (the whole simulator is
+// deterministic by construction).
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, string) {
+		r, err := attacks.RunScenario("miniwuftp", splitmem.Config{
+			Protection: splitmem.ProtSplit, Response: splitmem.Forensics,
+			ForensicShellcode: splitmem.ExitShellcode(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(len(r.Output)), r.Output
+	}
+	n1, o1 := run()
+	n2, o2 := run()
+	if n1 != n2 || o1 != o2 {
+		t.Fatalf("nondeterministic runs:\n%q\nvs\n%q", o1, o2)
+	}
+}
+
+// TestDifferentialTransparency generates random (well-formed) guest
+// programs and requires bit-identical architectural outcomes — exit status
+// and output — across every protection configuration. The virtual Harvard
+// architecture must be invisible to legitimate code in all its variants.
+func TestDifferentialTransparency(t *testing.T) {
+	configs := []splitmem.Config{
+		{Protection: splitmem.ProtNone},
+		{Protection: splitmem.ProtNX},
+		{Protection: splitmem.ProtSplit},
+		{Protection: splitmem.ProtSplit, SoftTLB: true},
+		{Protection: splitmem.ProtSplit, LazyTwins: true},
+		{Protection: splitmem.ProtSplitNX, SplitFraction: 0.5, Seed: 3},
+	}
+	rng := rand.New(rand.NewSource(4242))
+	ops := []string{
+		"add e%s, %d", "sub e%s, %d", "xor e%s, %d", "mul e%s, %d",
+		"and e%s, %d", "or e%s, %d", "shl e%s, %d8", "shr e%s, %d8",
+	}
+	regs := []string{"ax", "bx", "si", "di"}
+	for trial := 0; trial < 10; trial++ {
+		// A random straight-line arithmetic program that stores and reloads
+		// intermediates through memory, then exits with a checksum.
+		src := "_start:\n"
+		src += "    mov eax, 1\n    mov ebx, 2\n    mov esi, 3\n    mov edi, 4\n"
+		for i := 0; i < 30; i++ {
+			op := ops[rng.Intn(len(ops))]
+			reg := regs[rng.Intn(len(regs))]
+			val := rng.Intn(1 << 16)
+			if op[len(op)-1] == '8' {
+				src += fmt.Sprintf("    "+op[:len(op)-1]+"\n", reg, val%31+1)
+			} else {
+				src += fmt.Sprintf("    "+op+"\n", reg, val)
+			}
+			if i%5 == 4 {
+				slot := rng.Intn(8) * 4
+				src += fmt.Sprintf("    mov ecx, scratch\n    store [ecx+%d], e%s\n", slot, reg)
+				src += fmt.Sprintf("    load e%s, [ecx+%d]\n", regs[rng.Intn(len(regs))], slot)
+			}
+		}
+		src += `
+    add eax, ebx
+    add eax, esi
+    add eax, edi
+    and eax, 0x7f
+    mov ebx, eax
+    mov eax, 1
+    int 0x80
+.data
+scratch: .space 64
+`
+		var statuses []int
+		for _, cfg := range configs {
+			m, err := splitmem.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := m.LoadAsm(src, "diff")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.Run(10_000_000)
+			if res.Reason != splitmem.ReasonAllDone {
+				t.Fatalf("trial %d cfg %+v: %v", trial, cfg, res.Reason)
+			}
+			exited, status := p.Exited()
+			if !exited {
+				t.Fatalf("trial %d cfg %+v: not exited", trial, cfg)
+			}
+			statuses = append(statuses, status)
+		}
+		for i := 1; i < len(statuses); i++ {
+			if statuses[i] != statuses[0] {
+				t.Fatalf("trial %d: divergent outcomes %v across configs", trial, statuses)
+			}
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package splitmem is a full-system reproduction of "An Architectural
+// Approach to Preventing Code Injection Attacks" (Riley, Jiang, Xu; DSN
+// 2007 / IEEE TDSC 2010): a virtual Harvard ("split memory") architecture
+// built by desynchronizing the split instruction/data TLBs of an x86-class
+// processor, so injected code lands in data memory that the processor can
+// never fetch.
+//
+// Because the technique is operating-system pagetable/TLB manipulation on
+// real silicon, this library ships its own substrate: the S86 machine
+// simulator (CPU, MMU with hardware-walked pagetables, split TLBs, faults,
+// single-step), a mini Unix-like kernel, an assembler and binary format for
+// guest programs, the split-memory protection engine with the paper's
+// break/observe/forensics response modes, the execute-disable-bit baseline,
+// the paper's attack suite, and the benchmark harness that regenerates
+// every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	m, _ := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit})
+//	p, _ := m.LoadAsm(source, "victim")
+//	res := m.Run(0)
+//
+// See examples/ for complete programs.
+package splitmem
+
+import (
+	"fmt"
+
+	"splitmem/internal/asm"
+	"splitmem/internal/core"
+	"splitmem/internal/cpu"
+	"splitmem/internal/isa"
+	"splitmem/internal/kernel"
+	"splitmem/internal/loader"
+	"splitmem/internal/nx"
+	"splitmem/internal/tlb"
+	"splitmem/internal/trace"
+)
+
+// Re-exported types so that library users interact with one import path.
+type (
+	// Event is a kernel event-log entry (process lifecycle, injection
+	// detections, forensic dumps, Sebek keystrokes).
+	Event = kernel.Event
+	// EventKind classifies events.
+	EventKind = kernel.EventKind
+	// Process is a guest process handle.
+	Process = kernel.Process
+	// RunResult reports why Run returned.
+	RunResult = kernel.RunResult
+	// ResponseMode selects the reaction to a detected injection.
+	ResponseMode = core.ResponseMode
+	// CostModel maps architectural events to simulated cycles.
+	CostModel = cpu.CostModel
+	// Program is a loaded SELF guest image.
+	Program = loader.Program
+	// Signal is a kernel kill reason.
+	Signal = kernel.Signal
+	// StopReason explains why Run stopped.
+	StopReason = kernel.StopReason
+	// SplitStats counts split-engine activity.
+	SplitStats = core.Stats
+)
+
+// Re-exported constants.
+const (
+	// Break terminates the exploited process (the default response, §4.5.1).
+	Break = core.Break
+	// Observe logs and lets the attack continue under monitoring (§4.5.2).
+	Observe = core.Observe
+	// Forensics dumps the injected shellcode and can substitute forensic
+	// shellcode (§4.5.3).
+	Forensics = core.Forensics
+	// Recovery transfers control to the application's registered recovery
+	// handler (the extension §4.5 sketches as future work).
+	Recovery = core.Recovery
+
+	// Event kinds.
+	EvProcessStart      = kernel.EvProcessStart
+	EvProcessExit       = kernel.EvProcessExit
+	EvSignal            = kernel.EvSignal
+	EvInjectionDetected = kernel.EvInjectionDetected
+	EvInjectionObserved = kernel.EvInjectionObserved
+	EvForensicDump      = kernel.EvForensicDump
+	EvShellSpawned      = kernel.EvShellSpawned
+	EvSebekLine         = kernel.EvSebekLine
+	EvLibraryLoad       = kernel.EvLibraryLoad
+
+	// Signals.
+	SIGSEGV = kernel.SIGSEGV
+	SIGILL  = kernel.SIGILL
+	SIGFPE  = kernel.SIGFPE
+
+	// Run stop reasons.
+	ReasonAllDone      = kernel.ReasonAllDone
+	ReasonWaitingInput = kernel.ReasonWaitingInput
+	ReasonBudget       = kernel.ReasonBudget
+	ReasonDeadlock     = kernel.ReasonDeadlock
+)
+
+// Protection selects the memory-protection policy for a machine.
+type Protection int
+
+// Protection policies.
+const (
+	// ProtNone runs unprotected (legacy von Neumann behavior).
+	ProtNone Protection = iota
+	// ProtNX models hardware execute-disable (DEP / PaX PAGEEXEC).
+	ProtNX
+	// ProtSplit runs the split-memory engine stand-alone on legacy
+	// hardware (no NX) — the paper's worst-case deployment.
+	ProtSplit
+	// ProtSplitNX combines split memory with execute-disable hardware:
+	// only the configured subset of pages (mixed-only or a fraction) is
+	// split; the rest is NX-protected (§4.2.1, Fig. 9).
+	ProtSplitNX
+)
+
+// String names the protection policy.
+func (p Protection) String() string {
+	switch p {
+	case ProtNone:
+		return "none"
+	case ProtNX:
+		return "nx"
+	case ProtSplit:
+		return "split"
+	case ProtSplitNX:
+		return "split+nx"
+	}
+	return "unknown"
+}
+
+// Config assembles a simulated machine, kernel and protection policy.
+type Config struct {
+	Protection Protection
+	Response   ResponseMode // split modes only
+
+	// SplitFraction splits only this fraction of pages (ProtSplitNX);
+	// 0 or 1 means all pages.
+	SplitFraction float64
+	// MixedOnly splits only write+execute pages (ProtSplitNX).
+	MixedOnly bool
+	// ForensicShellcode replaces detected payloads in Forensics mode.
+	ForensicShellcode []byte
+	// SoftTLB models a software-managed-TLB architecture (§4.7): the split
+	// engine loads the TLBs directly instead of using the x86 walk and
+	// single-step tricks.
+	SoftTLB bool
+	// LazyTwins defers code-twin allocation for data pages until a fetch
+	// reaches them (§5.1's envisioned demand-paging optimization), roughly
+	// halving the split system's memory overhead.
+	LazyTwins bool
+
+	// Machine knobs. Zero values select the paper's testbed defaults
+	// (PIII-600 cost model, 32/64-entry ITLB/DTLB, 64 MiB RAM).
+	CostModel CostModel
+	ITLBSize  int
+	DTLBSize  int
+	PhysBytes int
+
+	// TraceDepth, when positive, records the last N executed instructions
+	// in a ring buffer (see TraceTail). Slows simulation slightly.
+	TraceDepth int
+
+	// Kernel knobs.
+	Timeslice      uint64
+	RandomizeStack bool
+	Seed           int64
+	TraceSyscalls  bool
+	EventHook      func(Event)
+}
+
+// Machine bundles the simulated hardware, the kernel, and the protection
+// engine.
+type Machine struct {
+	cfg    Config
+	mach   *cpu.Machine
+	kern   *kernel.Kernel
+	split  *core.Engine
+	nxEng  *nx.Engine
+	traces *trace.Ring
+}
+
+// New builds a machine according to cfg.
+func New(cfg Config) (*Machine, error) {
+	nxEnabled := cfg.Protection == ProtNX || cfg.Protection == ProtSplitNX
+	mach, err := cpu.New(cpu.Config{
+		PhysBytes: cfg.PhysBytes,
+		ITLBSize:  cfg.ITLBSize,
+		DTLBSize:  cfg.DTLBSize,
+		Cost:      cfg.CostModel,
+		NXEnabled: nxEnabled,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, mach: mach}
+	if cfg.TraceDepth > 0 {
+		m.traces = trace.NewRing(cfg.TraceDepth)
+		mach.TraceHook = func(eip uint32, in isa.Instr) {
+			m.traces.Add(trace.Entry{Cycles: mach.Cycles, EIP: eip, Instr: in})
+		}
+	}
+
+	var prot kernel.Protector
+	switch cfg.Protection {
+	case ProtNone:
+		prot = kernel.Unprotected{}
+	case ProtNX:
+		m.nxEng = nx.New()
+		prot = m.nxEng
+	case ProtSplit:
+		m.split = core.New(core.Config{
+			Response:          cfg.Response,
+			ForensicShellcode: cfg.ForensicShellcode,
+			Seed:              uint64(cfg.Seed),
+			SoftTLB:           cfg.SoftTLB,
+			LazyTwins:         cfg.LazyTwins,
+		})
+		prot = m.split
+	case ProtSplitNX:
+		m.split = core.New(core.Config{
+			Response:          cfg.Response,
+			Fraction:          cfg.SplitFraction,
+			MixedOnly:         cfg.MixedOnly,
+			UnsplitNX:         true,
+			Seed:              uint64(cfg.Seed),
+			ForensicShellcode: cfg.ForensicShellcode,
+			SoftTLB:           cfg.SoftTLB,
+			LazyTwins:         cfg.LazyTwins,
+		})
+		prot = m.split
+	default:
+		return nil, fmt.Errorf("splitmem: unknown protection %d", cfg.Protection)
+	}
+
+	kern, err := kernel.New(kernel.Config{
+		Machine:        mach,
+		Protector:      prot,
+		Timeslice:      cfg.Timeslice,
+		RandomizeStack: cfg.RandomizeStack,
+		RandSeed:       cfg.Seed,
+		TraceSyscalls:  cfg.TraceSyscalls,
+		EventHook:      cfg.EventHook,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.kern = kern
+	return m, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Kernel exposes the underlying kernel for advanced use (event filtering,
+// direct process control).
+func (m *Machine) Kernel() *kernel.Kernel { return m.kern }
+
+// CPU exposes the underlying machine (stats, TLBs).
+func (m *Machine) CPU() *cpu.Machine { return m.mach }
+
+// SplitEngine returns the split-memory engine, or nil when another policy
+// is active.
+func (m *Machine) SplitEngine() *core.Engine { return m.split }
+
+// Protection returns the active policy.
+func (m *Machine) Protection() Protection { return m.cfg.Protection }
+
+// LoadProgram spawns a process from a SELF image.
+func (m *Machine) LoadProgram(p *Program, name string) (*Process, error) {
+	return m.kern.Spawn(p, kernel.ProcOptions{Name: name})
+}
+
+// LoadAsm assembles S86 source and spawns a process from it.
+func (m *Machine) LoadAsm(src, name string) (*Process, error) {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return m.LoadProgram(prog, name)
+}
+
+// LoadBinary parses a serialized SELF image and spawns a process.
+func (m *Machine) LoadBinary(image []byte, name string) (*Process, error) {
+	prog, err := loader.Unmarshal(image)
+	if err != nil {
+		return nil, err
+	}
+	return m.LoadProgram(prog, name)
+}
+
+// Run drives the scheduler; maxCycles 0 means no budget. See
+// kernel.Kernel.Run for the contract.
+func (m *Machine) Run(maxCycles uint64) RunResult { return m.kern.Run(maxCycles) }
+
+// Cycles returns total simulated cycles elapsed.
+func (m *Machine) Cycles() uint64 { return m.mach.Cycles }
+
+// Events returns the kernel event log.
+func (m *Machine) Events() []Event { return m.kern.Events() }
+
+// EventsOf filters the event log by kind.
+func (m *Machine) EventsOf(kind EventKind) []Event { return m.kern.EventsOf(kind) }
+
+// EventsJSONL renders the event log as JSON Lines for external collectors
+// (honeypot pipelines ingesting observe-mode detections and Sebek
+// keystrokes).
+func (m *Machine) EventsJSONL() ([]byte, error) { return kernel.EventsJSONL(m.kern.Events()) }
+
+// Stats aggregates machine, TLB, and protection-engine statistics.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	PageFaults   uint64
+	DebugTraps   uint64
+	CtxSwitches  uint64
+	ITLBHits     uint64
+	ITLBMisses   uint64
+	DTLBHits     uint64
+	DTLBMisses   uint64
+	Syscalls     uint64
+	KernelFaults uint64     // demand-paging + copy-on-write faults
+	Split        SplitStats // zero when no split engine is active
+}
+
+// Stats snapshots current counters.
+func (m *Machine) Stats() Stats {
+	s := Stats{
+		Cycles:       m.mach.Cycles,
+		Instructions: m.mach.Stats.Instructions,
+		PageFaults:   m.mach.Stats.PageFaults,
+		DebugTraps:   m.mach.Stats.DebugTraps,
+		CtxSwitches:  m.mach.Stats.CtxSwitches,
+	}
+	s.ITLBHits, s.ITLBMisses, _, _ = m.mach.ITLB.Stats()
+	s.DTLBHits, s.DTLBMisses, _, _ = m.mach.DTLB.Stats()
+	s.Syscalls, s.KernelFaults, _ = m.kern.Counters()
+	if m.split != nil {
+		s.Split = m.split.Stats()
+	}
+	return s
+}
+
+// TraceTail returns the recorded execution trace as a disassembly listing
+// (empty unless Config.TraceDepth was set).
+func (m *Machine) TraceTail() string {
+	if m.traces == nil {
+		return ""
+	}
+	return m.traces.String()
+}
+
+// Assemble compiles S86 assembly to a SELF program (re-export of the
+// assembler for library users).
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// ExitShellcode returns the paper's published exit(0) forensic shellcode.
+func ExitShellcode() []byte { return core.ExitShellcode() }
+
+// TLBStats returns hit/miss/eviction/flush counts of a TLB; helper for
+// examples and tools.
+func TLBStats(t *tlb.TLB) (hits, misses, evictions, flushes uint64) { return t.Stats() }

@@ -1,0 +1,482 @@
+package splitmem_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"splitmem"
+)
+
+// exitProg exits with status 7.
+const exitProg = `
+_start:
+    mov ebx, 7
+    mov eax, 1
+    int 0x80
+`
+
+// helloProg writes "hello\n" to stdout and exits 0.
+const helloProg = `
+_start:
+    mov ebx, 1          ; fd
+    mov ecx, msg
+    mov edx, 6          ; len
+    mov eax, 4          ; write
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+msg: .asciz "hello\n"
+`
+
+// echoProg reads up to 64 bytes and writes them back, then exits.
+const echoProg = `
+_start:
+    mov ebx, 0
+    mov ecx, buf
+    mov edx, 64
+    mov eax, 3          ; read
+    int 0x80
+    mov edx, eax        ; n
+    mov ebx, 1
+    mov ecx, buf
+    mov eax, 4          ; write
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+buf: .space 64
+`
+
+// victimProg reads attacker bytes into a stack buffer and then jumps into
+// the buffer — the distilled essence of a code injection attack (stages 1-4
+// of §3.2 with the hijack made explicit).
+const victimProg = `
+_start:
+    sub esp, 1024
+    mov ecx, esp        ; buf
+    mov ebx, 0          ; fd 0
+    mov edx, 1024
+    mov eax, 3          ; read
+    int 0x80
+    jmp ecx             ; transfer control to the injected bytes
+`
+
+// shellcode builds an execve("/bin/sh") payload for injection at addr.
+func shellcode(addr uint32) []byte {
+	// mov ebx, path_addr; mov eax, 11; int 0x80; "/bin/sh\0"
+	code := []byte{0xBB, 0, 0, 0, 0, 0xB8, 11, 0, 0, 0, 0xCD, 0x80}
+	path := []byte("/bin/sh\x00")
+	binary.LittleEndian.PutUint32(code[1:], addr+uint32(len(code)))
+	return append(code, path...)
+}
+
+func run(t *testing.T, cfg splitmem.Config, src, input string) (*splitmem.Machine, *splitmem.Process) {
+	t.Helper()
+	m, err := splitmem.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(src, "guest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if input != "" {
+		p.StdinWrite([]byte(input))
+	}
+	res := m.Run(50_000_000)
+	if res.Reason == splitmem.ReasonBudget {
+		t.Fatalf("guest did not finish within budget")
+	}
+	return m, p
+}
+
+func TestExitStatusAllProtections(t *testing.T) {
+	for _, prot := range []splitmem.Protection{
+		splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit, splitmem.ProtSplitNX,
+	} {
+		t.Run(prot.String(), func(t *testing.T) {
+			_, p := run(t, splitmem.Config{Protection: prot}, exitProg, "")
+			exited, status := p.Exited()
+			if !exited || status != 7 {
+				t.Fatalf("exited=%v status=%d", exited, status)
+			}
+		})
+	}
+}
+
+func TestHelloWorldAllProtections(t *testing.T) {
+	for _, prot := range []splitmem.Protection{
+		splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit, splitmem.ProtSplitNX,
+	} {
+		t.Run(prot.String(), func(t *testing.T) {
+			_, p := run(t, splitmem.Config{Protection: prot}, helloProg, "")
+			if got := string(p.StdoutDrain()); got != "hello\n" {
+				t.Fatalf("stdout = %q", got)
+			}
+			exited, status := p.Exited()
+			if !exited || status != 0 {
+				t.Fatalf("exited=%v status=%d", exited, status)
+			}
+		})
+	}
+}
+
+func TestEchoUnderSplit(t *testing.T) {
+	_, p := run(t, splitmem.Config{Protection: splitmem.ProtSplit}, echoProg, "ping-pong")
+	if got := string(p.StdoutDrain()); got != "ping-pong" {
+		t.Fatalf("stdout = %q", got)
+	}
+}
+
+// findInjectionAddr runs the victim unprotected once to learn where the
+// buffer lands (stack layout is deterministic without randomization).
+func findInjectionAddr(t *testing.T) uint32 {
+	t.Helper()
+	m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(victimProg, "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(10_000_000)
+	if res.Reason != splitmem.ReasonWaitingInput {
+		t.Fatalf("probe run: %v", res.Reason)
+	}
+	// The victim is blocked in read(); ECX holds the buffer address.
+	return p.Ctx.R[1] // ECX
+}
+
+func TestInjectionSucceedsUnprotected(t *testing.T) {
+	addr := findInjectionAddr(t)
+	_, p := run(t, splitmem.Config{Protection: splitmem.ProtNone}, victimProg, string(shellcode(addr)))
+	if !p.ShellSpawned() {
+		t.Fatal("attack should succeed on the unprotected von Neumann machine")
+	}
+}
+
+func TestInjectionBlockedByNX(t *testing.T) {
+	addr := findInjectionAddr(t)
+	m, p := run(t, splitmem.Config{Protection: splitmem.ProtNX}, victimProg, string(shellcode(addr)))
+	if p.ShellSpawned() {
+		t.Fatal("NX should block stack execution")
+	}
+	killed, sig := p.Killed()
+	if !killed || sig != splitmem.SIGSEGV {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+	if len(m.EventsOf(splitmem.EvInjectionDetected)) == 0 {
+		t.Fatal("expected an injection-detected event")
+	}
+}
+
+func TestInjectionBlockedBySplitBreak(t *testing.T) {
+	addr := findInjectionAddr(t)
+	m, p := run(t, splitmem.Config{Protection: splitmem.ProtSplit, Response: splitmem.Break},
+		victimProg, string(shellcode(addr)))
+	if p.ShellSpawned() {
+		t.Fatal("split memory should make injected code unfetchable")
+	}
+	killed, sig := p.Killed()
+	if !killed || sig != splitmem.SIGILL {
+		t.Fatalf("killed=%v sig=%v", killed, sig)
+	}
+	evs := m.EventsOf(splitmem.EvInjectionDetected)
+	if len(evs) == 0 {
+		t.Fatal("expected an injection-detected event")
+	}
+	// The event's dump must contain the attacker's bytes (they are on the
+	// data twin), starting at the hijacked EIP.
+	if evs[0].Addr != addr {
+		t.Fatalf("detected at %#x, injected at %#x", evs[0].Addr, addr)
+	}
+	if !bytes.HasPrefix(shellcode(addr), evs[0].Data[:5]) {
+		t.Fatalf("dump % x does not match shellcode", evs[0].Data)
+	}
+}
+
+func TestInjectionObservedMode(t *testing.T) {
+	addr := findInjectionAddr(t)
+	m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit, Response: splitmem.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(victimProg, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StdinWrite(shellcode(addr))
+	res := m.Run(50_000_000)
+	if res.Reason != splitmem.ReasonWaitingInput {
+		t.Fatalf("run: %v", res.Reason)
+	}
+	if !p.ShellSpawned() {
+		t.Fatal("observe mode should let the attack continue to a shell")
+	}
+	if len(m.EventsOf(splitmem.EvInjectionObserved)) == 0 {
+		t.Fatal("expected injection-observed event")
+	}
+	// Interact with the attacker's shell; Sebek logging must capture it.
+	p.StdinWrite([]byte("id\n"))
+	m.Run(1_000_000)
+	out := string(p.StdoutDrain())
+	if !strings.Contains(out, "uid=0(root)") {
+		t.Fatalf("shell output: %q", out)
+	}
+	var logged bool
+	for _, ev := range m.EventsOf(splitmem.EvSebekLine) {
+		if strings.Contains(ev.Text, "id") {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Fatal("sebek should log the attacker's keystrokes")
+	}
+}
+
+func TestInjectionForensicsMode(t *testing.T) {
+	addr := findInjectionAddr(t)
+	m, err := splitmem.New(splitmem.Config{
+		Protection:        splitmem.ProtSplit,
+		Response:          splitmem.Forensics,
+		ForensicShellcode: splitmem.ExitShellcode(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(victimProg, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := shellcode(addr)
+	p.StdinWrite(sc)
+	res := m.Run(50_000_000)
+	if res.Reason != splitmem.ReasonAllDone {
+		t.Fatalf("run: %v", res.Reason)
+	}
+	// The forensic exit(0) shellcode replaced the payload: graceful exit.
+	exited, status := p.Exited()
+	if !exited || status != 0 {
+		t.Fatalf("exited=%v status=%d (forensic shellcode should exit(0))", exited, status)
+	}
+	dumps := m.EventsOf(splitmem.EvForensicDump)
+	if len(dumps) == 0 {
+		t.Fatal("expected a forensic dump")
+	}
+	if !bytes.HasPrefix(sc, dumps[0].Data[:10]) {
+		t.Fatalf("dump % x should be the injected payload", dumps[0].Data)
+	}
+	if dumps[0].Addr != addr {
+		t.Fatalf("dump EIP %#x want %#x", dumps[0].Addr, addr)
+	}
+}
+
+// TestSplitTransparency: a nontrivial program must produce identical output
+// protected and unprotected (the virtual Harvard architecture is invisible
+// to legitimate code).
+func TestSplitTransparency(t *testing.T) {
+	prog := `
+; compute the 20th fibonacci number and print its digits
+_start:
+    mov eax, 0
+    mov ebx, 1
+    mov ecx, 20
+fib:
+    mov edx, eax
+    add edx, ebx
+    mov eax, ebx
+    mov ebx, edx
+    dec ecx
+    cmp ecx, 0
+    jnz fib
+    ; eax = fib(20) = 6765; convert to decimal at buf+8 backwards
+    mov esi, buf
+    add esi, 8
+    mov ecx, 0          ; digit count
+digits:
+    mov edx, eax
+    mod edx, ten
+    add edx, '0'
+    storeb [esi], edx
+    sub esi, 1
+    inc ecx
+    div eax, ten
+    cmp eax, 0
+    jnz digits
+    ; write(1, esi+1, ecx)
+    mov edx, ecx
+    mov ecx, esi
+    inc ecx
+    mov ebx, 1
+    mov eax, 4
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+buf: .space 16
+`
+	// The program needs "ten" as a register value; patch via .equ? S86 div
+	// takes registers, so provide the constant in a register instead.
+	prog = strings.ReplaceAll(prog, "mod edx, ten", "mov edi, 10\n    mod edx, edi")
+	prog = strings.ReplaceAll(prog, "div eax, ten", "div eax, edi")
+
+	var outputs []string
+	for _, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtSplit} {
+		_, p := run(t, splitmem.Config{Protection: prot}, prog, "")
+		exited, status := p.Exited()
+		if !exited || status != 0 {
+			t.Fatalf("%v: exited=%v status=%d killed=%v", prot, exited, status, p.Alive())
+		}
+		outputs = append(outputs, string(p.StdoutDrain()))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("outputs differ: %q vs %q", outputs[0], outputs[1])
+	}
+	if outputs[0] != "6765" {
+		t.Fatalf("fib output %q", outputs[0])
+	}
+}
+
+// TestForkPipesUnderSplit exercises fork, pipes and waitpid under split
+// memory: the parent sends a token to the child and gets it back
+// incremented.
+func TestForkPipesUnderSplit(t *testing.T) {
+	_, p := run(t, splitmem.Config{Protection: splitmem.ProtSplit}, cleanPipeProg, "")
+	exited, status := p.Exited()
+	if !exited || status != 0 {
+		killed, sig := p.Killed()
+		t.Fatalf("exited=%v status=%d killed=%v sig=%v", exited, status, killed, sig)
+	}
+	if got := string(p.StdoutDrain()); got != "B" {
+		t.Fatalf("stdout %q want %q", got, "B")
+	}
+}
+
+const cleanPipeProg = `
+.equ SYS_EXIT, 1
+.equ SYS_FORK, 2
+.equ SYS_READ, 3
+.equ SYS_WRITE, 4
+.equ SYS_WAITPID, 7
+.equ SYS_PIPE, 42
+_start:
+    mov eax, SYS_PIPE
+    mov ebx, fds1
+    int 0x80
+    mov eax, SYS_PIPE
+    mov ebx, fds2
+    int 0x80
+    mov eax, SYS_FORK
+    int 0x80
+    cmp eax, 0
+    jz child
+
+    ; parent: write(fds1[1], tok, 1)
+    mov esi, fds1
+    load ebx, [esi+4]
+    mov ecx, tok
+    mov edx, 1
+    mov eax, SYS_WRITE
+    int 0x80
+    ; read(fds2[0], tok2, 1)
+    mov esi, fds2
+    load ebx, [esi]
+    mov ecx, tok2
+    mov edx, 1
+    mov eax, SYS_READ
+    int 0x80
+    ; waitpid(-1, 0)
+    mov eax, SYS_WAITPID
+    mov ebx, -1
+    mov ecx, 0
+    int 0x80
+    ; write(1, tok2, 1)
+    mov ebx, 1
+    mov ecx, tok2
+    mov edx, 1
+    mov eax, SYS_WRITE
+    int 0x80
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+
+child:
+    ; read(fds1[0], tok2, 1)
+    mov esi, fds1
+    load ebx, [esi]
+    mov ecx, tok2
+    mov edx, 1
+    mov eax, SYS_READ
+    int 0x80
+    ; tok2[0]++
+    mov esi, tok2
+    loadb eax, [esi]
+    inc eax
+    storeb [esi], eax
+    ; write(fds2[1], tok2, 1)
+    mov esi, fds2
+    load ebx, [esi+4]
+    mov ecx, tok2
+    mov edx, 1
+    mov eax, SYS_WRITE
+    int 0x80
+    mov ebx, 0
+    mov eax, SYS_EXIT
+    int 0x80
+.data
+fds1: .word 0, 0
+fds2: .word 0, 0
+tok:  .asciz "A"
+tok2: .space 4
+`
+
+// TestTLBDesyncVisible verifies the architectural signature of the split:
+// after running under split memory, the ITLB and DTLB held different frames
+// for the same virtual page at detection time (checked via engine stats).
+func TestTLBDesyncVisible(t *testing.T) {
+	// A program with explicit guest data accesses (stack pushes and .data
+	// loads) so both the data-TLB and instruction-TLB load paths run.
+	prog := `
+_start:
+    push ebx
+    pop ebx
+    mov esi, msg
+    loadb eax, [esi]
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+msg: .asciz "x"
+`
+	m, _ := run(t, splitmem.Config{Protection: splitmem.ProtSplit}, prog, "")
+	st := m.Stats()
+	if st.Split.TotalSplits == 0 {
+		t.Fatal("no pages were split")
+	}
+	if st.Split.DataTLBLoads == 0 || st.Split.CodeTLBLoads == 0 {
+		t.Fatalf("TLB loads: data=%d code=%d", st.Split.DataTLBLoads, st.Split.CodeTLBLoads)
+	}
+	if st.DebugTraps == 0 {
+		t.Fatal("instruction-TLB loads require single-step debug traps")
+	}
+}
+
+// TestSplitOverheadExists: split memory must cost cycles versus unprotected
+// (sanity for the performance experiments).
+func TestSplitOverheadExists(t *testing.T) {
+	var cycles [2]uint64
+	for i, prot := range []splitmem.Protection{splitmem.ProtNone, splitmem.ProtSplit} {
+		m, _ := run(t, splitmem.Config{Protection: prot}, helloProg, "")
+		cycles[i] = m.Cycles()
+	}
+	if cycles[1] <= cycles[0] {
+		t.Fatalf("split (%d cycles) should cost more than unprotected (%d)", cycles[1], cycles[0])
+	}
+}
