@@ -1,0 +1,57 @@
+package splitmem_test
+
+// Native Go fuzzing over the binary loader and the machine front end: an
+// arbitrary byte string is treated as a SELF image, loaded, and (when the
+// loader accepts it) executed for a small cycle budget under the paranoid
+// split engine. Whatever the bytes decode to, the host must not panic, the
+// run must stop for an orderly reason, and no Harvard invariant may break.
+
+import (
+	"bytes"
+	"testing"
+
+	"splitmem"
+)
+
+func FuzzLoadBinary(f *testing.F) {
+	// Seed with a well-formed image, truncations of it, and byte soup.
+	if prog, err := splitmem.Assemble(`
+_start:
+    mov eax, 1
+    mov ebx, 7
+    int 0x80
+.data
+greeting: .ascii "hi"
+`); err == nil {
+		if img, err := prog.Marshal(); err == nil {
+			f.Add(img)
+			f.Add(img[:len(img)/2])
+			f.Add(img[:8])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SELF"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, img []byte) {
+		m, err := splitmem.New(splitmem.Config{
+			Protection: splitmem.ProtSplit,
+			Paranoid:   true,
+			PhysBytes:  4 << 20, // keep hostile section tables cheap to reject
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.LoadBinary(img, "fuzz")
+		if err != nil {
+			return // rejected images are the loader doing its job
+		}
+		p.StdinClose()
+		res := m.Run(500_000)
+		validStop(t, res)
+		wellFormedLog(t, m)
+		if n := len(m.EventsOf(splitmem.EvInvariantViolation)); n != 0 {
+			t.Fatalf("%d invariant violations", n)
+		}
+	})
+}

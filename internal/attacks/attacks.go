@@ -32,6 +32,11 @@ type Result struct {
 	Survived     bool   // program reported normal completion
 	Output       string // captured stdout
 	Notes        string
+
+	// Full-fidelity run record, for determinism and robustness assertions.
+	EventsJSONL         []byte         // the entire kernel event log, rendered
+	Stats               splitmem.Stats // final machine/engine counters
+	InvariantViolations int            // EvInvariantViolation count (Paranoid runs)
 }
 
 // Succeeded reports whether the attacker achieved code execution.
@@ -126,6 +131,9 @@ func (t *Target) Result() Result {
 	r.FaultAddr = t.P.FaultAddr()
 	r.Output = string(t.P.StdoutDrain())
 	r.Survived = strings.Contains(r.Output, "SURVIVED")
+	r.EventsJSONL, _ = t.M.EventsJSONL()
+	r.Stats = t.M.Stats()
+	r.InvariantViolations = len(t.M.EventsOf(splitmem.EvInvariantViolation))
 	return r
 }
 

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"testing"
+
+	"splitmem/internal/cpu"
+	"splitmem/internal/mem"
+	"splitmem/internal/tlb"
+)
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if !(Config{DoubleFault: 0.1}).Enabled() {
+		t.Fatal("nonzero rate reports disabled")
+	}
+	if !Defaults().Enabled() {
+		t.Fatal("defaults report disabled")
+	}
+}
+
+// Two injectors with the same seed and rates must make identical decisions;
+// a different seed must diverge (with overwhelming probability over 10k
+// draws at rate 0.5).
+func TestDeterministicStream(t *testing.T) {
+	decisions := func(seed uint64) []bool {
+		i := New(Config{Seed: seed, DoubleFault: 0.5}, nil)
+		out := make([]bool, 10_000)
+		for j := range out {
+			out[j] = i.DoubleFault()
+		}
+		return out
+	}
+	a, b, c := decisions(7), decisions(7), decisions(8)
+	same := true
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("same seed diverged at draw %d", j)
+		}
+		same = same && a[j] == c[j]
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+	fired := 0
+	for _, v := range a {
+		if v {
+			fired++
+		}
+	}
+	if fired < 4_000 || fired > 6_000 {
+		t.Fatalf("rate 0.5 fired %d/10000 times", fired)
+	}
+}
+
+func TestStaleAttribution(t *testing.T) {
+	i := New(Config{Seed: 1, StaleTLB: 1}, nil) // every shootdown swallowed
+	if !i.DropInvlpg(42) || !i.StaleVPN(42) {
+		t.Fatal("dropped invlpg not recorded as stale")
+	}
+	if !i.RetainOnFlush(7) || !i.StaleVPN(7) {
+		t.Fatal("flush retention not recorded as stale")
+	}
+	if i.StaleVPN(9) {
+		t.Fatal("untouched vpn reported stale")
+	}
+	// A shootdown that goes through clears the mark.
+	i.cfg.StaleTLB = 0
+	if i.DropInvlpg(42) {
+		t.Fatal("rate 0 still dropped the invlpg")
+	}
+	if i.StaleVPN(42) {
+		t.Fatal("successful invlpg left the stale mark")
+	}
+	if s := i.Stats(); s.StaleRetained != 2 {
+		t.Fatalf("StaleRetained=%d want 2", s.StaleRetained)
+	}
+}
+
+func TestPreStepInjection(t *testing.T) {
+	m, err := cpu.New(cpu.Config{PhysBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := New(Config{Seed: 3, ITLBEvict: 1, DTLBEvict: 1}, m.Phys)
+	m.Chaos = i
+	m.ITLB.Insert(1, tlb.Entry{Frame: 10})
+	m.DTLB.Insert(1, tlb.Entry{Frame: 11})
+	i.PreStep(m)
+	if m.ITLB.Valid() != 0 || m.DTLB.Valid() != 0 {
+		t.Fatalf("evictions did not fire: itlb=%d dtlb=%d", m.ITLB.Valid(), m.DTLB.Valid())
+	}
+	s := i.Stats()
+	if s.ITLBEvictions != 1 || s.DTLBEvictions != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestBitFlipTargetsAllocatedFrames(t *testing.T) {
+	phys, err := mem.NewPhysical(8 * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := phys.Alloc()
+	m, _ := cpu.New(cpu.Config{PhysBytes: 1 << 20})
+	i := New(Config{Seed: 11, BitFlip: 1}, phys)
+	// Every roll fires but only the one allocated frame can be hit; run a
+	// few steps and require at least one recorded flip.
+	for j := 0; j < 64 && i.Stats().BitFlips == 0; j++ {
+		i.PreStep(m)
+	}
+	if i.Stats().BitFlips == 0 {
+		t.Fatal("bit flips never landed despite rate 1")
+	}
+	changed := false
+	for _, b := range phys.Frame(f) {
+		if b != 0 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("recorded flip but frame content unchanged")
+	}
+}

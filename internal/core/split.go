@@ -102,6 +102,17 @@ type Config struct {
 	// TLB-load ports instead of the pagetable-walk and single-step tricks
 	// x86 requires. Measurably cheaper — see the ablation benchmark.
 	SoftTLB bool
+	// Paranoid enables the invariant auditor (audit.go): after every
+	// protector entry point the engine walks both TLBs, every pagetable and
+	// every split-pair table and asserts the Harvard invariants, logging any
+	// inconsistency as an EvInvariantViolation event (never panicking) and
+	// healing incoherent TLB entries.
+	Paranoid bool
+	// StaleVPN, when non-nil, lets the auditor ask the chaos injector
+	// whether an incoherent TLB entry it healed for this page is explained
+	// by an injected stale-TLB fault; attributed heals are logged as
+	// machine checks instead of invariant violations.
+	StaleVPN func(vpn uint32) bool
 	// LazyTwins enables the demand-paged twin allocation §5.1 envisions:
 	// non-executable pages get their code twin only if an instruction
 	// fetch ever touches them, halving the memory overhead for data-heavy
@@ -122,6 +133,12 @@ type Stats struct {
 	PagesUnsplit  uint64 // pages handed to the NX/plain fallback
 	ObserveLockIn uint64 // pages locked to the data twin by observe mode
 	LazyPairs     uint64 // split pages whose code twin is not yet materialized
+
+	// Paranoid-mode auditor counters (zero unless Config.Paranoid).
+	Audits          uint64 // invariant walks performed
+	Violations      uint64 // unexplained invariant violations found
+	HealedTLB       uint64 // incoherent TLB entries invalidated
+	AttributedHeals uint64 // heals explained by injected stale-TLB faults
 }
 
 // Engine is the split-memory protection policy; it implements
@@ -212,6 +229,9 @@ func splitHash(vpn uint32, seed uint64) uint32 {
 // side-by-side physical frames and its PTE is restricted (supervisor bit)
 // so a page fault occurs on every TLB miss.
 func (e *Engine) MapPage(k *kernel.Kernel, p *kernel.Process, vpn uint32, frame uint32, perm byte) {
+	if e.cfg.Paranoid {
+		defer e.audit(k, "MapPage")
+	}
 	if !e.shouldSplit(vpn, perm) {
 		e.stats.PagesUnsplit++
 		ent := paging.Entry(0).WithFrame(frame).With(paging.Present | paging.User)
@@ -294,6 +314,9 @@ func (e *Engine) MapPage(k *kernel.Kernel, p *kernel.Process, vpn uint32, frame 
 // HandleFault implements Algorithm 1. Not every fault on a split page is
 // ours (§5.2): write-protection faults fall through to the kernel.
 func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Process, addr uint32, code uint32) kernel.FaultVerdict {
+	if e.cfg.Paranoid {
+		defer e.audit(k, "HandleFault")
+	}
 	vpn := paging.VPN(addr)
 	st := e.state(p)
 	pr, ok := st.pairs[vpn]
@@ -372,6 +395,9 @@ func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Process, addr uint32, c
 // retired (filling the instruction-TLB), re-restrict the PTE and clear the
 // trap flag.
 func (e *Engine) HandleDebug(k *kernel.Kernel, p *kernel.Process) bool {
+	if e.cfg.Paranoid {
+		defer e.audit(k, "HandleDebug")
+	}
 	if !p.PendingSplitValid {
 		return false
 	}
@@ -402,6 +428,9 @@ func (e *Engine) HandleDebug(k *kernel.Kernel, p *kernel.Process) bool {
 // twin that holds no program code — i.e., the attacker's injected bytes
 // exist only on the data twin and were never reachable.
 func (e *Engine) HandleUndefined(k *kernel.Kernel, p *kernel.Process) kernel.UDVerdict {
+	if e.cfg.Paranoid {
+		defer e.audit(k, "HandleUndefined")
+	}
 	m := k.Machine()
 	eip := m.Ctx.EIP
 	vpn := paging.VPN(eip)
@@ -508,6 +537,9 @@ func (e *Engine) DataFrame(p *kernel.Process, vpn uint32) (uint32, bool) {
 // on fork — both twins are copied for the child (§5.4's COW modification,
 // simplified to eager copies; see DESIGN.md).
 func (e *Engine) ForkPage(k *kernel.Kernel, parent, child *kernel.Process, vpn uint32, ent paging.Entry) (paging.Entry, bool) {
+	if e.cfg.Paranoid {
+		defer e.audit(k, "ForkPage")
+	}
 	pst := e.state(parent)
 	pr, ok := pst.pairs[vpn]
 	if !ok {
@@ -546,6 +578,9 @@ func (e *Engine) ForkPage(k *kernel.Kernel, parent, child *kernel.Process, vpn u
 // ReleasePage implements kernel.Protector: both twins return to the free
 // pool (§5.4 program-termination handling).
 func (e *Engine) ReleasePage(k *kernel.Kernel, p *kernel.Process, vpn uint32, ent paging.Entry) bool {
+	if e.cfg.Paranoid {
+		defer e.audit(k, "ReleasePage")
+	}
 	st := e.state(p)
 	pr, ok := st.pairs[vpn]
 	if !ok {
@@ -559,6 +594,9 @@ func (e *Engine) ReleasePage(k *kernel.Kernel, p *kernel.Process, vpn uint32, en
 	k.Phys().Free(pr.data)
 	delete(st.pairs, vpn)
 	e.stats.SplitPages--
+	// TLB shootdown on unmap: without it the TLBs keep serving the freed
+	// twins until the next context switch.
+	k.Machine().Invlpg(vpn << mem.PageShift)
 	return true
 }
 
@@ -588,6 +626,9 @@ func (e *Engine) materializeTwin(k *kernel.Kernel, pr *pagePair) bool {
 // buffer executable, then jump to it) still fetches from the uncompromised
 // code twin — the bypass that defeats NX (§2, [4]) fails here.
 func (e *Engine) ProtectPage(k *kernel.Kernel, p *kernel.Process, vpn uint32, ent paging.Entry, perm byte) bool {
+	if e.cfg.Paranoid {
+		defer e.audit(k, "ProtectPage")
+	}
 	st := e.state(p)
 	pr, ok := st.pairs[vpn]
 	if !ok {

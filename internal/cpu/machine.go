@@ -100,6 +100,28 @@ const (
 	ActStop
 )
 
+// ChaosAgent is the architectural fault-injection interface the machine
+// consults when a chaos engine is installed (see internal/chaos). A nil
+// Machine.Chaos disables every hook at zero cost. Implementations must be
+// deterministic (seeded) so chaotic runs stay reproducible.
+type ChaosAgent interface {
+	// PreStep runs before each instruction; the injector may evict TLB
+	// entries, flush the TLBs, or flip bits in physical frames.
+	PreStep(m *Machine)
+	// DropInvlpg reports whether this invlpg should be silently swallowed
+	// (stale-entry retention: the shootdown never reaches the TLBs).
+	DropInvlpg(vpn uint32) bool
+	// RetainOnFlush is asked per valid entry during a TLB flush; true means
+	// the entry incorrectly survives the flush.
+	RetainOnFlush(vpn uint32) bool
+	// SpuriousDebugTrap reports whether to raise a #DB after an instruction
+	// that completed with TF clear.
+	SpuriousDebugTrap() bool
+	// DoubleFault reports whether a page fault the handler resolved should
+	// be delivered to the handler a second time.
+	DoubleFault() bool
+}
+
 // TrapHandler receives every exception and software interrupt the CPU
 // raises. The kernel implements it.
 type TrapHandler interface {
@@ -153,6 +175,10 @@ type Machine struct {
 	// every instruction about to execute. Used by the execution tracer;
 	// adds no cost when nil.
 	TraceHook func(eip uint32, in isa.Instr)
+
+	// Chaos, when non-nil, is the adversarial fault injector consulted at
+	// the architectural chaos points (see ChaosAgent).
+	Chaos ChaosAgent
 
 	pt      *paging.Table
 	handler TrapHandler
@@ -213,20 +239,30 @@ func (m *Machine) SetPagetable(t *paging.Table) {
 		return
 	}
 	m.pt = t
-	m.ITLB.Flush()
-	m.DTLB.Flush()
+	m.FlushTLBs()
 }
 
 // FlushTLBs flushes both TLBs without changing the pagetable (CR3 rewrite).
+// Under chaos injection individual entries may incorrectly survive the
+// flush (stale-entry retention).
 func (m *Machine) FlushTLBs() {
+	if m.Chaos != nil {
+		m.ITLB.FlushRetaining(m.Chaos.RetainOnFlush)
+		m.DTLB.FlushRetaining(m.Chaos.RetainOnFlush)
+		return
+	}
 	m.ITLB.Flush()
 	m.DTLB.Flush()
 }
 
 // Invlpg invalidates any cached translation for the page containing addr in
-// both TLBs, mirroring the x86 invlpg instruction.
+// both TLBs, mirroring the x86 invlpg instruction. Under chaos injection
+// the shootdown can be silently dropped (stale-entry retention).
 func (m *Machine) Invlpg(addr uint32) {
 	vpn := paging.VPN(addr)
+	if m.Chaos != nil && m.Chaos.DropInvlpg(vpn) {
+		return
+	}
 	m.ITLB.Invalidate(vpn)
 	m.DTLB.Invalidate(vpn)
 }

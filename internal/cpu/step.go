@@ -25,6 +25,9 @@ const (
 // runs, so ActResume restarts the instruction cleanly — matching the
 // restartable-instruction guarantee real x86 provides.
 func (m *Machine) Step() StepResult {
+	if m.Chaos != nil {
+		m.Chaos.PreStep(m)
+	}
 	saved := m.Ctx
 	tfAtStart := m.Ctx.Flags.TF
 
@@ -64,6 +67,14 @@ func (m *Machine) Step() StepResult {
 		if m.handler.DebugTrap() == ActStop {
 			return StepStopped
 		}
+	} else if m.Chaos != nil && m.Chaos.SpuriousDebugTrap() {
+		// Injected fault: a #DB the split engine never asked for. The
+		// kernel must tolerate debug interrupts with no load in flight.
+		m.Cycles += m.Cost.DebugTrap
+		m.Stats.DebugTraps++
+		if m.handler.DebugTrap() == ActStop {
+			return StepStopped
+		}
 	}
 	return StepOK
 }
@@ -74,6 +85,17 @@ func (m *Machine) raisePF(pf *PageFault) StepResult {
 	m.Stats.PageFaults++
 	if m.handler.PageFault(pf.Addr, pf.Code) == ActStop {
 		return StepStopped
+	}
+	if m.Chaos != nil && m.Chaos.DoubleFault() {
+		// Injected fault: the same #PF is delivered a second time after the
+		// handler already resolved it. Handlers must be idempotent (the
+		// benign-refault path in the kernel absorbs the re-delivery).
+		m.CR2 = pf.Addr
+		m.Cycles += m.Cost.Trap
+		m.Stats.PageFaults++
+		if m.handler.PageFault(pf.Addr, pf.Code) == ActStop {
+			return StepStopped
+		}
 	}
 	return StepOK
 }

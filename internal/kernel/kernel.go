@@ -13,6 +13,7 @@ package kernel
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"splitmem/internal/cpu"
 	"splitmem/internal/mem"
@@ -74,6 +75,8 @@ const (
 	EvSebekLine                   // Sebek-style keystroke log line (Text)
 	EvSyscall                     // verbose; only recorded when TraceSyscalls is set
 	EvLibraryLoad                 // validated library load/split
+	EvInvariantViolation          // paranoid auditor found an engine-state inconsistency (Text)
+	EvMachineCheck                // contained host-level fault (mem misuse, recovered panic) (Text)
 )
 
 // String names the event kind.
@@ -99,6 +102,10 @@ func (k EventKind) String() string {
 		return "syscall"
 	case EvLibraryLoad:
 		return "library-load"
+	case EvInvariantViolation:
+		return "invariant-violation"
+	case EvMachineCheck:
+		return "machine-check"
 	}
 	return "unknown"
 }
@@ -181,6 +188,13 @@ type Protector interface {
 	ProtectPage(k *Kernel, p *Process, vpn uint32, e paging.Entry, perm byte) bool
 }
 
+// Preempter lets the chaos engine force timeslice expiry after any
+// instruction, producing context-switch storms far denser than the
+// configured quantum would ever allow.
+type Preempter interface {
+	ForcePreempt() bool
+}
+
 // Config configures a kernel instance.
 type Config struct {
 	Machine        *cpu.Machine
@@ -190,7 +204,8 @@ type Config struct {
 	RandSeed       int64     // seed for randomized placement (determinism)
 	TraceSyscalls  bool      // record EvSyscall events
 	EventHook      func(Event)
-	MaxEvents      int // ring-buffer capacity for the event log (default 4096)
+	MaxEvents      int       // ring-buffer capacity for the event log (default 4096)
+	Chaos          Preempter // nil disables forced preemption
 }
 
 // Kernel is the simulated operating system.
@@ -211,6 +226,7 @@ type Kernel struct {
 	nextPipe  int
 	syscalls  uint64
 	faultsGen uint64 // generic (demand/COW) faults handled
+	spurious  uint64 // benign refaults absorbed (stale TLB / double delivery)
 }
 
 // New creates a kernel bound to a machine and installs itself as the
@@ -239,6 +255,11 @@ func New(cfg Config) (*Kernel, error) {
 		k.prot = Unprotected{}
 	}
 	k.m.SetHandler(k)
+	// Contained physical-memory faults (allocator misuse, out-of-range frame
+	// access) surface in the event log as machine checks.
+	k.m.Phys.FaultHook = func(err error) {
+		k.Emit(Event{Kind: EvMachineCheck, Text: "phys: " + err.Error()})
+	}
 	return k, nil
 }
 
@@ -286,6 +307,32 @@ func (k *Kernel) Events() []Event { return k.events }
 // the ring buffer.
 func (k *Kernel) Counters() (syscalls, genericFaults uint64, droppedEvents int) {
 	return k.syscalls, k.faultsGen, k.dropped
+}
+
+// SpuriousFaults reports how many benign refaults the page-fault handler
+// absorbed — faults whose PTE already permitted the access, the signature
+// of a stale TLB entry or a double-delivered trap.
+func (k *Kernel) SpuriousFaults() uint64 { return k.spurious }
+
+// MachineCheck records a contained host-level fault (allocator misuse, a
+// recovered panic) as an EvMachineCheck event. A nil err is ignored so
+// call sites can wrap fallible calls without branching.
+func (k *Kernel) MachineCheck(origin string, err error) {
+	if err == nil {
+		return
+	}
+	k.Emit(Event{Kind: EvMachineCheck, Text: origin + ": " + err.Error()})
+}
+
+// Processes returns every process (alive or dead) in ascending PID order —
+// the deterministic walk the invariant auditor needs.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
 }
 
 // EventsOf filters events by kind.

@@ -952,3 +952,49 @@ child_b:
 		t.Fatalf("status=%d", status)
 	}
 }
+
+// panicProtector simulates a protection-engine bug: every page fault
+// panics. Run must contain it and report ReasonInternalError instead of
+// crashing the host.
+type panicProtector struct{ Unprotected }
+
+func (panicProtector) HandleFault(*Kernel, *Process, uint32, uint32) FaultVerdict {
+	panic("injected protector bug")
+}
+
+func TestRunContainsProtectorPanic(t *testing.T) {
+	k := newKernel(t, Config{Protector: panicProtector{}})
+	// A store into the read-only text segment is a protection violation the
+	// generic handlers decline, so it lands in the broken protector's
+	// second-chance hook.
+	spawn(t, k, `
+_start:
+    mov ecx, 0x08048000
+    store [ecx], eax
+`, "victim")
+	res := k.Run(1_000_000)
+	if res.Reason != ReasonInternalError {
+		t.Fatalf("reason=%v, want ReasonInternalError", res.Reason)
+	}
+	if !strings.Contains(res.Panic, "injected protector bug") {
+		t.Fatalf("panic value %q", res.Panic)
+	}
+	if !strings.Contains(res.Stack, "HandleFault") {
+		t.Fatal("stack trace missing the panicking frame")
+	}
+	evs := k.EventsOf(EvMachineCheck)
+	if len(evs) == 0 || !strings.Contains(evs[0].Text, "injected protector bug") {
+		t.Fatalf("no machine-check event for the contained panic: %v", evs)
+	}
+}
+
+func TestSpuriousFaultAbsorbed(t *testing.T) {
+	k := newKernel(t, Config{})
+	spawn(t, k, exitSrc, "exit5")
+	if res := k.Run(0); res.Reason != ReasonAllDone {
+		t.Fatalf("reason=%v", res.Reason)
+	}
+	if k.SpuriousFaults() != 0 {
+		t.Fatalf("clean run absorbed %d spurious faults", k.SpuriousFaults())
+	}
+}

@@ -332,6 +332,11 @@ func (k *Kernel) fork(parent *Process) (*Process, error) {
 	}
 	child.RecoveryHandler = parent.RecoveryHandler
 	child.initialSP = parent.initialSP
+	// The fork syscall can itself be the single-stepped instruction of an
+	// in-flight instruction-TLB load; the child inherits TF through Ctx, so
+	// it must inherit the pending-load bookkeeping that explains it.
+	child.PendingSplit = parent.PendingSplit
+	child.PendingSplitValid = parent.PendingSplitValid
 	k.nextPID++
 	for i := range child.regions {
 		if child.regions[i].Name == "heap" {

@@ -1,6 +1,11 @@
 package kernel
 
-import "splitmem/internal/cpu"
+import (
+	"fmt"
+	"runtime/debug"
+
+	"splitmem/internal/cpu"
+)
 
 // StopReason explains why Kernel.Run returned control to the host.
 type StopReason int
@@ -17,6 +22,10 @@ const (
 	// ReasonDeadlock: live processes remain but none can ever run again
 	// (e.g. all blocked on pipes with no writer).
 	ReasonDeadlock
+	// ReasonInternalError: a simulator bug panicked inside Run; the panic
+	// was contained and converted to this result instead of crashing the
+	// host. RunResult.Panic and RunResult.Stack carry the evidence.
+	ReasonInternalError
 )
 
 // String names the stop reason.
@@ -30,6 +39,8 @@ func (r StopReason) String() string {
 		return "budget"
 	case ReasonDeadlock:
 		return "deadlock"
+	case ReasonInternalError:
+		return "internal-error"
 	}
 	return "unknown"
 }
@@ -38,14 +49,31 @@ func (r StopReason) String() string {
 type RunResult struct {
 	Reason StopReason
 	Cycles uint64 // cycles consumed by this Run call
+	Panic  string // ReasonInternalError only: the recovered panic value
+	Stack  string // ReasonInternalError only: the host stack trace
+	Trace  string // ReasonInternalError only: guest instruction trace tail, if recorded
 }
 
 // Run drives the scheduler until every process finishes, everyone is
 // waiting on host input, or maxCycles simulated cycles elapse (0 = no
 // budget). It is the host's "power button": drivers alternate between Run
 // and feeding process stdin.
-func (k *Kernel) Run(maxCycles uint64) RunResult {
+func (k *Kernel) Run(maxCycles uint64) (res RunResult) {
 	start := k.m.Cycles
+	// Host panic containment: a simulator bug must never crash the embedding
+	// process. The panic is logged as a machine check and reported through
+	// the normal RunResult channel.
+	defer func() {
+		if r := recover(); r != nil {
+			res = RunResult{
+				Reason: ReasonInternalError,
+				Cycles: k.m.Cycles - start,
+				Panic:  fmt.Sprint(r),
+				Stack:  string(debug.Stack()),
+			}
+			k.Emit(Event{Kind: EvMachineCheck, Text: "panic: " + res.Panic})
+		}
+	}()
 	deadline := ^uint64(0)
 	if maxCycles > 0 {
 		deadline = start + maxCycles
@@ -64,6 +92,12 @@ func (k *Kernel) Run(maxCycles uint64) RunResult {
 		}
 		for p.state == stateRunnable && k.m.Cycles < sliceEnd {
 			if k.m.Step() == cpu.StepStopped {
+				break
+			}
+			// Chaos: forced timeslice expiry, checked only after the process
+			// has made at least one step of progress so a high Preempt rate
+			// degrades into a context-switch storm, never a livelock.
+			if k.cfg.Chaos != nil && k.cfg.Chaos.ForcePreempt() {
 				break
 			}
 		}

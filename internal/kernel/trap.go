@@ -63,6 +63,21 @@ func (k *Kernel) PageFault(addr uint32, code uint32) cpu.Action {
 	if verdict := k.prot.HandleFault(k, p, addr, code); verdict == FaultHandled {
 		return cpu.ActResume
 	}
+
+	// Benign refault: the PTE as it stands now already permits the faulting
+	// access. That is the signature of a stale TLB entry surviving a
+	// shootdown or of a double-delivered trap (both injected by the chaos
+	// engine, both possible on real SMP hardware); shoot the entry down
+	// again and retry rather than punishing the process.
+	e = p.PT.Get(vpn)
+	if e.Present() && e.User() &&
+		(code&cpu.PFWrite == 0 || e.Writable()) &&
+		(code&cpu.PFFetch == 0 || !(e.NoExec() && k.m.NXEnabled)) {
+		k.m.Invlpg(addr)
+		k.spurious++
+		return cpu.ActResume
+	}
+
 	k.killProcess(p, SIGSEGV, addr)
 	return cpu.ActStop
 }

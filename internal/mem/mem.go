@@ -1,6 +1,13 @@
 // Package mem implements the simulated physical memory: a flat array of
 // 4 KiB frames with a free-list allocator and per-frame reference counts
 // (used by copy-on-write sharing in the kernel).
+//
+// Misuse of the allocator (double free, refcount on an unallocated frame,
+// out-of-range frame access) is contained, never fatal to the host: the
+// offending operation is turned into a FrameError delivered through the
+// FaultHook — the software analogue of a machine-check exception — and the
+// access is redirected to a dedicated poison frame so the simulation can
+// keep running while the kernel reports the event.
 package mem
 
 import "fmt"
@@ -14,6 +21,19 @@ const PageShift = 12
 // PageMask masks the offset within a page.
 const PageMask = PageSize - 1
 
+// FrameError describes a contained physical-memory fault: an allocator or
+// frame access that, before host panic containment, would have crashed the
+// simulator process.
+type FrameError struct {
+	Op    string // "free", "incref", "frame", "read", "write"
+	Frame uint32 // implicated frame number (or address>>PageShift for raw accesses)
+}
+
+// Error implements the error interface.
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("mem: machine check: %s of invalid frame %d", e.Op, e.Frame)
+}
+
 // Physical is the machine's physical memory.
 //
 // Frames are identified by frame number (physical address >> PageShift).
@@ -25,6 +45,12 @@ type Physical struct {
 	free     []uint32 // free-list stack of frame numbers
 	refs     []uint16 // reference count per frame; 0 = free
 	allocCnt uint64   // lifetime allocations, for stats
+	faults   uint64   // contained machine-check faults
+	poison   []byte   // scratch frame returned for out-of-range Frame calls
+
+	// FaultHook, when non-nil, receives every contained memory fault (a
+	// *FrameError). The kernel surfaces these as machine-check events.
+	FaultHook func(error)
 }
 
 // NewPhysical creates a physical memory of the given size, which must be a
@@ -39,6 +65,7 @@ func NewPhysical(size int) (*Physical, error) {
 		nframes: n,
 		refs:    make([]uint16, n),
 		free:    make([]uint32, 0, n-1),
+		poison:  make([]byte, PageSize),
 	}
 	// Push high frames first so allocation order is low-to-high; frame 0 is
 	// reserved.
@@ -61,6 +88,19 @@ func (p *Physical) FreeFrames() int { return len(p.free) }
 // Allocations returns the lifetime number of frame allocations.
 func (p *Physical) Allocations() uint64 { return p.allocCnt }
 
+// Faults returns the lifetime number of contained memory faults.
+func (p *Physical) Faults() uint64 { return p.faults }
+
+// fault records a contained machine-check fault and notifies the hook.
+func (p *Physical) fault(op string, frame uint32) *FrameError {
+	err := &FrameError{Op: op, Frame: frame}
+	p.faults++
+	if p.FaultHook != nil {
+		p.FaultHook(err)
+	}
+	return err
+}
+
 // ErrOutOfMemory is returned when no free frame is available.
 var ErrOutOfMemory = fmt.Errorf("mem: out of physical frames")
 
@@ -77,12 +117,15 @@ func (p *Physical) Alloc() (uint32, error) {
 	return f, nil
 }
 
-// IncRef increments the reference count of an allocated frame.
-func (p *Physical) IncRef(f uint32) {
+// IncRef increments the reference count of an allocated frame. Misuse
+// (frame 0, out of range, or unallocated) is contained: the refcount is left
+// untouched and a FrameError is returned and delivered to the FaultHook.
+func (p *Physical) IncRef(f uint32) error {
 	if f == 0 || f >= p.nframes || p.refs[f] == 0 {
-		panic(fmt.Sprintf("mem: IncRef of unallocated frame %d", f))
+		return p.fault("incref", f)
 	}
 	p.refs[f]++
+	return nil
 }
 
 // RefCount returns the current reference count of frame f.
@@ -94,56 +137,94 @@ func (p *Physical) RefCount(f uint32) int {
 }
 
 // Free decrements the reference count of frame f, returning it to the free
-// list when the count reaches zero.
-func (p *Physical) Free(f uint32) {
+// list when the count reaches zero. A double free or a free of frame 0 is
+// contained the same way IncRef misuse is.
+func (p *Physical) Free(f uint32) error {
 	if f == 0 || f >= p.nframes || p.refs[f] == 0 {
-		panic(fmt.Sprintf("mem: Free of unallocated frame %d", f))
+		return p.fault("free", f)
 	}
 	p.refs[f]--
 	if p.refs[f] == 0 {
 		p.free = append(p.free, f)
 	}
+	return nil
 }
 
 // Frame returns the backing bytes of frame f. The slice aliases physical
-// memory: writes through it are real stores.
+// memory: writes through it are real stores. An out-of-range frame yields
+// the zeroed poison frame (and a machine-check fault) so that callers can
+// never index outside physical memory.
 func (p *Physical) Frame(f uint32) []byte {
 	if f >= p.nframes {
-		panic(fmt.Sprintf("mem: frame %d out of range", f))
+		p.fault("frame", f)
+		clear(p.poison)
+		return p.poison
 	}
 	off := int(f) << PageShift
 	return p.data[off : off+PageSize : off+PageSize]
 }
 
-// Byte returns the byte at physical address pa.
-func (p *Physical) Byte(pa uint32) byte { return p.data[pa] }
+// Byte returns the byte at physical address pa (0 with a contained fault
+// when pa is outside physical memory).
+func (p *Physical) Byte(pa uint32) byte {
+	if int64(pa) >= int64(len(p.data)) {
+		p.fault("read", pa>>PageShift)
+		return 0
+	}
+	return p.data[pa]
+}
 
 // SetByte writes the byte at physical address pa.
-func (p *Physical) SetByte(pa uint32, v byte) { p.data[pa] = v }
+func (p *Physical) SetByte(pa uint32, v byte) {
+	if int64(pa) >= int64(len(p.data)) {
+		p.fault("write", pa>>PageShift)
+		return
+	}
+	p.data[pa] = v
+}
 
 // Read32 reads a little-endian 32-bit word at physical address pa, which may
 // span a frame boundary.
 func (p *Physical) Read32(pa uint32) uint32 {
-	if int(pa)+4 <= len(p.data) && pa&PageMask <= PageSize-4 {
+	if int64(pa)+4 <= int64(len(p.data)) && pa&PageMask <= PageSize-4 {
 		b := p.data[pa:]
 		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 	}
 	var v uint32
 	for i := uint32(0); i < 4; i++ {
-		v |= uint32(p.data[pa+i]) << (8 * i)
+		v |= uint32(p.Byte(pa+i)) << (8 * i)
 	}
 	return v
 }
 
 // Write32 writes a little-endian 32-bit word at physical address pa.
 func (p *Physical) Write32(pa uint32, v uint32) {
-	p.data[pa] = byte(v)
-	p.data[pa+1] = byte(v >> 8)
-	p.data[pa+2] = byte(v >> 16)
-	p.data[pa+3] = byte(v >> 24)
+	if int64(pa)+4 <= int64(len(p.data)) {
+		p.data[pa] = byte(v)
+		p.data[pa+1] = byte(v >> 8)
+		p.data[pa+2] = byte(v >> 16)
+		p.data[pa+3] = byte(v >> 24)
+		return
+	}
+	for i := uint32(0); i < 4; i++ {
+		p.SetByte(pa+i, byte(v>>(8*i)))
+	}
 }
 
 // CopyFrame copies the contents of frame src into frame dst.
 func (p *Physical) CopyFrame(dst, src uint32) {
 	copy(p.Frame(dst), p.Frame(src))
+}
+
+// FlipBit flips one bit of an allocated frame — the chaos engine's model of
+// a DRAM single-bit upset. bit indexes into the frame (0 ..
+// PageSize*8-1). Flips of unallocated or reserved frames are refused so the
+// injector only corrupts memory that is actually in use.
+func (p *Physical) FlipBit(f uint32, bit uint32) bool {
+	if f == 0 || f >= p.nframes || p.refs[f] == 0 {
+		return false
+	}
+	bit %= PageSize * 8
+	p.data[int(f)<<PageShift+int(bit>>3)] ^= 1 << (bit & 7)
+	return true
 }

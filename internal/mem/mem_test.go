@@ -93,21 +93,72 @@ func TestRefcounts(t *testing.T) {
 	}
 }
 
-func TestRefcountPanics(t *testing.T) {
+func TestRefcountMisuseContained(t *testing.T) {
 	p, _ := NewPhysical(4 * PageSize)
-	for name, fn := range map[string]func(){
-		"free unallocated":   func() { p.Free(2) },
-		"incref unallocated": func() { p.IncRef(2) },
-		"free frame 0":       func() { p.Free(0) },
+	var hooked []error
+	p.FaultHook = func(err error) { hooked = append(hooked, err) }
+	for name, fn := range map[string]func() error{
+		"free unallocated":   func() error { return p.Free(2) },
+		"incref unallocated": func() error { return p.IncRef(2) },
+		"free frame 0":       func() error { return p.Free(0) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
-		}()
+		err := fn()
+		if err == nil {
+			t.Errorf("%s: expected FrameError", name)
+			continue
+		}
+		if _, ok := err.(*FrameError); !ok {
+			t.Errorf("%s: got %T, want *FrameError", name, err)
+		}
+	}
+	if p.Faults() != 3 || len(hooked) != 3 {
+		t.Fatalf("faults=%d hooked=%d, want 3 each", p.Faults(), len(hooked))
+	}
+	// Misuse must not disturb allocator state.
+	if p.RefCount(0) != 1 || p.RefCount(2) != 0 {
+		t.Fatal("refcounts disturbed by contained misuse")
+	}
+}
+
+func TestPoisonFrameContainment(t *testing.T) {
+	p, _ := NewPhysical(4 * PageSize)
+	fr := p.Frame(99) // out of range
+	if len(fr) != PageSize {
+		t.Fatalf("poison frame len=%d", len(fr))
+	}
+	fr[0] = 0xFF // writable scratch; must not touch real memory
+	if p.Byte(0) != 0 {
+		t.Fatal("poison write leaked into frame 0")
+	}
+	if got := p.Byte(uint32(p.Size())); got != 0 {
+		t.Fatalf("out-of-range Byte=%#x, want 0", got)
+	}
+	p.SetByte(uint32(p.Size()), 0xAB) // must be a no-op
+	if p.Faults() < 3 {
+		t.Fatalf("faults=%d, want >=3", p.Faults())
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	p, _ := NewPhysical(4 * PageSize)
+	f, _ := p.Alloc()
+	if !p.FlipBit(f, 13) {
+		t.Fatal("FlipBit refused an allocated frame")
+	}
+	if p.Frame(f)[1] != 1<<5 {
+		t.Fatalf("byte 1 = %#x after flipping bit 13", p.Frame(f)[1])
+	}
+	if !p.FlipBit(f, 13) || p.Frame(f)[1] != 0 {
+		t.Fatal("second flip did not restore the bit")
+	}
+	if p.FlipBit(0, 0) {
+		t.Fatal("FlipBit accepted reserved frame 0")
+	}
+	if p.FlipBit(3, 0) {
+		t.Fatal("FlipBit accepted an unallocated frame")
+	}
+	if p.FlipBit(1000, 0) {
+		t.Fatal("FlipBit accepted an out-of-range frame")
 	}
 }
 

@@ -108,6 +108,68 @@ func (t *TLB) Insert(vpn uint32, e Entry) {
 	t.index[vpn] = vi
 }
 
+// Range calls fn for every valid entry in slot order (a deterministic
+// order, unlike Go map iteration) until fn returns false. It does not touch
+// LRU state or statistics; the invariant auditor and the chaos injector use
+// it to walk the array the way a hardware debug port would.
+func (t *TLB) Range(fn func(vpn uint32, e Entry) bool) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.valid {
+			continue
+		}
+		if !fn(s.vpn, s.entry) {
+			return
+		}
+	}
+}
+
+// EvictNth invalidates the n-th valid entry in slot order and returns its
+// vpn. It models a spurious hardware eviction (chaos fault injection);
+// nothing in the normal machine calls it.
+func (t *TLB) EvictNth(n int) (uint32, bool) {
+	if n < 0 {
+		return 0, false
+	}
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.valid {
+			continue
+		}
+		if n == 0 {
+			vpn := s.vpn
+			s.valid = false
+			delete(t.index, vpn)
+			t.evictions++
+			return vpn, true
+		}
+		n--
+	}
+	return 0, false
+}
+
+// FlushRetaining flushes the TLB but asks retain, per valid entry, whether
+// that entry (incorrectly) survives — the stale-entry-retention hardware
+// fault the chaos engine injects to model broken TLB shootdowns. A nil
+// retain behaves exactly like Flush. Returns the number of retained entries.
+func (t *TLB) FlushRetaining(retain func(vpn uint32) bool) int {
+	kept := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.valid {
+			continue
+		}
+		if retain != nil && retain(s.vpn) {
+			kept++
+			continue
+		}
+		s.valid = false
+		delete(t.index, s.vpn)
+	}
+	t.flushes++
+	return kept
+}
+
 // Invalidate drops any cached translation for vpn (the invlpg operation
 // targets both TLBs; the machine calls this on each).
 func (t *TLB) Invalidate(vpn uint32) {

@@ -5,6 +5,8 @@ package splitmem_test
 // scenario, deterministic event streams.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -12,6 +14,42 @@ import (
 	"splitmem"
 	"splitmem/internal/attacks"
 )
+
+// validStop asserts Run returned one of the orderly stop reasons —
+// anything else (ReasonInternalError, a zero value) means the kernel lost
+// control of the simulation.
+func validStop(t *testing.T, res splitmem.RunResult) {
+	t.Helper()
+	switch res.Reason {
+	case splitmem.ReasonAllDone, splitmem.ReasonWaitingInput,
+		splitmem.ReasonBudget, splitmem.ReasonDeadlock:
+	case splitmem.ReasonInternalError:
+		t.Fatalf("kernel panicked: %s\n%s", res.Panic, res.Stack)
+	default:
+		t.Fatalf("invalid stop reason %v", res.Reason)
+	}
+}
+
+// wellFormedLog asserts the event log renders as parseable JSON Lines.
+func wellFormedLog(t *testing.T, m *splitmem.Machine) {
+	t.Helper()
+	raw, err := m.EventsJSONL()
+	if err != nil {
+		t.Fatalf("EventsJSONL: %v", err)
+	}
+	for i, line := range bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("event log line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if _, ok := ev["kind"]; !ok {
+			t.Fatalf("event log line %d has no kind: %s", i, line)
+		}
+	}
+}
 
 // TestRandomCodeNeverPanics: execute pages of random bytes under every
 // protection. The guest may crash (that is the point of the machine's fault
@@ -39,7 +77,7 @@ func TestRandomCodeNeverPanics(t *testing.T) {
 			}
 		}
 		prot := prots[trial%len(prots)]
-		m, err := splitmem.New(splitmem.Config{Protection: prot, Seed: int64(trial)})
+		m, err := splitmem.New(splitmem.Config{Protection: prot, Seed: int64(trial), Paranoid: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,8 +87,19 @@ func TestRandomCodeNeverPanics(t *testing.T) {
 		}
 		p.StdinClose()
 		res := m.Run(2_000_000) // random code may loop; budget it
-		_ = res
-		_ = p.Alive()
+		validStop(t, res)
+		wellFormedLog(t, m)
+		if n := len(m.EventsOf(splitmem.EvInvariantViolation)); n != 0 {
+			t.Fatalf("trial %d (%v): %d invariant violations", trial, prot, n)
+		}
+		// The guest either ran out of budget still alive or reached a
+		// definite fate; Alive and Killed/Exited must agree.
+		killed, _ := p.Killed()
+		exited, _ := p.Exited()
+		if p.Alive() == (killed || exited) {
+			t.Fatalf("trial %d: inconsistent process state alive=%v killed=%v exited=%v",
+				trial, p.Alive(), killed, exited)
+		}
 	}
 }
 
@@ -67,13 +116,16 @@ func TestScenarioMatrix(t *testing.T) {
 			for _, resp := range responses {
 				name := fmt.Sprintf("%s/%v/%v", sc.Key, prot, resp)
 				t.Run(name, func(t *testing.T) {
-					cfg := splitmem.Config{Protection: prot, Response: resp}
+					cfg := splitmem.Config{Protection: prot, Response: resp, Paranoid: true}
 					if resp == splitmem.Forensics {
 						cfg.ForensicShellcode = splitmem.ExitShellcode()
 					}
 					r, err := attacks.RunScenario(sc.Key, cfg)
 					if err != nil {
 						t.Fatal(err)
+					}
+					if r.InvariantViolations != 0 {
+						t.Fatalf("%d invariant violations under paranoid audit", r.InvariantViolations)
 					}
 					switch prot {
 					case splitmem.ProtNone:
@@ -104,23 +156,41 @@ func TestScenarioMatrix(t *testing.T) {
 }
 
 // TestDeterminism: two identical runs of a nontrivial attack produce
-// identical cycle counts and event streams (the whole simulator is
-// deterministic by construction).
+// byte-identical event streams and identical final statistics (the whole
+// simulator, chaos engine included, is deterministic by construction).
 func TestDeterminism(t *testing.T) {
-	run := func() (uint64, string) {
-		r, err := attacks.RunScenario("miniwuftp", splitmem.Config{
+	for _, tc := range []struct {
+		name string
+		cfg  splitmem.Config
+	}{
+		{"forensics", splitmem.Config{
 			Protection: splitmem.ProtSplit, Response: splitmem.Forensics,
 			ForensicShellcode: splitmem.ExitShellcode(),
+		}},
+		{"paranoid-chaos", splitmem.Config{
+			Protection: splitmem.ProtSplit, Response: splitmem.Break,
+			Paranoid: true, Chaos: splitmem.ChaosDefaults(),
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() attacks.Result {
+				r, err := attacks.RunScenario("miniwuftp", tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			r1, r2 := run(), run()
+			if r1.Output != r2.Output {
+				t.Fatalf("divergent output:\n%q\nvs\n%q", r1.Output, r2.Output)
+			}
+			if !bytes.Equal(r1.EventsJSONL, r2.EventsJSONL) {
+				t.Fatalf("divergent event streams:\n%s\nvs\n%s", r1.EventsJSONL, r2.EventsJSONL)
+			}
+			if r1.Stats != r2.Stats {
+				t.Fatalf("divergent final stats:\n%+v\nvs\n%+v", r1.Stats, r2.Stats)
+			}
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return uint64(len(r.Output)), r.Output
-	}
-	n1, o1 := run()
-	n2, o2 := run()
-	if n1 != n2 || o1 != o2 {
-		t.Fatalf("nondeterministic runs:\n%q\nvs\n%q", o1, o2)
 	}
 }
 
@@ -132,10 +202,10 @@ func TestDifferentialTransparency(t *testing.T) {
 	configs := []splitmem.Config{
 		{Protection: splitmem.ProtNone},
 		{Protection: splitmem.ProtNX},
-		{Protection: splitmem.ProtSplit},
-		{Protection: splitmem.ProtSplit, SoftTLB: true},
-		{Protection: splitmem.ProtSplit, LazyTwins: true},
-		{Protection: splitmem.ProtSplitNX, SplitFraction: 0.5, Seed: 3},
+		{Protection: splitmem.ProtSplit, Paranoid: true},
+		{Protection: splitmem.ProtSplit, SoftTLB: true, Paranoid: true},
+		{Protection: splitmem.ProtSplit, LazyTwins: true, Paranoid: true},
+		{Protection: splitmem.ProtSplitNX, SplitFraction: 0.5, Seed: 3, Paranoid: true},
 	}
 	rng := rand.New(rand.NewSource(4242))
 	ops := []string{
@@ -187,6 +257,9 @@ scratch: .space 64
 			res := m.Run(10_000_000)
 			if res.Reason != splitmem.ReasonAllDone {
 				t.Fatalf("trial %d cfg %+v: %v", trial, cfg, res.Reason)
+			}
+			if n := len(m.EventsOf(splitmem.EvInvariantViolation)); n != 0 {
+				t.Fatalf("trial %d cfg %+v: %d invariant violations", trial, cfg, n)
 			}
 			exited, status := p.Exited()
 			if !exited {

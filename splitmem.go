@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"splitmem/internal/asm"
+	"splitmem/internal/chaos"
 	"splitmem/internal/core"
 	"splitmem/internal/cpu"
 	"splitmem/internal/isa"
@@ -60,7 +61,14 @@ type (
 	StopReason = kernel.StopReason
 	// SplitStats counts split-engine activity.
 	SplitStats = core.Stats
+	// ChaosConfig sets per-fault-class injection rates for the chaos engine.
+	ChaosConfig = chaos.Config
+	// ChaosStats counts injected faults by class.
+	ChaosStats = chaos.Stats
 )
+
+// ChaosDefaults returns the default per-class chaos injection rates.
+func ChaosDefaults() ChaosConfig { return chaos.Defaults() }
 
 // Re-exported constants.
 const (
@@ -83,8 +91,10 @@ const (
 	EvInjectionObserved = kernel.EvInjectionObserved
 	EvForensicDump      = kernel.EvForensicDump
 	EvShellSpawned      = kernel.EvShellSpawned
-	EvSebekLine         = kernel.EvSebekLine
-	EvLibraryLoad       = kernel.EvLibraryLoad
+	EvSebekLine          = kernel.EvSebekLine
+	EvLibraryLoad        = kernel.EvLibraryLoad
+	EvInvariantViolation = kernel.EvInvariantViolation
+	EvMachineCheck       = kernel.EvMachineCheck
 
 	// Signals.
 	SIGSEGV = kernel.SIGSEGV
@@ -92,10 +102,11 @@ const (
 	SIGFPE  = kernel.SIGFPE
 
 	// Run stop reasons.
-	ReasonAllDone      = kernel.ReasonAllDone
-	ReasonWaitingInput = kernel.ReasonWaitingInput
-	ReasonBudget       = kernel.ReasonBudget
-	ReasonDeadlock     = kernel.ReasonDeadlock
+	ReasonAllDone       = kernel.ReasonAllDone
+	ReasonWaitingInput  = kernel.ReasonWaitingInput
+	ReasonBudget        = kernel.ReasonBudget
+	ReasonDeadlock      = kernel.ReasonDeadlock
+	ReasonInternalError = kernel.ReasonInternalError
 )
 
 // Protection selects the memory-protection policy for a machine.
@@ -152,6 +163,18 @@ type Config struct {
 	// halving the split system's memory overhead.
 	LazyTwins bool
 
+	// Chaos enables deterministic adversarial fault injection (spurious TLB
+	// evictions and flushes, stale-entry retention, spurious debug traps,
+	// double-delivered page faults, DRAM bit flips, forced preemption) at
+	// the configured per-class rates. The zero value injects nothing.
+	Chaos ChaosConfig
+	// Paranoid enables the split engine's invariant auditor: after every
+	// protector entry point the Harvard invariants are re-verified across
+	// both TLBs and all pagetables; violations surface as
+	// EvInvariantViolation events, never a panic. Expensive; meant for
+	// tests and chaos runs.
+	Paranoid bool
+
 	// Machine knobs. Zero values select the paper's testbed defaults
 	// (PIII-600 cost model, 32/64-entry ITLB/DTLB, 64 MiB RAM).
 	CostModel CostModel
@@ -180,6 +203,7 @@ type Machine struct {
 	split  *core.Engine
 	nxEng  *nx.Engine
 	traces *trace.Ring
+	inj    *chaos.Injector
 }
 
 // New builds a machine according to cfg.
@@ -196,6 +220,13 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{cfg: cfg, mach: mach}
+	// The injector is created (and assigned) only when some fault class is
+	// actually enabled: a typed-nil *chaos.Injector in the Chaos interface
+	// field would defeat the machine's `m.Chaos != nil` fast path.
+	if cfg.Chaos.Enabled() {
+		m.inj = chaos.New(cfg.Chaos, mach.Phys)
+		mach.Chaos = m.inj
+	}
 	if cfg.TraceDepth > 0 {
 		m.traces = trace.NewRing(cfg.TraceDepth)
 		mach.TraceHook = func(eip uint32, in isa.Instr) {
@@ -217,6 +248,8 @@ func New(cfg Config) (*Machine, error) {
 			Seed:              uint64(cfg.Seed),
 			SoftTLB:           cfg.SoftTLB,
 			LazyTwins:         cfg.LazyTwins,
+			Paranoid:          cfg.Paranoid,
+			StaleVPN:          m.staleVPN(),
 		})
 		prot = m.split
 	case ProtSplitNX:
@@ -229,13 +262,15 @@ func New(cfg Config) (*Machine, error) {
 			ForensicShellcode: cfg.ForensicShellcode,
 			SoftTLB:           cfg.SoftTLB,
 			LazyTwins:         cfg.LazyTwins,
+			Paranoid:          cfg.Paranoid,
+			StaleVPN:          m.staleVPN(),
 		})
 		prot = m.split
 	default:
 		return nil, fmt.Errorf("splitmem: unknown protection %d", cfg.Protection)
 	}
 
-	kern, err := kernel.New(kernel.Config{
+	kcfg := kernel.Config{
 		Machine:        mach,
 		Protector:      prot,
 		Timeslice:      cfg.Timeslice,
@@ -243,12 +278,25 @@ func New(cfg Config) (*Machine, error) {
 		RandSeed:       cfg.Seed,
 		TraceSyscalls:  cfg.TraceSyscalls,
 		EventHook:      cfg.EventHook,
-	})
+	}
+	if m.inj != nil {
+		kcfg.Chaos = m.inj
+	}
+	kern, err := kernel.New(kcfg)
 	if err != nil {
 		return nil, err
 	}
 	m.kern = kern
 	return m, nil
+}
+
+// staleVPN returns the auditor's chaos-attribution query, or nil when no
+// injector is active.
+func (m *Machine) staleVPN() func(uint32) bool {
+	if m.inj == nil {
+		return nil
+	}
+	return m.inj.StaleVPN
 }
 
 // MustNew is New for known-good configurations; it panics on error.
@@ -298,8 +346,16 @@ func (m *Machine) LoadBinary(image []byte, name string) (*Process, error) {
 }
 
 // Run drives the scheduler; maxCycles 0 means no budget. See
-// kernel.Kernel.Run for the contract.
-func (m *Machine) Run(maxCycles uint64) RunResult { return m.kern.Run(maxCycles) }
+// kernel.Kernel.Run for the contract. A simulator bug that panics inside
+// the kernel is contained: Run reports ReasonInternalError with the panic
+// value, host stack, and (when TraceDepth is set) the guest trace tail.
+func (m *Machine) Run(maxCycles uint64) RunResult {
+	res := m.kern.Run(maxCycles)
+	if res.Reason == ReasonInternalError {
+		res.Trace = m.TraceTail()
+	}
+	return res
+}
 
 // Cycles returns total simulated cycles elapsed.
 func (m *Machine) Cycles() uint64 { return m.mach.Cycles }
@@ -326,9 +382,12 @@ type Stats struct {
 	ITLBMisses   uint64
 	DTLBHits     uint64
 	DTLBMisses   uint64
-	Syscalls     uint64
-	KernelFaults uint64     // demand-paging + copy-on-write faults
-	Split        SplitStats // zero when no split engine is active
+	Syscalls       uint64
+	KernelFaults   uint64     // demand-paging + copy-on-write faults
+	SpuriousFaults uint64     // benign refaults absorbed (stale TLB, double delivery)
+	MemFaults      uint64     // contained physical-memory machine checks
+	Split          SplitStats // zero when no split engine is active
+	Chaos          ChaosStats // zero when no chaos injection is configured
 }
 
 // Stats snapshots current counters.
@@ -343,8 +402,13 @@ func (m *Machine) Stats() Stats {
 	s.ITLBHits, s.ITLBMisses, _, _ = m.mach.ITLB.Stats()
 	s.DTLBHits, s.DTLBMisses, _, _ = m.mach.DTLB.Stats()
 	s.Syscalls, s.KernelFaults, _ = m.kern.Counters()
+	s.SpuriousFaults = m.kern.SpuriousFaults()
+	s.MemFaults = m.mach.Phys.Faults()
 	if m.split != nil {
 		s.Split = m.split.Stats()
+	}
+	if m.inj != nil {
+		s.Chaos = m.inj.Stats()
 	}
 	return s
 }
