@@ -308,3 +308,51 @@ loop:
 		}
 	}
 }
+
+// BenchmarkTelemetryOnOff compares simulator throughput with the telemetry
+// hub disabled (the default) and enabled, under the split engine. The
+// disabled sub-benchmark is the guarded configuration: its per-op cost must
+// track BenchmarkSimulator since every instrument call site short-circuits
+// on a nil check.
+func BenchmarkTelemetryOnOff(b *testing.B) {
+	src := `
+_start:
+    mov ecx, 100000
+loop:
+    add eax, 3
+    mul eax, 5
+    dec ecx
+    cmp ecx, 0
+    jnz loop
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				m, err := splitmem.New(splitmem.Config{
+					Protection: splitmem.ProtSplit,
+					Telemetry:  mode.on,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := m.LoadAsm(src, "spin")
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Run(0)
+				if exited, _ := p.Exited(); !exited {
+					b.Fatal("did not finish")
+				}
+				instrs += m.Stats().Instructions
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}

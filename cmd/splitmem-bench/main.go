@@ -4,6 +4,11 @@
 // Usage:
 //
 //	splitmem-bench [-table3] [-fig6] [-fig7] [-fig8] [-fig9] [-all]
+//	               [-json BENCH_results.json]
+//
+// -json additionally writes every table and figure the run produced as one
+// machine-readable JSON document (schema "splitmem-bench/v1", documented in
+// EXPERIMENTS.md) for CI artifacts and plotting scripts.
 package main
 
 import (
@@ -16,19 +21,23 @@ import (
 
 func main() {
 	var (
-		table3 = flag.Bool("table3", false, "print the configuration table")
-		fig6   = flag.Bool("fig6", false, "run the normalized application benchmarks")
-		fig7   = flag.Bool("fig7", false, "run the context-switch stress tests")
-		fig8   = flag.Bool("fig8", false, "run the Apache page-size sweep")
-		fig9   = flag.Bool("fig9", false, "run the fractional-splitting sweep")
-		all    = flag.Bool("all", false, "run everything")
+		table3   = flag.Bool("table3", false, "print the configuration table")
+		fig6     = flag.Bool("fig6", false, "run the normalized application benchmarks")
+		fig7     = flag.Bool("fig7", false, "run the context-switch stress tests")
+		fig8     = flag.Bool("fig8", false, "run the Apache page-size sweep")
+		fig9     = flag.Bool("fig9", false, "run the fractional-splitting sweep")
+		all      = flag.Bool("all", false, "run everything")
+		jsonPath = flag.String("json", "", "also write results as JSON to this file")
 	)
 	flag.Parse()
 	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9) {
 		*all = true
 	}
+	results := bench.NewResults()
 	if *all || *table3 {
-		fmt.Println(bench.Table3().Render())
+		t := bench.Table3()
+		fmt.Println(t.Render())
+		results.AddTable("table3", t)
 	}
 	figs := []struct {
 		on  bool
@@ -50,5 +59,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(fig.Render())
+		results.AddFigure(f.tag, fig)
+	}
+	if *jsonPath != "" {
+		out, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := results.WriteJSON(out); err != nil {
+			out.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

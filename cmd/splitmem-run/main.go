@@ -5,7 +5,13 @@
 // Usage:
 //
 //	splitmem-run [-prot none|nx|split|split+nx] [-response break|observe|forensics]
-//	             [-crt] [-stats] [-events] program.s
+//	             [-crt] [-stats] [-events] [-trace-out run.json] [-metrics-out run.prom]
+//	             program.s
+//
+// -trace-out writes the telemetry spans as Chrome trace_event JSON, loadable
+// in Perfetto (https://ui.perfetto.dev); -metrics-out writes the metrics
+// registry in the Prometheus text format (or JSON Lines when the path ends
+// in .jsonl). Either flag enables telemetry for the run.
 package main
 
 import (
@@ -29,6 +35,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "print the event log as JSON lines on exit")
 		traceN   = flag.Int("trace", 0, "record and print the last N executed instructions")
 		budget   = flag.Uint64("budget", 0, "cycle budget (0 = unlimited)")
+		traceOut = flag.String("trace-out", "", "write telemetry spans as Chrome trace_event JSON (Perfetto) to this file")
+		metrOut  = flag.String("metrics-out", "", "write telemetry metrics (Prometheus text, or JSONL if the path ends in .jsonl) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -38,6 +46,7 @@ func main() {
 
 	cfg := splitmem.Config{}
 	cfg.TraceDepth = *traceN
+	cfg.Telemetry = *traceOut != "" || *metrOut != ""
 	switch *prot {
 	case "none":
 		cfg.Protection = splitmem.ProtNone
@@ -112,6 +121,22 @@ func main() {
 	if *traceN > 0 {
 		fmt.Fprintf(os.Stderr, "--- execution trace (last %d instructions) ---\n%s", *traceN, m.TraceTail())
 	}
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, m.WriteTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metrOut != "" {
+		write := m.WriteMetricsPrometheus
+		if strings.HasSuffix(*metrOut, ".jsonl") {
+			write = m.WriteMetricsJSONL
+		}
+		if err := writeFileWith(*metrOut, write); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *stats {
 		s := m.Stats()
 		fmt.Fprintf(os.Stderr, "cycles=%d instrs=%d pagefaults=%d debugtraps=%d ctxsw=%d\n",
@@ -124,6 +149,24 @@ func main() {
 		}
 	}
 
+	finish(res, p)
+}
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// finish translates the run result into the process exit status.
+func finish(res splitmem.RunResult, p *splitmem.Process) {
 	switch {
 	case res.Reason != splitmem.ReasonAllDone:
 		fmt.Fprintf(os.Stderr, "run stopped: %v\n", res.Reason)

@@ -1,0 +1,98 @@
+// Telemetry: run the quickstart injection against an instrumented machine,
+// print the fault-handling latency profile and split-activity heatmap, and
+// export the episode timeline as Chrome trace_event JSON — open the written
+// trace.json in https://ui.perfetto.dev to see each itlb-load and dtlb-load
+// episode on a per-page track.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+
+	"splitmem"
+)
+
+// victim stores and loads on its stack (data-TLB traffic), then reads
+// attacker bytes into the buffer and jumps into it.
+const victim = `
+_start:
+    sub esp, 1024
+    mov ecx, esp        ; buffer
+    store [esp], ecx
+    load edx, [esp]
+    mov ebx, 0          ; stdin
+    mov edx, 1024
+    mov eax, 3          ; read(0, buffer, 1024)
+    int 0x80
+    jmp ecx             ; hijacked control transfer
+`
+
+func main() {
+	// Probe run to learn where the buffer lands (deterministic layout).
+	probe := splitmem.MustNew(splitmem.Config{Protection: splitmem.ProtNone})
+	pp, err := probe.LoadAsm(victim, "probe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe.Run(0)
+	bufAddr := pp.Ctx.R[1]
+
+	shellcode := []byte{0xBB, 0, 0, 0, 0, 0xB8, 11, 0, 0, 0, 0xCD, 0x80}
+	binary.LittleEndian.PutUint32(shellcode[1:], bufAddr+uint32(len(shellcode)))
+	shellcode = append(shellcode, []byte("/bin/sh\x00")...)
+
+	m := splitmem.MustNew(splitmem.Config{
+		Protection: splitmem.ProtSplit,
+		Response:   splitmem.Observe,
+		Telemetry:  true,
+		TraceDepth: 32,
+	})
+	p, err := m.LoadAsm(victim, "victim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.StdinWrite(shellcode)
+	m.Run(0)
+
+	hub := m.Telemetry()
+	reg := hub.Registry()
+	fmt.Println("fault-handling latency (simulated cycles):")
+	for _, name := range []string{
+		"splitmem_cpu_pf_handler_cycles",
+		"splitmem_split_itlb_load_cycles",
+		"splitmem_split_dtlb_load_cycles",
+		"splitmem_split_tf_roundtrip_cycles",
+	} {
+		h := reg.LookupHistogram(name)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-38s count=%-4d mean=%-7.1f max=%d\n", name, h.Count(), h.Mean(), h.Max())
+	}
+
+	fmt.Println("\nhottest split pages:")
+	if v := reg.LookupCounterVec("splitmem_split_page_loads_total"); v != nil {
+		for _, it := range v.Top(5) {
+			fmt.Printf("  %s  %d TLB loads\n", it.Label, it.Count)
+		}
+	}
+
+	if evs := m.EventsOf(splitmem.EvInjectionDetected); len(evs) > 0 {
+		fmt.Printf("\ninjection detected at %#08x; instructions leading up to it:\n%s",
+			evs[0].Addr, evs[0].Trace)
+	}
+
+	out, err := os.Create("trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.WriteTrace(out); err != nil {
+		log.Fatal(err)
+	}
+	out.Close()
+	fmt.Println("\nwrote trace.json — open it in https://ui.perfetto.dev")
+}

@@ -22,6 +22,7 @@ package chaos
 import (
 	"splitmem/internal/cpu"
 	"splitmem/internal/mem"
+	"splitmem/internal/telemetry"
 )
 
 // Config sets the per-fault-class injection rates. Every rate is a
@@ -110,6 +111,30 @@ var _ cpu.ChaosAgent = (*Injector)(nil)
 
 // Stats snapshots the per-class injection counters.
 func (i *Injector) Stats() Stats { return i.stats }
+
+// RegisterTelemetry registers the per-class injection counters as sampled
+// gauges. Sampling happens at export time; injection paths are untouched.
+func (i *Injector) RegisterTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	for _, m := range []struct {
+		name, help string
+		v          *uint64
+	}{
+		{"splitmem_chaos_itlb_evictions_total", "injected spurious ITLB evictions", &i.stats.ITLBEvictions},
+		{"splitmem_chaos_dtlb_evictions_total", "injected spurious DTLB evictions", &i.stats.DTLBEvictions},
+		{"splitmem_chaos_tlb_flushes_total", "injected full TLB flushes", &i.stats.TLBFlushes},
+		{"splitmem_chaos_stale_retained_total", "TLB shootdowns swallowed (stale entries retained)", &i.stats.StaleRetained},
+		{"splitmem_chaos_spurious_debugs_total", "injected spurious debug traps", &i.stats.SpuriousDebugs},
+		{"splitmem_chaos_double_faults_total", "injected double-delivered page faults", &i.stats.DoubleFaults},
+		{"splitmem_chaos_bit_flips_total", "injected DRAM bit flips", &i.stats.BitFlips},
+		{"splitmem_chaos_preempts_total", "injected forced preemptions", &i.stats.Preempts},
+	} {
+		v := m.v
+		r.GaugeFunc(m.name, m.help, func() float64 { return float64(*v) })
+	}
+}
 
 // next advances the splitmix64 stream.
 func (i *Injector) next() uint64 {

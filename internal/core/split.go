@@ -33,7 +33,9 @@ import (
 	"splitmem/internal/loader"
 	"splitmem/internal/mem"
 	"splitmem/internal/paging"
+	"splitmem/internal/telemetry"
 	"splitmem/internal/tlb"
+	"splitmem/internal/trace"
 )
 
 // ResponseMode selects what happens when injected-code execution is
@@ -113,6 +115,14 @@ type Config struct {
 	// by an injected stale-TLB fault; attributed heals are logged as
 	// machine checks instead of invariant violations.
 	StaleVPN func(vpn uint32) bool
+	// Hub, when non-nil, enables engine telemetry: TLB-load latency
+	// histograms, PTE-flip and detection counters, per-page/per-process
+	// heatmaps, and itlb-load/dtlb-load spans in the hub's span buffer.
+	Hub *telemetry.Hub
+	// TraceRing, when non-nil, is the machine's retired-instruction ring;
+	// observe and forensics detections attach its contents (the last N
+	// instructions leading up to the hijack) to the emitted event.
+	TraceRing *trace.Ring
 	// LazyTwins enables the demand-paged twin allocation §5.1 envisions:
 	// non-executable pages get their code twin only if an instruction
 	// fetch ever touches them, halving the memory overhead for data-heavy
@@ -146,6 +156,12 @@ type Stats struct {
 type Engine struct {
 	cfg   Config
 	stats Stats
+	tel   *engineTel // nil when telemetry is disabled
+
+	// traceScratch is the reusable backing array for retired-instruction
+	// snapshots attached to detection events — one allocation for the
+	// engine's lifetime instead of one per detection.
+	traceScratch []trace.Entry
 }
 
 // New creates a split-memory engine.
@@ -159,7 +175,11 @@ func New(cfg Config) *Engine {
 	if cfg.MixedOnly {
 		cfg.UnsplitNX = true
 	}
-	return &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, tel: newEngineTel(cfg.Hub)}
+	if cfg.TraceRing != nil {
+		e.traceScratch = make([]trace.Entry, 0, cfg.TraceRing.Cap())
+	}
+	return e
 }
 
 // Name implements kernel.Protector.
@@ -181,6 +201,15 @@ type pagePair struct {
 // procState is the engine's per-process table, stored in Process.ProtData.
 type procState struct {
 	pairs map[uint32]*pagePair
+
+	// In-flight instruction-TLB load episode (telemetry only). The span
+	// opens at page-fault entry and closes in HandleDebug after the
+	// re-restriction; pendingFaultExit is the cycle count when the fault
+	// handler returned with TF set, so the #DB entry can measure the
+	// single-step round trip. Per-process, so context switches between
+	// the fault and its #DB keep episodes correctly attributed.
+	pendingSpan      telemetry.SpanID
+	pendingFaultExit uint64
 }
 
 func (e *Engine) state(p *kernel.Process) *procState {
@@ -326,6 +355,10 @@ func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Process, addr uint32, c
 			ent := p.PT.Get(vpn)
 			if ent.Present() && ent.NoExec() {
 				e.stats.Detections++
+				if e.tel != nil {
+					e.tel.detections.Inc()
+					e.tel.spans.Instant("nx-detection", p.PID, vpn, k.Machine().Cycles)
+				}
 				k.Emit(kernel.Event{
 					Kind: kernel.EvInjectionDetected,
 					Addr: addr,
@@ -354,6 +387,7 @@ func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Process, addr uint32, c
 			return kernel.FaultNotMine // OOM: let the kernel kill cleanly
 		}
 	}
+	entryCycles := m.Cycles
 	if e.cfg.SoftTLB {
 		// Software-managed TLBs (§4.7): "the processor's TLBs could be
 		// loaded directly" — one trap, no PTE gymnastics, no single-step.
@@ -362,10 +396,22 @@ func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Process, addr uint32, c
 			entry.Frame = pr.code
 			m.LoadITLB(vpn, entry)
 			e.stats.CodeTLBLoads++
+			if e.tel != nil {
+				id := e.tel.spans.Begin("itlb-load", p.PID, vpn, entryCycles)
+				start, _ := e.tel.spans.End(id, m.Cycles)
+				e.tel.itlbLoadCycles.Observe(m.Cycles - start)
+				e.tel.heat(p.PID, vpn)
+			}
 		} else {
 			entry.Frame = pr.data
 			m.LoadDTLB(vpn, entry)
 			e.stats.DataTLBLoads++
+			if e.tel != nil {
+				id := e.tel.spans.Begin("dtlb-load", p.PID, vpn, entryCycles)
+				start, _ := e.tel.spans.End(id, m.Cycles)
+				e.tel.dtlbLoadCycles.Observe(m.Cycles - start)
+				e.tel.heat(p.PID, vpn)
+			}
 		}
 		return kernel.FaultHandled
 	}
@@ -378,6 +424,14 @@ func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Process, addr uint32, c
 		p.PendingSplit = addr
 		p.PendingSplitValid = true
 		e.stats.CodeTLBLoads++
+		if e.tel != nil {
+			// The episode stays open across the single-step; HandleDebug
+			// closes it after the re-restriction.
+			st.pendingSpan = e.tel.spans.Begin("itlb-load", p.PID, vpn, entryCycles)
+			st.pendingFaultExit = m.Cycles
+			e.tel.pteFlips.Inc() // unrestrict, pointed at the code twin
+			e.tel.heat(p.PID, vpn)
+		}
 		return kernel.FaultHandled
 	}
 
@@ -388,6 +442,13 @@ func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Process, addr uint32, c
 	m.SupervisorTouch(addr)
 	p.PT.Set(vpn, p.PT.Get(vpn).Without(paging.User))
 	e.stats.DataTLBLoads++
+	if e.tel != nil {
+		id := e.tel.spans.Begin("dtlb-load", p.PID, vpn, entryCycles)
+		start, _ := e.tel.spans.End(id, m.Cycles)
+		e.tel.dtlbLoadCycles.Observe(m.Cycles - start)
+		e.tel.pteFlips.Add(2) // unrestrict + re-restrict
+		e.tel.heat(p.PID, vpn)
+	}
 	return kernel.FaultHandled
 }
 
@@ -408,6 +469,18 @@ func (e *Engine) HandleDebug(k *kernel.Kernel, p *kernel.Process) bool {
 	m.Ctx.Flags.TF = false
 
 	st := e.state(p)
+	if e.tel != nil && st.pendingSpan.Valid() {
+		// The single-step round trip is the window between the fault
+		// handler's return (TF set) and this #DB delivery.
+		e.tel.tfRoundTrip.Observe(m.Cycles - st.pendingFaultExit)
+		id := st.pendingSpan
+		st.pendingSpan = telemetry.SpanID{}
+		defer func() {
+			if start, ok := e.tel.spans.End(id, m.Cycles); ok {
+				e.tel.itlbLoadCycles.Observe(m.Cycles - start)
+			}
+		}()
+	}
 	pr, ok := st.pairs[vpn]
 	if !ok {
 		return true
@@ -420,6 +493,9 @@ func (e *Engine) HandleDebug(k *kernel.Kernel, p *kernel.Process) bool {
 	m.DTLB.Invalidate(vpn)
 	m.SupervisorTouch(addr)
 	p.PT.Set(vpn, p.PT.Get(vpn).Without(paging.User))
+	if e.tel != nil {
+		e.tel.pteFlips.Add(2) // repoint-to-data + re-restrict
+	}
 	return true
 }
 
@@ -440,14 +516,19 @@ func (e *Engine) HandleUndefined(k *kernel.Kernel, p *kernel.Process) kernel.UDV
 		return kernel.UDNotMine
 	}
 	e.stats.Detections++
+	if e.tel != nil {
+		e.tel.detections.Inc()
+		e.tel.spans.Instant("injection-detected", p.PID, vpn, m.Cycles)
+	}
 
 	// The injected payload lives on the data twin, starting at EIP (§5.5).
 	dump := e.readTwin(k, pr.data, eip, e.cfg.DumpBytes)
 	k.Emit(kernel.Event{
-		Kind: kernel.EvInjectionDetected,
-		Addr: eip,
-		Data: dump,
-		Text: fmt.Sprintf("attempt to execute injected code at %#08x", eip),
+		Kind:  kernel.EvInjectionDetected,
+		Addr:  eip,
+		Data:  dump,
+		Text:  fmt.Sprintf("attempt to execute injected code at %#08x", eip),
+		Trace: e.retiredTrace(),
 	})
 
 	switch e.cfg.Response {
@@ -508,6 +589,19 @@ func (e *Engine) HandleUndefined(k *kernel.Kernel, p *kernel.Process) kernel.UDV
 	default: // Break
 		return kernel.UDKill
 	}
+}
+
+// retiredTrace renders the machine's retired-instruction ring as a
+// disassembly listing for attachment to a detection event, or "" when no
+// ring is configured. The ring contents are snapshotted into the engine's
+// reusable scratch slice, so the hot detection path allocates only for the
+// final listing string.
+func (e *Engine) retiredTrace() string {
+	if e.cfg.TraceRing == nil {
+		return ""
+	}
+	e.traceScratch = e.cfg.TraceRing.EntriesInto(e.traceScratch[:0])
+	return trace.Listing(e.traceScratch)
 }
 
 // readTwin copies n bytes from a physical twin starting at the page offset

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"splitmem/internal/telemetry"
+)
+
+// engineTel holds the split engine's telemetry instruments. A nil
+// *engineTel disables all instrumentation; every hook below guards on
+// that single pointer so the disabled path costs one branch per
+// protector entry point (which are themselves trap-frequency, never
+// instruction-frequency).
+type engineTel struct {
+	spans *telemetry.SpanBuffer
+
+	// Latency split of the two TLB-load flavors (Algorithm 1 vs.
+	// Algorithm 1+2), in simulated cycles.
+	itlbLoadCycles *telemetry.Histogram // fault → TF → retry → #DB → re-restrict
+	dtlbLoadCycles *telemetry.Histogram // fault → PTE repoint → touch → re-restrict
+	// tfRoundTrip measures only the single-step window: from page-fault
+	// handler return (TF set) to #DB delivery.
+	tfRoundTrip *telemetry.Histogram
+
+	pteFlips   *telemetry.Counter // restrict/unrestrict PTE transitions
+	detections *telemetry.Counter // injected-code executions detected
+
+	// Split activity heatmaps: TLB loads per page and per process.
+	pageLoads *telemetry.CounterVec
+	procLoads *telemetry.CounterVec
+}
+
+// newEngineTel registers the engine's instruments into the hub, or
+// returns nil when telemetry is disabled.
+func newEngineTel(h *telemetry.Hub) *engineTel {
+	if h == nil {
+		return nil
+	}
+	r := h.Registry()
+	return &engineTel{
+		spans: h.Spans(),
+		itlbLoadCycles: r.Histogram("splitmem_split_itlb_load_cycles",
+			"instruction-TLB load episode latency in simulated cycles (fault to post-#DB re-restrict)", nil),
+		dtlbLoadCycles: r.Histogram("splitmem_split_dtlb_load_cycles",
+			"data-TLB load episode latency in simulated cycles (fault to re-restrict)", nil),
+		tfRoundTrip: r.Histogram("splitmem_split_tf_roundtrip_cycles",
+			"trap-flag single-step round trip in simulated cycles (fault return to #DB delivery)", nil),
+		pteFlips: r.Counter("splitmem_split_pte_flips_total",
+			"restrict/unrestrict pagetable-entry transitions performed by the engine"),
+		detections: r.Counter("splitmem_split_detections_total",
+			"injected-code executions detected"),
+		pageLoads: r.CounterVec("splitmem_split_page_loads_total",
+			"split-engine TLB loads per protected page", "page"),
+		procLoads: r.CounterVec("splitmem_split_proc_loads_total",
+			"split-engine TLB loads per process", "pid"),
+	}
+}
+
+// heat charges one TLB load to the per-page and per-process heatmaps.
+func (t *engineTel) heat(pid int, vpn uint32) {
+	t.pageLoads.Add(pageLabel(vpn), 1)
+	t.procLoads.Add(fmt.Sprintf("%d", pid), 1)
+}
+
+// pageLabel renders a vpn as the page base address heatmap label.
+func pageLabel(vpn uint32) string { return fmt.Sprintf("0x%08x", vpn<<12) }

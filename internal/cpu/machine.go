@@ -14,6 +14,7 @@ import (
 	"splitmem/internal/isa"
 	"splitmem/internal/mem"
 	"splitmem/internal/paging"
+	"splitmem/internal/telemetry"
 	"splitmem/internal/tlb"
 )
 
@@ -180,8 +181,56 @@ type Machine struct {
 	// the architectural chaos points (see ChaosAgent).
 	Chaos ChaosAgent
 
+	// Tel holds the machine's telemetry instruments; nil (the default)
+	// disables instrumentation at the cost of one pointer check on the
+	// trap paths only — never on the instruction hot loop.
+	Tel *Telemetry
+
 	pt      *paging.Table
 	handler TrapHandler
+}
+
+// Telemetry is the set of metric instruments the machine feeds when
+// telemetry is enabled (see RegisterTelemetry). The latency histograms
+// measure simulated cycles consumed inside the software trap handlers —
+// the per-fault overhead the paper's evaluation reasons about.
+type Telemetry struct {
+	// PFHandlerCycles is the per-page-fault handling latency: cycles from
+	// trap delivery to handler return, covering kernel bookkeeping and
+	// any split-engine work (PTE flips, twin fills, TLB touches).
+	PFHandlerCycles *telemetry.Histogram
+	// DBHandlerCycles is the per-debug-trap (#DB) handling latency.
+	DBHandlerCycles *telemetry.Histogram
+}
+
+// RegisterTelemetry creates the machine's instruments in r and registers
+// sampled gauges for the counters the machine already maintains. Passing
+// a nil registry leaves telemetry disabled.
+func (m *Machine) RegisterTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	m.Tel = &Telemetry{
+		PFHandlerCycles: r.Histogram("splitmem_cpu_pf_handler_cycles",
+			"page-fault handling latency in simulated cycles (trap delivery to handler return)", nil),
+		DBHandlerCycles: r.Histogram("splitmem_cpu_db_handler_cycles",
+			"debug-trap (#DB) handling latency in simulated cycles", nil),
+	}
+	r.GaugeFunc("splitmem_cpu_cycles_total", "simulated cycles elapsed",
+		func() float64 { return float64(m.Cycles) })
+	r.GaugeFunc("splitmem_cpu_instructions_total", "instructions retired",
+		func() float64 { return float64(m.Stats.Instructions) })
+	r.GaugeFunc("splitmem_cpu_page_faults_total", "page faults raised",
+		func() float64 { return float64(m.Stats.PageFaults) })
+	r.GaugeFunc("splitmem_cpu_debug_traps_total", "debug traps raised",
+		func() float64 { return float64(m.Stats.DebugTraps) })
+	r.GaugeFunc("splitmem_cpu_undefined_total", "undefined-opcode traps raised",
+		func() float64 { return float64(m.Stats.Undefined) })
+	r.GaugeFunc("splitmem_cpu_ctx_switches_total", "scheduler context switches",
+		func() float64 { return float64(m.Stats.CtxSwitches) })
+	m.ITLB.RegisterTelemetry(r, "splitmem_itlb")
+	m.DTLB.RegisterTelemetry(r, "splitmem_dtlb")
+	m.Phys.RegisterTelemetry(r)
 }
 
 // Config configures a new Machine.

@@ -62,42 +62,61 @@ func (m *Machine) Step() StepResult {
 	}
 	if tfAtStart {
 		// Single-step trap fires after the instruction completes.
-		m.Cycles += m.Cost.DebugTrap
-		m.Stats.DebugTraps++
-		if m.handler.DebugTrap() == ActStop {
+		if m.raiseDB() == ActStop {
 			return StepStopped
 		}
 	} else if m.Chaos != nil && m.Chaos.SpuriousDebugTrap() {
 		// Injected fault: a #DB the split engine never asked for. The
 		// kernel must tolerate debug interrupts with no load in flight.
-		m.Cycles += m.Cost.DebugTrap
-		m.Stats.DebugTraps++
-		if m.handler.DebugTrap() == ActStop {
+		if m.raiseDB() == ActStop {
 			return StepStopped
 		}
 	}
 	return StepOK
 }
 
+// raiseDB delivers a debug trap to the handler, charging the trap cost
+// and recording the handler latency when telemetry is enabled.
+func (m *Machine) raiseDB() Action {
+	m.Cycles += m.Cost.DebugTrap
+	m.Stats.DebugTraps++
+	if m.Tel == nil {
+		return m.handler.DebugTrap()
+	}
+	start := m.Cycles
+	act := m.handler.DebugTrap()
+	m.Tel.DBHandlerCycles.Observe(m.Cycles - start)
+	return act
+}
+
 func (m *Machine) raisePF(pf *PageFault) StepResult {
-	m.CR2 = pf.Addr
-	m.Cycles += m.Cost.Trap
-	m.Stats.PageFaults++
-	if m.handler.PageFault(pf.Addr, pf.Code) == ActStop {
+	if m.deliverPF(pf) == ActStop {
 		return StepStopped
 	}
 	if m.Chaos != nil && m.Chaos.DoubleFault() {
 		// Injected fault: the same #PF is delivered a second time after the
 		// handler already resolved it. Handlers must be idempotent (the
 		// benign-refault path in the kernel absorbs the re-delivery).
-		m.CR2 = pf.Addr
-		m.Cycles += m.Cost.Trap
-		m.Stats.PageFaults++
-		if m.handler.PageFault(pf.Addr, pf.Code) == ActStop {
+		if m.deliverPF(pf) == ActStop {
 			return StepStopped
 		}
 	}
 	return StepOK
+}
+
+// deliverPF dispatches one page fault to the handler, charging the trap
+// cost and recording the handler latency when telemetry is enabled.
+func (m *Machine) deliverPF(pf *PageFault) Action {
+	m.CR2 = pf.Addr
+	m.Cycles += m.Cost.Trap
+	m.Stats.PageFaults++
+	if m.Tel == nil {
+		return m.handler.PageFault(pf.Addr, pf.Code)
+	}
+	start := m.Cycles
+	act := m.handler.PageFault(pf.Addr, pf.Code)
+	m.Tel.PFHandlerCycles.Observe(m.Cycles - start)
+	return act
 }
 
 // fetch reads and decodes the instruction at EIP. undef is true when the

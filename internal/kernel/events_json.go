@@ -20,7 +20,8 @@ type eventJSON struct {
 	Addr   string `json:"addr,omitempty"`
 	Signal string `json:"signal,omitempty"`
 	Text   string `json:"text,omitempty"`
-	Data   string `json:"data,omitempty"` // hex
+	Data   string `json:"data,omitempty"`  // hex
+	Trace  string `json:"trace,omitempty"` // retired-instruction listing
 }
 
 // MarshalJSON renders the event with a stable, human-auditable schema:
@@ -32,6 +33,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Proc:   e.Proc,
 		Cycles: e.Cycles,
 		Text:   e.Text,
+		Trace:  e.Trace,
 	}
 	if e.Addr != 0 {
 		out.Addr = fmt.Sprintf("0x%08x", e.Addr)
@@ -43,6 +45,60 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		out.Data = hex.EncodeToString(e.Data)
 	}
 	return json.Marshal(out)
+}
+
+// eventKinds enumerates every defined kind, for decoding and tests.
+var eventKinds = []EventKind{
+	EvProcessStart, EvProcessExit, EvSignal, EvInjectionDetected,
+	EvInjectionObserved, EvForensicDump, EvShellSpawned, EvSebekLine,
+	EvSyscall, EvLibraryLoad, EvInvariantViolation, EvMachineCheck,
+}
+
+// signals enumerates every defined signal, for decoding.
+var signals = []Signal{SIGSEGV, SIGILL, SIGFPE, SIGTRAP, SIGKILL}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON, so external
+// collectors written in Go (and this package's round-trip tests) can reuse
+// the Event type directly.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var in eventJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	*e = Event{PID: in.PID, Proc: in.Proc, Cycles: in.Cycles, Text: in.Text, Trace: in.Trace}
+	for _, k := range eventKinds {
+		if k.String() == in.Kind {
+			e.Kind = k
+			break
+		}
+	}
+	if e.Kind == 0 {
+		return fmt.Errorf("kernel: unknown event kind %q", in.Kind)
+	}
+	if in.Addr != "" {
+		if _, err := fmt.Sscanf(in.Addr, "0x%08x", &e.Addr); err != nil {
+			return fmt.Errorf("kernel: bad event addr %q: %v", in.Addr, err)
+		}
+	}
+	if in.Signal != "" {
+		for _, s := range signals {
+			if s.String() == in.Signal {
+				e.Signal = s
+				break
+			}
+		}
+		if e.Signal == SIGNONE {
+			return fmt.Errorf("kernel: unknown signal %q", in.Signal)
+		}
+	}
+	if in.Data != "" {
+		d, err := hex.DecodeString(in.Data)
+		if err != nil {
+			return fmt.Errorf("kernel: bad event data: %v", err)
+		}
+		e.Data = d
+	}
+	return nil
 }
 
 // EventsJSONL renders events as JSON Lines (one object per line).

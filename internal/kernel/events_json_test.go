@@ -1,0 +1,112 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// sampleEvent builds an event of the given kind with every field populated,
+// so a round trip that drops any field is caught by reflect.DeepEqual.
+func sampleEvent(kind EventKind, i int) Event {
+	return Event{
+		Kind:   kind,
+		PID:    i + 1,
+		Proc:   fmt.Sprintf("proc-%d", i),
+		Cycles: uint64(1000 + i),
+		Addr:   0x08048000 + uint32(i)<<12,
+		Signal: signals[i%len(signals)],
+		Text:   fmt.Sprintf("event %v #%d", kind, i),
+		Data:   []byte{0xBB, 0x00, byte(i)},
+		Trace:  fmt.Sprintf("[%12d] 08048000  mov eax, 0x%x\n", 1000+i, i),
+	}
+}
+
+// TestEventsJSONLRoundTrip encodes one fully-populated event of every
+// defined kind — including the chaos-era machine-check and
+// invariant-violation kinds — and decodes the JSONL back, asserting nothing
+// was silently dropped.
+func TestEventsJSONLRoundTrip(t *testing.T) {
+	var events []Event
+	for i, kind := range eventKinds {
+		events = append(events, sampleEvent(kind, i))
+	}
+	out, err := EventsJSONL(events)
+	if err != nil {
+		t.Fatalf("EventsJSONL: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(out), []byte("\n"))
+	if len(lines) != len(events) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(events))
+	}
+	for i, line := range lines {
+		var got Event
+		if err := json.Unmarshal(line, &got); err != nil {
+			t.Fatalf("line %d (%v): %v", i, events[i].Kind, err)
+		}
+		if !reflect.DeepEqual(got, events[i]) {
+			t.Errorf("kind %v round trip mismatch:\n got %+v\nwant %+v", events[i].Kind, got, events[i])
+		}
+	}
+}
+
+// TestEventJSONCoversEveryField guards the wire schema against new Event
+// fields being added without a matching eventJSON field: marshaling an
+// event whose every field is nonzero must produce a decodable line that
+// DeepEqual-matches, and the struct field counts must stay in sync.
+func TestEventJSONCoversEveryField(t *testing.T) {
+	ev := reflect.TypeOf(Event{})
+	wire := reflect.TypeOf(eventJSON{})
+	if ev.NumField() != wire.NumField() {
+		t.Errorf("Event has %d fields but eventJSON has %d — a field was added to one and not the other",
+			ev.NumField(), wire.NumField())
+	}
+
+	// Every field of a fully-populated event must survive the round trip —
+	// this fails if a new field is added to both structs but not wired
+	// through MarshalJSON/UnmarshalJSON.
+	orig := sampleEvent(EvInjectionDetected, 7)
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Event
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	gv, ov := reflect.ValueOf(got), reflect.ValueOf(orig)
+	for i := 0; i < ev.NumField(); i++ {
+		if ov.Field(i).IsZero() {
+			t.Errorf("sampleEvent leaves Event.%s zero; populate it so the round trip can check it", ev.Field(i).Name)
+			continue
+		}
+		if !reflect.DeepEqual(gv.Field(i).Interface(), ov.Field(i).Interface()) {
+			t.Errorf("Event.%s dropped or corrupted by the JSON round trip: got %v, want %v",
+				ev.Field(i).Name, gv.Field(i).Interface(), ov.Field(i).Interface())
+		}
+	}
+}
+
+// TestEventKindsEnumerated fails when a new EventKind constant is added
+// without extending the eventKinds table (which UnmarshalJSON and the
+// round-trip test above depend on).
+func TestEventKindsEnumerated(t *testing.T) {
+	seen := map[string]EventKind{}
+	for _, k := range eventKinds {
+		if k.String() == "unknown" {
+			t.Errorf("eventKinds contains %d which has no String() name", k)
+		}
+		if prev, dup := seen[k.String()]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, k.String())
+		}
+		seen[k.String()] = k
+	}
+	// Kinds are a dense iota block starting at 1: probe one past the last
+	// known kind; if it has a name, the table is stale.
+	next := eventKinds[len(eventKinds)-1] + 1
+	if next.String() != "unknown" {
+		t.Errorf("EventKind %d (%q) is not in eventKinds — extend the table and the round-trip test", next, next.String())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"splitmem/internal/cpu"
 	"splitmem/internal/mem"
 	"splitmem/internal/paging"
+	"splitmem/internal/telemetry"
 )
 
 // Virtual-memory layout constants for guest processes.
@@ -120,6 +121,11 @@ type Event struct {
 	Signal Signal
 	Text   string
 	Data   []byte
+	// Trace carries the last-N retired guest instructions leading up to
+	// the event as a disassembly listing. The observe and forensics
+	// response modes attach it to injection detections when an execution
+	// trace ring is configured (Config.TraceDepth in the public API).
+	Trace string
 }
 
 // FaultVerdict is a Protector's ruling on a page fault.
@@ -348,6 +354,25 @@ func (k *Kernel) EventsOf(kind EventKind) []Event {
 
 // ClearEvents drops the accumulated event log.
 func (k *Kernel) ClearEvents() { k.events = nil }
+
+// RegisterTelemetry registers the kernel's activity counters as sampled
+// gauges. Sampling happens at export time; syscall and fault paths are
+// untouched.
+func (k *Kernel) RegisterTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("splitmem_kernel_syscalls_total", "syscalls dispatched",
+		func() float64 { return float64(k.syscalls) })
+	r.GaugeFunc("splitmem_kernel_generic_faults_total", "demand-paging and copy-on-write faults handled",
+		func() float64 { return float64(k.faultsGen) })
+	r.GaugeFunc("splitmem_kernel_spurious_faults_total", "benign refaults absorbed (stale TLB, double delivery)",
+		func() float64 { return float64(k.spurious) })
+	r.GaugeFunc("splitmem_kernel_events_dropped_total", "event-log entries dropped by the ring buffer",
+		func() float64 { return float64(k.dropped) })
+	r.GaugeFunc("splitmem_kernel_live_processes", "processes currently alive",
+		func() float64 { return float64(k.liveProcesses()) })
+}
 
 // Unprotected is the default, no-op protection policy: every mapped page is
 // directly user-accessible and (on NX hardware) executable.

@@ -10,7 +10,11 @@
 // keep running while the kernel reports the event.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"splitmem/internal/telemetry"
+)
 
 // PageSize is the size of a physical frame and of a virtual page, in bytes.
 const PageSize = 4096
@@ -214,6 +218,22 @@ func (p *Physical) Write32(pa uint32, v uint32) {
 // CopyFrame copies the contents of frame src into frame dst.
 func (p *Physical) CopyFrame(dst, src uint32) {
 	copy(p.Frame(dst), p.Frame(src))
+}
+
+// RegisterTelemetry registers the allocator's counters as sampled gauges.
+// Sampling happens at export time; allocation paths are untouched.
+func (p *Physical) RegisterTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("splitmem_mem_frames_total", "physical frames (including reserved frame 0)",
+		func() float64 { return float64(p.nframes) })
+	r.GaugeFunc("splitmem_mem_frames_free", "allocatable frames remaining",
+		func() float64 { return float64(len(p.free)) })
+	r.GaugeFunc("splitmem_mem_allocations_total", "lifetime frame allocations",
+		func() float64 { return float64(p.allocCnt) })
+	r.GaugeFunc("splitmem_mem_machine_checks_total", "contained physical-memory faults",
+		func() float64 { return float64(p.faults) })
 }
 
 // FlipBit flips one bit of an allocated frame — the chaos engine's model of

@@ -1,0 +1,407 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultCycleBuckets are the fixed histogram bucket upper bounds used for
+// simulated-cycle latency distributions when no explicit boundaries are
+// given. They cover the interesting range of the PIII-calibrated cost
+// model: a bare TLB walk (~25 cycles) up to a pathological trap storm.
+var DefaultCycleBuckets = []uint64{
+	25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200,
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name, help string
+	v          uint64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	name, help string
+	v          float64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Add adjusts the gauge by d. No-op on a nil gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v += d
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution of simulated-cycle values.
+// Bucket boundaries are upper bounds (cumulative export, Prometheus
+// style); an implicit +Inf bucket catches the tail.
+type Histogram struct {
+	name, help string
+	bounds     []uint64
+	counts     []uint64 // len(bounds)+1; last is +Inf
+	sum        uint64
+	n          uint64
+	min, max   uint64
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	if h.n == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min and Max return the observed extremes (0, 0 before any observation).
+func (h *Histogram) Min() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Buckets returns the bucket upper bounds and their (non-cumulative)
+// counts; the final count is the +Inf bucket. Nil-safe.
+func (h *Histogram) Buckets() (bounds []uint64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	return h.bounds, h.counts
+}
+
+// CounterVec is a counter with one label dimension — the registry's
+// "heatmap" primitive (per-page and per-process split activity). Labels
+// are kept in first-seen order so exports are deterministic.
+type CounterVec struct {
+	name, help, label string
+	vals              map[string]uint64
+	order             []string
+}
+
+// Add increments the counter for the given label value. No-op on nil.
+func (v *CounterVec) Add(label string, n uint64) {
+	if v == nil {
+		return
+	}
+	if _, ok := v.vals[label]; !ok {
+		v.order = append(v.order, label)
+	}
+	v.vals[label] += n
+}
+
+// Value returns the count for a label value.
+func (v *CounterVec) Value(label string) uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.vals[label]
+}
+
+// LabelCount is one (label value, count) pair of a CounterVec.
+type LabelCount struct {
+	Label string
+	Count uint64
+}
+
+// Items returns every (label, count) pair in first-seen order. Nil-safe.
+func (v *CounterVec) Items() []LabelCount {
+	if v == nil {
+		return nil
+	}
+	out := make([]LabelCount, 0, len(v.order))
+	for _, l := range v.order {
+		out = append(out, LabelCount{Label: l, Count: v.vals[l]})
+	}
+	return out
+}
+
+// Top returns the n largest (label, count) pairs, descending by count
+// (ties broken by first-seen order). Nil-safe.
+func (v *CounterVec) Top(n int) []LabelCount {
+	items := v.Items()
+	sort.SliceStable(items, func(i, j int) bool { return items[i].Count > items[j].Count })
+	if n > 0 && len(items) > n {
+		items = items[:n]
+	}
+	return items
+}
+
+// metricKind discriminates the registry's entry table.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindCounterVec
+)
+
+// entry is one registered metric.
+type entry struct {
+	kind metricKind
+	name string
+	help string
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+	vec     *CounterVec
+}
+
+// Registry holds a machine's metrics in registration order. It is not
+// goroutine-safe: the simulator is single-threaded and exporters run
+// between Run slices.
+type Registry struct {
+	entries []*entry
+	byName  map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*entry{}}
+}
+
+// lookup returns the existing entry for name if its kind matches; the
+// second result reports whether a fresh registration is needed. Duplicate
+// names with a different kind yield a detached (unregistered) metric
+// rather than a panic — telemetry must never take the simulator down.
+func (r *Registry) lookup(name string, kind metricKind) (*entry, bool) {
+	e, ok := r.byName[name]
+	if !ok {
+		return nil, true
+	}
+	if e.kind != kind {
+		return nil, false
+	}
+	return e, false
+}
+
+func (r *Registry) register(e *entry) {
+	r.entries = append(r.entries, e)
+	r.byName[e.name] = e
+}
+
+// Counter registers (or returns the existing) counter. Nil-safe: a nil
+// registry returns a nil counter, whose methods no-op.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if e, fresh := r.lookup(name, kindCounter); e != nil {
+		return e.counter
+	} else if !fresh {
+		return &Counter{name: name, help: help}
+	}
+	c := &Counter{name: name, help: help}
+	r.register(&entry{kind: kindCounter, name: name, help: help, counter: c})
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if e, fresh := r.lookup(name, kindGauge); e != nil {
+		return e.gauge
+	} else if !fresh {
+		return &Gauge{name: name, help: help}
+	}
+	g := &Gauge{name: name, help: help}
+	r.register(&entry{kind: kindGauge, name: name, help: help, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge sampled by calling fn at export time — the
+// zero-hot-path-cost way for a package to expose counters it already
+// maintains (TLB hit/miss totals, allocator statistics, chaos fault
+// counts). Re-registering a name replaces the sampler.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	if e, _ := r.lookup(name, kindGaugeFunc); e != nil {
+		e.fn = fn
+		return
+	}
+	r.register(&entry{kind: kindGaugeFunc, name: name, help: help, fn: fn})
+}
+
+// Histogram registers (or returns the existing) fixed-bucket histogram.
+// A nil bounds slice selects DefaultCycleBuckets. Bounds must be sorted
+// ascending.
+func (r *Registry) Histogram(name, help string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if e, fresh := r.lookup(name, kindHistogram); e != nil {
+		return e.hist
+	} else if !fresh {
+		return newHistogram(name, help, bounds)
+	}
+	h := newHistogram(name, help, bounds)
+	r.register(&entry{kind: kindHistogram, name: name, help: help, hist: h})
+	return h
+}
+
+func newHistogram(name, help string, bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultCycleBuckets
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// CounterVec registers (or returns the existing) one-label counter
+// vector. label is the Prometheus label key ("page", "pid").
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	if e, fresh := r.lookup(name, kindCounterVec); e != nil {
+		return e.vec
+	} else if !fresh {
+		return &CounterVec{name: name, help: help, label: label, vals: map[string]uint64{}}
+	}
+	v := &CounterVec{name: name, help: help, label: label, vals: map[string]uint64{}}
+	r.register(&entry{kind: kindCounterVec, name: name, help: help, vec: v})
+	return v
+}
+
+// Lookup returns a registered histogram by name, or nil. It lets tests
+// and tools read instruments they did not create.
+func (r *Registry) LookupHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if e, ok := r.byName[name]; ok && e.kind == kindHistogram {
+		return e.hist
+	}
+	return nil
+}
+
+// LookupCounter returns a registered counter by name, or nil.
+func (r *Registry) LookupCounter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if e, ok := r.byName[name]; ok && e.kind == kindCounter {
+		return e.counter
+	}
+	return nil
+}
+
+// LookupCounterVec returns a registered counter vector by name, or nil.
+func (r *Registry) LookupCounterVec(name string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	if e, ok := r.byName[name]; ok && e.kind == kindCounterVec {
+		return e.vec
+	}
+	return nil
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.entries)
+}
+
+// kindString names the metric kind in exports.
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}

@@ -1,0 +1,306 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every method on every nil receiver must be a no-op, never a panic:
+	// this is the contract that lets instrumentation compile in while
+	// telemetry is disabled.
+	var h *Hub
+	if h.Registry() != nil || h.Spans() != nil {
+		t.Fatal("nil hub must yield nil components")
+	}
+	var r *Registry
+	r.Counter("c", "").Inc()
+	r.Gauge("g", "").Set(1)
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	r.Histogram("h", "", nil).Observe(1)
+	r.CounterVec("v", "", "l").Add("x", 1)
+	if r.Len() != 0 || r.LookupHistogram("h") != nil || r.LookupCounter("c") != nil || r.LookupCounterVec("v") != nil {
+		t.Fatal("nil registry must stay empty")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMetricsJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b *SpanBuffer
+	id := b.Begin("s", 1, 2, 3)
+	if id.Valid() {
+		t.Fatal("nil buffer must return invalid span ids")
+	}
+	if _, ok := b.End(id, 4); ok {
+		t.Fatal("End on nil buffer must report !ok")
+	}
+	b.Instant("i", 1, 2, 3)
+	if b.Len() != 0 || b.Cap() != 0 || b.Dropped() != 0 || b.Spans() != nil {
+		t.Fatal("nil buffer must stay empty")
+	}
+	if err := b.WriteSpansJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteTraceEvents(&bytes.Buffer{}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var c *Counter
+	c.Add(1)
+	var g *Gauge
+	g.Add(1)
+	var hist *Histogram
+	hist.Observe(1)
+	if hist.Mean() != 0 {
+		t.Fatal("nil histogram mean")
+	}
+	var v *CounterVec
+	v.Add("x", 1)
+	if v.Top(3) != nil {
+		t.Fatal("nil vec top")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "", []uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 99, 100, 5000} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("bounds=%v counts=%v", bounds, counts)
+	}
+	// le=10: {5,10}; le=100: {11,99,100}; le=1000: {}; +Inf: {5000}.
+	want := []uint64{2, 3, 0, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (counts=%v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 6 || h.Min() != 5 || h.Max() != 5000 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Sum() != 5+10+11+99+100+5000 {
+		t.Fatalf("sum=%d", h.Sum())
+	}
+}
+
+func TestRegistryIdempotentAndMismatch(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x", "help")
+	c2 := r.Counter("x", "other")
+	if c1 != c2 {
+		t.Fatal("same-name same-kind registration must return the existing metric")
+	}
+	// A kind mismatch yields a detached metric, never a panic.
+	g := r.Gauge("x", "")
+	g.Set(7)
+	if r.Len() != 1 {
+		t.Fatalf("registry len=%d, want 1", r.Len())
+	}
+}
+
+func TestCounterVecTop(t *testing.T) {
+	v := NewRegistry().CounterVec("pages", "", "page")
+	v.Add("a", 3)
+	v.Add("b", 10)
+	v.Add("c", 10)
+	v.Add("a", 1)
+	top := v.Top(2)
+	if len(top) != 2 || top[0].Label != "b" || top[1].Label != "c" {
+		t.Fatalf("top=%v", top)
+	}
+	if v.Value("a") != 4 {
+		t.Fatalf("a=%d", v.Value("a"))
+	}
+	items := v.Items()
+	if len(items) != 3 || items[0].Label != "a" {
+		t.Fatalf("items=%v (want first-seen order)", items)
+	}
+}
+
+func TestSpanBufferRing(t *testing.T) {
+	b := NewSpanBuffer(16)
+	id := b.Begin("itlb-load", 1, 0x1000, 100)
+	if !id.Valid() {
+		t.Fatal("invalid id")
+	}
+	start, ok := b.End(id, 150)
+	if !ok || start != 100 {
+		t.Fatalf("End: start=%d ok=%v", start, ok)
+	}
+	child := b.BeginChild("tf-single-step", 1, 0x1000, 110, id)
+	b.End(child, 140)
+	b.Instant("injection-detected", 1, 0x1000, 160)
+
+	spans := b.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("len=%d", len(spans))
+	}
+	if spans[1].Parent != spans[0].Seq {
+		t.Fatalf("child parent=%d want %d", spans[1].Parent, spans[0].Seq)
+	}
+	if !spans[2].Instant || spans[2].Dur() != 0 {
+		t.Fatal("instant must have zero duration")
+	}
+	if spans[0].Dur() != 50 {
+		t.Fatalf("dur=%d", spans[0].Dur())
+	}
+
+	// Overflow: an evicted span's End must no-op.
+	stale := b.Begin("old", 1, 0, 1)
+	for i := 0; i < 20; i++ {
+		b.Instant("fill", 1, 0, uint64(i))
+	}
+	if _, ok := b.End(stale, 999); ok {
+		t.Fatal("End of an evicted span must report !ok")
+	}
+	if b.Dropped() == 0 {
+		t.Fatal("ring should report drops after overflow")
+	}
+	if b.Len() != b.Cap() {
+		t.Fatalf("len=%d cap=%d", b.Len(), b.Cap())
+	}
+	if tail := b.Tail(4); len(tail) != 4 || tail[3].Start != 19 {
+		t.Fatalf("tail=%v", tail)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("splitmem_detections_total", "detections").Add(2)
+	r.Gauge("splitmem_pages", "").Set(7)
+	r.GaugeFunc("splitmem_sampled", "sampled", func() float64 { return 1.5 })
+	h := r.Histogram("splitmem_lat_cycles", "latency", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	r.CounterVec("splitmem_page_loads_total", "", "page").Add("0x08048000", 3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE splitmem_detections_total counter",
+		"splitmem_detections_total 2",
+		"splitmem_pages 7",
+		"splitmem_sampled 1.5",
+		"# TYPE splitmem_lat_cycles histogram",
+		`splitmem_lat_cycles_bucket{le="10"} 1`,
+		`splitmem_lat_cycles_bucket{le="100"} 2`,
+		`splitmem_lat_cycles_bucket{le="+Inf"} 3`,
+		"splitmem_lat_cycles_sum 555",
+		"splitmem_lat_cycles_count 3",
+		`splitmem_page_loads_total{page="0x08048000"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMetricsJSONL(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(1)
+	h := r.Histogram("h", "", []uint64{10})
+	h.Observe(3)
+	r.CounterVec("v", "", "pid").Add("1", 4)
+
+	var buf bytes.Buffer
+	if err := r.WriteMetricsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if m["name"] == "h" {
+			if m["count"].(float64) != 1 || m["sum"].(float64) != 3 {
+				t.Fatalf("histogram line: %v", m)
+			}
+			if len(m["buckets"].([]any)) != 2 {
+				t.Fatalf("buckets: %v", m["buckets"])
+			}
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("lines=%d", n)
+	}
+}
+
+func TestWriteSpansJSONL(t *testing.T) {
+	b := NewSpanBuffer(16)
+	id := b.Begin("dtlb-load", 2, 0x08048, 1000)
+	b.End(id, 1200)
+	var buf bytes.Buffer
+	if err := b.WriteSpansJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s["name"] != "dtlb-load" || s["dur"].(float64) != 200 || s["vpn"] != "0x08048000" {
+		t.Fatalf("span json: %v", s)
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	b := NewSpanBuffer(32)
+	id := b.Begin("itlb-load", 1, 0x08048, 100)
+	b.End(id, 180)
+	id2 := b.Begin("dtlb-load", 1, 0x08049, 200)
+	b.End(id2, 230)
+	b.Instant("injection-detected", 1, 0x08049, 240)
+
+	var buf bytes.Buffer
+	if err := b.WriteTraceEvents(&buf, map[int]string{1: "victim"}); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    uint64         `json:"ts"`
+			Dur   uint64         `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   uint32         `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	var haveProcMeta, haveITLB, haveDTLB, haveInstant bool
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Phase == "M" && ev.Name == "process_name":
+			if ev.Args["name"] == "victim" {
+				haveProcMeta = true
+			}
+		case ev.Phase == "X" && ev.Name == "itlb-load":
+			haveITLB = ev.Dur == 80 && ev.TID == 0x08048
+		case ev.Phase == "X" && ev.Name == "dtlb-load":
+			haveDTLB = ev.Dur == 30
+		case ev.Phase == "i" && ev.Name == "injection-detected":
+			haveInstant = true
+		}
+	}
+	if !haveProcMeta || !haveITLB || !haveDTLB || !haveInstant {
+		t.Fatalf("meta=%v itlb=%v dtlb=%v instant=%v\n%s",
+			haveProcMeta, haveITLB, haveDTLB, haveInstant, buf.String())
+	}
+}

@@ -13,6 +13,8 @@
 // visible behavior is that of a fully-associative LRU array.)
 package tlb
 
+import "splitmem/internal/telemetry"
+
 // Entry is one cached translation.
 type Entry struct {
 	Frame    uint32 // physical frame number
@@ -199,4 +201,23 @@ func (t *TLB) Stats() (hits, misses, evictions, flushes uint64) {
 // ResetStats zeroes the statistics counters.
 func (t *TLB) ResetStats() {
 	t.hits, t.misses, t.evictions, t.flushes = 0, 0, 0, 0
+}
+
+// RegisterTelemetry registers this TLB's counters as sampled gauges
+// under the given metric name prefix ("splitmem_itlb", "splitmem_dtlb").
+// Sampling happens at export time, so the lookup hot path is untouched.
+func (t *TLB) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc(prefix+"_hits_total", "TLB lookup hits",
+		func() float64 { return float64(t.hits) })
+	r.GaugeFunc(prefix+"_misses_total", "TLB lookup misses",
+		func() float64 { return float64(t.misses) })
+	r.GaugeFunc(prefix+"_evictions_total", "LRU and chaos evictions",
+		func() float64 { return float64(t.evictions) })
+	r.GaugeFunc(prefix+"_flushes_total", "full flushes (CR3 reloads)",
+		func() float64 { return float64(t.flushes) })
+	r.GaugeFunc(prefix+"_valid_entries", "currently valid entries",
+		func() float64 { return float64(len(t.index)) })
 }

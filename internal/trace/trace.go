@@ -76,10 +76,28 @@ func (r *Ring) Entries() []Entry {
 	return out
 }
 
+// EntriesInto appends the recorded entries, oldest first, to dst and
+// returns the extended slice. Unlike Entries it allocates only when dst
+// lacks capacity, so repeat callers (the detection hot path) can reuse one
+// scratch slice for the life of the ring.
+func (r *Ring) EntriesInto(dst []Entry) []Entry {
+	if !r.full {
+		return append(dst, r.buf[:r.pos]...)
+	}
+	dst = append(dst, r.buf[r.pos:]...)
+	return append(dst, r.buf[:r.pos]...)
+}
+
 // String renders the trace as a disassembly listing, oldest first.
 func (r *Ring) String() string {
+	return Listing(r.Entries())
+}
+
+// Listing renders entries as a disassembly listing, one instruction per
+// line, oldest first.
+func Listing(entries []Entry) string {
 	var sb strings.Builder
-	for _, e := range r.Entries() {
+	for _, e := range entries {
 		fmt.Fprintf(&sb, "[%12d] %08x  %s\n", e.Cycles, e.EIP, e.Instr.DisasmAt(e.EIP))
 	}
 	return sb.String()

@@ -66,3 +66,51 @@ func TestRingString(t *testing.T) {
 		t.Fatalf("out=%q", out)
 	}
 }
+
+func TestEntriesInto(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ { // wrap: keeps entries 2..5
+		r.Add(Entry{Cycles: uint64(i), EIP: uint32(i)})
+	}
+	want := r.Entries()
+
+	got := r.EntriesInto(nil)
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Reusing a scratch slice with capacity must not allocate.
+	scratch := make([]Entry, 0, r.Cap())
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = r.EntriesInto(scratch[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("EntriesInto with capacity allocated %.0f times per run", allocs)
+	}
+
+	// Appending preserves any prefix already in dst.
+	pre := []Entry{{Cycles: 99}}
+	out := r.EntriesInto(pre)
+	if len(out) != 1+len(want) || out[0].Cycles != 99 {
+		t.Fatalf("prefix clobbered: %+v", out)
+	}
+}
+
+func TestListing(t *testing.T) {
+	entries := []Entry{
+		{Cycles: 7, EIP: 0x8048000, Instr: isa.Instr{Op: isa.OpNop, Size: 1}},
+		{Cycles: 8, EIP: 0x8048001, Instr: isa.Instr{Op: isa.OpNop, Size: 1}},
+	}
+	out := Listing(entries)
+	if strings.Count(out, "\n") != 2 || !strings.Contains(out, "08048001") {
+		t.Fatalf("out=%q", out)
+	}
+	if Listing(nil) != "" {
+		t.Fatal("empty listing should be empty")
+	}
+}

@@ -25,6 +25,7 @@ package splitmem
 
 import (
 	"fmt"
+	"io"
 
 	"splitmem/internal/asm"
 	"splitmem/internal/chaos"
@@ -34,6 +35,7 @@ import (
 	"splitmem/internal/kernel"
 	"splitmem/internal/loader"
 	"splitmem/internal/nx"
+	"splitmem/internal/telemetry"
 	"splitmem/internal/tlb"
 	"splitmem/internal/trace"
 )
@@ -65,6 +67,11 @@ type (
 	ChaosConfig = chaos.Config
 	// ChaosStats counts injected faults by class.
 	ChaosStats = chaos.Stats
+	// TelemetryHub bundles the metrics registry and span buffer of an
+	// instrumented machine (Config.Telemetry).
+	TelemetryHub = telemetry.Hub
+	// Span is one recorded fault-handling episode or instant.
+	Span = telemetry.Span
 )
 
 // ChaosDefaults returns the default per-class chaos injection rates.
@@ -183,8 +190,21 @@ type Config struct {
 	PhysBytes int
 
 	// TraceDepth, when positive, records the last N executed instructions
-	// in a ring buffer (see TraceTail). Slows simulation slightly.
+	// in a ring buffer (see TraceTail). Slows simulation slightly. With a
+	// split engine active, injection-detection events carry the ring's
+	// contents as a disassembly listing (Event.Trace).
 	TraceDepth int
+
+	// Telemetry compiles the telemetry hub into the machine: a metrics
+	// registry (fault-handling latency histograms, TLB/engine counters,
+	// split-activity heatmaps) and a span buffer recording each
+	// fault-handling episode. Off by default; when off, every instrument
+	// call site short-circuits on a nil check and the hot paths are
+	// unaffected (see BenchmarkTelemetryOnOff).
+	Telemetry bool
+	// TelemetrySpanCap bounds the span ring (default 8192 spans; the
+	// oldest are overwritten once full).
+	TelemetrySpanCap int
 
 	// Kernel knobs.
 	Timeslice      uint64
@@ -204,6 +224,7 @@ type Machine struct {
 	nxEng  *nx.Engine
 	traces *trace.Ring
 	inj    *chaos.Injector
+	hub    *telemetry.Hub
 }
 
 // New builds a machine according to cfg.
@@ -220,6 +241,9 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{cfg: cfg, mach: mach}
+	if cfg.Telemetry {
+		m.hub = telemetry.NewHub(telemetry.Options{SpanCap: cfg.TelemetrySpanCap})
+	}
 	// The injector is created (and assigned) only when some fault class is
 	// actually enabled: a typed-nil *chaos.Injector in the Chaos interface
 	// field would defeat the machine's `m.Chaos != nil` fast path.
@@ -250,6 +274,8 @@ func New(cfg Config) (*Machine, error) {
 			LazyTwins:         cfg.LazyTwins,
 			Paranoid:          cfg.Paranoid,
 			StaleVPN:          m.staleVPN(),
+			Hub:               m.hub,
+			TraceRing:         m.traces,
 		})
 		prot = m.split
 	case ProtSplitNX:
@@ -264,6 +290,8 @@ func New(cfg Config) (*Machine, error) {
 			LazyTwins:         cfg.LazyTwins,
 			Paranoid:          cfg.Paranoid,
 			StaleVPN:          m.staleVPN(),
+			Hub:               m.hub,
+			TraceRing:         m.traces,
 		})
 		prot = m.split
 	default:
@@ -279,6 +307,19 @@ func New(cfg Config) (*Machine, error) {
 		TraceSyscalls:  cfg.TraceSyscalls,
 		EventHook:      cfg.EventHook,
 	}
+	if m.hub != nil {
+		// Chain an instant-span recorder in front of any user hook so every
+		// kernel event lands on the timeline (detections, machine checks,
+		// invariant violations, process lifecycle).
+		user := kcfg.EventHook
+		spans := m.hub.Spans()
+		kcfg.EventHook = func(ev Event) {
+			spans.Instant("ev:"+ev.Kind.String(), ev.PID, ev.Addr>>12, mach.Cycles)
+			if user != nil {
+				user(ev)
+			}
+		}
+	}
 	if m.inj != nil {
 		kcfg.Chaos = m.inj
 	}
@@ -287,6 +328,14 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m.kern = kern
+	if m.hub != nil {
+		r := m.hub.Registry()
+		mach.RegisterTelemetry(r) // CPU + both TLBs + physical memory
+		kern.RegisterTelemetry(r)
+		if m.inj != nil {
+			m.inj.RegisterTelemetry(r)
+		}
+	}
 	return m, nil
 }
 
@@ -411,6 +460,59 @@ func (m *Machine) Stats() Stats {
 		s.Chaos = m.inj.Stats()
 	}
 	return s
+}
+
+// Telemetry returns the machine's telemetry hub, or nil unless
+// Config.Telemetry was set. All hub and instrument methods are nil-safe,
+// so callers may use the result unconditionally.
+func (m *Machine) Telemetry() *telemetry.Hub { return m.hub }
+
+// procNames maps guest PIDs to process names for trace exporters.
+func (m *Machine) procNames() map[int]string {
+	names := map[int]string{}
+	for _, p := range m.kern.Processes() {
+		names[p.PID] = p.Name
+	}
+	return names
+}
+
+// WriteTrace writes the recorded spans as Chrome trace_event JSON —
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing, with
+// one process row per guest process and one thread track per virtual page.
+// Timestamps are simulated cycles rendered as microseconds. An error is
+// returned when telemetry is disabled.
+func (m *Machine) WriteTrace(w io.Writer) error {
+	if m.hub == nil {
+		return fmt.Errorf("splitmem: telemetry is disabled (set Config.Telemetry)")
+	}
+	return m.hub.Spans().WriteTraceEvents(w, m.procNames())
+}
+
+// WriteMetricsPrometheus writes every registered metric in the Prometheus
+// text exposition format. An error is returned when telemetry is disabled.
+func (m *Machine) WriteMetricsPrometheus(w io.Writer) error {
+	if m.hub == nil {
+		return fmt.Errorf("splitmem: telemetry is disabled (set Config.Telemetry)")
+	}
+	return m.hub.Registry().WritePrometheus(w)
+}
+
+// WriteMetricsJSONL writes every registered metric as JSON Lines. An error
+// is returned when telemetry is disabled.
+func (m *Machine) WriteMetricsJSONL(w io.Writer) error {
+	if m.hub == nil {
+		return fmt.Errorf("splitmem: telemetry is disabled (set Config.Telemetry)")
+	}
+	return m.hub.Registry().WriteMetricsJSONL(w)
+}
+
+// WriteSpansJSONL writes the recorded spans as JSON Lines. An error is
+// returned when telemetry is disabled.
+func (m *Machine) WriteSpansJSONL(w io.Writer) error {
+	if m.hub == nil {
+		return fmt.Errorf("splitmem: telemetry is disabled (set Config.Telemetry)")
+	}
+	return m.hub.Spans().WriteSpansJSONL(w)
 }
 
 // TraceTail returns the recorded execution trace as a disassembly listing
