@@ -277,6 +277,44 @@ big: .space 131072
 	}
 }
 
+// BenchmarkCompute measures host-side simulator throughput on the
+// compute-bound nbench workload under the split engine, with the predecode
+// fast path off and on. The simulated architecture is identical in both
+// sub-benchmarks (the differential oracle proves it); only the host cost of
+// fetch/decode changes. The speedup floor is enforced by
+// TestFastPathSpeedupGuard; this benchmark reports the numbers.
+func BenchmarkCompute(b *testing.B) {
+	prog, ok := workloads.Lookup("nbench")
+	if !ok {
+		b.Fatal("nbench not cataloged")
+	}
+	for _, mode := range []struct {
+		name    string
+		noCache bool
+	}{{"cache-off", true}, {"cache-on", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				m, err := splitmem.New(splitmem.Config{
+					Protection:    splitmem.ProtSplit,
+					NoDecodeCache: mode.noCache,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.LoadAsm(prog.Src, "compute"); err != nil {
+					b.Fatal(err)
+				}
+				if res := m.Run(40_000_000_000); res.Reason != splitmem.ReasonAllDone {
+					b.Fatalf("stopped: %v", res.Reason)
+				}
+				instrs += m.Stats().Instructions
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "MIPS")
+		})
+	}
+}
+
 // BenchmarkSimulator reports raw simulator speed (instructions per second)
 // as a sanity metric for the substrate itself.
 func BenchmarkSimulator(b *testing.B) {

@@ -12,7 +12,11 @@ package splitmem_test
 //     context-switch storms;
 //   - the exploit still never succeeds under split protection (observe mode
 //     excepted: it deliberately lets attacks through, though chaos may stop
-//     them earlier).
+//     them earlier);
+//   - the predecode fast path stays architecturally invisible even while
+//     chaos rewrites frames, flushes TLBs and double-delivers faults: every
+//     cell also runs with the decode cache disabled and the two arms must
+//     produce identical event logs and statistics.
 
 import (
 	"fmt"
@@ -69,6 +73,15 @@ func TestChaosMatrix(t *testing.T) {
 					if resp != splitmem.Observe && r.Succeeded() {
 						t.Fatalf("exploit succeeded under %v despite split protection: %+v", resp, r)
 					}
+					// Differential arm: the same cell with the predecode
+					// fast path disabled must be indistinguishable.
+					slowCfg := cfg
+					slowCfg.NoDecodeCache = true
+					slow, err := attacks.RunScenario("miniwuftp", slowCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareAttack(t, name, r, slow)
 				})
 			}
 		}

@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	splitmem-bench [-table3] [-fig6] [-fig7] [-fig8] [-fig9] [-all]
-//	               [-json BENCH_results.json]
+//	splitmem-bench [-table3] [-fig6] [-fig7] [-fig8] [-fig9] [-fastpath]
+//	               [-parallel N] [-all] [-json BENCH_results.json]
+//
+// -fastpath runs the predecode-cache ablation (cache on vs off; the
+// simulated side must be bit-identical, the host side reports the speedup).
+// -parallel N fans the nbench workload out over a fleet of N machines and
+// reports the scaling figure.
 //
 // -json additionally writes every table and figure the run produced as one
 // machine-readable JSON document (schema "splitmem-bench/v1", documented in
@@ -26,11 +31,13 @@ func main() {
 		fig7     = flag.Bool("fig7", false, "run the context-switch stress tests")
 		fig8     = flag.Bool("fig8", false, "run the Apache page-size sweep")
 		fig9     = flag.Bool("fig9", false, "run the fractional-splitting sweep")
+		fastpath = flag.Bool("fastpath", false, "run the predecode-cache ablation")
+		parallel = flag.Int("parallel", 0, "fan the nbench fleet out over N machines")
 		all      = flag.Bool("all", false, "run everything")
 		jsonPath = flag.String("json", "", "also write results as JSON to this file")
 	)
 	flag.Parse()
-	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9) {
+	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9 || *fastpath || *parallel > 0) {
 		*all = true
 	}
 	results := bench.NewResults()
@@ -60,6 +67,28 @@ func main() {
 		}
 		fmt.Println(fig.Render())
 		results.AddFigure(f.tag, fig)
+	}
+	if *all || *fastpath {
+		t, runs, err := bench.FastPath()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fastpath: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		results.AddTable("fastpath", t)
+		results.AddFigure("fastpath-sim", bench.FastPathSimFigure(runs))
+	}
+	if n := *parallel; n > 0 || *all {
+		if n <= 0 {
+			n = 4
+		}
+		fig, err := bench.FleetScaling(n, 4)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		results.AddFigure("fleet", fig)
 	}
 	if *jsonPath != "" {
 		out, err := os.Create(*jsonPath)

@@ -126,8 +126,10 @@ func render(m *splitmem.Machine, frame, topN int) {
 		s.Cycles, s.Instructions, s.PageFaults, s.DebugTraps, s.CtxSwitches, s.Syscalls)
 	fmt.Printf("itlb %s   dtlb %s\n",
 		rate(s.ITLBHits, s.ITLBMisses), rate(s.DTLBHits, s.DTLBMisses))
-	fmt.Printf("split: pages=%d loads code/data=%d/%d detections=%d\n\n",
+	fmt.Printf("split: pages=%d loads code/data=%d/%d detections=%d\n",
 		s.Split.SplitPages, s.Split.CodeTLBLoads, s.Split.DataTLBLoads, s.Split.Detections)
+	fmt.Printf("decode cache: %s  invalidations=%d\n\n",
+		rate(s.DecodeHits, s.DecodeMisses), s.DecodeInvalidations)
 
 	fmt.Println("LATENCY (simulated cycles)        count      mean       min       max")
 	for _, h := range []struct{ label, name string }{

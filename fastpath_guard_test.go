@@ -1,0 +1,144 @@
+package splitmem_test
+
+// CI guards for the predecode fast path.
+//
+// TestFastPathNoRegression pins the deterministic side: work per simulated
+// megacycle for each fast-path workload, compared against the committed
+// BENCH_results.json ("fastpath-sim" figure). The simulator is deterministic
+// and the metric is host-independent, so a >10% drop is a real throughput
+// regression in the simulated architecture, never measurement noise.
+//
+// TestFastPathSpeedupGuard checks the host side — the speedup the decode
+// cache actually buys — and is env-gated because host timing is noisy on
+// shared runners:
+//
+//	SPLITMEM_FASTPATH_GUARD=1 go test -run TestFastPathSpeedupGuard -v .
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"splitmem"
+	"splitmem/internal/bench"
+	"splitmem/internal/workloads"
+)
+
+// fastPathSpeedupFloor is the minimum acceptable host speedup from the
+// decode cache on the compute-bound workloads (measured ~1.9-2.1x; the
+// floor leaves headroom for slow CI hosts).
+const fastPathSpeedupFloor = 1.3
+
+// simThroughput runs one cataloged workload under the split engine and
+// returns its deterministic work per simulated megacycle.
+func simThroughput(t *testing.T, name string) float64 {
+	t.Helper()
+	prog, ok := workloads.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown workload %q in golden figure", name)
+	}
+	m, err := splitmem.New(splitmem.Config{Protection: splitmem.ProtSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadAsm(prog.Src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Input != "" {
+		p.StdinWrite([]byte(prog.Input))
+		p.StdinClose()
+	}
+	if res := m.Run(40_000_000_000); res.Reason != splitmem.ReasonAllDone {
+		t.Fatalf("%s stopped: %v", name, res.Reason)
+	}
+	cycles := m.Stats().Cycles
+	if cycles == 0 {
+		t.Fatalf("%s retired no cycles", name)
+	}
+	return prog.Work / (float64(cycles) / 1e6)
+}
+
+func TestFastPathNoRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs guest workloads")
+	}
+	raw, err := os.ReadFile("BENCH_results.json")
+	if err != nil {
+		t.Fatalf("committed benchmark baseline missing (%v); regenerate with: "+
+			"go run ./cmd/splitmem-bench -all -json BENCH_results.json", err)
+	}
+	var res bench.Results
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != bench.ResultsSchema {
+		t.Fatalf("baseline schema %q, want %q", res.Schema, bench.ResultsSchema)
+	}
+	var golden *bench.SeriesResult
+	for i := range res.Figures {
+		if res.Figures[i].ID != "fastpath-sim" {
+			continue
+		}
+		for j := range res.Figures[i].Series {
+			if s := &res.Figures[i].Series[j]; s.Name == "sim work/Mcycle (cache on)" {
+				golden = s
+			}
+		}
+	}
+	if golden == nil || len(golden.Labels) == 0 {
+		t.Fatal(`baseline has no "fastpath-sim" sim series; regenerate BENCH_results.json`)
+	}
+	for i, name := range golden.Labels {
+		want := golden.Values[i]
+		got := simThroughput(t, name)
+		switch {
+		case got < 0.9*want:
+			t.Errorf("%s: compute throughput regressed >10%%: %.3f work/Mcycle, baseline %.3f",
+				name, got, want)
+		case got > 1.1*want:
+			t.Errorf("%s: throughput improved >10%% (%.3f vs %.3f) — re-pin the baseline "+
+				"with: go run ./cmd/splitmem-bench -all -json BENCH_results.json", name, got, want)
+		default:
+			t.Logf("%s: %.3f work/Mcycle (baseline %.3f)", name, got, want)
+		}
+	}
+}
+
+func TestFastPathSpeedupGuard(t *testing.T) {
+	if os.Getenv("SPLITMEM_FASTPATH_GUARD") == "" {
+		t.Skip("host-timing guard; set SPLITMEM_FASTPATH_GUARD=1 to run")
+	}
+	_, runs, err := bench.FastPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := map[string]bench.FastPathRun{}
+	for _, r := range runs {
+		if !r.Cached {
+			slow[r.Workload] = r
+		}
+	}
+	for _, r := range runs {
+		if !r.Cached {
+			continue
+		}
+		s, ok := slow[r.Workload]
+		if !ok || s.HostMIPS() == 0 {
+			t.Fatalf("%s: no slow arm", r.Workload)
+		}
+		speedup := r.HostMIPS() / s.HostMIPS()
+		if r.Workload == "syscall" {
+			// Trap-bound, not fetch-bound: the cache helps but the floor
+			// only binds the compute workloads.
+			t.Logf("%s: %.2fx (informational)", r.Workload, speedup)
+			continue
+		}
+		if speedup < fastPathSpeedupFloor {
+			t.Errorf("%s: decode cache buys only %.2fx, floor %.2fx (%.1f vs %.1f MIPS)",
+				r.Workload, speedup, fastPathSpeedupFloor, r.HostMIPS(), s.HostMIPS())
+		} else {
+			t.Logf("%s: %.2fx speedup, %.1f%% hit rate", r.Workload, speedup, 100*r.HitRate)
+		}
+	}
+}

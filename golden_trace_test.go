@@ -1,0 +1,122 @@
+package splitmem_test
+
+// Golden-trace regression corpus: the kernel event log of every attack form
+// and every real-world scenario under the canonical split deployment is
+// pinned by digest in testdata/golden_traces.json. The event log is the
+// simulator's most information-dense observable — it orders faults,
+// detections, restrictions and responses — so any behavioural drift in the
+// fetch path, the split engine or the responders shows up here even when the
+// coarse pass/fail verdicts still agree.
+//
+// After an intentional behaviour change, regenerate with:
+//
+//	go test -run TestGoldenTraces -update .
+//
+// and review the diff of testdata/golden_traces.json like any other code.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"splitmem"
+	"splitmem/internal/attacks"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_traces.json from current behaviour")
+
+const goldenPath = "testdata/golden_traces.json"
+
+func digest(events []byte) string {
+	sum := sha256.Sum256(events)
+	return hex.EncodeToString(sum[:])
+}
+
+// collectGolden produces the digest of every pinned trace under the
+// canonical configuration: split protection, break response, defaults
+// otherwise (the deployment the paper evaluates).
+func collectGolden(t *testing.T) map[string]string {
+	t.Helper()
+	got := map[string]string{}
+
+	cells, err := attacks.RunExtendedWilander(splitmem.Config{Protection: splitmem.ProtSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.NA {
+			continue
+		}
+		got[fmt.Sprintf("wilander/%v/%v", c.Tech, c.Seg)] = digest(c.Result.EventsJSONL)
+	}
+
+	for _, sc := range attacks.Scenarios() {
+		r, err := attacks.RunScenario(sc.Key, splitmem.Config{
+			Protection: splitmem.ProtSplit,
+			Response:   splitmem.Break,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got["scenario/"+sc.Key] = digest(r.EventsJSONL)
+	}
+	return got
+}
+
+func TestGoldenTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run is broad")
+	}
+	got := collectGolden(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(got), goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden corpus (%v); run: go test -run TestGoldenTraces -update .", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] == "" {
+			t.Errorf("%s: pinned trace no longer produced", k)
+			continue
+		}
+		if got[k] != want[k] {
+			t.Errorf("%s: event log drifted: got %s, golden %s "+
+				"(intentional? re-run with -update and review the diff)", k, got[k], want[k])
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: new trace not in the golden corpus; re-run with -update", k)
+		}
+	}
+}

@@ -441,6 +441,10 @@ func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Process, addr uint32, c
 	p.PT.Set(vpn, ent.WithFrame(pr.data).With(paging.User))
 	m.SupervisorTouch(addr)
 	p.PT.Set(vpn, p.PT.Get(vpn).Without(paging.User))
+	// Re-restriction is a decode-cache coherence point: the fast path must
+	// never outlive the trap configuration Algorithms 1-2 depend on.
+	m.DropDecodeFrame(pr.code)
+	m.DropDecodeFrame(pr.data)
 	e.stats.DataTLBLoads++
 	if e.tel != nil {
 		id := e.tel.spans.Begin("dtlb-load", p.PID, vpn, entryCycles)
@@ -493,6 +497,8 @@ func (e *Engine) HandleDebug(k *kernel.Kernel, p *kernel.Process) bool {
 	m.DTLB.Invalidate(vpn)
 	m.SupervisorTouch(addr)
 	p.PT.Set(vpn, p.PT.Get(vpn).Without(paging.User))
+	m.DropDecodeFrame(pr.code) // re-restriction coherence point (Algorithm 2)
+	m.DropDecodeFrame(pr.data)
 	if e.tel != nil {
 		e.tel.pteFlips.Add(2) // repoint-to-data + re-restrict
 	}
@@ -553,6 +559,10 @@ func (e *Engine) HandleUndefined(k *kernel.Kernel, p *kernel.Process) kernel.UDV
 		delete(st.pairs, vpn)
 		e.stats.SplitPages--
 		e.stats.ObserveLockIn++
+		// The freed code twin may hold stale decodings and the data twin is
+		// about to become fetchable; drop both before the shootdown.
+		m.DropDecodeFrame(pr.code)
+		m.DropDecodeFrame(pr.data)
 		m.Invlpg(eip)
 		k.ArmSebek(p)
 		return kernel.UDResume

@@ -55,7 +55,14 @@ func (h *testHandler) DivideError() Action       { h.des++; return ActStop }
 // both user-accessible.
 func newTestMachine(t *testing.T, code []byte) (*Machine, *testHandler) {
 	t.Helper()
-	m, err := New(Config{PhysBytes: 1 << 20})
+	return newTestMachineCfg(t, Config{PhysBytes: 1 << 20}, code)
+}
+
+// newTestMachineCfg is newTestMachine with an explicit machine configuration
+// (the decode-cache tests need DecodeCache set).
+func newTestMachineCfg(t *testing.T, cfg Config, code []byte) (*Machine, *testHandler) {
+	t.Helper()
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

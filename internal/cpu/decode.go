@@ -1,0 +1,118 @@
+package cpu
+
+import (
+	"splitmem/internal/isa"
+	"splitmem/internal/mem"
+)
+
+// The predecoded-instruction cache ("decode cache") is the machine's host-
+// side fast path: instead of re-reading and re-decoding the bytes at EIP on
+// every retire, decoded instructions are cached per PHYSICAL code frame and
+// replayed on later fetches of the same physical address.
+//
+// The cache is a pure host optimization and must be architecturally
+// invisible: every fetch still performs the full Translate (so ITLB
+// hits/misses, pagetable walks, permission faults, and the split engine's
+// detection points are reproduced bit-for-bit), and a cached entry is only
+// used when both of its coherence stamps are current:
+//
+//   - the frame's write generation (mem.Physical.Gen): bumped by every
+//     store, frame hand-out, frame copy, allocation and chaos bit flip that
+//     can change the frame's bytes — self-modifying and injected code
+//     invalidate themselves;
+//   - the machine's decode epoch: bumped on every TLB flush and invlpg
+//     shootdown, and by the split engine at each PTE re-restriction (via
+//     DropDecodeFrame), mirroring the conservative coherence points the
+//     paper's trap algorithms rely on.
+//
+// Instructions that cross a frame boundary are never cached: their slow-path
+// fetch translates (and may fault on, and fills the ITLB for) the second
+// page, and replaying them would skip those architectural side effects.
+//
+// The differential-execution oracle (oracle_test.go) proves the fast path
+// retires the identical architectural stream as the slow path across every
+// workload and every attack form.
+
+// decFrame caches the decode results of one physical frame. size[off] is
+// the encoded length of the instruction decoded at byte offset off, or 0
+// when that offset has not been (successfully) decoded since the last
+// invalidation.
+type decFrame struct {
+	wgen uint64 // mem.Physical.Gen at fill time
+	egen uint64 // Machine.decEpoch at fill time
+	size [mem.PageSize]uint8
+	ins  [mem.PageSize]isa.Instr
+}
+
+// reset clears the frame's entries and restamps it.
+func (d *decFrame) reset(wgen, egen uint64) {
+	clear(d.size[:])
+	d.wgen, d.egen = wgen, egen
+}
+
+// decodeLookup returns the cached decoding of the instruction at physical
+// address pa, if the cache holds a current one.
+func (m *Machine) decodeLookup(pa uint32) (isa.Instr, bool) {
+	f := pa >> mem.PageShift
+	if int(f) >= len(m.dec) {
+		return isa.Instr{}, false
+	}
+	df := m.dec[f]
+	if df == nil || df.wgen != m.Phys.Gen(f) || df.egen != m.decEpoch {
+		return isa.Instr{}, false
+	}
+	off := pa & mem.PageMask
+	if df.size[off] == 0 {
+		return isa.Instr{}, false
+	}
+	return df.ins[off], true
+}
+
+// decodeFill caches a successfully decoded instruction at physical address
+// pa. Frame-crossing instructions are rejected (see the package comment).
+func (m *Machine) decodeFill(pa uint32, in isa.Instr) {
+	f := pa >> mem.PageShift
+	if int(f) >= len(m.dec) {
+		return
+	}
+	off := pa & mem.PageMask
+	if off+uint32(in.Size) > mem.PageSize {
+		return
+	}
+	wgen := m.Phys.Gen(f)
+	df := m.dec[f]
+	switch {
+	case df == nil:
+		df = &decFrame{}
+		df.reset(wgen, m.decEpoch)
+		m.dec[f] = df
+	case df.wgen != wgen || df.egen != m.decEpoch:
+		df.reset(wgen, m.decEpoch)
+		m.Stats.DecodeInvalidations++
+	}
+	df.size[off] = uint8(in.Size)
+	df.ins[off] = in
+}
+
+// DropDecodeFrame discards any cached decodings of physical frame f. The
+// split engine calls it at every PTE re-restriction so the fast path can
+// never outlive the trap points Algorithms 1-2 depend on; it is also the
+// hook for any future path that changes what a frame means without writing
+// to it. No-op when the decode cache is disabled.
+func (m *Machine) DropDecodeFrame(f uint32) {
+	if int(f) >= len(m.dec) || m.dec[f] == nil {
+		return
+	}
+	m.dec[f] = nil
+	m.Stats.DecodeInvalidations++
+}
+
+// InvalidateDecode discards the entire decode cache by advancing the decode
+// epoch. Called on TLB flushes and invlpg shootdowns; cheap (the per-frame
+// caches are lazily restamped on their next fetch).
+func (m *Machine) InvalidateDecode() {
+	if m.dec == nil {
+		return
+	}
+	m.decEpoch++
+}

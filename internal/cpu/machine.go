@@ -146,7 +146,9 @@ type TrapHandler interface {
 	DivideError() Action
 }
 
-// Stats aggregates architectural event counts.
+// Stats aggregates architectural event counts. The Decode* fields count
+// host-side predecode-cache activity (see decode.go); they are the only
+// counters the fast path is allowed to change relative to a slow-path run.
 type Stats struct {
 	Instructions uint64
 	DataAccesses uint64
@@ -155,6 +157,10 @@ type Stats struct {
 	DebugTraps   uint64
 	Interrupts   uint64
 	CtxSwitches  uint64
+
+	DecodeHits          uint64 // fetches served from the predecode cache
+	DecodeMisses        uint64 // fetches that took the full decode path
+	DecodeInvalidations uint64 // cached frames discarded (gen/epoch/drop)
 }
 
 // Machine is one simulated S86 processor with its physical memory and TLBs.
@@ -188,6 +194,12 @@ type Machine struct {
 
 	pt      *paging.Table
 	handler TrapHandler
+
+	// Predecoded-instruction cache (decode.go). dec is nil when the fast
+	// path is disabled; indexed by physical frame number. decEpoch is the
+	// global invalidation stamp bumped on TLB flushes and shootdowns.
+	dec      []*decFrame
+	decEpoch uint64
 }
 
 // Telemetry is the set of metric instruments the machine feeds when
@@ -228,6 +240,12 @@ func (m *Machine) RegisterTelemetry(r *telemetry.Registry) {
 		func() float64 { return float64(m.Stats.Undefined) })
 	r.GaugeFunc("splitmem_cpu_ctx_switches_total", "scheduler context switches",
 		func() float64 { return float64(m.Stats.CtxSwitches) })
+	r.GaugeFunc("splitmem_cpu_decode_hits_total", "fetches served by the predecode cache",
+		func() float64 { return float64(m.Stats.DecodeHits) })
+	r.GaugeFunc("splitmem_cpu_decode_misses_total", "fetches that took the full decode path",
+		func() float64 { return float64(m.Stats.DecodeMisses) })
+	r.GaugeFunc("splitmem_cpu_decode_invalidations_total", "predecode-cache frames discarded",
+		func() float64 { return float64(m.Stats.DecodeInvalidations) })
 	m.ITLB.RegisterTelemetry(r, "splitmem_itlb")
 	m.DTLB.RegisterTelemetry(r, "splitmem_dtlb")
 	m.Phys.RegisterTelemetry(r)
@@ -240,6 +258,8 @@ type Config struct {
 	DTLBSize  int       // data TLB entries (default 64, as on the PIII)
 	Cost      CostModel // zero value selects PentiumIII600
 	NXEnabled bool      // model hardware with the execute-disable bit
+	// DecodeCache enables the predecoded-instruction fast path (decode.go).
+	DecodeCache bool
 }
 
 // New creates a machine. The trap handler must be installed with SetHandler
@@ -261,13 +281,17 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{
+	m := &Machine{
 		Phys:      phys,
 		ITLB:      tlb.New(cfg.ITLBSize),
 		DTLB:      tlb.New(cfg.DTLBSize),
 		Cost:      cfg.Cost,
 		NXEnabled: cfg.NXEnabled,
-	}, nil
+	}
+	if cfg.DecodeCache {
+		m.dec = make([]*decFrame, phys.NumFrames())
+	}
+	return m, nil
 }
 
 // SetHandler installs the trap handler (the kernel).
@@ -295,6 +319,7 @@ func (m *Machine) SetPagetable(t *paging.Table) {
 // Under chaos injection individual entries may incorrectly survive the
 // flush (stale-entry retention).
 func (m *Machine) FlushTLBs() {
+	m.InvalidateDecode()
 	if m.Chaos != nil {
 		m.ITLB.FlushRetaining(m.Chaos.RetainOnFlush)
 		m.DTLB.FlushRetaining(m.Chaos.RetainOnFlush)
@@ -312,6 +337,7 @@ func (m *Machine) Invlpg(addr uint32) {
 	if m.Chaos != nil && m.Chaos.DropInvlpg(vpn) {
 		return
 	}
+	m.InvalidateDecode()
 	m.ITLB.Invalidate(vpn)
 	m.DTLB.Invalidate(vpn)
 }

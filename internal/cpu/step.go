@@ -121,12 +121,24 @@ func (m *Machine) deliverPF(pf *PageFault) Action {
 
 // fetch reads and decodes the instruction at EIP. undef is true when the
 // bytes do not form a defined instruction (#UD).
+//
+// The translation always runs — ITLB fills, walk costs, and fetch faults
+// are architectural — but the byte reads and decode are skipped when the
+// predecode cache holds a current entry for the physical address (see
+// decode.go for the coherence rules).
 func (m *Machine) fetch() (isa.Instr, *PageFault, bool) {
 	var buf [isa.MaxInstrLen]byte
 	pa, pf := m.Translate(m.Ctx.EIP, AccFetch)
 	if pf != nil {
 		return isa.Instr{}, pf, false
 	}
+	if m.dec != nil {
+		if in, ok := m.decodeLookup(pa); ok {
+			m.Stats.DecodeHits++
+			return in, nil, false
+		}
+	}
+	pa0 := pa
 	buf[0] = m.Phys.Byte(pa)
 	n, ok := isa.EncLen(buf[0])
 	if !ok {
@@ -148,6 +160,10 @@ func (m *Machine) fetch() (isa.Instr, *PageFault, bool) {
 	in, err := isa.Decode(buf[:n])
 	if err != nil {
 		return isa.Instr{}, nil, true
+	}
+	if m.dec != nil {
+		m.Stats.DecodeMisses++
+		m.decodeFill(pa0, in)
 	}
 	return in, nil, false
 }

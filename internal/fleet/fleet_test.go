@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"splitmem"
+)
+
+func nbenchJob(t *testing.T) Job {
+	t.Helper()
+	j, err := WorkloadJob("nbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestDeriveSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for id := 0; id < 1000; id++ {
+		s := DeriveSeed(42, id)
+		if s2 := DeriveSeed(42, id); s2 != s {
+			t.Fatalf("id %d: %d != %d", id, s, s2)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: ids %d and %d both map to %d", prev, id, s)
+		}
+		seen[s] = id
+	}
+	if DeriveSeed(42, 0) == DeriveSeed(43, 0) {
+		t.Fatal("different masters must derive different seeds")
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{N: 0, Job: nbenchJob(t)}); err == nil {
+		t.Fatal("N=0 must be rejected")
+	}
+	if _, err := Run(Config{N: 1}); err == nil {
+		t.Fatal("nil Job must be rejected")
+	}
+}
+
+// TestFleetWorkloadAggregate runs a small fleet under the split engine with
+// telemetry on, concurrently — the -race CI lane turns this into the merge
+// race detector.
+func TestFleetWorkloadAggregate(t *testing.T) {
+	agg, err := Run(Config{
+		N:       6,
+		Workers: 3,
+		Seed:    0xF1EE7,
+		Machine: splitmem.Config{Protection: splitmem.ProtSplit, Telemetry: true},
+		Job:     nbenchJob(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Errors != 0 {
+		for _, m := range agg.Machines {
+			if m.Err != nil {
+				t.Errorf("machine %d: %v", m.ID, m.Err)
+			}
+		}
+		t.FailNow()
+	}
+	if got := agg.Reasons[splitmem.ReasonAllDone]; got != 6 {
+		t.Fatalf("ReasonAllDone count = %d want 6", got)
+	}
+	if agg.Totals.Instructions == 0 || agg.Totals.Cycles == 0 {
+		t.Fatalf("empty totals: %+v", agg.Totals)
+	}
+	if agg.Totals.Work == 0 {
+		t.Fatal("no work reported")
+	}
+	// Per-machine seeds must be the derived ones.
+	for i, m := range agg.Machines {
+		if m.Seed != DeriveSeed(0xF1EE7, i) {
+			t.Fatalf("machine %d seed %d", i, m.Seed)
+		}
+	}
+	// The merged hub must hold the sum of the per-machine counters: each
+	// machine retired the same deterministic program, so the merged
+	// instruction gauge is 6x one machine's.
+	if agg.Hub == nil {
+		t.Fatal("no merged hub despite Telemetry")
+	}
+	report := agg.Report()
+	if !strings.Contains(report, "6 machines") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+// TestFleetDeterminism: the same fleet configuration must produce
+// bit-identical per-machine results regardless of worker count.
+func TestFleetDeterminism(t *testing.T) {
+	run := func(workers int) *Aggregate {
+		agg, err := Run(Config{
+			N:       4,
+			Workers: workers,
+			Seed:    7,
+			Machine: splitmem.Config{Protection: splitmem.ProtSplit, RandomizeStack: true},
+			Job:     nbenchJob(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.Errors != 0 {
+			t.Fatalf("errors: %+v", agg.Machines)
+		}
+		return agg
+	}
+	serial := run(1)
+	parallel := run(4)
+	for i := range serial.Machines {
+		s, p := serial.Machines[i], parallel.Machines[i]
+		if s.Seed != p.Seed {
+			t.Fatalf("machine %d: seeds diverge", i)
+		}
+		if s.Stats != p.Stats {
+			t.Fatalf("machine %d: stats diverge\nserial   %+v\nparallel %+v",
+				i, s.Stats, p.Stats)
+		}
+	}
+	if serial.Totals != parallel.Totals {
+		t.Fatalf("totals diverge:\nserial   %+v\nparallel %+v",
+			serial.Totals, parallel.Totals)
+	}
+}
+
+// TestFleetJobErrorIsolation: one failing machine must not take down the
+// fleet.
+func TestFleetJobErrorIsolation(t *testing.T) {
+	inner := nbenchJob(t)
+	job := func(id int, cfg splitmem.Config) (Result, error) {
+		if id == 1 {
+			return Result{}, errBoom
+		}
+		return inner(id, cfg)
+	}
+	agg, err := Run(Config{N: 3, Workers: 3, Seed: 1, Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Errors != 1 {
+		t.Fatalf("errors=%d want 1", agg.Errors)
+	}
+	if agg.Machines[1].Err == nil {
+		t.Fatal("machine 1 should carry its error")
+	}
+	if agg.Reasons[splitmem.ReasonAllDone] != 2 {
+		t.Fatalf("reasons: %v", agg.Reasons)
+	}
+}
+
+var errBoom = &fleetTestError{}
+
+type fleetTestError struct{}
+
+func (*fleetTestError) Error() string { return "boom" }
+
+// TestFleetAttackGrid: N machines each run the full Wilander grid; every
+// machine must foil every applicable form under the split engine.
+func TestFleetAttackGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack grid fleet is slow")
+	}
+	agg, err := Run(Config{
+		N:       2,
+		Workers: 2,
+		Seed:    3,
+		Machine: splitmem.Config{Protection: splitmem.ProtSplit},
+		Job:     AttackGridJob(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Errors != 0 {
+		t.Fatalf("errors: %+v", agg.Machines)
+	}
+	if agg.Machines[0].Work == 0 {
+		t.Fatal("no forms foiled?")
+	}
+	if agg.Machines[0].Work != agg.Machines[1].Work {
+		t.Fatalf("grids disagree: %v vs %v", agg.Machines[0].Note, agg.Machines[1].Note)
+	}
+	if agg.Totals.Detections == 0 {
+		t.Fatal("split engine never detected anything")
+	}
+}

@@ -48,6 +48,7 @@ type Physical struct {
 	nframes  uint32
 	free     []uint32 // free-list stack of frame numbers
 	refs     []uint16 // reference count per frame; 0 = free
+	gens     []uint64 // per-frame write generation (see Gen)
 	allocCnt uint64   // lifetime allocations, for stats
 	faults   uint64   // contained machine-check faults
 	poison   []byte   // scratch frame returned for out-of-range Frame calls
@@ -68,6 +69,7 @@ func NewPhysical(size int) (*Physical, error) {
 		data:    make([]byte, size),
 		nframes: n,
 		refs:    make([]uint16, n),
+		gens:    make([]uint64, n),
 		free:    make([]uint32, 0, n-1),
 		poison:  make([]byte, PageSize),
 	}
@@ -94,6 +96,27 @@ func (p *Physical) Allocations() uint64 { return p.allocCnt }
 
 // Faults returns the lifetime number of contained memory faults.
 func (p *Physical) Faults() uint64 { return p.faults }
+
+// Gen returns the write generation of frame f: a counter bumped by every
+// operation that can change the frame's contents (stores, Frame hand-outs,
+// frame copies, allocation zeroing, chaos bit flips). Consumers that cache
+// anything derived from a frame's bytes — the CPU's predecoded-instruction
+// cache — snapshot the generation at fill time and treat any later mismatch
+// as an invalidation. Out-of-range frames report generation 0.
+func (p *Physical) Gen(f uint32) uint64 {
+	if f >= p.nframes {
+		return 0
+	}
+	return p.gens[f]
+}
+
+// dirty bumps the write generation of the frame containing physical
+// address pa (no-op when out of range; the accessor already faulted).
+func (p *Physical) dirty(pa uint32) {
+	if f := pa >> PageShift; f < p.nframes {
+		p.gens[f]++
+	}
+}
 
 // fault records a contained machine-check fault and notifies the hook.
 func (p *Physical) fault(op string, frame uint32) *FrameError {
@@ -164,6 +187,10 @@ func (p *Physical) Frame(f uint32) []byte {
 		clear(p.poison)
 		return p.poison
 	}
+	// The slice aliases physical memory, so the caller may write through it;
+	// conservatively treat every hand-out as a content change. Callers must
+	// not retain the slice across guest instructions for this to be sound.
+	p.gens[f]++
 	off := int(f) << PageShift
 	return p.data[off : off+PageSize : off+PageSize]
 }
@@ -184,6 +211,7 @@ func (p *Physical) SetByte(pa uint32, v byte) {
 		p.fault("write", pa>>PageShift)
 		return
 	}
+	p.dirty(pa)
 	p.data[pa] = v
 }
 
@@ -204,6 +232,10 @@ func (p *Physical) Read32(pa uint32) uint32 {
 // Write32 writes a little-endian 32-bit word at physical address pa.
 func (p *Physical) Write32(pa uint32, v uint32) {
 	if int64(pa)+4 <= int64(len(p.data)) {
+		p.dirty(pa)
+		if pa&PageMask > PageSize-4 {
+			p.dirty(pa + 3) // the word straddles two frames
+		}
 		p.data[pa] = byte(v)
 		p.data[pa+1] = byte(v >> 8)
 		p.data[pa+2] = byte(v >> 16)
@@ -245,6 +277,7 @@ func (p *Physical) FlipBit(f uint32, bit uint32) bool {
 		return false
 	}
 	bit %= PageSize * 8
+	p.gens[f]++
 	p.data[int(f)<<PageShift+int(bit>>3)] ^= 1 << (bit & 7)
 	return true
 }

@@ -1,0 +1,114 @@
+package telemetry
+
+// Merging: the fleet runner gives every machine its own Hub (the simulator
+// stays single-threaded per machine, so the hot instrument paths remain
+// lock-free) and folds finished machines into one aggregate Hub. Only the
+// merge path takes a lock, so concurrent workers may merge into the same
+// destination; everything else in the package keeps its single-threaded
+// contract.
+
+// Merge folds every value of o into h: bucket-wise when the bucket
+// boundaries match, and always the scalar summary (count, sum, extremes).
+// No-op when either histogram is nil or o is empty.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.sum += o.sum
+	h.n += o.n
+	if len(h.bounds) == len(o.bounds) {
+		same := true
+		for i, b := range h.bounds {
+			if o.bounds[i] != b {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i, c := range o.counts {
+				h.counts[i] += c
+			}
+			return
+		}
+	}
+	// Differing bucket layouts: re-observe each bucket at its upper bound
+	// (the +Inf tail lands in h's own +Inf bucket). The scalar summary above
+	// is already exact; only the shape is approximated.
+	for i, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		var v uint64
+		if i < len(o.bounds) {
+			v = o.bounds[i]
+		} else {
+			v = ^uint64(0)
+		}
+		j := len(h.counts) - 1
+		for k, b := range h.bounds {
+			if v <= b {
+				j = k
+				break
+			}
+		}
+		h.counts[j] += c
+	}
+}
+
+// Merge folds every metric of src into r, creating destination metrics on
+// first sight:
+//
+//   - counters and counter vectors add;
+//   - gauges add (an aggregate gauge is a sum over machines);
+//   - sampled gauges (GaugeFunc) are read once and added into a plain gauge
+//     of the same name, detaching the aggregate from the source machine's
+//     lifetime;
+//   - histograms merge bucket-wise (see Histogram.Merge).
+//
+// Merge is the one goroutine-safe entry point of the registry: concurrent
+// Merge calls into the same destination serialize on an internal lock, so
+// fleet workers can fold machines in as they finish. The source registry
+// must be quiescent (its machine stopped). Reading the destination while
+// merges are in flight is still the caller's problem — export after the
+// fleet drains.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil || r == src {
+		return
+	}
+	r.mergeMu.Lock()
+	defer r.mergeMu.Unlock()
+	for _, e := range src.entries {
+		switch e.kind {
+		case kindCounter:
+			r.Counter(e.name, e.help).Add(e.counter.Value())
+		case kindGauge:
+			r.Gauge(e.name, e.help).Add(e.gauge.Value())
+		case kindGaugeFunc:
+			r.Gauge(e.name, e.help).Add(e.fn())
+		case kindHistogram:
+			r.Histogram(e.name, e.help, e.hist.bounds).Merge(e.hist)
+		case kindCounterVec:
+			dst := r.CounterVec(e.name, e.help, e.vec.label)
+			for _, it := range e.vec.Items() {
+				dst.Add(it.Label, it.Count)
+			}
+		}
+	}
+}
+
+// Merge folds the metrics of src's registry into h's (see Registry.Merge).
+// Spans are not merged: a span buffer is a per-machine timeline, and
+// interleaving unrelated machines would only destroy it. Nil-safe on both
+// sides.
+func (h *Hub) Merge(src *Hub) {
+	if h == nil || src == nil {
+		return
+	}
+	h.Registry().Merge(src.Registry())
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryMergeKinds(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("c", "h").Add(5)
+	src.Gauge("g", "h").Set(2.5)
+	src.GaugeFunc("gf", "h", func() float64 { return 7 })
+	src.Histogram("hist", "h", []uint64{10, 100}).Observe(3)
+	src.Histogram("hist", "h", nil).Observe(250)
+	src.CounterVec("vec", "h", "page").Add("p1", 2)
+	src.CounterVec("vec", "h", "page").Add("p2", 3)
+
+	dst := NewRegistry()
+	dst.Counter("c", "h").Add(1)
+	dst.Merge(src)
+	dst.Merge(src) // merging twice doubles the contribution
+
+	if got := dst.LookupCounter("c").Value(); got != 11 {
+		t.Fatalf("counter = %d want 11", got)
+	}
+	// Gauges (incl. sampled source gauges) add up.
+	if e, ok := dst.byName["g"]; !ok || e.gauge.Value() != 5 {
+		t.Fatalf("gauge merge failed: %+v", e)
+	}
+	if e, ok := dst.byName["gf"]; !ok || e.kind != kindGauge || e.gauge.Value() != 14 {
+		t.Fatalf("gaugefunc must land as a plain gauge sum: %+v", e)
+	}
+	h := dst.LookupHistogram("hist")
+	if h.Count() != 4 || h.Sum() != 2*(3+250) {
+		t.Fatalf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 3 || h.Max() != 250 {
+		t.Fatalf("hist min=%d max=%d", h.Min(), h.Max())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || counts[0] != 2 || counts[2] != 2 {
+		t.Fatalf("buckets %v %v", bounds, counts)
+	}
+	vec := dst.LookupCounterVec("vec")
+	if vec.Value("p1") != 4 || vec.Value("p2") != 6 {
+		t.Fatalf("vec: %v", vec.Items())
+	}
+}
+
+func TestHistogramMergeDifferingBounds(t *testing.T) {
+	a := newHistogram("a", "", []uint64{10, 100})
+	b := newHistogram("b", "", []uint64{50})
+	b.Observe(40)  // bucket <=50, re-observed at 50 -> a's <=100 bucket
+	b.Observe(999) // +Inf tail -> a's +Inf bucket
+	a.Merge(b)
+	if a.Count() != 2 || a.Sum() != 40+999 {
+		t.Fatalf("count=%d sum=%d", a.Count(), a.Sum())
+	}
+	_, counts := a.Buckets()
+	if counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts=%v", counts)
+	}
+}
+
+func TestMergeNilSafety(t *testing.T) {
+	var h *Hub
+	h.Merge(nil) // must not panic
+	var r *Registry
+	r.Merge(NewRegistry())
+	NewRegistry().Merge(nil)
+	var hist *Histogram
+	hist.Merge(newHistogram("x", "", nil))
+	live := NewRegistry()
+	live.Merge(live) // self-merge is a no-op, not a deadlock or doubling
+}
+
+// TestConcurrentMerge is the regression test for the fleet's merge race:
+// many goroutines folding distinct source registries into one destination
+// must serialize correctly (run under -race in CI).
+func TestConcurrentMerge(t *testing.T) {
+	dst := NewRegistry()
+	const workers = 8
+	const merges = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < merges; i++ {
+				src := NewRegistry()
+				src.Counter("total", "h").Add(1)
+				src.Histogram("lat", "h", nil).Observe(uint64(w*merges + i))
+				src.CounterVec("byworker", "h", "w").Add(string(rune('a'+w)), 1)
+				dst.Merge(src)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := dst.LookupCounter("total").Value(); got != workers*merges {
+		t.Fatalf("total=%d want %d", got, workers*merges)
+	}
+	if got := dst.LookupHistogram("lat").Count(); got != workers*merges {
+		t.Fatalf("lat count=%d", got)
+	}
+	var sum uint64
+	for _, it := range dst.LookupCounterVec("byworker").Items() {
+		sum += it.Count
+	}
+	if sum != workers*merges {
+		t.Fatalf("vec sum=%d", sum)
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // DefaultCycleBuckets are the fixed histogram bucket upper bounds used for
@@ -228,11 +229,14 @@ type entry struct {
 }
 
 // Registry holds a machine's metrics in registration order. It is not
-// goroutine-safe: the simulator is single-threaded and exporters run
-// between Run slices.
+// goroutine-safe — the simulator is single-threaded and exporters run
+// between Run slices — with one exception: Merge (merge.go) serializes on
+// an internal lock so concurrent fleet workers can fold finished machines
+// into one aggregate registry.
 type Registry struct {
 	entries []*entry
 	byName  map[string]*entry
+	mergeMu sync.Mutex
 }
 
 // NewRegistry creates an empty registry.

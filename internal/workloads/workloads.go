@@ -37,6 +37,40 @@ func Normalized(baseline, protected Metrics) float64 {
 	return protected.Throughput() / bt
 }
 
+// Program is a self-contained workload guest image that an external harness
+// (the fleet runner) can load onto a machine it owns — unlike the RunX
+// entry points, which build and discard their machine, keeping its stats
+// and telemetry out of reach.
+type Program struct {
+	Name  string
+	Src   string  // S86 assembly source
+	Input string  // stdin to feed, "" for none
+	Work  float64 // work units a successful run completes
+}
+
+// Catalog returns the workload programs runnable on a caller-owned machine.
+// Multi-parameter workloads (httpd page sweeps, pipe ping-pong sizes) keep
+// their dedicated RunX entry points and are not listed.
+func Catalog() []Program {
+	return []Program{
+		{Name: "nbench", Src: nbenchSrc, Work: 600000 + 32*1024},
+		{Name: "gzip", Src: gzipSrc, Work: 1048576},
+		{Name: "syscall", Src: syscallSrc, Work: 20000},
+		{Name: "pipe-throughput", Src: pipeTputSrc, Work: 2000 * 512},
+		{Name: "fswrite", Src: fswriteSrc, Work: 400 * 4096},
+	}
+}
+
+// Lookup returns the cataloged program with the given name.
+func Lookup(name string) (Program, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
 // runProgram boots a machine under cfg, spawns src (raw, no CRT unless the
 // source includes it), feeds input, runs to completion and returns metrics
 // with the given work amount.

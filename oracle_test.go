@@ -1,0 +1,235 @@
+package splitmem_test
+
+// The differential-execution oracle: the predecode cache (the machine's
+// host-side fast path) must be architecturally invisible. Every workload,
+// every attack form of the extended Wilander grid, and every real-world
+// scenario is executed twice — fast path on and off — and the two runs must
+// agree on EVERYTHING the architecture defines: the full retired-instruction
+// stream (EIP + decoded fields, hashed online), simulated cycles, kernel
+// event log bytes, exit status, and every statistic except the decode-cache
+// counters themselves (the only host-side-only numbers in Stats).
+//
+// The simulator is deterministic, so any divergence is a real coherence bug
+// in the fast path, never noise.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"splitmem"
+	"splitmem/internal/attacks"
+	"splitmem/internal/isa"
+	"splitmem/internal/workloads"
+)
+
+// scrubDecode zeroes the host-side decode-cache counters, the only Stats
+// fields allowed to differ between the two arms.
+func scrubDecode(s splitmem.Stats) splitmem.Stats {
+	s.DecodeHits, s.DecodeMisses, s.DecodeInvalidations = 0, 0, 0
+	return s
+}
+
+// traceHash folds one retired instruction into an FNV-1a style running
+// hash; the final value fingerprints the entire execution stream.
+func traceHash(h uint64, eip uint32, in isa.Instr) uint64 {
+	const prime = 1099511628211
+	for _, w := range []uint64{
+		uint64(eip), uint64(in.Op), uint64(in.R1), uint64(in.R2),
+		uint64(in.Imm), uint64(in.Size),
+	} {
+		h = (h ^ w) * prime
+	}
+	return h
+}
+
+// workloadDigest is everything architecturally observable about one run.
+type workloadDigest struct {
+	trace      uint64
+	retired    uint64
+	cycles     uint64
+	reason     splitmem.StopReason
+	exited     bool
+	status     int
+	stats      splitmem.Stats
+	events     []byte
+	decodeHits uint64 // not compared; proves the fast arm was really fast
+}
+
+func runWorkload(t *testing.T, prog workloads.Program, cfg splitmem.Config) workloadDigest {
+	t.Helper()
+	m, err := splitmem.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := workloadDigest{trace: 14695981039346656037}
+	m.CPU().TraceHook = func(eip uint32, in isa.Instr) {
+		d.trace = traceHash(d.trace, eip, in)
+	}
+	p, err := m.LoadAsm(prog.Src, prog.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Input != "" {
+		p.StdinWrite([]byte(prog.Input))
+		p.StdinClose()
+	}
+	res := m.Run(40_000_000_000)
+	d.reason = res.Reason
+	d.exited, d.status = p.Exited()
+	s := m.Stats()
+	d.decodeHits = s.DecodeHits
+	d.stats = scrubDecode(s)
+	d.retired = s.Instructions
+	d.cycles = s.Cycles
+	d.events, err = m.EventsJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func compareDigests(t *testing.T, name string, fast, slow workloadDigest) {
+	t.Helper()
+	if fast.trace != slow.trace || fast.retired != slow.retired {
+		t.Errorf("%s: retired streams diverge: fast %d instrs (hash %#x), slow %d (hash %#x)",
+			name, fast.retired, fast.trace, slow.retired, slow.trace)
+	}
+	if fast.cycles != slow.cycles {
+		t.Errorf("%s: simulated cycles diverge: %d vs %d", name, fast.cycles, slow.cycles)
+	}
+	if fast.reason != slow.reason || fast.exited != slow.exited || fast.status != slow.status {
+		t.Errorf("%s: outcomes diverge: fast(%v,%v,%d) slow(%v,%v,%d)",
+			name, fast.reason, fast.exited, fast.status, slow.reason, slow.exited, slow.status)
+	}
+	if fast.stats != slow.stats {
+		t.Errorf("%s: stats diverge:\nfast %+v\nslow %+v", name, fast.stats, slow.stats)
+	}
+	if !bytes.Equal(fast.events, slow.events) {
+		t.Errorf("%s: event logs diverge:\nfast:\n%s\nslow:\n%s", name, fast.events, slow.events)
+	}
+}
+
+// TestOracleWorkloads: every cataloged workload under every protection
+// policy, fast vs slow.
+func TestOracleWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is broad")
+	}
+	prots := []splitmem.Protection{
+		splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit, splitmem.ProtSplitNX,
+	}
+	for _, prog := range workloads.Catalog() {
+		for _, prot := range prots {
+			prog, prot := prog, prot
+			t.Run(fmt.Sprintf("%s/%v", prog.Name, prot), func(t *testing.T) {
+				cfg := splitmem.Config{Protection: prot}
+				fast := runWorkload(t, prog, cfg)
+				cfg.NoDecodeCache = true
+				slow := runWorkload(t, prog, cfg)
+				compareDigests(t, prog.Name, fast, slow)
+				if fast.decodeHits == 0 {
+					t.Error("fast arm never hit the decode cache — oracle is vacuous")
+				}
+				if slow.decodeHits != 0 {
+					t.Error("slow arm used the decode cache — oracle is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// compareAttack checks the full-fidelity record of two attack runs.
+func compareAttack(t *testing.T, name string, fast, slow attacks.Result) {
+	t.Helper()
+	if fast.ShellSpawned != slow.ShellSpawned || fast.Detected != slow.Detected ||
+		fast.Killed != slow.Killed || fast.Signal != slow.Signal ||
+		fast.Exited != slow.Exited || fast.Status != slow.Status ||
+		fast.FaultAddr != slow.FaultAddr {
+		t.Errorf("%s: outcomes diverge:\nfast %+v\nslow %+v", name, fast, slow)
+	}
+	if scrubDecode(fast.Stats) != scrubDecode(slow.Stats) {
+		t.Errorf("%s: stats diverge:\nfast %+v\nslow %+v",
+			name, scrubDecode(fast.Stats), scrubDecode(slow.Stats))
+	}
+	if !bytes.Equal(fast.EventsJSONL, slow.EventsJSONL) {
+		t.Errorf("%s: event logs diverge:\nfast:\n%s\nslow:\n%s",
+			name, fast.EventsJSONL, slow.EventsJSONL)
+	}
+	if fast.Output != slow.Output {
+		t.Errorf("%s: outputs diverge: %q vs %q", name, fast.Output, slow.Output)
+	}
+}
+
+// TestOracleWilanderGrid: all techniques x all injection segments (the
+// paper's Table 1 benchmark, extended), fast vs slow, under both split
+// deployments. The detection event — kind, EIP, dumped shellcode bytes —
+// must be byte-for-byte identical: detection happens at the unique fetch of
+// the first injected instruction, and the fast path must not move it.
+func TestOracleWilanderGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is broad")
+	}
+	for _, prot := range []splitmem.Protection{splitmem.ProtSplit, splitmem.ProtSplitNX} {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			fastCells, err := attacks.RunExtendedWilander(splitmem.Config{Protection: prot})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slowCells, err := attacks.RunExtendedWilander(splitmem.Config{
+				Protection: prot, NoDecodeCache: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fastCells) != len(slowCells) {
+				t.Fatalf("cell counts diverge: %d vs %d", len(fastCells), len(slowCells))
+			}
+			for i := range fastCells {
+				f, s := fastCells[i], slowCells[i]
+				if f.Tech != s.Tech || f.Seg != s.Seg || f.NA != s.NA {
+					t.Fatalf("grid order diverged at %d", i)
+				}
+				if f.NA {
+					continue
+				}
+				name := fmt.Sprintf("%v/%v", f.Tech, f.Seg)
+				compareAttack(t, name, f.Result, s.Result)
+			}
+		})
+	}
+}
+
+// TestOracleScenarios: the real-world exploit scenarios (Table 2), fast vs
+// slow, across the response modes.
+func TestOracleScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is broad")
+	}
+	responses := []splitmem.ResponseMode{splitmem.Break, splitmem.Observe, splitmem.Forensics}
+	for _, sc := range attacks.Scenarios() {
+		for _, resp := range responses {
+			sc, resp := sc, resp
+			t.Run(fmt.Sprintf("%s/%v", sc.Key, resp), func(t *testing.T) {
+				cfg := splitmem.Config{Protection: splitmem.ProtSplit, Response: resp}
+				if resp == splitmem.Forensics {
+					cfg.ForensicShellcode = splitmem.ExitShellcode()
+				}
+				fast, err := attacks.RunScenario(sc.Key, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.NoDecodeCache = true
+				slow, err := attacks.RunScenario(sc.Key, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareAttack(t, sc.Key, fast, slow)
+				if fast.Stats.DecodeHits == 0 {
+					t.Error("fast arm never hit the decode cache — oracle is vacuous")
+				}
+			})
+		}
+	}
+}

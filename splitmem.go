@@ -189,6 +189,13 @@ type Config struct {
 	DTLBSize  int
 	PhysBytes int
 
+	// NoDecodeCache disables the predecoded-instruction fast path and
+	// forces the slow fetch/decode loop. The fast path is architecturally
+	// invisible (the differential-execution oracle proves it retires the
+	// identical stream), so this knob exists for that oracle and for
+	// benchmarking the fast path itself, not for correctness.
+	NoDecodeCache bool
+
 	// TraceDepth, when positive, records the last N executed instructions
 	// in a ring buffer (see TraceTail). Slows simulation slightly. With a
 	// split engine active, injection-detection events carry the ring's
@@ -231,11 +238,12 @@ type Machine struct {
 func New(cfg Config) (*Machine, error) {
 	nxEnabled := cfg.Protection == ProtNX || cfg.Protection == ProtSplitNX
 	mach, err := cpu.New(cpu.Config{
-		PhysBytes: cfg.PhysBytes,
-		ITLBSize:  cfg.ITLBSize,
-		DTLBSize:  cfg.DTLBSize,
-		Cost:      cfg.CostModel,
-		NXEnabled: nxEnabled,
+		PhysBytes:   cfg.PhysBytes,
+		ITLBSize:    cfg.ITLBSize,
+		DTLBSize:    cfg.DTLBSize,
+		Cost:        cfg.CostModel,
+		NXEnabled:   nxEnabled,
+		DecodeCache: !cfg.NoDecodeCache,
 	})
 	if err != nil {
 		return nil, err
@@ -437,6 +445,13 @@ type Stats struct {
 	MemFaults      uint64     // contained physical-memory machine checks
 	Split          SplitStats // zero when no split engine is active
 	Chaos          ChaosStats // zero when no chaos injection is configured
+
+	// Predecode-cache (fast path) health. Host-side only: these are the
+	// sole counters allowed to differ between a fast-path and a slow-path
+	// run of the same program.
+	DecodeHits          uint64
+	DecodeMisses        uint64
+	DecodeInvalidations uint64
 }
 
 // Stats snapshots current counters.
@@ -448,6 +463,9 @@ func (m *Machine) Stats() Stats {
 		DebugTraps:   m.mach.Stats.DebugTraps,
 		CtxSwitches:  m.mach.Stats.CtxSwitches,
 	}
+	s.DecodeHits = m.mach.Stats.DecodeHits
+	s.DecodeMisses = m.mach.Stats.DecodeMisses
+	s.DecodeInvalidations = m.mach.Stats.DecodeInvalidations
 	s.ITLBHits, s.ITLBMisses, _, _ = m.mach.ITLB.Stats()
 	s.DTLBHits, s.DTLBMisses, _, _ = m.mach.DTLB.Stats()
 	s.Syscalls, s.KernelFaults, _ = m.kern.Counters()
