@@ -1,0 +1,191 @@
+package splitmem_test
+
+// Tests for the v2 client API: RunContext cancellation, Config.Validate's
+// typed rejections, typed assembler/loader errors, and the incremental
+// event log (EventSeq / EventsSince).
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"splitmem"
+)
+
+const spinSrc = `
+_start:
+spin:
+    jmp spin
+`
+
+func TestRunContextPreCanceled(t *testing.T) {
+	m := splitmem.MustNew(splitmem.Config{})
+	if _, err := m.LoadAsm(spinSrc, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := m.RunContext(ctx, 0)
+	if res.Reason != splitmem.ReasonCanceled {
+		t.Fatalf("reason=%v want canceled", res.Reason)
+	}
+	if res.Cycles != 0 {
+		t.Fatalf("pre-canceled run consumed %d cycles", res.Cycles)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	m := splitmem.MustNew(splitmem.Config{})
+	if _, err := m.LoadAsm(spinSrc, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	// The guest spins forever; only the cancellation can end this run.
+	res := m.RunContext(ctx, 0)
+	if res.Reason != splitmem.ReasonCanceled {
+		t.Fatalf("reason=%v want canceled", res.Reason)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("mid-run cancel should have simulated some cycles")
+	}
+
+	// Guest state stays consistent: the machine resumes under a fresh
+	// context and stops at its budget, not in some wedged state.
+	res = m.Run(100_000)
+	if res.Reason != splitmem.ReasonBudget {
+		t.Fatalf("resumed reason=%v want budget", res.Reason)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	m := splitmem.MustNew(splitmem.Config{})
+	if _, err := m.LoadAsm(spinSrc, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res := m.RunContext(ctx, 0)
+	if res.Reason != splitmem.ReasonCanceled {
+		t.Fatalf("reason=%v want canceled", res.Reason)
+	}
+}
+
+func TestRunIsRunContextBackground(t *testing.T) {
+	m := splitmem.MustNew(splitmem.Config{})
+	if _, err := m.LoadAsm(spinSrc, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(50_000); res.Reason != splitmem.ReasonBudget {
+		t.Fatalf("reason=%v want budget", res.Reason)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := map[string]splitmem.Config{
+		"protection":    {Protection: splitmem.Protection(99)},
+		"response":      {Response: splitmem.ResponseMode(99)},
+		"fraction-low":  {SplitFraction: -0.5},
+		"fraction-high": {SplitFraction: 1.5},
+		"itlb":          {ITLBSize: -1},
+		"dtlb":          {DTLBSize: -4},
+		"phys-negative": {PhysBytes: -1},
+		"phys-subpage":  {PhysBytes: 100},
+		"trace-depth":   {TraceDepth: -2},
+		"span-cap":      {TelemetrySpanCap: -1},
+		"shellcode":     {ForensicShellcode: make([]byte, 8192)},
+		"chaos-rate":    {Chaos: splitmem.ChaosConfig{BitFlip: 1.5}},
+	}
+	for name, cfg := range bad {
+		t.Run(name, func(t *testing.T) {
+			if err := cfg.Validate(); !errors.Is(err, splitmem.ErrBadConfig) {
+				t.Fatalf("Validate() = %v, want ErrBadConfig", err)
+			}
+			// New must surface the same typed rejection.
+			if _, err := splitmem.New(cfg); !errors.Is(err, splitmem.ErrBadConfig) {
+				t.Fatalf("New() = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+
+	good := []splitmem.Config{
+		{},
+		{Protection: splitmem.ProtSplitNX, Response: splitmem.Recovery, SplitFraction: 1},
+		{ForensicShellcode: splitmem.ExitShellcode()},
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v, want nil", cfg, err)
+		}
+	}
+}
+
+func TestAsmErrorHasLine(t *testing.T) {
+	_, err := splitmem.Assemble("_start:\n    mov eax, 0\n    frobnicate eax\n")
+	if err == nil {
+		t.Fatal("bad mnemonic assembled")
+	}
+	var ae *splitmem.AsmError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err %T %v is not an AsmError", err, err)
+	}
+	if ae.Line != 3 {
+		t.Fatalf("line=%d want 3 (%v)", ae.Line, ae)
+	}
+}
+
+func TestErrBadImage(t *testing.T) {
+	m := splitmem.MustNew(splitmem.Config{})
+	for name, img := range map[string][]byte{
+		"empty":     nil,
+		"bad-magic": []byte("ELF!this is not a SELF image"),
+		"truncated": {0x7F, 'S', '8', '6'},
+	} {
+		if _, err := m.LoadBinary(img, name); !errors.Is(err, splitmem.ErrBadImage) {
+			t.Fatalf("%s: err=%v want ErrBadImage", name, err)
+		}
+	}
+}
+
+func TestEventsSince(t *testing.T) {
+	m := splitmem.MustNew(splitmem.Config{})
+	if m.EventSeq() != 0 {
+		t.Fatalf("fresh machine EventSeq=%d", m.EventSeq())
+	}
+	if _, err := m.LoadAsm(`
+_start:
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`, "exit"); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+
+	all := m.Events()
+	seq := m.EventSeq()
+	if len(all) == 0 || seq != len(all) {
+		t.Fatalf("events=%d seq=%d", len(all), seq)
+	}
+	since := m.EventsSince(0)
+	if len(since) != len(all) {
+		t.Fatalf("EventsSince(0)=%d events, Events()=%d", len(since), len(all))
+	}
+	if got := m.EventsSince(seq - 1); len(got) != 1 || got[0].Kind != all[len(all)-1].Kind {
+		t.Fatalf("EventsSince(seq-1) = %v", got)
+	}
+	if got := m.EventsSince(seq); len(got) != 0 {
+		t.Fatalf("EventsSince(seq) = %v, want empty", got)
+	}
+	// Cursors stay monotonic across a negative or over-large argument.
+	if got := m.EventsSince(-5); len(got) != len(all) {
+		t.Fatalf("EventsSince(-5)=%d want %d", len(got), len(all))
+	}
+	if got := m.EventsSince(seq + 100); len(got) != 0 {
+		t.Fatalf("EventsSince(seq+100)=%d want 0", len(got))
+	}
+}

@@ -4,10 +4,12 @@
 // Usage:
 //
 //	splitmem-bench [-table3] [-fig6] [-fig7] [-fig8] [-fig9] [-fastpath]
-//	               [-parallel N] [-all] [-json BENCH_results.json]
+//	               [-serve] [-parallel N] [-all] [-json BENCH_results.json]
 //
 // -fastpath runs the predecode-cache ablation (cache on vs off; the
 // simulated side must be bit-identical, the host side reports the speedup).
+// -serve runs the splitmem-serve load harness (64 clients against an
+// 8-worker in-process server) and reports service throughput.
 // -parallel N fans the nbench workload out over a fleet of N machines and
 // reports the scaling figure.
 //
@@ -32,12 +34,13 @@ func main() {
 		fig8     = flag.Bool("fig8", false, "run the Apache page-size sweep")
 		fig9     = flag.Bool("fig9", false, "run the fractional-splitting sweep")
 		fastpath = flag.Bool("fastpath", false, "run the predecode-cache ablation")
+		srv      = flag.Bool("serve", false, "run the splitmem-serve throughput load test")
 		parallel = flag.Int("parallel", 0, "fan the nbench fleet out over N machines")
 		all      = flag.Bool("all", false, "run everything")
 		jsonPath = flag.String("json", "", "also write results as JSON to this file")
 	)
 	flag.Parse()
-	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9 || *fastpath || *parallel > 0) {
+	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9 || *fastpath || *srv || *parallel > 0) {
 		*all = true
 	}
 	results := bench.NewResults()
@@ -77,6 +80,15 @@ func main() {
 		fmt.Println(t.Render())
 		results.AddTable("fastpath", t)
 		results.AddFigure("fastpath-sim", bench.FastPathSimFigure(runs))
+	}
+	if *all || *srv {
+		fig, err := bench.ServeThroughput(64, 2, 8)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		results.AddFigure("serve", fig)
 	}
 	if n := *parallel; n > 0 || *all {
 		if n <= 0 {

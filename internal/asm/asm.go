@@ -115,8 +115,27 @@ func MustAssemble(src string) *loader.Program {
 	return p
 }
 
+// Error is a source-level assembly failure: a syntax error, an unknown
+// mnemonic, a bad directive. Line is the 1-based source line (0 when the
+// failure is not attributable to one line, e.g. an unresolved .entry
+// symbol). Callers that assemble untrusted source (the analysis service's
+// job decoder) pull it out with errors.As to report the offending line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error renders the failure in the assembler's historical "line N: msg"
+// form (or the bare message when no line is attributable).
+func (e *Error) Error() string {
+	if e.Line == 0 {
+		return e.Msg
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
 func (a *assembler) errf(line int, format string, args ...any) error {
-	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
 }
 
 // ---- pass 0: parse ----

@@ -368,7 +368,7 @@ func (a *assembler) emit() (*loader.Program, error) {
 	case a.entryStr != "":
 		v, err := evalExpr(a.entryStr, a.lookup)
 		if err != nil {
-			return nil, fmt.Errorf(".entry: %v", err)
+			return nil, &Error{Msg: fmt.Sprintf(".entry: %v", err)}
 		}
 		p.Entry = v
 	default:

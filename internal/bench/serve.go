@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"splitmem/internal/serve"
+	"splitmem/internal/serve/loadtest"
+)
+
+// ServeThroughput measures the splitmem-serve detonation service under the
+// standard load harness: `clients` concurrent clients, each submitting
+// `jobs` busy-loop programs to an in-process server with `workers`
+// simulation workers, over both transports. The run also enforces the
+// service contract — it is an error, not a data point, if any acknowledged
+// job is lost or a stream is left unterminated.
+func ServeThroughput(clients, jobs, workers int) (*Figure, error) {
+	f := &Figure{
+		Title:  fmt.Sprintf("Service throughput: %d clients x %d jobs, %d workers", clients, jobs, workers),
+		YLabel: "completed jobs / second",
+		Notes: []string{
+			"zero acknowledged-then-lost jobs and zero truncated streams (loadtest contract)",
+			"backlog = workers, so admission sheds load as 429s under this fan-in",
+		},
+	}
+	jps := Series{Name: "jobs/s"}
+	shed := Series{Name: "429s shed"}
+	for _, stream := range []bool{false, true} {
+		s, err := serve.New(serve.Config{Workers: workers, Backlog: workers})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(s.Handler())
+		rep, err := loadtest.Run(loadtest.Config{
+			BaseURL: ts.URL,
+			Clients: clients,
+			Jobs:    jobs,
+			Stream:  stream,
+		})
+		ts.Close()
+		s.Close()
+		if err != nil {
+			return nil, err
+		}
+		if lost := rep.Lost(); lost != 0 || rep.GaveUp > 0 || len(rep.Failures) > 0 {
+			return nil, fmt.Errorf("serve throughput (stream=%v): contract violated: %v", stream, rep)
+		}
+		label := "sync"
+		if stream {
+			label = "stream"
+		}
+		jps.Labels = append(jps.Labels, label)
+		jps.Values = append(jps.Values, rep.JobsPerSec)
+		shed.Labels = append(shed.Labels, label)
+		shed.Values = append(shed.Values, float64(rep.Rejected429))
+	}
+	f.Series = []Series{jps, shed}
+	return f, nil
+}

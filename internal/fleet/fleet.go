@@ -15,6 +15,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -123,32 +124,33 @@ func Run(cfg Config) (*Aggregate, error) {
 	}
 
 	start := time.Now()
-	ids := make(chan int)
+	// The batch run is a persistent Pool used once: a backlog of N admits
+	// the whole fleet up front, and Close drains it.
+	pool, err := NewPool(workers, cfg.N)
+	if err != nil {
+		return nil, err
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for id := range ids {
-				mcfg := cfg.Machine
-				mcfg.Seed = DeriveSeed(cfg.Seed, id)
-				t0 := time.Now()
-				res, err := cfg.Job(id, mcfg)
-				// Each worker writes only its own index; the merge below is
-				// the single lock-protected cross-machine operation.
-				agg.Machines[id] = MachineResult{
-					ID: id, Seed: mcfg.Seed, Result: res, Err: err,
-					Host: time.Since(t0),
-				}
-				agg.Hub.Merge(res.Hub)
-			}
-		}()
-	}
 	for id := 0; id < cfg.N; id++ {
-		ids <- id
+		id := id
+		wg.Add(1)
+		pool.TrySubmit(func(context.Context) {
+			defer wg.Done()
+			mcfg := cfg.Machine
+			mcfg.Seed = DeriveSeed(cfg.Seed, id)
+			t0 := time.Now()
+			res, err := cfg.Job(id, mcfg)
+			// Each worker writes only its own index; the merge below is
+			// the single lock-protected cross-machine operation.
+			agg.Machines[id] = MachineResult{
+				ID: id, Seed: mcfg.Seed, Result: res, Err: err,
+				Host: time.Since(t0),
+			}
+			agg.Hub.Merge(res.Hub)
+		})
 	}
-	close(ids)
 	wg.Wait()
+	pool.Close()
 	agg.Wall = time.Since(start)
 
 	for i := range agg.Machines {

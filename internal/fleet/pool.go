@@ -1,0 +1,142 @@
+package fleet
+
+// Pool is the persistent sibling of Run: where Run executes one fixed batch
+// of machines and returns, a Pool keeps a fixed set of workers alive and
+// accepts tasks for the rest of its life — the execution substrate of the
+// splitmem-serve analysis service, whose admission queue is exactly the
+// pool's bounded backlog. The concurrency contract is the same as Run's:
+// each simulated machine stays single-threaded on one worker goroutine,
+// and all cross-task aggregation happens through explicitly synchronized
+// paths (telemetry.Registry.Merge, the caller's own channels).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Task is one unit of pool work. The context is the pool's lifetime
+// context; tasks that simulate should pass it to Machine.RunContext so a
+// pool shutdown can cancel them (a closing pool still drains its backlog —
+// cancellation is the task's policy decision, not the pool's).
+type Task func(ctx context.Context)
+
+// Pool is a fixed-size worker pool with a bounded backlog.
+type Pool struct {
+	tasks   chan Task
+	workers int
+	backlog int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	queued  int // tasks accepted but not yet started
+	running int // tasks currently executing
+	done    uint64
+}
+
+// NewPool starts workers goroutines servicing a backlog of at most backlog
+// queued tasks (0 means "workers", the smallest backlog that never starves
+// an idle worker). Close the pool to drain and release them.
+func NewPool(workers, backlog int) (*Pool, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("fleet: pool needs a positive worker count, got %d", workers)
+	}
+	if backlog <= 0 {
+		backlog = workers
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		tasks:   make(chan Task, backlog),
+		workers: workers,
+		backlog: backlog,
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for task := range p.tasks {
+		p.mu.Lock()
+		p.queued--
+		p.running++
+		p.mu.Unlock()
+		task(p.ctx)
+		p.mu.Lock()
+		p.running--
+		p.done++
+		p.mu.Unlock()
+	}
+}
+
+// TrySubmit offers a task to the pool without blocking. It returns false
+// when the backlog is full or the pool is closed — the caller sheds load
+// (the service's 429 path) instead of queueing unboundedly. A task that
+// TrySubmit accepts is guaranteed to run, even if the pool closes first.
+func (p *Pool) TrySubmit(task Task) bool {
+	if task == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.queued >= p.backlog {
+		return false
+	}
+	// Accounting happens under the lock, so queued never exceeds the
+	// backlog even under concurrent submitters; the channel has exactly
+	// backlog slots, so this send cannot block.
+	p.queued++
+	p.tasks <- task
+	return true
+}
+
+// Depth reports accepted-but-unfinished tasks: queued plus running.
+func (p *Pool) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued + p.running
+}
+
+// Stats reports the pool's instantaneous load: tasks waiting in the
+// backlog, tasks executing, and tasks completed over the pool's lifetime.
+func (p *Pool) Stats() (queued, running int, done uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued, p.running, p.done
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Backlog returns the pool's queued-task capacity.
+func (p *Pool) Backlog() int { return p.backlog }
+
+// Close stops admission, waits for every accepted task (queued and
+// running) to finish, then releases the workers. Safe to call twice.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.tasks)
+	p.wg.Wait()
+	p.cancel()
+}
+
+// Cancel signals the pool's lifetime context. Running tasks that honor it
+// (Machine.RunContext) stop within one scheduler timeslice; Close still
+// waits for them to return.
+func (p *Pool) Cancel() { p.cancel() }

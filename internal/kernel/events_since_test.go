@@ -1,0 +1,64 @@
+package kernel
+
+import "testing"
+
+// The incremental event API must keep lifetime sequence numbers monotonic
+// through both ways the log forgets events: the ring dropping its oldest
+// entry and ClearEvents discarding everything.
+
+func TestEventsSinceRing(t *testing.T) {
+	k := newKernel(t, Config{MaxEvents: 4})
+	emit := func(n int) {
+		for i := 0; i < n; i++ {
+			k.Emit(Event{Kind: EvSebekLine, Text: "x"})
+		}
+	}
+
+	emit(3)
+	if k.EventSeq() != 3 {
+		t.Fatalf("seq=%d want 3", k.EventSeq())
+	}
+	if got := k.EventsSince(0); len(got) != 3 {
+		t.Fatalf("EventsSince(0)=%d want 3", len(got))
+	}
+	if got := k.EventsSince(2); len(got) != 1 {
+		t.Fatalf("EventsSince(2)=%d want 1", len(got))
+	}
+	if got := k.EventsSince(3); len(got) != 0 {
+		t.Fatalf("EventsSince(3)=%d want 0", len(got))
+	}
+
+	// Overflow the ring: seq keeps counting, old cursors clamp to the
+	// oldest retained event instead of re-reading dropped slots.
+	emit(3)
+	if k.EventSeq() != 6 {
+		t.Fatalf("seq=%d want 6", k.EventSeq())
+	}
+	if got := k.EventsSince(0); len(got) != 4 {
+		t.Fatalf("EventsSince(0)=%d want 4 (ring capacity)", len(got))
+	}
+	if got := k.EventsSince(5); len(got) != 1 {
+		t.Fatalf("EventsSince(5)=%d want 1", len(got))
+	}
+}
+
+func TestEventsSinceClear(t *testing.T) {
+	k := newKernel(t, Config{})
+	for i := 0; i < 5; i++ {
+		k.Emit(Event{Kind: EvSebekLine, Text: "x"})
+	}
+	k.ClearEvents()
+	if k.EventSeq() != 5 {
+		t.Fatalf("seq=%d want 5 (clear must not rewind the cursor)", k.EventSeq())
+	}
+	if got := k.EventsSince(0); len(got) != 0 {
+		t.Fatalf("EventsSince(0)=%d after clear", len(got))
+	}
+	k.Emit(Event{Kind: EvSebekLine, Text: "y"})
+	if k.EventSeq() != 6 {
+		t.Fatalf("seq=%d want 6", k.EventSeq())
+	}
+	if got := k.EventsSince(5); len(got) != 1 || got[0].Text != "y" {
+		t.Fatalf("EventsSince(5)=%v", got)
+	}
+}

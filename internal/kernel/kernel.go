@@ -227,7 +227,8 @@ type Kernel struct {
 	cfg       Config
 
 	events    []Event
-	dropped   int
+	dropped   int // entries dropped by the ring buffer
+	seqBase   int // lifetime sequence number of events[0] (ring drops + clears)
 	pipes     map[int]*pipe
 	nextPipe  int
 	syscalls  uint64
@@ -298,6 +299,7 @@ func (k *Kernel) Emit(ev Event) {
 	if len(k.events) >= k.cfg.MaxEvents {
 		k.events = k.events[1:]
 		k.dropped++
+		k.seqBase++
 	}
 	k.events = append(k.events, ev)
 	if k.cfg.EventHook != nil {
@@ -307,6 +309,29 @@ func (k *Kernel) Emit(ev Event) {
 
 // Events returns the accumulated event log.
 func (k *Kernel) Events() []Event { return k.events }
+
+// EventSeq returns the total number of events emitted over the kernel's
+// lifetime, including entries the ring buffer has already dropped or the
+// host has cleared. It is the cursor value an incremental reader passes to
+// EventsSince.
+func (k *Kernel) EventSeq() int { return k.seqBase + len(k.events) }
+
+// EventsSince returns the still-retained events whose lifetime sequence
+// number (see EventSeq) is at least n, without copying: pollers and the
+// NDJSON streamer consume the log incrementally instead of re-reading the
+// whole slice on every poll. Events older than n that have since been
+// dropped or cleared are silently skipped. The returned slice aliases the
+// log and is valid until the next Emit.
+func (k *Kernel) EventsSince(n int) []Event {
+	if n < k.seqBase {
+		n = k.seqBase
+	}
+	i := n - k.seqBase
+	if i >= len(k.events) {
+		return nil
+	}
+	return k.events[i:]
+}
 
 // Counters reports kernel activity totals: syscalls dispatched, generic
 // (demand-paging and copy-on-write) faults handled, and events dropped by
@@ -352,8 +377,13 @@ func (k *Kernel) EventsOf(kind EventKind) []Event {
 	return out
 }
 
-// ClearEvents drops the accumulated event log.
-func (k *Kernel) ClearEvents() { k.events = nil }
+// ClearEvents drops the accumulated event log. Lifetime sequence numbers
+// (EventSeq) keep counting across the clear, so incremental readers never
+// observe the cursor moving backwards.
+func (k *Kernel) ClearEvents() {
+	k.seqBase += len(k.events)
+	k.events = nil
+}
 
 // RegisterTelemetry registers the kernel's activity counters as sampled
 // gauges. Sampling happens at export time; syscall and fault paths are

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 
@@ -26,6 +27,12 @@ const (
 	// was contained and converted to this result instead of crashing the
 	// host. RunResult.Panic and RunResult.Stack carry the evidence.
 	ReasonInternalError
+	// ReasonCanceled: the context given to RunContext was canceled or its
+	// deadline expired. The cancellation is observed between scheduler
+	// timeslices, so the latency from cancel to return is at most one
+	// timeslice of simulated work; guest state stays consistent and Run may
+	// be called again to continue.
+	ReasonCanceled
 )
 
 // String names the stop reason.
@@ -41,6 +48,8 @@ func (r StopReason) String() string {
 		return "deadlock"
 	case ReasonInternalError:
 		return "internal-error"
+	case ReasonCanceled:
+		return "canceled"
 	}
 	return "unknown"
 }
@@ -58,7 +67,16 @@ type RunResult struct {
 // waiting on host input, or maxCycles simulated cycles elapse (0 = no
 // budget). It is the host's "power button": drivers alternate between Run
 // and feeding process stdin.
-func (k *Kernel) Run(maxCycles uint64) (res RunResult) {
+func (k *Kernel) Run(maxCycles uint64) RunResult {
+	return k.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run with cancellation: it additionally returns
+// ReasonCanceled when ctx is canceled or its deadline passes. The context
+// is polled between scheduler timeslices (never mid-instruction), bounding
+// the cancellation latency to one timeslice of simulated work while keeping
+// the hot execution loop free of host synchronization.
+func (k *Kernel) RunContext(ctx context.Context, maxCycles uint64) (res RunResult) {
 	start := k.m.Cycles
 	// Host panic containment: a simulator bug must never crash the embedding
 	// process. The panic is logged as a machine check and reported through
@@ -79,6 +97,11 @@ func (k *Kernel) Run(maxCycles uint64) (res RunResult) {
 		deadline = start + maxCycles
 	}
 	for {
+		select {
+		case <-ctx.Done():
+			return RunResult{Reason: ReasonCanceled, Cycles: k.m.Cycles - start}
+		default:
+		}
 		k.serviceShells()
 		k.wakeStdinWaiters()
 		p := k.nextRunnable()

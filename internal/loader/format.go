@@ -11,12 +11,21 @@ package loader
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 
 	"splitmem/internal/mem"
 )
+
+// ErrBadImage is the sentinel wrapped by every Unmarshal rejection of a
+// malformed or hostile SELF image — truncation, bad magic, implausible
+// counts, structural invariant violations. Callers that feed untrusted
+// bytes (the analysis service's job decoder) distinguish "the input is
+// garbage" (errors.Is(err, ErrBadImage) → client error) from an internal
+// failure with errors.Is.
+var ErrBadImage = errors.New("loader: bad image")
 
 // Section permission flags.
 const (
@@ -167,17 +176,19 @@ func (p *Program) Marshal() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Unmarshal parses a SELF image.
+// Unmarshal parses a SELF image. Every rejection of malformed input wraps
+// ErrBadImage, so errors.Is(err, ErrBadImage) identifies untrusted-input
+// failures.
 func Unmarshal(b []byte) (*Program, error) {
 	r := bytes.NewReader(b)
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != selfMagic {
-		return nil, fmt.Errorf("loader: bad SELF magic")
+		return nil, fmt.Errorf("%w: bad SELF magic", ErrBadImage)
 	}
 	r32 := func() (uint32, error) {
 		var v [4]byte
 		if _, err := io.ReadFull(r, v[:]); err != nil {
-			return 0, fmt.Errorf("loader: truncated image")
+			return 0, fmt.Errorf("%w: truncated image", ErrBadImage)
 		}
 		return binary.LittleEndian.Uint32(v[:]), nil
 	}
@@ -187,11 +198,11 @@ func Unmarshal(b []byte) (*Program, error) {
 			return "", err
 		}
 		if n > uint32(r.Len()) {
-			return "", fmt.Errorf("loader: truncated string")
+			return "", fmt.Errorf("%w: truncated string", ErrBadImage)
 		}
 		s := make([]byte, n)
 		if _, err := io.ReadFull(r, s); err != nil {
-			return "", fmt.Errorf("loader: truncated string")
+			return "", fmt.Errorf("%w: truncated string", ErrBadImage)
 		}
 		return string(s), nil
 	}
@@ -200,7 +211,7 @@ func Unmarshal(b []byte) (*Program, error) {
 		return nil, err
 	}
 	if ver != selfVersion {
-		return nil, fmt.Errorf("loader: unsupported SELF version %d", ver)
+		return nil, fmt.Errorf("%w: unsupported SELF version %d", ErrBadImage, ver)
 	}
 	p := &Program{Symbols: map[string]uint32{}}
 	if p.Entry, err = r32(); err != nil {
@@ -211,7 +222,7 @@ func Unmarshal(b []byte) (*Program, error) {
 		return nil, err
 	}
 	if nsec > 1024 {
-		return nil, fmt.Errorf("loader: implausible section count %d", nsec)
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrBadImage, nsec)
 	}
 	for i := uint32(0); i < nsec; i++ {
 		var s Section
@@ -234,11 +245,11 @@ func Unmarshal(b []byte) (*Program, error) {
 			return nil, err
 		}
 		if dlen > uint32(r.Len()) {
-			return nil, fmt.Errorf("loader: truncated section data")
+			return nil, fmt.Errorf("%w: truncated section data", ErrBadImage)
 		}
 		s.Data = make([]byte, dlen)
 		if _, err := io.ReadFull(r, s.Data); err != nil {
-			return nil, fmt.Errorf("loader: truncated section data")
+			return nil, fmt.Errorf("%w: truncated section data", ErrBadImage)
 		}
 		p.Sections = append(p.Sections, s)
 	}
@@ -247,7 +258,7 @@ func Unmarshal(b []byte) (*Program, error) {
 		return nil, err
 	}
 	if nsym > 1<<20 {
-		return nil, fmt.Errorf("loader: implausible symbol count %d", nsym)
+		return nil, fmt.Errorf("%w: implausible symbol count %d", ErrBadImage, nsym)
 	}
 	for i := uint32(0); i < nsym; i++ {
 		name, err := rstr()
@@ -261,7 +272,7 @@ func Unmarshal(b []byte) (*Program, error) {
 		p.Symbols[name] = v
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
 	return p, nil
 }

@@ -1,0 +1,56 @@
+package serve_test
+
+// FuzzSubmitJSON pins the service's first line of defense: the job decoder
+// and everything downstream of it (config translation, the assembler, the
+// SELF loader) must reject hostile submissions with a *SubmitError — never
+// a panic — because this path runs on every byte an untrusted client sends.
+
+import (
+	"errors"
+	"testing"
+
+	"splitmem/internal/serve"
+)
+
+func FuzzSubmitJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"source": "_start:\n    jmp _start\n"}`,
+		`{"name": "x", "source": "_start:\n    mov eax, 1\n    int 0x80\n", "crt": true}`,
+		`{"binary": "f1M4NgE="}`,
+		`{"source": "x", "binary": "QUJD"}`,
+		`{"source": "x", "config": {"protection": "split+nx", "response": "forensics"}}`,
+		`{"source": "x", "config": {"split_fraction": 7e300, "phys_bytes": -1}}`,
+		`{"source": "x", "stdin": "kJCQkA==", "max_cycles": 18446744073709551615}`,
+		`{"source": "x", "timeout_ms": -9223372036854775808}`,
+		`{"source": "x"} {"source": "y"}`,
+		"\x00\x01\x02",
+		`{"source": "` + string(rune(0xFFFD)) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := serve.DecodeJob(body)
+		if err != nil {
+			var se *serve.SubmitError
+			if !errors.As(err, &se) {
+				t.Fatalf("DecodeJob error %T %v is not a SubmitError", err, err)
+			}
+			return
+		}
+		if _, err := req.MachineConfig(); err != nil {
+			var se *serve.SubmitError
+			if !errors.As(err, &se) {
+				t.Fatalf("MachineConfig error %T %v is not a SubmitError", err, err)
+			}
+			return
+		}
+		if _, err := req.Program(); err != nil {
+			var se *serve.SubmitError
+			if !errors.As(err, &se) {
+				t.Fatalf("Program error %T %v is not a SubmitError", err, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"splitmem"
+)
+
+// job is one admitted unit of work: the compiled request plus its delivery
+// plumbing. The worker goroutine owns the machine; the handler goroutine
+// only waits on done.
+type job struct {
+	id     uint64
+	req    *JobRequest
+	cfg    splitmem.Config
+	prog   *splitmem.Program
+	ctx    context.Context // request context: client disconnect cancels it
+	sink   eventSink       // nil for synchronous jobs
+	result JobResult
+	done   chan struct{}
+}
+
+// eventSink receives kernel events as the run produces them. Emit errors
+// are deliberately ignored by the runner: a broken client stream must not
+// abort the simulation (the job still completes and is accounted for).
+type eventSink interface {
+	Event(ev splitmem.Event)
+}
+
+// runJob executes one job to its terminal state. poolCtx is the worker
+// pool's lifetime context (canceled only on hard shutdown); the effective
+// context also honors the request context and the job's wall-clock budget.
+func (s *Server) runJob(poolCtx context.Context, j *job) {
+	start := time.Now()
+	res := &j.result
+	res.ID = j.id
+	res.Name = j.req.Name
+
+	timeout := time.Duration(j.req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	budget := j.req.MaxCycles
+	if budget == 0 {
+		budget = s.cfg.DefaultMaxCycles
+	}
+	if budget > s.cfg.MaxCyclesCap {
+		budget = s.cfg.MaxCyclesCap
+	}
+
+	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	defer cancel()
+	stop := context.AfterFunc(poolCtx, cancel)
+	defer stop()
+
+	m, err := splitmem.New(j.cfg)
+	if err != nil {
+		// The config was validated at admission; reaching here is internal.
+		res.Reason = "internal-error"
+		res.Error = err.Error()
+		res.Wall = time.Since(start)
+		return
+	}
+	p, err := m.LoadProgram(j.prog, j.req.Name)
+	if err != nil {
+		// Structurally valid images can still be unloadable (e.g. exhaust
+		// physical memory): the client's input, the client's error.
+		res.Reason = "load-error"
+		res.Error = err.Error()
+		res.Wall = time.Since(start)
+		return
+	}
+	if in := j.req.InputBytes(); len(in) > 0 {
+		p.StdinWrite(in)
+	}
+	if !j.req.KeepStdin {
+		p.StdinClose()
+	}
+
+	// Slice loop: run at most StreamSlice cycles at a time, forwarding the
+	// events each slice emitted (EventsSince — the incremental API exists
+	// for exactly this poller) so streamed detections leave the server
+	// within one slice of the simulated moment they happened.
+	var (
+		cursor int
+		used   uint64
+		final  splitmem.RunResult
+	)
+	pump := func() {
+		if j.sink == nil {
+			return
+		}
+		for _, ev := range m.EventsSince(cursor) {
+			j.sink.Event(ev)
+		}
+		cursor = m.EventSeq()
+	}
+	for {
+		slice := s.cfg.StreamSlice
+		if remaining := budget - used; slice > remaining {
+			slice = remaining
+		}
+		final = m.RunContext(ctx, slice)
+		used += final.Cycles
+		pump()
+		if final.Reason != splitmem.ReasonBudget {
+			break // all-done, deadlock, waiting-input, canceled, internal
+		}
+		if used >= budget {
+			break // the job's own budget, not just a slice boundary
+		}
+	}
+
+	res.Reason = final.Reason.String()
+	res.Cycles = used
+	if final.Reason == splitmem.ReasonCanceled {
+		res.Canceled = true
+		if ctx.Err() == context.DeadlineExceeded && j.ctx.Err() == nil {
+			res.TimedOut = true
+			res.Reason = "timeout"
+		}
+	}
+	if final.Reason == splitmem.ReasonInternalError {
+		res.Error = final.Panic
+	}
+	res.Exited, res.ExitStatus = p.Exited()
+	var sig splitmem.Signal
+	res.Killed, sig = p.Killed()
+	if res.Killed {
+		res.Signal = sig.String()
+	}
+	res.ShellSpawned = p.ShellSpawned()
+	res.Detections = len(m.EventsOf(splitmem.EvInjectionDetected))
+	res.EventCount = m.EventSeq()
+	res.Stdout = string(p.StdoutDrain())
+	if j.sink == nil {
+		res.Events = m.Events()
+	}
+	st := m.Stats()
+	res.Stats = &st
+	res.Wall = time.Since(start)
+
+	// Fold the machine's metrics into the service aggregate. Registry.Merge
+	// is the one goroutine-safe registry entry point; the server's mutex
+	// additionally serializes merges against /metrics renders.
+	s.mergeJobTelemetry(m.Telemetry())
+}

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"splitmem"
+	"splitmem/internal/fleet"
+	"splitmem/internal/telemetry"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	Workers int // concurrent simulation workers (default 8)
+	Backlog int // admission queue beyond the running jobs (default 2 * Workers)
+
+	DefaultMaxCycles uint64 // per-job simulated-cycle budget when the job names none (default 200M)
+	MaxCyclesCap     uint64 // hard per-job cycle ceiling (default 4G)
+	DefaultTimeout   time.Duration // per-job wall clock when the job names none (default 10s)
+	MaxTimeout       time.Duration // hard per-job wall-clock ceiling (default 60s)
+
+	MaxBodyBytes int64  // request body limit (default 8 MiB)
+	StreamSlice  uint64 // cycles simulated between event flushes (default 2M)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Backlog <= 0 {
+		c.Backlog = 2 * c.Workers
+	}
+	if c.DefaultMaxCycles == 0 {
+		c.DefaultMaxCycles = 200_000_000
+	}
+	if c.MaxCyclesCap == 0 {
+		c.MaxCyclesCap = 4_000_000_000
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.StreamSlice == 0 {
+		c.StreamSlice = 2_000_000
+	}
+	return c
+}
+
+// Server is the splitmem-serve HTTP service: a bounded fleet.Pool of
+// simulation workers behind an admission queue, with NDJSON event
+// streaming, Prometheus metrics, and graceful draining.
+type Server struct {
+	cfg  Config
+	pool *fleet.Pool
+	mux  *http.ServeMux
+
+	draining atomic.Bool
+	nextID   atomic.Uint64
+
+	// Service-level counters. Plain atomics read by GaugeFunc samplers at
+	// export time — handler goroutines never touch the (single-threaded)
+	// registry instruments directly.
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64 // queue-full 429s
+	refused   atomic.Uint64 // draining 503s
+	badInput  atomic.Uint64 // 400s
+	completed atomic.Uint64
+	canceled  atomic.Uint64
+	timedOut  atomic.Uint64
+	streamed  atomic.Uint64 // NDJSON event lines written
+
+	// serverReg holds the service gauges; jobs holds the merged per-job
+	// machine registries. jobMu serializes job merges against /metrics
+	// renders (Registry.Merge locks against other merges, not readers).
+	serverReg *telemetry.Registry
+	jobMu     sync.Mutex
+	jobs      *telemetry.Registry
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	pool, err := fleet.NewPool(cfg.Workers, cfg.Backlog)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		pool:      pool,
+		serverReg: telemetry.NewRegistry(),
+		jobs:      telemetry.NewRegistry(),
+	}
+	reg := func(name, help string, v *atomic.Uint64) {
+		s.serverReg.GaugeFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	reg("splitmem_serve_jobs_accepted_total", "jobs admitted to the queue", &s.accepted)
+	reg("splitmem_serve_jobs_rejected_total", "submissions rejected with 429 (queue full)", &s.rejected)
+	reg("splitmem_serve_jobs_refused_total", "submissions refused with 503 (draining)", &s.refused)
+	reg("splitmem_serve_jobs_bad_total", "submissions rejected with 400 (bad input)", &s.badInput)
+	reg("splitmem_serve_jobs_completed_total", "jobs run to a terminal state", &s.completed)
+	reg("splitmem_serve_jobs_canceled_total", "jobs ended by cancellation or disconnect", &s.canceled)
+	reg("splitmem_serve_jobs_timeout_total", "jobs ended by their wall-clock limit", &s.timedOut)
+	reg("splitmem_serve_stream_events_total", "NDJSON event lines written to clients", &s.streamed)
+	s.serverReg.GaugeFunc("splitmem_serve_queue_depth", "jobs admitted but not yet finished",
+		func() float64 { return float64(s.pool.Depth()) })
+	s.serverReg.GaugeFunc("splitmem_serve_workers", "size of the simulation worker pool",
+		func() float64 { return float64(cfg.Workers) })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain stops admission: subsequent submissions get 503 + Retry-After
+// while already-accepted jobs keep running. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether admission is stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains the server: admission stops, every accepted job runs to its
+// terminal state (and its stream gets its terminal line), then the workers
+// exit. Meant to be called after the HTTP listener has shut down — with
+// net/http, Server.Shutdown already waits for in-flight handlers, each of
+// which waits for its job, so Close returns quickly.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.pool.Close()
+}
+
+// Depth reports jobs admitted but not yet finished.
+func (s *Server) Depth() int { return s.pool.Depth() }
+
+// Workers reports the effective worker-pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Backlog reports the effective admission-queue capacity.
+func (s *Server) Backlog() int { return s.cfg.Backlog }
+
+// mergeJobTelemetry folds one finished machine's metrics into the service
+// aggregate.
+func (s *Server) mergeJobTelemetry(hub *telemetry.Hub) {
+	if hub == nil {
+		return
+	}
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.jobs.Merge(hub.Registry())
+}
+
+// --- HTTP plumbing --------------------------------------------------------
+
+// httpError writes a JSON error body. kind is the stable machine-readable
+// discriminator documented in docs/SERVICE.md.
+func httpError(w http.ResponseWriter, status int, kind, msg string, extra map[string]any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body := map[string]any{"error": kind, "message": msg}
+	for k, v := range extra {
+		body[k] = v
+	}
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":  state,
+		"workers": s.cfg.Workers,
+		"backlog": s.cfg.Backlog,
+		"depth":   s.pool.Depth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// Server gauges first, then the merged per-job machine metrics; the
+	// mutex keeps the render from racing a worker's merge.
+	if err := s.serverReg.WritePrometheus(w); err != nil {
+		return
+	}
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.jobs.WritePrometheus(w)
+}
+
+// wantsStream reports whether the client asked for NDJSON streaming.
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" || r.URL.Query().Get("stream") == "true" {
+		return true
+	}
+	return r.Header.Get("Accept") == "application/x-ndjson"
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method-not-allowed", "POST a job object", nil)
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		s.refused.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "draining", "server is draining; resubmit elsewhere", nil)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		s.badInput.Add(1)
+		httpError(w, http.StatusBadRequest, "bad-request", "reading body: "+err.Error(), nil)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		s.badInput.Add(1)
+		httpError(w, http.StatusRequestEntityTooLarge, "too-large",
+			fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes), nil)
+		return
+	}
+
+	req, err := DecodeJob(body)
+	var cfg splitmem.Config
+	var prog *splitmem.Program
+	if err == nil {
+		cfg, err = req.MachineConfig()
+	}
+	if err == nil {
+		prog, err = req.Program()
+	}
+	if err != nil {
+		s.badInput.Add(1)
+		var se *SubmitError
+		if errors.As(err, &se) {
+			extra := map[string]any{}
+			if se.Line > 0 {
+				extra["line"] = se.Line
+			}
+			httpError(w, http.StatusBadRequest, se.Kind, se.Err.Error(), extra)
+		} else {
+			httpError(w, http.StatusBadRequest, "bad-request", err.Error(), nil)
+		}
+		return
+	}
+
+	j := &job{
+		id:   s.nextID.Add(1),
+		req:  req,
+		cfg:  cfg,
+		prog: prog,
+		ctx:  r.Context(),
+		done: make(chan struct{}),
+	}
+
+	stream := wantsStream(r)
+	var ndj *ndjsonWriter
+	if stream {
+		ndj = newNDJSONWriter(w, &s.streamed)
+		j.sink = ndj
+	}
+
+	// Admission. TrySubmit never blocks: a full backlog is load the
+	// service must shed, not hide in a growing queue.
+	task := func(poolCtx context.Context) {
+		defer close(j.done)
+		s.runJob(poolCtx, j)
+	}
+	if !s.pool.TrySubmit(task) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "5")
+			s.refused.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "draining", "server is draining", nil)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		s.rejected.Add(1)
+		httpError(w, http.StatusTooManyRequests, "queue-full",
+			"admission queue is full; retry after the indicated delay", nil)
+		return
+	}
+	s.accepted.Add(1)
+
+	if stream {
+		// The accepted line is the admission acknowledgment: everything
+		// after it is the job's own event stream, terminated by exactly one
+		// result line — even when the server drains mid-run.
+		ndj.Line(map[string]any{"type": "accepted", "id": j.id, "name": req.Name})
+		<-j.done
+		s.accountResult(&j.result)
+		ndj.Result(&j.result)
+		return
+	}
+
+	<-j.done
+	s.accountResult(&j.result)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&j.result)
+}
+
+// accountResult bumps the outcome counters for a finished job.
+func (s *Server) accountResult(res *JobResult) {
+	s.completed.Add(1)
+	if res.Canceled {
+		s.canceled.Add(1)
+	}
+	if res.TimedOut {
+		s.timedOut.Add(1)
+	}
+}
+
+// --- NDJSON streaming -----------------------------------------------------
+
+// ndjsonWriter serializes stream lines to the client. Only the worker (and
+// the handler before/after the worker owns the job) writes through it; the
+// mutex makes the handoff safe regardless of flusher behavior.
+type ndjsonWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	flush   http.Flusher
+	lines   *atomic.Uint64
+	started bool
+}
+
+func newNDJSONWriter(w http.ResponseWriter, lines *atomic.Uint64) *ndjsonWriter {
+	n := &ndjsonWriter{w: w, lines: lines}
+	if f, ok := w.(http.Flusher); ok {
+		n.flush = f
+	}
+	return n
+}
+
+// Line writes one NDJSON object and flushes it to the client.
+func (n *ndjsonWriter) Line(v any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started {
+		if hw, ok := n.w.(http.ResponseWriter); ok {
+			hw.Header().Set("Content-Type", "application/x-ndjson")
+			hw.Header().Set("Cache-Control", "no-store")
+		}
+		n.started = true
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	n.w.Write(b)
+	io.WriteString(n.w, "\n")
+	if n.flush != nil {
+		n.flush.Flush()
+	}
+}
+
+// Event implements eventSink: one line per kernel event, as it happens.
+func (n *ndjsonWriter) Event(ev splitmem.Event) {
+	n.Line(map[string]any{"type": "event", "event": ev})
+	if n.lines != nil {
+		n.lines.Add(1)
+	}
+}
+
+// Result writes the terminal line of the stream.
+func (n *ndjsonWriter) Result(res *JobResult) {
+	n.Line(map[string]any{"type": "result", "result": res})
+}

@@ -1,0 +1,527 @@
+package serve_test
+
+// Integration tests for splitmem-serve, driven entirely through the public
+// HTTP surface: submit (sync + stream), input rejection, per-job timeout,
+// client-disconnect cancellation, queue-full backpressure, graceful drain,
+// and the 64-client load contract. The whole file runs in the CI race lane.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"splitmem/internal/serve"
+	"splitmem/internal/serve/loadtest"
+)
+
+const exitSrc = `
+_start:
+    mov ebx, 7
+    mov eax, 1          ; exit(7)
+    int 0x80
+`
+
+const spinSrc = `
+_start:
+spin:
+    jmp spin
+`
+
+// quickstart victim: read attacker bytes into a stack buffer, jump into it.
+const victimSrc = `
+_start:
+    sub esp, 1024
+    mov ecx, esp
+    mov ebx, 0
+    mov edx, 1024
+    mov eax, 3
+    int 0x80
+    jmp ecx
+`
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, url string, body map[string]any) (*http.Response, error) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return http.Post(url, "application/json", strings.NewReader(string(b)))
+}
+
+func decodeResult(t *testing.T, r io.Reader) serve.JobResult {
+	t.Helper()
+	var res serve.JobResult
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSyncJob(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	resp, err := submit(t, ts.URL+"/v1/jobs", map[string]any{"name": "exit7", "source": exitSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	res := decodeResult(t, resp.Body)
+	if res.Reason != "all-done" || !res.Exited || res.ExitStatus != 7 {
+		t.Fatalf("result %+v", res)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("sync result carries no events")
+	}
+	if res.Stats == nil || res.Stats.Instructions == 0 {
+		t.Fatalf("missing stats: %+v", res.Stats)
+	}
+}
+
+// streamLine is the decoded form of one NDJSON line.
+type streamLine struct {
+	Type  string `json:"type"`
+	Event struct {
+		Kind  string `json:"kind"`
+		Trace string `json:"trace"`
+	} `json:"event"`
+	Result *serve.JobResult `json:"result"`
+}
+
+func readStream(t *testing.T, r io.Reader) []streamLine {
+	t.Helper()
+	var lines []streamLine
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var l streamLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func TestStreamDetection(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	resp, err := submit(t, ts.URL+"/v1/jobs?stream=1", map[string]any{
+		"name":       "victim",
+		"source":     victimSrc,
+		"stdin_text": "\x90\x90\x90\x90",
+		"config":     map[string]any{"trace_depth": 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+	lines := readStream(t, resp.Body)
+	if len(lines) < 3 || lines[0].Type != "accepted" {
+		t.Fatalf("stream shape: %+v", lines)
+	}
+	last := lines[len(lines)-1]
+	if last.Type != "result" || last.Result == nil {
+		t.Fatalf("stream does not end in a result line: %+v", last)
+	}
+	var detected bool
+	for _, l := range lines[1 : len(lines)-1] {
+		if l.Type != "event" {
+			t.Fatalf("unexpected mid-stream line type %q", l.Type)
+		}
+		if l.Event.Kind == "injection-detected" {
+			detected = true
+			if l.Event.Trace == "" {
+				t.Fatal("detection event streamed without its trace")
+			}
+		}
+	}
+	if !detected {
+		t.Fatal("no injection-detected event in the stream")
+	}
+	if last.Result.ShellSpawned {
+		t.Fatal("attack succeeded under split memory")
+	}
+	if last.Result.Detections == 0 {
+		t.Fatalf("result reports no detections: %+v", last.Result)
+	}
+	if len(last.Result.Events) != 0 {
+		t.Fatal("streamed result must not duplicate the event log")
+	}
+}
+
+func TestRejections(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1})
+	url := ts.URL + "/v1/jobs"
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		kind   string
+	}{
+		{"not-json", `{]`, 400, "bad-request"},
+		{"unknown-field", `{"source": "x", "bogus": 1}`, 400, "bad-request"},
+		{"no-program", `{"name": "x"}`, 400, "bad-request"},
+		{"both-programs", `{"source": "x", "binary": "QUJD"}`, 400, "bad-request"},
+		{"both-stdin", `{"source": "x", "stdin": "QUJD", "stdin_text": "hi"}`, 400, "bad-request"},
+		{"trailing", `{"source": "x"} garbage`, 400, "bad-request"},
+		{"neg-timeout", `{"source": "x", "timeout_ms": -1}`, 400, "bad-request"},
+		{"bad-protection", `{"source": "x", "config": {"protection": "magic"}}`, 400, "bad-config"},
+		{"bad-fraction", `{"source": "x", "config": {"split_fraction": 2.0}}`, 400, "bad-config"},
+		{"bad-asm", "{\"source\": \"_start:\\n    frobnicate eax\\n\"}", 400, "bad-source"},
+		{"bad-image", `{"binary": "RUxGIG5vdCBhIFNFTEY="}`, 400, "bad-image"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(url, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d want %d", resp.StatusCode, tc.status)
+			}
+			var e struct {
+				Error string `json:"error"`
+				Line  int    `json:"line"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Error != tc.kind {
+				t.Fatalf("error kind %q want %q", e.Error, tc.kind)
+			}
+			if tc.name == "bad-asm" && e.Line != 2 {
+				t.Fatalf("bad-asm line %d want 2", e.Line)
+			}
+		})
+	}
+
+	t.Run("method", func(t *testing.T) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+	t.Run("too-large", func(t *testing.T) {
+		huge := fmt.Sprintf(`{"source": %q}`, strings.Repeat("; pad\n", 3<<20))
+		resp, err := http.Post(url, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+}
+
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1})
+	resp, err := submit(t, ts.URL+"/v1/jobs", map[string]any{
+		"name": "spin", "source": spinSrc, "timeout_ms": 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	res := decodeResult(t, resp.Body)
+	if res.Reason != "timeout" || !res.TimedOut {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("timed-out job reports zero simulated cycles")
+	}
+}
+
+func TestClientDisconnectCancels(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	body := `{"name": "spin", "source": ` + fmt.Sprintf("%q", spinSrc) + `, "timeout_ms": 30000}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs?stream=1",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the accepted line so the job is definitely admitted, then
+	// walk away mid-run.
+	br := bufio.NewReader(resp.Body)
+	if line, err := br.ReadString('\n'); err != nil || !strings.Contains(line, `"accepted"`) {
+		t.Fatalf("first line %q err %v", line, err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The disconnect must release the worker long before the 30s wall
+	// budget: the spin job can only end via cancellation.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Depth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job still running %v after client disconnect", 10*time.Second)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := metricValue(t, ts.URL, "splitmem_serve_jobs_canceled_total"); got != 1 {
+		t.Fatalf("canceled_total=%v want 1", got)
+	}
+}
+
+// metricValue scrapes one un-labeled metric from /metrics.
+func metricValue(t *testing.T, baseURL, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not exported", name)
+	return 0
+}
+
+func TestBackpressure429(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1, Backlog: 1})
+	spin := func(name string) map[string]any {
+		return map[string]any{"name": name, "source": spinSrc, "timeout_ms": 10000}
+	}
+
+	// Occupy the worker, then the one backlog slot. j1 streams so its
+	// accepted line proves admission; j2 retries 429s away in case j1 is
+	// admitted but not yet picked up by the worker.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b1, _ := json.Marshal(spin("hog"))
+	req1, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs?stream=1",
+		strings.NewReader(string(b1)))
+	resp1, err := http.DefaultClient.Do(req1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp1.Body.Close()
+	if line, err := bufio.NewReader(resp1.Body).ReadString('\n'); err != nil || !strings.Contains(line, `"accepted"`) {
+		t.Fatalf("hog not accepted: %q %v", line, err)
+	}
+
+	b2, _ := json.Marshal(spin("queued"))
+	var resp2 *http.Response
+	for i := 0; ; i++ {
+		req2, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs?stream=1",
+			strings.NewReader(string(b2)))
+		resp2, err = http.DefaultClient.Do(req2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp2.StatusCode != http.StatusTooManyRequests {
+			break
+		}
+		resp2.Body.Close()
+		if i > 500 {
+			t.Fatal("second job never admitted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	defer resp2.Body.Close()
+
+	// Worker busy + backlog full: the next submission must shed, fast,
+	// with a Retry-After — never hang.
+	start := time.Now()
+	resp3, err := submit(t, ts.URL+"/v1/jobs", spin("shed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d want 429", resp3.StatusCode)
+	}
+	if ra := resp3.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("shed took %v; backpressure must not block", d)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&e); err != nil || e.Error != "queue-full" {
+		t.Fatalf("error body %+v (%v)", e, err)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{Workers: 1})
+
+	// A job long enough to straddle the drain but cheap enough to finish
+	// well inside its wall clock even under -race (~2M cycles).
+	longSrc := `
+_start:
+    mov ecx, 700000
+inner:
+    sub ecx, 1
+    cmp ecx, 0
+    jnz inner
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+	b, _ := json.Marshal(map[string]any{"name": "long", "source": longSrc, "timeout_ms": 30000})
+	resp, err := http.Post(ts.URL+"/v1/jobs?stream=1", "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if line, err := br.ReadString('\n'); err != nil || !strings.Contains(line, `"accepted"`) {
+		t.Fatalf("not accepted: %q %v", line, err)
+	}
+
+	// Drain mid-run: new work is refused...
+	s.BeginDrain()
+	refused, err := submit(t, ts.URL+"/v1/jobs", map[string]any{"source": exitSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refused.Body.Close()
+	if refused.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: status %d want 503", refused.StatusCode)
+	}
+
+	// ...and healthz reports it...
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d want 503", h.StatusCode)
+	}
+
+	// ...but the in-flight stream still runs to its terminal line.
+	var sawResult bool
+	for {
+		line, err := br.ReadString('\n')
+		if strings.Contains(line, `"result"`) {
+			sawResult = true
+			var l streamLine
+			if jerr := json.Unmarshal([]byte(line), &l); jerr != nil || l.Result == nil {
+				t.Fatalf("bad result line %q: %v", line, jerr)
+			}
+			if l.Result.Reason != "all-done" || !l.Result.Exited {
+				t.Fatalf("drained job result %+v", l.Result)
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	if !sawResult {
+		t.Fatal("drain truncated the stream: no result line")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", h.StatusCode)
+	}
+
+	// Run one victim job, then the merged machine telemetry must show up
+	// beside the service gauges.
+	resp, err := submit(t, ts.URL+"/v1/jobs", map[string]any{
+		"source": victimSrc, "stdin_text": "AAAA",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := metricValue(t, ts.URL, "splitmem_serve_jobs_completed_total"); got != 1 {
+		t.Fatalf("completed_total=%v want 1", got)
+	}
+	if got := metricValue(t, ts.URL, "splitmem_split_detections_total"); got < 1 {
+		t.Fatalf("merged machine detections=%v want >=1", got)
+	}
+}
+
+// TestLoad64 is the acceptance-criteria load test: 64 concurrent clients
+// against an 8-worker pool with a deliberately small backlog, so admission
+// sheds real 429s while the contract (zero acknowledged-then-lost jobs,
+// streams always terminated) holds. Runs under -race in CI.
+func TestLoad64(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 8, Backlog: 8})
+	for _, stream := range []bool{false, true} {
+		rep, err := loadtest.Run(loadtest.Config{
+			BaseURL: ts.URL,
+			Clients: 64,
+			Jobs:    2,
+			Stream:  stream,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("stream=%v: %v", stream, rep)
+		if rep.Lost() != 0 {
+			t.Fatalf("stream=%v: %d acknowledged jobs lost", stream, rep.Lost())
+		}
+		if rep.GaveUp != 0 || len(rep.Failures) > 0 {
+			t.Fatalf("stream=%v: gaveUp=%d failures=%v", stream, rep.GaveUp, rep.Failures)
+		}
+		if rep.Completed != 128 {
+			t.Fatalf("stream=%v: completed=%d want 128", stream, rep.Completed)
+		}
+	}
+}

@@ -24,6 +24,7 @@
 package splitmem
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -234,8 +235,14 @@ type Machine struct {
 	hub    *telemetry.Hub
 }
 
-// New builds a machine according to cfg.
+// New builds a machine according to cfg. Configurations no machine can
+// honor are rejected up front with an error wrapping ErrBadConfig (see
+// Config.Validate); any later failure is a construction problem, not the
+// caller's.
 func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	nxEnabled := cfg.Protection == ProtNX || cfg.Protection == ProtSplitNX
 	mach, err := cpu.New(cpu.Config{
 		PhysBytes:   cfg.PhysBytes,
@@ -406,12 +413,10 @@ func (m *Machine) LoadBinary(image []byte, name string) (*Process, error) {
 // kernel.Kernel.Run for the contract. A simulator bug that panics inside
 // the kernel is contained: Run reports ReasonInternalError with the panic
 // value, host stack, and (when TraceDepth is set) the guest trace tail.
+// Run is RunContext with a background context; callers that need
+// cancellation or deadlines use RunContext directly.
 func (m *Machine) Run(maxCycles uint64) RunResult {
-	res := m.kern.Run(maxCycles)
-	if res.Reason == ReasonInternalError {
-		res.Trace = m.TraceTail()
-	}
-	return res
+	return m.RunContext(context.Background(), maxCycles)
 }
 
 // Cycles returns total simulated cycles elapsed.
