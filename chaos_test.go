@@ -24,6 +24,7 @@ import (
 
 	"splitmem"
 	"splitmem/internal/attacks"
+	"splitmem/internal/workloads"
 )
 
 // faultClasses enables one chaos fault class at a time, at default rate.
@@ -85,6 +86,37 @@ func TestChaosMatrix(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// TestChaosSnapshotMatrix: checkpoint/restore in the middle of a chaotic
+// run, one fault class at a time. The injector's PRNG stream, its stale-vpn
+// table and every already-injected fault (evicted entries, retained stale
+// translations, flipped bits) ride in the image, so the resumed run must
+// draw the identical fault sequence and end indistinguishable from the
+// uninterrupted one.
+func TestChaosSnapshotMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is broad")
+	}
+	prog, ok := workloads.Lookup("gzip")
+	if !ok {
+		t.Fatal("gzip workload missing from catalog")
+	}
+	for class, chaosCfg := range faultClasses() {
+		class, chaosCfg := class, chaosCfg
+		t.Run(class, func(t *testing.T) {
+			cfg := splitmem.Config{
+				Protection: splitmem.ProtSplit,
+				Paranoid:   true,
+				Chaos:      chaosCfg,
+			}
+			cfg.Chaos.Seed = 0xC4A05
+			base := runWorkload(t, prog, cfg)
+			snapAt := pseudoCycle(class, base.cycles)
+			resumed := runWorkloadResumed(t, prog, cfg, snapAt)
+			compareDigests(t, class, base, resumed)
+		})
 	}
 }
 

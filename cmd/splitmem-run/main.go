@@ -37,8 +37,18 @@ func main() {
 		budget   = flag.Uint64("budget", 0, "cycle budget (0 = unlimited)")
 		traceOut = flag.String("trace-out", "", "write telemetry spans as Chrome trace_event JSON (Perfetto) to this file")
 		metrOut  = flag.String("metrics-out", "", "write telemetry metrics (Prometheus text, or JSONL if the path ends in .jsonl) to this file")
+		ckptOut  = flag.String("checkpoint", "", "write a snapshot image to this file if the run stops on its cycle budget")
+		resume   = flag.String("resume", "", "resume from a snapshot image instead of loading a program (no program argument)")
 	)
 	flag.Parse()
+	if *resume != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: splitmem-run -resume image.snap [flags] (no program argument: the image carries the machine)")
+			os.Exit(2)
+		}
+		runResumed(*resume, *ckptOut, *budget, *stats, *events, *jsonOut)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: splitmem-run [flags] program.s|program.self")
 		os.Exit(2)
@@ -107,6 +117,7 @@ func main() {
 
 	res := m.Run(*budget)
 	os.Stdout.Write(p.StdoutDrain())
+	maybeCheckpoint(m, res, *ckptOut)
 
 	if *events {
 		for _, ev := range m.Events() {
@@ -149,6 +160,65 @@ func main() {
 		}
 	}
 
+	finish(res, p)
+}
+
+// maybeCheckpoint snapshots the machine to path when the run parked on its
+// cycle budget — the resumable case. A finished (or broken) run has nothing
+// worth resuming, so no image is written.
+func maybeCheckpoint(m *splitmem.Machine, res splitmem.RunResult, path string) {
+	if path == "" || res.Reason != splitmem.ReasonBudget {
+		return
+	}
+	img, err := m.Snapshot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkpoint:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "checkpoint:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "checkpoint: %d-byte image written to %s (resume with -resume)\n", len(img), path)
+}
+
+// runResumed restores a snapshot image and continues the run. The image
+// carries the whole machine — config, program, pending input — so no program
+// argument or protection flags apply.
+func runResumed(path, ckptOut string, budget uint64, stats, events, jsonOut bool) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, err := splitmem.Restore(img)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		os.Exit(1)
+	}
+	p, ok := m.Kernel().Process(1)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "resume: image has no root process")
+		os.Exit(1)
+	}
+	res := m.Run(budget)
+	os.Stdout.Write(p.StdoutDrain())
+	maybeCheckpoint(m, res, ckptOut)
+	if events {
+		for _, ev := range m.Events() {
+			fmt.Fprintf(os.Stderr, "[%12d] %-18s pid=%d %s\n", ev.Cycles, ev.Kind, ev.PID, ev.Text)
+		}
+	}
+	if jsonOut {
+		if b, err := m.EventsJSONL(); err == nil {
+			os.Stderr.Write(b)
+		}
+	}
+	if stats {
+		s := m.Stats()
+		fmt.Fprintf(os.Stderr, "cycles=%d instrs=%d pagefaults=%d debugtraps=%d ctxsw=%d\n",
+			s.Cycles, s.Instructions, s.PageFaults, s.DebugTraps, s.CtxSwitches)
+	}
 	finish(res, p)
 }
 

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	splitmem-serve [-addr :8086] [-workers 8] [-backlog 16]
-//	               [-max-cycles N] [-timeout D] [-selftest]
+//	               [-max-cycles N] [-timeout D] [-journal path] [-selftest]
 //
 // Endpoints:
 //
@@ -55,6 +55,7 @@ func main() {
 		backlog   = flag.Int("backlog", 0, "admission queue size (0 = 2*workers)")
 		maxCycles = flag.Uint64("max-cycles", 0, "default per-job cycle budget (0 = 200M)")
 		timeout   = flag.Duration("timeout", 0, "default per-job wall-clock limit (0 = 10s)")
+		journal   = flag.String("journal", "", "crash-recovery journal path: admissions are fsync'd before acknowledgment and replayed after a crash (\"\" = off)")
 		selftest  = flag.Bool("selftest", false, "run the in-process smoke + load test and exit")
 	)
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 		Backlog:          *backlog,
 		DefaultMaxCycles: *maxCycles,
 		DefaultTimeout:   *timeout,
+		JournalPath:      *journal,
 	}
 
 	if *selftest {
@@ -96,7 +98,15 @@ func main() {
 		s.BeginDrain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 		defer cancel()
-		httpSrv.Shutdown(shutCtx)
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			// The graceful drain's patience ran out: hard-cancel the running
+			// jobs so their streams get a terminal "drained" line instead of
+			// hanging forever. With a journal, nothing is lost — unfinished
+			// jobs replay on the next start.
+			fmt.Fprintln(os.Stderr, "splitmem-serve: drain timeout, canceling running jobs")
+			s.CancelRunning()
+			httpSrv.Shutdown(context.Background())
+		}
 		s.Close()
 	}()
 

@@ -20,8 +20,11 @@
 package chaos
 
 import (
+	"sort"
+
 	"splitmem/internal/cpu"
 	"splitmem/internal/mem"
+	"splitmem/internal/snapshot"
 	"splitmem/internal/telemetry"
 )
 
@@ -236,3 +239,127 @@ func (i *Injector) ForcePreempt() bool {
 // StaleVPN reports whether an injected fault may have left a stale TLB
 // entry for vpn — the invariant auditor's attribution query.
 func (i *Injector) StaleVPN(vpn uint32) bool { return i.stale[vpn] }
+
+// EncodeState serializes the injector's stream position, counters and stale
+// marks, so a restored run draws the identical remaining fault sequence. The
+// stale set is written in sorted vpn order: the encoding must be a pure
+// function of injector state, never of Go map iteration order.
+func (i *Injector) EncodeState(w *snapshot.Writer) {
+	w.U64(i.state)
+	w.U64(i.stats.ITLBEvictions)
+	w.U64(i.stats.DTLBEvictions)
+	w.U64(i.stats.TLBFlushes)
+	w.U64(i.stats.StaleRetained)
+	w.U64(i.stats.SpuriousDebugs)
+	w.U64(i.stats.DoubleFaults)
+	w.U64(i.stats.BitFlips)
+	w.U64(i.stats.Preempts)
+	vpns := make([]uint32, 0, len(i.stale))
+	for vpn := range i.stale {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(a, b int) bool { return vpns[a] < vpns[b] })
+	w.U32(uint32(len(vpns)))
+	for _, vpn := range vpns {
+		w.U32(vpn)
+	}
+}
+
+// DecodeState restores state serialized by EncodeState.
+func (i *Injector) DecodeState(r *snapshot.Reader) error {
+	i.state = r.U64()
+	i.stats.ITLBEvictions = r.U64()
+	i.stats.DTLBEvictions = r.U64()
+	i.stats.TLBFlushes = r.U64()
+	i.stats.StaleRetained = r.U64()
+	i.stats.SpuriousDebugs = r.U64()
+	i.stats.DoubleFaults = r.U64()
+	i.stats.BitFlips = r.U64()
+	i.stats.Preempts = r.U64()
+	clear(i.stale)
+	n := r.U32()
+	for j := uint32(0); j < n; j++ {
+		i.stale[r.U32()] = true
+	}
+	return r.Err()
+}
+
+// HostConfig sets injection rates for host-level (non-architectural) fault
+// classes: the failures of the machinery around the simulator rather than of
+// the simulated hardware. These draw from their own splitmix64 stream so
+// enabling them never perturbs the architectural fault sequence of an
+// Injector sharing the same seed.
+type HostConfig struct {
+	Seed        uint64
+	WorkerKill  float64 // per checkpoint slice: panic the worker mid-job
+	JournalTear float64 // per journal append: truncate the record partway (torn write)
+}
+
+// Enabled reports whether any host fault class has a nonzero rate.
+func (c HostConfig) Enabled() bool { return c.WorkerKill > 0 || c.JournalTear > 0 }
+
+// HostDefaults returns the default host-fault rates used by the recovery
+// chaos cells: frequent enough to fire several times per job, survivable
+// within a default retry budget.
+func HostDefaults() HostConfig {
+	return HostConfig{WorkerKill: 0.2, JournalTear: 0.25}
+}
+
+// HostStats counts injected host faults by class.
+type HostStats struct {
+	WorkerKills  uint64
+	JournalTears uint64
+}
+
+// HostInjector injects host-level faults (worker kills, journal torn
+// writes). Separate from Injector on purpose: its consumers live above the
+// machine (the serve supervisor and journal), and its stream must not be
+// entangled with the architectural one.
+type HostInjector struct {
+	cfg   HostConfig
+	state uint64
+	stats HostStats
+}
+
+// NewHost creates a host-fault injector.
+func NewHost(cfg HostConfig) *HostInjector {
+	return &HostInjector{cfg: cfg, state: cfg.Seed ^ 0xD1B54A32D192ED03}
+}
+
+// Stats snapshots the per-class host fault counters.
+func (h *HostInjector) Stats() HostStats { return h.stats }
+
+func (h *HostInjector) next() uint64 {
+	h.state += 0x9E3779B97F4A7C15
+	z := h.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (h *HostInjector) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return float64(h.next()>>11)/(1<<53) < rate
+}
+
+// KillWorker reports whether the worker should panic now (asked once per
+// checkpoint slice). A nil injector never fires.
+func (h *HostInjector) KillWorker() bool {
+	if h == nil || !h.roll(h.cfg.WorkerKill) {
+		return false
+	}
+	h.stats.WorkerKills++
+	return true
+}
+
+// TearJournal reports whether the journal append in progress should be torn
+// (asked once per append). A nil injector never fires.
+func (h *HostInjector) TearJournal() bool {
+	if h == nil || !h.roll(h.cfg.JournalTear) {
+		return false
+	}
+	h.stats.JournalTears++
+	return true
+}

@@ -14,6 +14,7 @@ import (
 	"splitmem/internal/isa"
 	"splitmem/internal/mem"
 	"splitmem/internal/paging"
+	"splitmem/internal/snapshot"
 	"splitmem/internal/telemetry"
 	"splitmem/internal/tlb"
 )
@@ -417,6 +418,68 @@ func (m *Machine) faultCode(acc Access, present bool) uint32 {
 	}
 	return code
 }
+
+// EncodeState serializes the processor core: register file, CR2, the cycle
+// counter and the architectural statistics. Physical memory, the TLBs and the
+// pagetable are serialized by their owners; the predecode cache is
+// deliberately absent (host-side only, rebuilt cold after restore — the
+// differential oracle proves it architecturally invisible, and its counters
+// are already the only Stats fields the oracle scrubs).
+func (m *Machine) EncodeState(w *snapshot.Writer) {
+	for _, r := range m.Ctx.R {
+		w.U32(r)
+	}
+	w.U32(m.Ctx.EIP)
+	w.Bool(m.Ctx.Flags.ZF)
+	w.Bool(m.Ctx.Flags.SF)
+	w.Bool(m.Ctx.Flags.OF)
+	w.Bool(m.Ctx.Flags.CF)
+	w.Bool(m.Ctx.Flags.TF)
+	w.U32(m.CR2)
+	w.U64(m.Cycles)
+	w.U64(m.Stats.Instructions)
+	w.U64(m.Stats.DataAccesses)
+	w.U64(m.Stats.PageFaults)
+	w.U64(m.Stats.Undefined)
+	w.U64(m.Stats.DebugTraps)
+	w.U64(m.Stats.Interrupts)
+	w.U64(m.Stats.CtxSwitches)
+	w.U64(m.Stats.DecodeHits)
+	w.U64(m.Stats.DecodeMisses)
+	w.U64(m.Stats.DecodeInvalidations)
+}
+
+// DecodeState restores state serialized by EncodeState.
+func (m *Machine) DecodeState(r *snapshot.Reader) error {
+	for i := range m.Ctx.R {
+		m.Ctx.R[i] = r.U32()
+	}
+	m.Ctx.EIP = r.U32()
+	m.Ctx.Flags.ZF = r.Bool()
+	m.Ctx.Flags.SF = r.Bool()
+	m.Ctx.Flags.OF = r.Bool()
+	m.Ctx.Flags.CF = r.Bool()
+	m.Ctx.Flags.TF = r.Bool()
+	m.CR2 = r.U32()
+	m.Cycles = r.U64()
+	m.Stats.Instructions = r.U64()
+	m.Stats.DataAccesses = r.U64()
+	m.Stats.PageFaults = r.U64()
+	m.Stats.Undefined = r.U64()
+	m.Stats.DebugTraps = r.U64()
+	m.Stats.Interrupts = r.U64()
+	m.Stats.CtxSwitches = r.U64()
+	m.Stats.DecodeHits = r.U64()
+	m.Stats.DecodeMisses = r.U64()
+	m.Stats.DecodeInvalidations = r.U64()
+	return r.Err()
+}
+
+// RestorePagetable installs a pagetable without the SetPagetable flush. Only
+// the snapshot restore path uses it: the TLB contents that existed alongside
+// this pagetable are restored verbatim by the TLB decoder, so flushing here
+// would destroy exactly the (possibly desynchronized) state being restored.
+func (m *Machine) RestorePagetable(t *paging.Table) { m.pt = t }
 
 // LoadITLB installs a translation directly into the instruction TLB — the
 // software TLB-load port of architectures like SPARC (§4.7 of the paper).

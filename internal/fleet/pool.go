@@ -36,6 +36,7 @@ type Pool struct {
 	queued  int // tasks accepted but not yet started
 	running int // tasks currently executing
 	done    uint64
+	panics  uint64 // tasks that panicked (recovered; the worker survived)
 }
 
 // NewPool starts workers goroutines servicing a backlog of at most backlog
@@ -70,12 +71,35 @@ func (p *Pool) worker() {
 		p.queued--
 		p.running++
 		p.mu.Unlock()
-		task(p.ctx)
+		p.runTask(task)
 		p.mu.Lock()
 		p.running--
 		p.done++
 		p.mu.Unlock()
 	}
+}
+
+// runTask executes one task inside a crash domain: a panicking task is
+// recovered and counted, and the worker goroutine survives to service the
+// rest of the backlog. One job's death never poisons its siblings — without
+// this, a single panic would strand the worker's share of the queue and
+// deadlock Close.
+func (p *Pool) runTask(task Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			p.panics++
+			p.mu.Unlock()
+		}
+	}()
+	task(p.ctx)
+}
+
+// Panics reports how many tasks died by panic over the pool's lifetime.
+func (p *Pool) Panics() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.panics
 }
 
 // TrySubmit offers a task to the pool without blocking. It returns false

@@ -1,0 +1,127 @@
+package fleet
+
+// Pool contract tests: backlog saturation sheds and recovers, and one
+// panicking task never takes a worker (or its queued siblings) down with it.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolSaturationRecovery drives the pool to saturation, proves TrySubmit
+// sheds, then drains the burst and proves admission and the gauges recover.
+func TestPoolSaturationRecovery(t *testing.T) {
+	const workers, backlog = 2, 2
+	p, err := NewPool(workers, backlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, workers)
+	blocker := func(context.Context) {
+		started <- struct{}{}
+		<-gate
+	}
+
+	// Fill every worker, then every backlog slot.
+	for i := 0; i < workers; i++ {
+		if !p.TrySubmit(blocker) {
+			t.Fatalf("submit %d rejected with an idle pool", i)
+		}
+	}
+	for i := 0; i < workers; i++ {
+		<-started // both workers are definitely inside their task
+	}
+	for i := 0; i < backlog; i++ {
+		if !p.TrySubmit(func(context.Context) {}) {
+			t.Fatalf("backlog slot %d rejected", i)
+		}
+	}
+
+	// Saturated: shedding must be immediate and stateless.
+	for i := 0; i < 5; i++ {
+		if p.TrySubmit(func(context.Context) {}) {
+			t.Fatal("TrySubmit accepted past a full backlog")
+		}
+	}
+	if got := p.Depth(); got != workers+backlog {
+		t.Fatalf("depth=%d want %d", got, workers+backlog)
+	}
+
+	// Release the burst; the pool must return to empty and accept again.
+	close(gate)
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Depth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never drained: depth=%d", p.Depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, running, done := p.Stats()
+	if queued != 0 || running != 0 || done != uint64(workers+backlog) {
+		t.Fatalf("gauges after drain: queued=%d running=%d done=%d", queued, running, done)
+	}
+	ran := make(chan struct{})
+	if !p.TrySubmit(func(context.Context) { close(ran) }) {
+		t.Fatal("pool refuses work after recovering from saturation")
+	}
+	select {
+	case <-ran:
+	case <-time.After(10 * time.Second):
+		t.Fatal("post-recovery task never ran")
+	}
+}
+
+// TestPoolCrashIsolation interleaves panicking tasks with healthy ones: every
+// healthy task still runs, every panic is counted, and Close drains cleanly —
+// one job's death never poisons its siblings.
+func TestPoolCrashIsolation(t *testing.T) {
+	p, err := NewPool(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const good, bad = 12, 6
+	var mu sync.Mutex
+	ranGood := 0
+	var wg sync.WaitGroup
+	submit := func(task Task) {
+		wg.Add(1)
+		wrapped := func(ctx context.Context) {
+			defer wg.Done()
+			task(ctx)
+		}
+		for !p.TrySubmit(wrapped) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < good+bad; i++ {
+		if i%3 == 1 { // 6 of 18: exactly the bad count
+			submit(func(context.Context) { panic("task dies") })
+		} else {
+			submit(func(context.Context) {
+				mu.Lock()
+				ranGood++
+				mu.Unlock()
+			})
+		}
+	}
+	wg.Wait()
+	p.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if ranGood != 12 {
+		t.Fatalf("healthy tasks ran=%d want 12", ranGood)
+	}
+	if p.Panics() != 6 {
+		t.Fatalf("panics=%d want 6", p.Panics())
+	}
+	if _, _, done := p.Stats(); done != good+bad {
+		t.Fatalf("done=%d want %d: a panic stranded its slot", done, good+bad)
+	}
+}

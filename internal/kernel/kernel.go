@@ -224,6 +224,7 @@ type Kernel struct {
 	nextPID   int
 	timeslice uint64
 	rng       *rand.Rand
+	rngDraws  uint64 // Intn draws consumed; replayed on snapshot restore
 	cfg       Config
 
 	events    []Event

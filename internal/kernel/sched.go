@@ -204,9 +204,11 @@ func (k *Kernel) switchTo(p *Process) {
 }
 
 // wakeStdinWaiters moves processes blocked on stdin back to the run queue
-// when input (or EOF) has arrived from the host.
+// when input (or EOF) has arrived from the host. Processes wake in PID
+// order: the wake order decides the run-queue order, and map iteration
+// would make it (and everything downstream) nondeterministic.
 func (k *Kernel) wakeStdinWaiters() {
-	for _, p := range k.procs {
+	for _, p := range k.Processes() {
 		if p.state == stateWaitStdin && (len(p.stdin.data) > 0 || p.stdin.eof) {
 			p.state = stateRunnable
 			k.enqueue(p)

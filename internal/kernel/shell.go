@@ -27,8 +27,10 @@ func (p *Process) SebekArmed() bool { return p.sebek }
 // serviceShells pumps pending stdin lines through every shell-mode process.
 // Shell work happens at kernel level (the spawned /bin/sh is outside the
 // protected program) and charges only modest syscall-ish costs.
+// Shells are serviced in PID order: stdout and event ordering across
+// concurrent shells must not depend on map iteration.
 func (k *Kernel) serviceShells() {
-	for _, p := range k.procs {
+	for _, p := range k.Processes() {
 		if p.state != stateShell {
 			continue
 		}

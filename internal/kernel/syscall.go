@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"splitmem/internal/cpu"
 	"splitmem/internal/isa"
@@ -259,7 +260,14 @@ func (k *Kernel) sysWaitpid(p *Process, pid int, statusPtr uint32) cpu.Action {
 		k.ret(-errECHILD)
 		return cpu.ActResume
 	}
+	// Reap candidates in PID order: waitpid(-1) with several dead children
+	// must pick the same one on every run (and on a restored run).
+	pids := make([]int, 0, len(p.children))
 	for cpid := range p.children {
+		pids = append(pids, cpid)
+	}
+	sort.Ints(pids)
+	for _, cpid := range pids {
 		c := k.procs[cpid]
 		if c == nil {
 			delete(p.children, cpid)

@@ -13,6 +13,7 @@ package mem
 import (
 	"fmt"
 
+	"splitmem/internal/snapshot"
 	"splitmem/internal/telemetry"
 )
 
@@ -266,6 +267,92 @@ func (p *Physical) RegisterTelemetry(r *telemetry.Registry) {
 		func() float64 { return float64(p.allocCnt) })
 	r.GaugeFunc("splitmem_mem_machine_checks_total", "contained physical-memory faults",
 		func() float64 { return float64(p.faults) })
+}
+
+// EncodeState serializes the full allocator and frame state. Frame contents
+// are stored sparsely (only frames with at least one nonzero byte), because a
+// restored machine starts from all-zero physical memory; allocation metadata
+// (free list order, refcounts, write generations, counters) is stored in
+// full, since the free list is a stack and its order decides every future
+// allocation. The raw data array is read directly — going through Frame would
+// bump write generations and make Snapshot a mutation.
+func (p *Physical) EncodeState(w *snapshot.Writer) {
+	w.U32(p.nframes)
+	w.U64(p.allocCnt)
+	w.U64(p.faults)
+	w.U32(uint32(len(p.free)))
+	for _, f := range p.free {
+		w.U32(f)
+	}
+	for _, r := range p.refs {
+		w.U16(r)
+	}
+	for _, g := range p.gens {
+		w.U64(g)
+	}
+	var nonzero uint32
+	for f := uint32(0); f < p.nframes; f++ {
+		if frameNonzero(p.data[int(f)<<PageShift:][:PageSize]) {
+			nonzero++
+		}
+	}
+	w.U32(nonzero)
+	for f := uint32(0); f < p.nframes; f++ {
+		if b := p.data[int(f)<<PageShift:][:PageSize]; frameNonzero(b) {
+			w.U32(f)
+			w.Raw(b)
+		}
+	}
+}
+
+// DecodeState restores state serialized by EncodeState into a freshly
+// constructed Physical of the same size.
+func (p *Physical) DecodeState(r *snapshot.Reader) error {
+	if n := r.U32(); n != p.nframes {
+		return snapshot.Corruptf("mem: frame count %d, machine has %d", n, p.nframes)
+	}
+	p.allocCnt = r.U64()
+	p.faults = r.U64()
+	nfree := r.U32()
+	if nfree >= p.nframes {
+		return snapshot.Corruptf("mem: free list of %d frames", nfree)
+	}
+	p.free = p.free[:0]
+	for i := uint32(0); i < nfree; i++ {
+		f := r.U32()
+		if f == 0 || f >= p.nframes {
+			return snapshot.Corruptf("mem: free frame %d out of range", f)
+		}
+		p.free = append(p.free, f)
+	}
+	for f := range p.refs {
+		p.refs[f] = r.U16()
+	}
+	for f := range p.gens {
+		p.gens[f] = r.U64()
+	}
+	clear(p.data)
+	nonzero := r.U32()
+	if nonzero > p.nframes {
+		return snapshot.Corruptf("mem: %d nonzero frames of %d", nonzero, p.nframes)
+	}
+	for i := uint32(0); i < nonzero; i++ {
+		f := r.U32()
+		if f >= p.nframes {
+			return snapshot.Corruptf("mem: frame %d out of range", f)
+		}
+		copy(p.data[int(f)<<PageShift:][:PageSize], r.Raw(PageSize))
+	}
+	return r.Err()
+}
+
+func frameNonzero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // FlipBit flips one bit of an allocated frame — the chaos engine's model of

@@ -19,6 +19,7 @@ import (
 	"splitmem/internal/kernel"
 	"splitmem/internal/loader"
 	"splitmem/internal/paging"
+	"splitmem/internal/snapshot"
 )
 
 // Engine is the execute-disable protection policy; it implements
@@ -37,6 +38,25 @@ func (e *Engine) Name() string { return "nx" }
 
 // Detections returns how many injected-code fetches were blocked.
 func (e *Engine) Detections() uint64 { return e.detections }
+
+// The engine's only state is the detection counter; it has no per-process
+// state, so the proc-state codec is a fixed empty record.
+var _ kernel.ProtStateCodec = (*Engine)(nil)
+
+// EncodeEngineState implements kernel.ProtStateCodec.
+func (e *Engine) EncodeEngineState(w *snapshot.Writer) { w.U64(e.detections) }
+
+// DecodeEngineState implements kernel.ProtStateCodec.
+func (e *Engine) DecodeEngineState(r *snapshot.Reader) error {
+	e.detections = r.U64()
+	return r.Err()
+}
+
+// EncodeProcState implements kernel.ProtStateCodec (no per-process state).
+func (e *Engine) EncodeProcState(*kernel.Process, *snapshot.Writer) {}
+
+// DecodeProcState implements kernel.ProtStateCodec.
+func (e *Engine) DecodeProcState(*kernel.Process, *snapshot.Reader) error { return nil }
 
 // MapPage implements kernel.Protector: plain user mapping with NX on
 // non-executable pages. A mixed (write+execute) page necessarily stays

@@ -4,7 +4,10 @@
 // SPLIT bit used by the split-memory engine to tag virtualized-Harvard pages.
 package paging
 
-import "splitmem/internal/mem"
+import (
+	"splitmem/internal/mem"
+	"splitmem/internal/snapshot"
+)
 
 // PTE bit layout (matches x86 where a bit exists there).
 const (
@@ -122,6 +125,36 @@ func (t *Table) Range(fn func(vpn uint32, e Entry) bool) {
 			}
 		}
 	}
+}
+
+// EncodeState serializes every nonzero entry in ascending vpn order (Range's
+// order, which is deterministic).
+func (t *Table) EncodeState(w *snapshot.Writer) {
+	n := uint32(0)
+	t.Range(func(uint32, Entry) bool { n++; return true })
+	w.U32(n)
+	t.Range(func(vpn uint32, e Entry) bool {
+		w.U32(vpn)
+		w.U64(uint64(e))
+		return true
+	})
+}
+
+// DecodeState restores entries serialized by EncodeState into an empty table.
+func (t *Table) DecodeState(r *snapshot.Reader) error {
+	n := r.U32()
+	if n > dirSize*tableSize {
+		return snapshot.Corruptf("paging: %d entries", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		vpn := r.U32()
+		e := Entry(r.U64())
+		if vpn >= dirSize*tableSize {
+			return snapshot.Corruptf("paging: vpn %#x out of range", vpn)
+		}
+		t.Set(vpn, e)
+	}
+	return r.Err()
 }
 
 // Clone returns a deep copy of the table (entries only; frames are shared).

@@ -236,6 +236,9 @@ type JobResult struct {
 	Canceled bool   `json:"canceled,omitempty"`
 	Error    string `json:"error,omitempty"`
 
+	Attempts  int  `json:"attempts,omitempty"`  // supervisor attempts consumed (1 = no retries)
+	Recovered bool `json:"recovered,omitempty"` // job was replayed from the crash journal
+
 	Events []splitmem.Event `json:"events,omitempty"` // synchronous responses only
 	Stats  *splitmem.Stats  `json:"stats,omitempty"`
 

@@ -1,0 +1,374 @@
+package serve
+
+// The crash-recovery journal: a bounded append-only file that makes the
+// admission acknowledgment durable. Every record is CRC-framed and fsync'd
+// before the client sees its "accepted" line, so a server crash can lose at
+// most work, never an acknowledged job: on the next startup the journal is
+// replayed, unfinished jobs are resubmitted, and each resumes from its most
+// recent checkpoint image.
+//
+// On-disk format: a sequence of records, each
+//
+//	[u32 payload length][u32 CRC-32/IEEE of payload][payload]
+//
+// with all integers little-endian. The payload's first byte is the record
+// kind (job submission, checkpoint, done); the rest is encoded with the
+// snapshot codec. A torn tail — a partial frame or a CRC mismatch, the
+// signature of a crash mid-write — ends the replay: everything before it is
+// adopted, the file is truncated back to the last whole record, and the torn
+// record is counted (surfaced on /healthz and /metrics). The journal is
+// compacted in place once it outgrows its byte budget: finished jobs vanish,
+// unfinished ones are rewritten as one submission plus their latest
+// checkpoint.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"splitmem/internal/chaos"
+	"splitmem/internal/snapshot"
+)
+
+const (
+	recJob        = 1 // a job admitted: id + raw submission body
+	recCheckpoint = 2 // a checkpoint: id + cycles consumed + snapshot image
+	recDone       = 3 // a terminal result: id + result JSON
+
+	// maxJournalRecord bounds a single record so a corrupt length field
+	// cannot make replay attempt an absurd allocation.
+	maxJournalRecord = 256 << 20
+)
+
+// journalJob is the replayable state of one journaled job.
+type journalJob struct {
+	ID         uint64
+	Body       []byte // raw submission JSON (replayed through DecodeJob)
+	Checkpoint []byte // latest snapshot image, nil before the first checkpoint
+	Cycles     uint64 // simulated cycles consumed at that checkpoint
+}
+
+// journal is the on-disk job log. All methods are nil-receiver safe so the
+// runner can call them unconditionally on a server with no journal
+// configured.
+type journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	size     int64
+	maxBytes int64
+	torn     int    // torn/corrupt records detected (replay + in-process tears)
+	maxSeen  uint64 // highest job id in any replayed record, live or done
+	chaos    *chaos.HostInjector
+	live     map[uint64]*journalJob // admitted, not yet done
+}
+
+// openJournal opens (or creates) the journal at path, replays it, truncates
+// any torn tail, and positions for appending. inj, when non-nil, injects
+// torn writes for the recovery chaos cells.
+func openJournal(path string, maxBytes int64, inj *chaos.HostInjector) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &journal{f: f, path: path, maxBytes: maxBytes, chaos: inj, live: make(map[uint64]*journalJob)}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay scans the file record by record, rebuilding the live-job table and
+// truncating at the first torn or corrupt frame.
+func (j *journal) replay() error {
+	var off int64
+	var hdr [8]byte
+	for {
+		n, err := io.ReadFull(j.f, hdr[:])
+		if err != nil {
+			if n > 0 {
+				j.torn++ // partial header: crash mid-frame
+			}
+			break
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxJournalRecord {
+			j.torn++
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(j.f, payload); err != nil {
+			j.torn++ // partial payload: crash mid-write
+			break
+		}
+		if snapshot.Checksum(payload) != crc {
+			j.torn++ // bits changed under us: stop trusting the rest
+			break
+		}
+		j.apply(payload)
+		off += 8 + int64(length)
+	}
+	if err := j.f.Truncate(off); err != nil {
+		return fmt.Errorf("journal: truncating torn tail: %w", err)
+	}
+	if _, err := j.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	j.size = off
+	return nil
+}
+
+// apply folds one valid record into the live-job table. Records for unknown
+// jobs (a checkpoint whose submission fell past a torn tail) are dropped:
+// without the submission body the job cannot be replayed anyway.
+func (j *journal) apply(payload []byte) {
+	r := snapshot.NewReader(payload)
+	kind := r.U8()
+	id := r.U64()
+	if id > j.maxSeen {
+		j.maxSeen = id
+	}
+	switch kind {
+	case recJob:
+		body := r.Bytes32()
+		if r.Err() != nil {
+			j.torn++
+			return
+		}
+		j.live[id] = &journalJob{ID: id, Body: body}
+	case recCheckpoint:
+		cycles := r.U64()
+		img := r.Bytes32()
+		if r.Err() != nil {
+			j.torn++
+			return
+		}
+		if jj, ok := j.live[id]; ok {
+			jj.Checkpoint, jj.Cycles = img, cycles
+		}
+	case recDone:
+		r.Bytes32() // result JSON: recorded for the audit trail, not replayed
+		if r.Err() != nil {
+			j.torn++
+			return
+		}
+		delete(j.live, id)
+	default:
+		j.torn++ // unknown kind: same trust boundary as a bad CRC
+	}
+}
+
+// append frames, writes, and fsyncs one record, compacting first when the
+// file has outgrown its budget. When the chaos injector fires, the write is
+// deliberately torn — a partial frame with no fsync, exactly what a crash
+// mid-write leaves behind — and an error is returned so the caller knows the
+// record is not durable.
+func (j *journal) append(payload []byte) error {
+	if j.size > j.maxBytes {
+		if err := j.compact(); err != nil {
+			return err
+		}
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], snapshot.Checksum(payload))
+	if j.chaos.TearJournal() {
+		torn := append(hdr[:], payload[:len(payload)/2]...)
+		j.f.Write(torn)
+		j.size += int64(len(torn))
+		j.torn++
+		return fmt.Errorf("journal: torn write injected")
+	}
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := j.f.Write(payload); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size += 8 + int64(len(payload))
+	return nil
+}
+
+// compact rewrites the journal to its minimal form — one submission record
+// (plus latest checkpoint) per unfinished job — through a temp file and an
+// atomic rename, so a crash mid-compaction leaves either the old journal or
+// the new one, never a hybrid.
+func (j *journal) compact() error {
+	tmp, err := os.OpenFile(j.path+".tmp", os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	ids := make([]uint64, 0, len(j.live))
+	for id := range j.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	var size int64
+	writeRec := func(payload []byte) error {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], snapshot.Checksum(payload))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := tmp.Write(payload); err != nil {
+			return err
+		}
+		size += 8 + int64(len(payload))
+		return nil
+	}
+	for _, id := range ids {
+		jj := j.live[id]
+		if err := writeRec(encodeJobRecord(jj.ID, jj.Body)); err != nil {
+			tmp.Close()
+			return err
+		}
+		if jj.Checkpoint != nil {
+			if err := writeRec(encodeCheckpointRecord(jj.ID, jj.Cycles, jj.Checkpoint)); err != nil {
+				tmp.Close()
+				return err
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(j.path+".tmp", j.path); err != nil {
+		tmp.Close()
+		return err
+	}
+	// The renamed fd IS the new journal; the old fd points at an unlinked
+	// inode and just needs closing.
+	j.f.Close()
+	j.f = tmp
+	j.size = size
+	return nil
+}
+
+func encodeJobRecord(id uint64, body []byte) []byte {
+	w := snapshot.NewWriter()
+	w.U8(recJob)
+	w.U64(id)
+	w.Bytes32(body)
+	return w.Bytes()
+}
+
+func encodeCheckpointRecord(id, cycles uint64, img []byte) []byte {
+	w := snapshot.NewWriter()
+	w.U8(recCheckpoint)
+	w.U64(id)
+	w.U64(cycles)
+	w.Bytes32(img)
+	return w.Bytes()
+}
+
+func encodeDoneRecord(id uint64, result []byte) []byte {
+	w := snapshot.NewWriter()
+	w.U8(recDone)
+	w.U64(id)
+	w.Bytes32(result)
+	return w.Bytes()
+}
+
+// logJob records an admission. Must be durable before the client sees its
+// acknowledgment — this is the write that makes "accepted" mean something.
+func (j *journal) logJob(id uint64, body []byte) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(encodeJobRecord(id, body)); err != nil {
+		return err
+	}
+	j.live[id] = &journalJob{ID: id, Body: body}
+	return nil
+}
+
+// logCheckpoint records a checkpoint image. A failed (or torn) append is
+// reported but not fatal: the in-memory supervisor still holds the image,
+// only durability across a full server crash regresses to the previous
+// checkpoint.
+func (j *journal) logCheckpoint(id, cycles uint64, img []byte) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(encodeCheckpointRecord(id, cycles, img)); err != nil {
+		return err
+	}
+	if jj, ok := j.live[id]; ok {
+		jj.Checkpoint, jj.Cycles = img, cycles
+	}
+	return nil
+}
+
+// logDone records a terminal result and retires the job from replay.
+func (j *journal) logDone(id uint64, result []byte) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(encodeDoneRecord(id, result)); err != nil {
+		return err
+	}
+	delete(j.live, id)
+	return nil
+}
+
+// unfinished returns the replayable jobs (admitted, never marked done) in
+// admission order.
+func (j *journal) unfinished() []*journalJob {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]*journalJob, 0, len(j.live))
+	for _, jj := range j.live {
+		out = append(out, jj)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// maxID returns the highest job id the journal has seen (live or done), so
+// a restarted server's id counter never collides with journaled history.
+func (j *journal) maxID() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.maxSeen
+}
+
+// tornRecords reports torn/corrupt records seen so far.
+func (j *journal) tornRecords() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.torn
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"time"
 
 	"splitmem"
@@ -17,6 +20,7 @@ type job struct {
 	prog   *splitmem.Program
 	ctx    context.Context // request context: client disconnect cancels it
 	sink   eventSink       // nil for synchronous jobs
+	resume *journalJob     // non-nil for jobs replayed from the journal
 	result JobResult
 	done   chan struct{}
 }
@@ -28,9 +32,32 @@ type eventSink interface {
 	Event(ev splitmem.Event)
 }
 
-// runJob executes one job to its terminal state. poolCtx is the worker
-// pool's lifetime context (canceled only on hard shutdown); the effective
-// context also honors the request context and the job's wall-clock budget.
+// Cancellation causes. The old implementation funneled the drain signal and
+// the client disconnect into one bare cancel() on a shared context, so a
+// SIGTERM racing a disconnect produced an arbitrary, indistinguishable
+// "canceled" — now each source cancels with its own cause, the first one
+// wins atomically, and the final frame names it.
+var (
+	errClientGone = errors.New("client disconnected")
+	errDrained    = errors.New("server draining")
+	errJobExpired = errors.New("job wall clock expired")
+)
+
+// supervision is the retry state threaded through a job's attempts: the most
+// recent checkpoint (image + cycles already charged against the budget) and
+// the event-stream cursor, which persists across attempts so a replayed
+// prefix is never double-streamed to the client.
+type supervision struct {
+	img    []byte
+	cycles uint64
+	cursor int
+}
+
+// runJob executes one job to its terminal state under supervision: attempts
+// that die (worker panic) or hang (slice watchdog) are retried from the last
+// checkpoint with exponential backoff, until the retry budget is spent and
+// the job fails with the typed "failed-after-retries" reason. poolCtx is the
+// worker pool's lifetime context (canceled only on hard shutdown).
 func (s *Server) runJob(poolCtx context.Context, j *job) {
 	start := time.Now()
 	res := &j.result
@@ -44,6 +71,83 @@ func (s *Server) runJob(poolCtx context.Context, j *job) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(context.Canceled)
+	stopClient := context.AfterFunc(j.ctx, func() { cancel(errClientGone) })
+	defer stopClient()
+	stopPool := context.AfterFunc(poolCtx, func() { cancel(errDrained) })
+	defer stopPool()
+	expire := time.AfterFunc(timeout, func() { cancel(errJobExpired) })
+	defer expire.Stop()
+
+	sup := supervision{}
+	if j.resume != nil {
+		sup.img, sup.cycles = j.resume.Checkpoint, j.resume.Cycles
+		res.Recovered = true
+	}
+
+	attempts := s.cfg.RetryBudget
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		perr := s.runAttempt(ctx, j, &sup)
+		if perr == nil {
+			break // terminal result filled in
+		}
+		if attempt >= attempts {
+			res.Reason = "failed-after-retries"
+			res.Error = perr.Error()
+			res.Cycles = sup.cycles
+			break
+		}
+		s.retries.Add(1)
+		backoff := s.cfg.RetryBackoff << (attempt - 1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			res.Cycles = sup.cycles
+			finishCanceled(res, ctx)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	res.Wall = time.Since(start)
+	if b, err := json.Marshal(res); err == nil {
+		s.journal.logDone(j.id, b)
+	}
+}
+
+// finishCanceled translates the cancellation cause into the result's
+// terminal reason, keeping drain, disconnect, and timeout distinguishable.
+func finishCanceled(res *JobResult, ctx context.Context) {
+	switch context.Cause(ctx) {
+	case errJobExpired:
+		res.TimedOut = true
+		res.Reason = "timeout"
+	case errDrained:
+		res.Canceled = true
+		res.Reason = "drained"
+	default: // client disconnect (or its request context's own deadline)
+		res.Canceled = true
+		res.Reason = "canceled"
+	}
+}
+
+// runAttempt runs the job from its latest checkpoint (or from scratch) to a
+// terminal state, checkpointing as it goes. It returns nil when the job
+// reached a terminal state — including cancellation and client-attributable
+// load errors — and an error when the attempt died (panic) or hung
+// (watchdog), in which case the supervisor decides whether to retry.
+func (s *Server) runAttempt(ctx context.Context, j *job, sup *supervision) (err error) {
+	res := &j.result
+	defer func() {
+		if r := recover(); r != nil {
+			s.workerPanics.Add(1)
+			err = fmt.Errorf("worker panic: %v", r)
+		}
+	}()
+
 	budget := j.req.MaxCycles
 	if budget == 0 {
 		budget = s.cfg.DefaultMaxCycles
@@ -52,77 +156,126 @@ func (s *Server) runJob(poolCtx context.Context, j *job) {
 		budget = s.cfg.MaxCyclesCap
 	}
 
-	ctx, cancel := context.WithTimeout(j.ctx, timeout)
-	defer cancel()
-	stop := context.AfterFunc(poolCtx, cancel)
-	defer stop()
-
-	m, err := splitmem.New(j.cfg)
-	if err != nil {
-		// The config was validated at admission; reaching here is internal.
-		res.Reason = "internal-error"
-		res.Error = err.Error()
-		res.Wall = time.Since(start)
-		return
+	// Build the machine: from the checkpoint image when one exists, from the
+	// program otherwise. A checkpoint that fails to restore (torn journal
+	// image adopted before the tear was detected) falls back to a fresh
+	// start — losing progress, never the job.
+	var (
+		m    *splitmem.Machine
+		p    *splitmem.Process
+		used uint64
+	)
+	if sup.img != nil {
+		if rm, rerr := splitmem.Restore(sup.img); rerr == nil {
+			m = rm
+			used = sup.cycles
+			s.restores.Add(1)
+		} else {
+			sup.img, sup.cycles = nil, 0
+		}
 	}
-	p, err := m.LoadProgram(j.prog, j.req.Name)
-	if err != nil {
-		// Structurally valid images can still be unloadable (e.g. exhaust
-		// physical memory): the client's input, the client's error.
-		res.Reason = "load-error"
-		res.Error = err.Error()
-		res.Wall = time.Since(start)
-		return
-	}
-	if in := j.req.InputBytes(); len(in) > 0 {
-		p.StdinWrite(in)
-	}
-	if !j.req.KeepStdin {
-		p.StdinClose()
+	if m == nil {
+		nm, nerr := splitmem.New(j.cfg)
+		if nerr != nil {
+			// The config was validated at admission; reaching here is internal.
+			res.Reason = "internal-error"
+			res.Error = nerr.Error()
+			return nil
+		}
+		np, lerr := nm.LoadProgram(j.prog, j.req.Name)
+		if lerr != nil {
+			// Structurally valid images can still be unloadable (e.g. exhaust
+			// physical memory): the client's input, the client's error.
+			res.Reason = "load-error"
+			res.Error = lerr.Error()
+			return nil
+		}
+		m, p = nm, np
+		if in := j.req.InputBytes(); len(in) > 0 {
+			p.StdinWrite(in)
+		}
+		if !j.req.KeepStdin {
+			p.StdinClose()
+		}
+	} else {
+		rp, ok := m.Kernel().Process(1)
+		if !ok {
+			return fmt.Errorf("checkpoint restored without its root process")
+		}
+		p = rp
 	}
 
 	// Slice loop: run at most StreamSlice cycles at a time, forwarding the
 	// events each slice emitted (EventsSince — the incremental API exists
 	// for exactly this poller) so streamed detections leave the server
-	// within one slice of the simulated moment they happened.
-	var (
-		cursor int
-		used   uint64
-		final  splitmem.RunResult
-	)
+	// within one slice of the simulated moment they happened. The cursor
+	// outlives the attempt: a retried attempt re-simulates the stretch since
+	// the checkpoint, and pump skips everything already on the wire.
 	pump := func() {
 		if j.sink == nil {
+			sup.cursor = m.EventSeq()
 			return
 		}
-		for _, ev := range m.EventsSince(cursor) {
+		if m.EventSeq() <= sup.cursor {
+			return // replaying an already-streamed prefix
+		}
+		for _, ev := range m.EventsSince(sup.cursor) {
 			j.sink.Event(ev)
 		}
-		cursor = m.EventSeq()
+		sup.cursor = m.EventSeq()
 	}
+
+	var final splitmem.RunResult
+	lastCkpt := used
 	for {
 		slice := s.cfg.StreamSlice
 		if remaining := budget - used; slice > remaining {
 			slice = remaining
 		}
-		final = m.RunContext(ctx, slice)
+		sliceCtx := ctx
+		var sliceCancel context.CancelFunc
+		if s.cfg.WatchdogSlice > 0 {
+			sliceCtx, sliceCancel = context.WithTimeout(ctx, s.cfg.WatchdogSlice)
+		}
+		final = m.RunContext(sliceCtx, slice)
+		if sliceCancel != nil {
+			sliceCancel()
+		}
 		used += final.Cycles
+		if s.hostChaos.KillWorker() {
+			// Injected crash before this slice's events reach the wire: the
+			// retry must replay and deliver them exactly once.
+			panic("chaos: worker killed mid-slice")
+		}
 		pump()
+		if final.Reason == splitmem.ReasonCanceled && ctx.Err() == nil {
+			// Only the slice watchdog expired: the machine is hung (or the
+			// slice is pathologically slow) but the job itself is still
+			// wanted. Treat like a crash and retry from the checkpoint.
+			return fmt.Errorf("watchdog: slice exceeded %v", s.cfg.WatchdogSlice)
+		}
 		if final.Reason != splitmem.ReasonBudget {
 			break // all-done, deadlock, waiting-input, canceled, internal
 		}
 		if used >= budget {
 			break // the job's own budget, not just a slice boundary
 		}
+		if ck := s.cfg.CheckpointCycles; ck > 0 && used-lastCkpt >= ck {
+			if img, serr := m.Snapshot(); serr == nil {
+				sup.img, sup.cycles = img, used
+				lastCkpt = used
+				s.checkpoints.Add(1)
+				// A failed append costs durability, not correctness: the
+				// in-memory image above still backs in-process retries.
+				s.journal.logCheckpoint(j.id, used, img)
+			}
+		}
 	}
 
 	res.Reason = final.Reason.String()
 	res.Cycles = used
 	if final.Reason == splitmem.ReasonCanceled {
-		res.Canceled = true
-		if ctx.Err() == context.DeadlineExceeded && j.ctx.Err() == nil {
-			res.TimedOut = true
-			res.Reason = "timeout"
-		}
+		finishCanceled(res, ctx)
 	}
 	if final.Reason == splitmem.ReasonInternalError {
 		res.Error = final.Panic
@@ -142,10 +295,10 @@ func (s *Server) runJob(poolCtx context.Context, j *job) {
 	}
 	st := m.Stats()
 	res.Stats = &st
-	res.Wall = time.Since(start)
 
 	// Fold the machine's metrics into the service aggregate. Registry.Merge
 	// is the one goroutine-safe registry entry point; the server's mutex
 	// additionally serializes merges against /metrics renders.
 	s.mergeJobTelemetry(m.Telemetry())
+	return nil
 }

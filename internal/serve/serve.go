@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"splitmem"
+	"splitmem/internal/chaos"
 	"splitmem/internal/fleet"
 	"splitmem/internal/telemetry"
 )
@@ -28,6 +30,22 @@ type Config struct {
 
 	MaxBodyBytes int64  // request body limit (default 8 MiB)
 	StreamSlice  uint64 // cycles simulated between event flushes (default 2M)
+
+	// Crash recovery. JournalPath enables the durable job journal: every
+	// admission is fsync'd before it is acknowledged, and a restarted server
+	// replays unfinished jobs from their last checkpoint. The supervisor
+	// (retries, watchdog, checkpointing) runs regardless — without a journal
+	// it just cannot survive a whole-process crash.
+	JournalPath      string        // on-disk journal ("" = no durable recovery)
+	JournalMaxBytes  int64         // journal size that triggers compaction (default 64 MiB)
+	CheckpointCycles uint64        // simulated cycles between checkpoints (default 4 * StreamSlice)
+	RetryBudget      int           // attempts per job before failed-after-retries (default 3)
+	RetryBackoff     time.Duration // first retry delay, doubled per attempt (default 10ms)
+	WatchdogSlice    time.Duration // wall-clock deadline for one stream slice (default 15s)
+
+	// HostChaos injects host-level faults — worker kills mid-slice, torn
+	// journal writes — for the recovery chaos cells. Zero rates disable it.
+	HostChaos chaos.HostConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +73,21 @@ func (c Config) withDefaults() Config {
 	if c.StreamSlice == 0 {
 		c.StreamSlice = 2_000_000
 	}
+	if c.JournalMaxBytes == 0 {
+		c.JournalMaxBytes = 64 << 20
+	}
+	if c.CheckpointCycles == 0 {
+		c.CheckpointCycles = 4 * c.StreamSlice
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.WatchdogSlice == 0 {
+		c.WatchdogSlice = 15 * time.Second
+	}
 	return c
 }
 
@@ -81,6 +114,17 @@ type Server struct {
 	timedOut  atomic.Uint64
 	streamed  atomic.Uint64 // NDJSON event lines written
 
+	// Supervision counters.
+	checkpoints  atomic.Uint64 // checkpoint images written
+	restores     atomic.Uint64 // attempts resumed from a checkpoint
+	retries      atomic.Uint64 // attempts retried after a panic or hang
+	workerPanics atomic.Uint64 // worker panics recovered by the supervisor
+	recovered    atomic.Uint64 // journal-replayed jobs run to a terminal state
+	recovering   atomic.Int64  // journal-replayed jobs not yet terminal
+
+	journal   *journal            // nil when Config.JournalPath is empty
+	hostChaos *chaos.HostInjector // nil unless Config.HostChaos has a live rate
+
 	// serverReg holds the service gauges; jobs holds the merged per-job
 	// machine registries. jobMu serializes job merges against /metrics
 	// renders (Registry.Merge locks against other merges, not readers).
@@ -102,6 +146,22 @@ func New(cfg Config) (*Server, error) {
 		serverReg: telemetry.NewRegistry(),
 		jobs:      telemetry.NewRegistry(),
 	}
+	if cfg.HostChaos.Enabled() {
+		s.hostChaos = chaos.NewHost(cfg.HostChaos)
+	}
+	if cfg.JournalPath != "" {
+		jn, err := openJournal(cfg.JournalPath, cfg.JournalMaxBytes, s.hostChaos)
+		if err != nil {
+			pool.Close()
+			return nil, fmt.Errorf("serve: opening journal: %w", err)
+		}
+		s.journal = jn
+		s.nextID.Store(jn.maxID())
+		if pending := jn.unfinished(); len(pending) > 0 {
+			s.recovering.Store(int64(len(pending)))
+			go s.resumeJournal(pending)
+		}
+	}
 	reg := func(name, help string, v *atomic.Uint64) {
 		s.serverReg.GaugeFunc(name, help, func() float64 { return float64(v.Load()) })
 	}
@@ -113,6 +173,17 @@ func New(cfg Config) (*Server, error) {
 	reg("splitmem_serve_jobs_canceled_total", "jobs ended by cancellation or disconnect", &s.canceled)
 	reg("splitmem_serve_jobs_timeout_total", "jobs ended by their wall-clock limit", &s.timedOut)
 	reg("splitmem_serve_stream_events_total", "NDJSON event lines written to clients", &s.streamed)
+	reg("splitmem_serve_checkpoints_total", "checkpoint images written by the supervisor", &s.checkpoints)
+	reg("splitmem_serve_restores_total", "job attempts resumed from a checkpoint", &s.restores)
+	reg("splitmem_serve_retries_total", "job attempts retried after a panic or hang", &s.retries)
+	reg("splitmem_serve_worker_panics_total", "worker panics recovered by the supervisor", &s.workerPanics)
+	reg("splitmem_serve_jobs_recovered_total", "journal-replayed jobs run to a terminal state", &s.recovered)
+	s.serverReg.GaugeFunc("splitmem_serve_jobs_recovering", "journal-replayed jobs not yet terminal",
+		func() float64 { return float64(s.recovering.Load()) })
+	s.serverReg.GaugeFunc("splitmem_serve_journal_torn_total", "torn or corrupt journal records detected",
+		func() float64 { return float64(s.journal.tornRecords()) })
+	s.serverReg.GaugeFunc("splitmem_serve_pool_panics_total", "tasks that escaped the supervisor and died in the pool",
+		func() float64 { return float64(s.pool.Panics()) })
 	s.serverReg.GaugeFunc("splitmem_serve_queue_depth", "jobs admitted but not yet finished",
 		func() float64 { return float64(s.pool.Depth()) })
 	s.serverReg.GaugeFunc("splitmem_serve_workers", "size of the simulation worker pool",
@@ -144,6 +215,73 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Close() {
 	s.BeginDrain()
 	s.pool.Close()
+	s.journal.close()
+}
+
+// CancelRunning cancels the pool's lifetime context: every running job stops
+// within one scheduler timeslice with the "drained" reason in its terminal
+// frame. The hard half of shutdown, for when the graceful drain's patience
+// runs out; Close still waits for the (now canceled) jobs to finish.
+func (s *Server) CancelRunning() { s.pool.Cancel() }
+
+// Recovering reports journal-replayed jobs that have not yet reached a
+// terminal state.
+func (s *Server) Recovering() int64 { return s.recovering.Load() }
+
+// resumeJournal re-runs jobs the previous process acknowledged but never
+// finished. Each is decoded from its journaled submission body and resumed
+// from its last checkpoint; one that no longer decodes (say the journal
+// outlived a schema change) is retired with an error result rather than
+// replayed forever. Submission respects the backlog: recovery competes with
+// live traffic instead of stampeding past it.
+func (s *Server) resumeJournal(pending []*journalJob) {
+	for _, jj := range pending {
+		req, err := DecodeJob(jj.Body)
+		var cfg splitmem.Config
+		var prog *splitmem.Program
+		if err == nil {
+			cfg, err = req.MachineConfig()
+		}
+		if err == nil {
+			prog, err = req.Program()
+		}
+		if err != nil {
+			res := JobResult{ID: jj.ID, Reason: "recovery-failed", Error: err.Error(), Recovered: true}
+			if b, jerr := json.Marshal(&res); jerr == nil {
+				s.journal.logDone(jj.ID, b)
+			}
+			s.recovering.Add(-1)
+			continue
+		}
+		j := &job{
+			id:     jj.ID,
+			req:    req,
+			cfg:    cfg,
+			prog:   prog,
+			ctx:    context.Background(), // the original client is long gone
+			resume: jj,
+			done:   make(chan struct{}),
+		}
+		task := func(poolCtx context.Context) {
+			defer close(j.done)
+			s.runJob(poolCtx, j)
+		}
+		for !s.pool.TrySubmit(task) {
+			if s.draining.Load() {
+				// Shutdown before resubmission: the job stays in the journal
+				// for the next incarnation. Not lost, just postponed.
+				s.recovering.Add(-1)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		go func(j *job) {
+			<-j.done
+			s.accountResult(&j.result)
+			s.recovered.Add(1)
+			s.recovering.Add(-1)
+		}(j)
+	}
 }
 
 // Depth reports jobs admitted but not yet finished.
@@ -184,6 +322,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	status := http.StatusOK
 	state := "ok"
+	if s.recovering.Load() > 0 {
+		state = "recovering" // serving, but journal replay is still in flight
+	}
 	if s.draining.Load() {
 		status = http.StatusServiceUnavailable
 		state = "draining"
@@ -194,6 +335,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"workers": s.cfg.Workers,
 		"backlog": s.cfg.Backlog,
 		"depth":   s.pool.Depth(),
+		"recovery": map[string]any{
+			"journal":       s.journal != nil,
+			"recovering":    s.recovering.Load(),
+			"recovered":     s.recovered.Load(),
+			"torn_records":  s.journal.tornRecords(),
+			"worker_panics": s.workerPanics.Load(),
+			"retries":       s.retries.Load(),
+			"checkpoints":   s.checkpoints.Load(),
+			"restores":      s.restores.Load(),
+		},
 	})
 }
 
@@ -281,20 +432,32 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		j.sink = ndj
 	}
 
-	// Admission. TrySubmit never blocks: a full backlog is load the
-	// service must shed, not hide in a growing queue.
+	// Admission. The journal record lands (fsync'd) before TrySubmit so the
+	// on-disk order is always submission-then-checkpoint, and before any
+	// acknowledgment so a crash can never lose an acknowledged job.
+	// TrySubmit never blocks: a full backlog is load the service must shed,
+	// not hide in a growing queue.
+	s.journal.logJob(j.id, body)
 	task := func(poolCtx context.Context) {
 		defer close(j.done)
 		s.runJob(poolCtx, j)
 	}
 	if !s.pool.TrySubmit(task) {
+		// Retire the journal record: a shed job was never acknowledged, so
+		// the next incarnation must not replay it.
+		if res, err := json.Marshal(&JobResult{ID: j.id, Reason: "shed"}); err == nil {
+			s.journal.logDone(j.id, res)
+		}
 		if s.draining.Load() {
 			w.Header().Set("Retry-After", "5")
 			s.refused.Add(1)
 			httpError(w, http.StatusServiceUnavailable, "draining", "server is draining", nil)
 			return
 		}
-		w.Header().Set("Retry-After", "1")
+		// Tell the client how long the backlog actually is, not a constant:
+		// one unit of patience per queued-or-running job per worker, so a
+		// deep queue pushes retries further out instead of stampeding back.
+		w.Header().Set("Retry-After", strconv.Itoa(1+s.pool.Depth()/s.cfg.Workers))
 		s.rejected.Add(1)
 		httpError(w, http.StatusTooManyRequests, "queue-full",
 			"admission queue is full; retry after the indicated delay", nil)

@@ -1,0 +1,107 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.U8(0xAB)
+	w.U16(0xBEEF)
+	w.U32(0xDEADBEEF)
+	w.U64(0x0123456789ABCDEF)
+	w.I64(-42)
+	w.Int(-7)
+	w.F64(0.125)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes32([]byte{1, 2, 3})
+	w.Bytes32(nil)
+	w.String("hello")
+	w.Raw([]byte{9, 9})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.F64(); got != 0.125 {
+		t.Errorf("F64 = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bools diverged")
+	}
+	if got := r.Bytes32(); len(got) != 3 || got[0] != 1 {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if got := r.Bytes32(); len(got) != 0 {
+		t.Errorf("empty Bytes32 = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Raw(2); got[0] != 9 || got[1] != 9 {
+		t.Errorf("Raw = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	w := NewWriter()
+	w.U64(1)
+	for cut := 0; cut < 8; cut++ {
+		r := NewReader(w.Bytes()[:cut])
+		r.U64()
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, r.Err())
+		}
+		// Sticky: later reads keep failing, never panic.
+		r.U32()
+		r.Bytes32()
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Fatalf("error not sticky")
+		}
+	}
+}
+
+func TestCorruptBool(t *testing.T) {
+	r := NewReader([]byte{7})
+	r.Bool()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestBytes32BoundedAllocation(t *testing.T) {
+	// A declared length far beyond the image must fail as truncated, not
+	// allocate.
+	w := NewWriter()
+	w.U32(1 << 30)
+	r := NewReader(w.Bytes())
+	if b := r.Bytes32(); b != nil {
+		t.Fatalf("got %d bytes from a lying prefix", len(b))
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", r.Err())
+	}
+}

@@ -13,7 +13,10 @@
 // visible behavior is that of a fully-associative LRU array.)
 package tlb
 
-import "splitmem/internal/telemetry"
+import (
+	"splitmem/internal/snapshot"
+	"splitmem/internal/telemetry"
+)
 
 // Entry is one cached translation.
 type Entry struct {
@@ -201,6 +204,61 @@ func (t *TLB) Stats() (hits, misses, evictions, flushes uint64) {
 // ResetStats zeroes the statistics counters.
 func (t *TLB) ResetStats() {
 	t.hits, t.misses, t.evictions, t.flushes = 0, 0, 0, 0
+}
+
+// EncodeState serializes the exact associative-array state: every slot in
+// array order with its LRU timestamp, plus the LRU clock and the counters.
+// Slot order and timestamps are architectural here — they decide every future
+// eviction victim — so the restore must be positional, not just "reinsert the
+// valid entries".
+func (t *TLB) EncodeState(w *snapshot.Writer) {
+	w.U32(uint32(len(t.slots)))
+	w.U64(t.tick)
+	w.U64(t.hits)
+	w.U64(t.misses)
+	w.U64(t.evictions)
+	w.U64(t.flushes)
+	for i := range t.slots {
+		s := &t.slots[i]
+		w.Bool(s.valid)
+		w.U32(s.vpn)
+		w.U32(s.entry.Frame)
+		w.Bool(s.entry.User)
+		w.Bool(s.entry.Writable)
+		w.Bool(s.entry.NoExec)
+		w.U64(s.used)
+	}
+}
+
+// DecodeState restores state serialized by EncodeState into a TLB of the
+// same capacity, rebuilding the lookup index.
+func (t *TLB) DecodeState(r *snapshot.Reader) error {
+	if n := r.U32(); int(n) != len(t.slots) {
+		return snapshot.Corruptf("tlb: %d slots, machine has %d", n, len(t.slots))
+	}
+	t.tick = r.U64()
+	t.hits = r.U64()
+	t.misses = r.U64()
+	t.evictions = r.U64()
+	t.flushes = r.U64()
+	clear(t.index)
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.valid = r.Bool()
+		s.vpn = r.U32()
+		s.entry.Frame = r.U32()
+		s.entry.User = r.Bool()
+		s.entry.Writable = r.Bool()
+		s.entry.NoExec = r.Bool()
+		s.used = r.U64()
+		if s.valid {
+			if _, dup := t.index[s.vpn]; dup {
+				return snapshot.Corruptf("tlb: duplicate valid vpn %#x", s.vpn)
+			}
+			t.index[s.vpn] = i
+		}
+	}
+	return r.Err()
 }
 
 // RegisterTelemetry registers this TLB's counters as sampled gauges

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"splitmem/internal/isa"
+	"splitmem/internal/snapshot"
 )
 
 // Entry is one retired instruction.
@@ -86,6 +87,47 @@ func (r *Ring) EntriesInto(dst []Entry) []Entry {
 	}
 	dst = append(dst, r.buf[r.pos:]...)
 	return append(dst, r.buf[:r.pos]...)
+}
+
+// EncodeState serializes the ring positionally (buffer, cursor, wrap flag)
+// so a restored ring renders byte-identical listings.
+func (r *Ring) EncodeState(w *snapshot.Writer) {
+	w.U32(uint32(len(r.buf)))
+	w.Int(r.pos)
+	w.Bool(r.full)
+	for _, e := range r.buf {
+		w.U64(e.Cycles)
+		w.U32(e.EIP)
+		w.U8(uint8(e.Instr.Op))
+		w.U8(e.Instr.R1)
+		w.U8(e.Instr.R2)
+		w.U32(e.Instr.Imm)
+		w.Int(e.Instr.Size)
+	}
+}
+
+// DecodeState restores state serialized by EncodeState into a ring of the
+// same capacity.
+func (r *Ring) DecodeState(rd *snapshot.Reader) error {
+	if n := rd.U32(); int(n) != len(r.buf) {
+		return snapshot.Corruptf("trace: ring of %d entries, machine has %d", n, len(r.buf))
+	}
+	r.pos = rd.Int()
+	r.full = rd.Bool()
+	if r.pos < 0 || r.pos >= len(r.buf) {
+		return snapshot.Corruptf("trace: cursor %d out of range", r.pos)
+	}
+	for i := range r.buf {
+		e := &r.buf[i]
+		e.Cycles = rd.U64()
+		e.EIP = rd.U32()
+		e.Instr.Op = isa.Op(rd.U8())
+		e.Instr.R1 = rd.U8()
+		e.Instr.R2 = rd.U8()
+		e.Instr.Imm = rd.U32()
+		e.Instr.Size = rd.Int()
+	}
+	return rd.Err()
 }
 
 // String renders the trace as a disassembly listing, oldest first.

@@ -19,6 +19,7 @@ import (
 
 	"splitmem"
 	"splitmem/internal/attacks"
+	"splitmem/internal/guest"
 	"splitmem/internal/isa"
 	"splitmem/internal/workloads"
 )
@@ -136,6 +137,144 @@ func TestOracleWorkloads(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// pseudoCycle derives a deterministic pseudo-random snapshot point in
+// [1, span] from a name, so "snapshot at a random cycle" is reproducible.
+func pseudoCycle(name string, span uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(name) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	if span == 0 {
+		return 1
+	}
+	return 1 + h%span
+}
+
+// runWorkloadResumed is runWorkload interrupted by a checkpoint: the machine
+// runs for roughly snapAt cycles, is serialized with Snapshot, discarded,
+// rebuilt with Restore, and resumed to completion. Along the way it also
+// proves the image is a fixed point: snapshotting the restored machine must
+// reproduce the original image byte for byte.
+func runWorkloadResumed(t *testing.T, prog workloads.Program, cfg splitmem.Config, snapAt uint64) workloadDigest {
+	t.Helper()
+	m, err := splitmem.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := workloadDigest{trace: 14695981039346656037}
+	hook := func(eip uint32, in isa.Instr) {
+		d.trace = traceHash(d.trace, eip, in)
+	}
+	m.CPU().TraceHook = hook
+	p, err := m.LoadAsm(prog.Src, prog.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := p.PID
+	if prog.Input != "" {
+		p.StdinWrite([]byte(prog.Input))
+		p.StdinClose()
+	}
+	res := m.Run(snapAt)
+	img, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := splitmem.Restore(img)
+	if err != nil {
+		t.Fatalf("restore at cycle %d: %v", snapAt, err)
+	}
+	img2, err := m2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, img2) {
+		t.Errorf("%s: snapshot of the restored machine differs from the original image (%d vs %d bytes)",
+			prog.Name, len(img2), len(img))
+	}
+	m = m2
+	m.CPU().TraceHook = hook
+	if res.Reason == splitmem.ReasonBudget || res.Reason == splitmem.ReasonWaitingInput {
+		res = m.Run(40_000_000_000)
+	}
+	p2, ok := m.Kernel().Process(pid)
+	if !ok {
+		t.Fatalf("%s: pid %d lost across restore", prog.Name, pid)
+	}
+	d.reason = res.Reason
+	d.exited, d.status = p2.Exited()
+	s := m.Stats()
+	d.stats = scrubDecode(s)
+	d.retired = s.Instructions
+	d.cycles = s.Cycles
+	d.events, err = m.EventsJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestOracleSnapshotWorkloads: every workload under every protection policy,
+// uninterrupted vs snapshot-at-a-pseudo-random-cycle + restore. The resumed
+// run must retire the identical instruction stream and end with identical
+// cycles, stats and event-log bytes — the checkpoint is architecturally
+// invisible.
+func TestOracleSnapshotWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is broad")
+	}
+	prots := []splitmem.Protection{
+		splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit, splitmem.ProtSplitNX,
+	}
+	for _, prog := range workloads.Catalog() {
+		for _, prot := range prots {
+			prog, prot := prog, prot
+			t.Run(fmt.Sprintf("%s/%v", prog.Name, prot), func(t *testing.T) {
+				cfg := splitmem.Config{Protection: prot, RandomizeStack: true, Seed: 7}
+				base := runWorkload(t, prog, cfg)
+				snapAt := pseudoCycle(prog.Name+prot.String(), base.cycles)
+				resumed := runWorkloadResumed(t, prog, cfg, snapAt)
+				compareDigests(t, fmt.Sprintf("%s@%d", prog.Name, snapAt), base, resumed)
+			})
+		}
+	}
+}
+
+// TestOracleSnapshotWilander: all 32 attack forms of the extended Wilander
+// grid as one-shot programs, snapshot mid-attack + restore vs uninterrupted,
+// under both split deployments. Detection must land on the same cycle with
+// byte-identical events either way.
+func TestOracleSnapshotWilander(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is broad")
+	}
+	for _, prot := range []splitmem.Protection{splitmem.ProtSplit, splitmem.ProtSplitNX} {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			for _, tech := range attacks.AllTechniques() {
+				for _, seg := range attacks.Segments() {
+					src, stdin, err := attacks.OneShot(tech, seg)
+					if err != nil {
+						continue // form not applicable
+					}
+					name := fmt.Sprintf("%v/%v", tech, seg)
+					t.Run(name, func(t *testing.T) {
+						prog := workloads.Program{Name: "wilander", Src: guest.WithCRT(src), Input: string(stdin)}
+						cfg := splitmem.Config{Protection: prot}
+						base := runWorkload(t, prog, cfg)
+						snapAt := pseudoCycle(name+prot.String(), base.cycles)
+						resumed := runWorkloadResumed(t, prog, cfg, snapAt)
+						compareDigests(t, name, base, resumed)
+					})
+				}
+			}
+		})
 	}
 }
 

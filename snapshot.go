@@ -1,0 +1,255 @@
+package splitmem
+
+// Checkpoint/restore. Snapshot serializes the entire machine — CPU register
+// file and counters, every physical frame (including split code/data twins),
+// pagetables, both TLBs with their deliberately desynchronized contents and
+// restriction state, the kernel (process table, run queue, pipes, event ring
+// with lifetime cursors), the protection engine's state, the execution-trace
+// ring, and the chaos injector's PRNG stream — such that Restore resumes the
+// exact retired-instruction stream the uninterrupted machine would have
+// produced. The format is versioned, checksummed (one CRC32 over the whole
+// image), and a pure function of machine state: maps are serialized in
+// sorted order and the TLBs positionally, so identical machines produce
+// identical images.
+//
+// Deliberately not captured:
+//
+//   - The predecoded-instruction cache: host-side acceleration state,
+//     rebuilt on demand. A restored machine starts cold; only the host-only
+//     Decode* counters can differ from an uninterrupted run.
+//   - Telemetry spans and metrics: host-side observability, not guest
+//     state. A restored machine starts a fresh timeline.
+//   - Config.EventHook: functions don't serialize; pass one to
+//     RestoreWithHook to re-attach.
+
+import (
+	"fmt"
+
+	"splitmem/internal/snapshot"
+)
+
+// snapMagic brands a snapshot image; snapVersion is bumped on any format
+// change (there is no cross-version decoding — a checkpoint is a short-lived
+// crash-recovery artifact, not an archival format).
+const (
+	snapMagic   = "S86SNAP\x00"
+	snapVersion = 1
+)
+
+// Snapshot serializes the machine's complete architectural state. Call it
+// only between Run/RunContext invocations (the scheduler parks the machine
+// at a timeslice boundary; mid-Step state is never observable from outside).
+func (m *Machine) Snapshot() ([]byte, error) {
+	w := snapshot.NewWriter()
+	w.Raw([]byte(snapMagic))
+	w.U32(snapVersion)
+	encodeConfig(w, &m.cfg)
+	m.mach.EncodeState(w)
+	m.mach.Phys.EncodeState(w)
+	m.mach.ITLB.EncodeState(w)
+	m.mach.DTLB.EncodeState(w)
+	m.kern.EncodeState(w)
+	if m.traces != nil {
+		m.traces.EncodeState(w)
+	}
+	if m.inj != nil {
+		m.inj.EncodeState(w)
+	}
+	w.U32(snapshot.Checksum(w.Bytes()))
+	return w.Bytes(), nil
+}
+
+// Restore builds a machine from a Snapshot image. Failures are classified:
+// errors.Is(err, snapshot.ErrTruncated / ErrCorrupt / ErrVersion) (via the
+// internal snapshot package's sentinels re-exported as SnapshotErr*).
+func Restore(image []byte) (*Machine, error) { return RestoreWithHook(image, nil) }
+
+// RestoreWithHook is Restore with an event hook re-attached to the restored
+// machine (hooks are functions and cannot live in the image).
+func RestoreWithHook(image []byte, hook func(Event)) (*Machine, error) {
+	if len(image) < len(snapMagic)+8 {
+		return nil, snapshot.ErrTruncated
+	}
+	if string(image[:len(snapMagic)]) != snapMagic {
+		return nil, snapshot.Corruptf("bad magic")
+	}
+	body := image[:len(image)-4]
+	want := snapshot.NewReader(image[len(image)-4:]).U32()
+	if got := snapshot.Checksum(body); got != want {
+		return nil, snapshot.Corruptf("checksum mismatch: image says %#x, content hashes to %#x", want, got)
+	}
+	r := snapshot.NewReader(body[len(snapMagic):])
+	if v := r.U32(); v != snapVersion {
+		return nil, fmt.Errorf("%w: image version %d, this build reads %d", snapshot.ErrVersion, v, snapVersion)
+	}
+	cfg, err := decodeConfig(r)
+	if err != nil {
+		return nil, err
+	}
+	// Sanity-cap image-supplied resource demands before New allocates
+	// anything: a hostile image that survives the checksum must not be able
+	// to request an absurd machine.
+	if cfg.PhysBytes > 1<<30 || cfg.ITLBSize > 1<<20 || cfg.DTLBSize > 1<<20 ||
+		cfg.TraceDepth > 1<<24 || cfg.TelemetrySpanCap > 1<<24 {
+		return nil, snapshot.Corruptf("image demands an implausible machine (phys %d, tlb %d/%d, trace %d, spans %d)",
+			cfg.PhysBytes, cfg.ITLBSize, cfg.DTLBSize, cfg.TraceDepth, cfg.TelemetrySpanCap)
+	}
+	cfg.EventHook = hook
+	m, err := New(cfg)
+	if err != nil {
+		// The checksum passed, so the bytes decode; a config no machine
+		// accepts is still a corrupt image from the caller's point of view.
+		return nil, snapshot.Corruptf("image config rejected: %v", err)
+	}
+	if err := m.mach.DecodeState(r); err != nil {
+		return nil, err
+	}
+	if err := m.mach.Phys.DecodeState(r); err != nil {
+		return nil, err
+	}
+	if err := m.mach.ITLB.DecodeState(r); err != nil {
+		return nil, err
+	}
+	if err := m.mach.DTLB.DecodeState(r); err != nil {
+		return nil, err
+	}
+	if err := m.kern.DecodeState(r); err != nil {
+		return nil, err
+	}
+	if m.traces != nil {
+		if err := m.traces.DecodeState(r); err != nil {
+			return nil, err
+		}
+	}
+	if m.inj != nil {
+		if err := m.inj.DecodeState(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, snapshot.Corruptf("%d trailing bytes after final section", r.Remaining())
+	}
+	// Reinstall the interrupted process's address space. No flush: the TLB
+	// contents (including deliberate desynchronization) were restored
+	// verbatim, and flushing here would destroy exactly the state being
+	// restored. When no process was on the CPU the pagetable stays nil and
+	// the next switchTo installs one precisely as the uninterrupted run
+	// would have.
+	if cur := m.kern.Current(); cur != nil {
+		m.mach.RestorePagetable(cur.PT)
+	} else {
+		m.mach.RestorePagetable(nil)
+	}
+	return m, nil
+}
+
+// Snapshot error sentinels, re-exported so embedders can classify Restore
+// failures without importing the internal codec package.
+var (
+	ErrSnapshotTruncated = snapshot.ErrTruncated
+	ErrSnapshotCorrupt   = snapshot.ErrCorrupt
+	ErrSnapshotVersion   = snapshot.ErrVersion
+)
+
+// SnapshotChecksum computes the integrity hash a valid image carries in its
+// trailer (CRC-32/IEEE over everything before it) — exposed for tools and
+// tests that inspect or patch images.
+func SnapshotChecksum(body []byte) uint32 { return snapshot.Checksum(body) }
+
+// encodeConfig serializes every Config field except EventHook in a fixed
+// order. The config rides inside the image so Restore can rebuild an
+// identical machine without the caller re-supplying (and possibly
+// mismatching) it.
+func encodeConfig(w *snapshot.Writer, cfg *Config) {
+	w.Int(int(cfg.Protection))
+	w.Int(int(cfg.Response))
+	w.F64(cfg.SplitFraction)
+	w.Bool(cfg.MixedOnly)
+	w.Bool(cfg.ForensicShellcode != nil)
+	w.Bytes32(cfg.ForensicShellcode)
+	w.Bool(cfg.SoftTLB)
+	w.Bool(cfg.LazyTwins)
+	w.U64(cfg.Chaos.Seed)
+	w.F64(cfg.Chaos.ITLBEvict)
+	w.F64(cfg.Chaos.DTLBEvict)
+	w.F64(cfg.Chaos.TLBFlush)
+	w.F64(cfg.Chaos.StaleTLB)
+	w.F64(cfg.Chaos.SpuriousDebug)
+	w.F64(cfg.Chaos.DoubleFault)
+	w.F64(cfg.Chaos.BitFlip)
+	w.F64(cfg.Chaos.Preempt)
+	w.Bool(cfg.Paranoid)
+	w.U64(cfg.CostModel.Instr)
+	w.U64(cfg.CostModel.MemAccess)
+	w.U64(cfg.CostModel.TLBWalk)
+	w.U64(cfg.CostModel.Trap)
+	w.U64(cfg.CostModel.PFBase)
+	w.U64(cfg.CostModel.DebugTrap)
+	w.U64(cfg.CostModel.Syscall)
+	w.U64(cfg.CostModel.CtxSwitch)
+	w.U64(cfg.CostModel.IOByte)
+	w.U64(cfg.CostModel.DemandFill)
+	w.U64(cfg.CostModel.COWCopy)
+	w.Int(cfg.ITLBSize)
+	w.Int(cfg.DTLBSize)
+	w.Int(cfg.PhysBytes)
+	w.Bool(cfg.NoDecodeCache)
+	w.Int(cfg.TraceDepth)
+	w.Bool(cfg.Telemetry)
+	w.Int(cfg.TelemetrySpanCap)
+	w.U64(cfg.Timeslice)
+	w.Bool(cfg.RandomizeStack)
+	w.I64(cfg.Seed)
+	w.Bool(cfg.TraceSyscalls)
+}
+
+func decodeConfig(r *snapshot.Reader) (Config, error) {
+	var cfg Config
+	cfg.Protection = Protection(r.Int())
+	cfg.Response = ResponseMode(r.Int())
+	cfg.SplitFraction = r.F64()
+	cfg.MixedOnly = r.Bool()
+	hasShell := r.Bool()
+	cfg.ForensicShellcode = r.Bytes32()
+	if !hasShell {
+		cfg.ForensicShellcode = nil
+	}
+	cfg.SoftTLB = r.Bool()
+	cfg.LazyTwins = r.Bool()
+	cfg.Chaos.Seed = r.U64()
+	cfg.Chaos.ITLBEvict = r.F64()
+	cfg.Chaos.DTLBEvict = r.F64()
+	cfg.Chaos.TLBFlush = r.F64()
+	cfg.Chaos.StaleTLB = r.F64()
+	cfg.Chaos.SpuriousDebug = r.F64()
+	cfg.Chaos.DoubleFault = r.F64()
+	cfg.Chaos.BitFlip = r.F64()
+	cfg.Chaos.Preempt = r.F64()
+	cfg.Paranoid = r.Bool()
+	cfg.CostModel.Instr = r.U64()
+	cfg.CostModel.MemAccess = r.U64()
+	cfg.CostModel.TLBWalk = r.U64()
+	cfg.CostModel.Trap = r.U64()
+	cfg.CostModel.PFBase = r.U64()
+	cfg.CostModel.DebugTrap = r.U64()
+	cfg.CostModel.Syscall = r.U64()
+	cfg.CostModel.CtxSwitch = r.U64()
+	cfg.CostModel.IOByte = r.U64()
+	cfg.CostModel.DemandFill = r.U64()
+	cfg.CostModel.COWCopy = r.U64()
+	cfg.ITLBSize = r.Int()
+	cfg.DTLBSize = r.Int()
+	cfg.PhysBytes = r.Int()
+	cfg.NoDecodeCache = r.Bool()
+	cfg.TraceDepth = r.Int()
+	cfg.Telemetry = r.Bool()
+	cfg.TelemetrySpanCap = r.Int()
+	cfg.Timeslice = r.U64()
+	cfg.RandomizeStack = r.Bool()
+	cfg.Seed = r.I64()
+	cfg.TraceSyscalls = r.Bool()
+	return cfg, r.Err()
+}
