@@ -4,12 +4,15 @@
 // Usage:
 //
 //	splitmem-bench [-table3] [-fig6] [-fig7] [-fig8] [-fig9] [-fastpath]
-//	               [-serve] [-parallel N] [-all] [-json BENCH_results.json]
+//	               [-serve] [-cluster] [-parallel N] [-all] [-json BENCH_results.json]
 //
 // -fastpath runs the predecode-cache ablation (cache on vs off; the
 // simulated side must be bit-identical, the host side reports the speedup).
 // -serve runs the splitmem-serve load harness (64 clients against an
 // 8-worker in-process server) and reports service throughput.
+// -cluster runs the sharded-cluster failover harness (64 clients against a
+// gateway over three replicas through a full rolling restart) and reports
+// throughput, migration counts, and checkpoint-migration latency.
 // -parallel N fans the nbench workload out over a fleet of N machines and
 // reports the scaling figure.
 //
@@ -35,12 +38,13 @@ func main() {
 		fig9     = flag.Bool("fig9", false, "run the fractional-splitting sweep")
 		fastpath = flag.Bool("fastpath", false, "run the predecode-cache ablation")
 		srv      = flag.Bool("serve", false, "run the splitmem-serve throughput load test")
+		clust    = flag.Bool("cluster", false, "run the sharded-cluster rolling-restart failover bench")
 		parallel = flag.Int("parallel", 0, "fan the nbench fleet out over N machines")
 		all      = flag.Bool("all", false, "run everything")
 		jsonPath = flag.String("json", "", "also write results as JSON to this file")
 	)
 	flag.Parse()
-	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9 || *fastpath || *srv || *parallel > 0) {
+	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9 || *fastpath || *srv || *clust || *parallel > 0) {
 		*all = true
 	}
 	results := bench.NewResults()
@@ -89,6 +93,15 @@ func main() {
 		}
 		fmt.Println(fig.Render())
 		results.AddFigure("serve", fig)
+	}
+	if *all || *clust {
+		fig, err := bench.ClusterFailover(64, 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		results.AddFigure("cluster", fig)
 	}
 	if n := *parallel; n > 0 || *all {
 		if n <= 0 {

@@ -1,0 +1,203 @@
+// Command splitmem-gateway fronts a sharded cluster of splitmem-serve
+// replicas: one stable /v1/jobs endpoint with consistent-hash routing,
+// health-probe failover, typed retry of shed submissions, and live
+// migration of in-flight jobs (CRC-gated checkpoint export and resume)
+// when a replica drains or dies.
+//
+// Usage:
+//
+//	splitmem-gateway -replicas http://h1:8086,http://h2:8086,http://h3:8086
+//	                 [-addr :8085] [-probe-interval 250ms] [-fail-threshold 3]
+//	                 [-retry-budget 8] [-selftest]
+//
+// Endpoints:
+//
+//	POST /v1/jobs            run a job on some replica, respond with the result
+//	POST /v1/jobs?stream=1   NDJSON stream: accepted line, event lines, one
+//	                         terminal result line — a single unbroken stream
+//	                         even if the job migrates between replicas mid-run
+//	GET  /healthz            gateway identity, per-replica state table
+//	                         (up/degraded/draining/down, instance IDs, restart
+//	                         counts), and job counters
+//
+// The contract: every acknowledged job reaches exactly one terminal result,
+// through replica drains, crashes, and rolling restarts. SIGINT/SIGTERM
+// stops the listener gracefully; in-flight relays finish first.
+//
+// -selftest boots three in-process replicas behind an in-process gateway,
+// runs the concurrent load harness while one replica is killed and
+// restarted mid-load, and exits nonzero if any acknowledged job is lost.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"splitmem/internal/cluster"
+	"splitmem/internal/serve"
+	"splitmem/internal/serve/loadtest"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8085", "listen address")
+		replicas      = flag.String("replicas", "", "comma-separated replica base URLs (required unless -selftest)")
+		probeInterval = flag.Duration("probe-interval", 250*time.Millisecond, "health-probe period")
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive probe failures before a replica is down")
+		retryBudget   = flag.Int("retry-budget", 8, "submission/resume attempts per job")
+		selftest      = flag.Bool("selftest", false, "run the in-process kill-mid-load smoke test and exit")
+	)
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(); err != nil {
+			fmt.Fprintln(os.Stderr, "selftest:", err)
+			os.Exit(1)
+		}
+		fmt.Println("selftest: ok")
+		return
+	}
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(strings.TrimSuffix(u, "/")); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "splitmem-gateway: -replicas is required (comma-separated base URLs)")
+		os.Exit(1)
+	}
+
+	gw, err := cluster.New(cluster.Config{
+		Replicas:      urls,
+		ProbeInterval: *probeInterval,
+		FailThreshold: *failThreshold,
+		RetryBudget:   *retryBudget,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: gw.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "splitmem-gateway: draining")
+		// Shutdown waits for in-flight relays: every client stream gets its
+		// terminal result line before the listener closes.
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+		gw.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "splitmem-gateway: listening on %s, fronting %d replicas\n", *addr, len(urls))
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-done
+	fmt.Fprintln(os.Stderr, "splitmem-gateway: drained")
+}
+
+// selftestSpin keeps jobs in flight long enough for the mid-load kill to
+// catch some (~1.2M cycles).
+const selftestSpin = `
+_start:
+    mov ecx, 400000
+spin:
+    sub ecx, 1
+    cmp ecx, 0
+    jnz spin
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+
+// runSelftest proves the cluster contract end to end without a network:
+// three replicas, 64 concurrent clients, one replica killed and restarted
+// mid-load — zero acknowledged-then-lost jobs.
+func runSelftest() error {
+	h, err := cluster.NewHarness(3,
+		serve.Config{Workers: 4, Backlog: 128, StreamSlice: 100_000, CheckpointCycles: 250_000},
+		cluster.Config{
+			ProbeInterval: 25 * time.Millisecond,
+			FailThreshold: 3,
+			RetryBudget:   20,
+			RetryBackoff:  10 * time.Millisecond,
+			MaxRetryDelay: 250 * time.Millisecond,
+		})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	type loadDone struct {
+		rep *loadtest.Report
+		err error
+	}
+	lch := make(chan loadDone, 1)
+	go func() {
+		rep, err := loadtest.Run(loadtest.Config{
+			BaseURL:    h.URL(),
+			Clients:    64,
+			Jobs:       2,
+			Stream:     true,
+			Retry503:   true,
+			MaxRetries: 500,
+			RetryDelay: 10 * time.Millisecond,
+			Body: func(c, j int) ([]byte, error) {
+				if c%4 == 0 {
+					return json.Marshal(map[string]any{
+						"name":       fmt.Sprintf("selftest-c%d-j%d", c, j),
+						"source":     selftestSpin,
+						"timeout_ms": 60000,
+					})
+				}
+				return loadtest.DefaultJobBody(c, j)
+			},
+		})
+		lch <- loadDone{rep, err}
+	}()
+
+	// The hard fault: a crash, not a drain. In-flight jobs on the killed
+	// replica lose their streams mid-run and must be recovered elsewhere.
+	time.Sleep(250 * time.Millisecond)
+	fmt.Println("selftest: killing replica 1 mid-load")
+	h.Nodes[1].Kill()
+	time.Sleep(500 * time.Millisecond)
+	if err := h.Nodes[1].Restart(); err != nil {
+		return err
+	}
+	fmt.Println("selftest: replica 1 restarted")
+
+	ld := <-lch
+	if ld.err != nil {
+		return ld.err
+	}
+	rep := ld.rep
+	fmt.Println(rep)
+	fmt.Printf("selftest: gateway: %d migrations, %d scratch resumes, %d corrupt fetches\n",
+		h.Gateway.Migrations(), h.Gateway.ScratchResumes(), h.Gateway.CorruptFetches())
+	if rep.Lost() != 0 || rep.GaveUp > 0 || len(rep.Failures) > 0 {
+		return fmt.Errorf("cluster contract violated: %d lost, %d gave up, %d failures",
+			rep.Lost(), rep.GaveUp, len(rep.Failures))
+	}
+	if got := rep.Clients * rep.Jobs; rep.Completed != got {
+		return fmt.Errorf("completed %d of %d jobs", rep.Completed, got)
+	}
+	return nil
+}

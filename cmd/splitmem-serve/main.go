@@ -84,10 +84,15 @@ func main() {
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
-	// SIGINT/SIGTERM: stop admission first (503s), then shut the listener
-	// down — Shutdown waits for in-flight handlers, and every streaming
-	// handler blocks until its job's terminal line is written, so the drain
-	// cannot truncate a stream.
+	// SIGINT/SIGTERM: stop admission first (503s) but KEEP THE LISTENER UP
+	// until no jobs are in flight — a gateway drains this replica by probing
+	// the 503 and migrating live jobs off via checkpoint export, both of
+	// which need reachable endpoints (http.Server.Shutdown would close the
+	// listener immediately and turn a graceful drain into an apparent
+	// crash). Only then shut the listener down — Shutdown waits for
+	// in-flight handlers, and every streaming handler blocks until its
+	// job's terminal line is written, so the drain cannot truncate a
+	// stream.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan struct{})
@@ -96,6 +101,15 @@ func main() {
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "splitmem-serve: draining")
 		s.BeginDrain()
+		quiet := time.After(5 * time.Minute)
+	waitLive:
+		for s.LiveJobs() > 0 {
+			select {
+			case <-quiet:
+				break waitLive
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"splitmem/internal/cluster"
+	"splitmem/internal/serve"
+	"splitmem/internal/serve/loadtest"
+)
+
+// clusterProbeSpin is the migration-latency probe: ~8M cycles, long enough
+// that draining its host catches it mid-flight with checkpoints to ship.
+const clusterProbeSpin = `
+_start:
+    mov ecx, 2700000
+spin:
+    sub ecx, 1
+    cmp ecx, 0
+    jnz spin
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+
+// clusterLongSpin keeps in-flight work on every replica during the rolling
+// restart (~1.2M cycles).
+const clusterLongSpin = `
+_start:
+    mov ecx, 400000
+spin:
+    sub ecx, 1
+    cmp ecx, 0
+    jnz spin
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+
+func clusterReplicaConfig() serve.Config {
+	return serve.Config{Workers: 4, Backlog: 128, StreamSlice: 100_000, CheckpointCycles: 250_000}
+}
+
+func clusterGatewayConfig() cluster.Config {
+	return cluster.Config{
+		ProbeInterval: 25 * time.Millisecond,
+		FailThreshold: 3,
+		RetryBudget:   20,
+		RetryBackoff:  10 * time.Millisecond,
+		MaxRetryDelay: 250 * time.Millisecond,
+	}
+}
+
+// ClusterFailover measures the sharded serve cluster: `clients` concurrent
+// clients against three gateway-fronted replicas while every replica is
+// restarted once, plus a single-job migration-latency probe. The run
+// enforces the cluster contract — any acknowledged-then-lost job is an
+// error, not a data point.
+func ClusterFailover(clients, jobs int) (*Figure, error) {
+	f := &Figure{
+		Title:  fmt.Sprintf("Cluster failover: %d clients x %d jobs, 3 replicas, full rolling restart", clients, jobs),
+		YLabel: "completed jobs / second; counts; milliseconds",
+		Notes: []string{
+			"every replica drained, killed, and restarted once while the load ran",
+			"zero acknowledged-then-lost jobs (cluster contract; violation fails the bench)",
+			"migration latency = wall-time overhead of a drain-triggered checkpoint migration vs an uninterrupted single-node run of the same job",
+		},
+	}
+
+	latencyMS, err := clusterMigrationLatency()
+	if err != nil {
+		return nil, fmt.Errorf("migration latency probe: %w", err)
+	}
+
+	h, err := cluster.NewHarness(3, clusterReplicaConfig(), clusterGatewayConfig())
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	type loadDone struct {
+		rep *loadtest.Report
+		err error
+	}
+	lch := make(chan loadDone, 1)
+	go func() {
+		rep, err := loadtest.Run(loadtest.Config{
+			BaseURL:    h.URL(),
+			Clients:    clients,
+			Jobs:       jobs,
+			Stream:     true,
+			Retry503:   true,
+			MaxRetries: 500,
+			RetryDelay: 10 * time.Millisecond,
+			Body: func(c, j int) ([]byte, error) {
+				if c%4 == 0 {
+					return json.Marshal(map[string]any{
+						"name":       fmt.Sprintf("bench-c%d-j%d", c, j),
+						"source":     clusterLongSpin,
+						"timeout_ms": 60000,
+					})
+				}
+				return loadtest.DefaultJobBody(c, j)
+			},
+		})
+		lch <- loadDone{rep, err}
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	if err := h.RollingRestart(60 * time.Second); err != nil {
+		return nil, fmt.Errorf("rolling restart: %w", err)
+	}
+	ld := <-lch
+	if ld.err != nil {
+		return nil, ld.err
+	}
+	rep := ld.rep
+	if rep.Lost() != 0 || rep.GaveUp > 0 || len(rep.Failures) > 0 {
+		return nil, fmt.Errorf("cluster contract violated: %v", rep)
+	}
+
+	f.Series = []Series{
+		{Name: "jobs/s", Labels: []string{"rolling-restart"}, Values: []float64{rep.JobsPerSec}},
+		{
+			Name:   "jobs",
+			Labels: []string{"completed", "migrated", "lost", "retried-503"},
+			Values: []float64{float64(rep.Completed), float64(rep.Migrated), float64(rep.Lost()), float64(rep.Rejected503)},
+		},
+		{Name: "migration latency ms", Labels: []string{"checkpoint-resume"}, Values: []float64{latencyMS}},
+	}
+	return f, nil
+}
+
+// clusterMigrationLatency times one job solo on a standalone replica, then
+// the same job through the gateway with its host drained mid-run, and
+// reports the wall-clock overhead of the live migration.
+func clusterMigrationLatency() (float64, error) {
+	body, err := json.Marshal(map[string]any{
+		"name": "latency-probe", "source": clusterProbeSpin, "timeout_ms": 120000,
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Uninterrupted oracle run.
+	solo, err := cluster.NewHarness(1, clusterReplicaConfig(), clusterGatewayConfig())
+	if err != nil {
+		return 0, err
+	}
+	soloStart := time.Now()
+	if err := runClusterJob(solo, body, -1); err != nil {
+		solo.Close()
+		return 0, err
+	}
+	soloWall := time.Since(soloStart)
+	solo.Close()
+
+	// Same job, host drained mid-run: checkpoint export, CRC gate, resume.
+	h, err := cluster.NewHarness(3, clusterReplicaConfig(), clusterGatewayConfig())
+	if err != nil {
+		return 0, err
+	}
+	defer h.Close()
+	migStart := time.Now()
+	if err := runClusterJob(h, body, 0); err != nil {
+		return 0, err
+	}
+	migWall := time.Since(migStart)
+	if h.Gateway.Migrations() == 0 {
+		return 0, fmt.Errorf("probe job finished without migrating")
+	}
+	overhead := migWall - soloWall
+	if overhead < 0 {
+		overhead = 0
+	}
+	return float64(overhead.Milliseconds()), nil
+}
+
+// runClusterJob streams one job through a harness gateway. When drainOwner
+// is >= 0 it drains the job's host as soon as ownership is known, forcing a
+// live migration.
+func runClusterJob(h *cluster.Harness, body []byte, drainOwner int) error {
+	resp, err := http.Post(h.URL()+"/v1/jobs?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	var acc struct {
+		Type string `json:"type"`
+		ID   uint64 `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(line), &acc); err != nil || acc.Type != "accepted" {
+		return fmt.Errorf("bad accepted line %q", line)
+	}
+	if drainOwner >= 0 {
+		deadline := time.Now().Add(10 * time.Second)
+		owner := -1
+		for owner < 0 && time.Now().Before(deadline) {
+			owner = h.Gateway.OwnerIndex(acc.ID)
+			if owner < 0 {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		if owner < 0 {
+			return fmt.Errorf("job never got an owner")
+		}
+		h.Nodes[owner].Drain()
+	}
+	var sawResult bool
+	for {
+		line, err := br.ReadString('\n')
+		if len(bytes.TrimSpace([]byte(line))) > 0 {
+			var frame struct {
+				Type   string `json:"type"`
+				Result *struct {
+					Reason string `json:"reason"`
+				} `json:"result"`
+			}
+			if jerr := json.Unmarshal([]byte(line), &frame); jerr == nil && frame.Type == "result" {
+				sawResult = true
+				if frame.Result == nil || frame.Result.Reason != "all-done" {
+					return fmt.Errorf("probe result %s", bytes.TrimSpace([]byte(line)))
+				}
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	if !sawResult {
+		return fmt.Errorf("stream ended without a result")
+	}
+	return nil
+}

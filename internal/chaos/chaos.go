@@ -21,6 +21,7 @@ package chaos
 
 import (
 	"sort"
+	"sync"
 
 	"splitmem/internal/cpu"
 	"splitmem/internal/mem"
@@ -361,5 +362,133 @@ func (h *HostInjector) TearJournal() bool {
 		return false
 	}
 	h.stats.JournalTears++
+	return true
+}
+
+// ClusterConfig sets injection rates for cluster-level fault classes: the
+// failures of the tier above any single replica — whole-replica crashes,
+// probe loss (network partition from the gateway's point of view), and
+// checkpoint images corrupted in transit during live migration. Like the
+// host classes these draw from a private splitmix64 stream, so a cluster
+// chaos cell never perturbs the architectural or host fault sequences.
+type ClusterConfig struct {
+	Seed              uint64
+	ReplicaKill       float64 // per opportunity (e.g. per accepted job): hard-kill a replica
+	ProbeDrop         float64 // per health probe: the probe times out / is partitioned away
+	CheckpointCorrupt float64 // per checkpoint transfer: flip one bit of the shipped image
+}
+
+// Enabled reports whether any cluster fault class has a nonzero rate.
+func (c ClusterConfig) Enabled() bool {
+	return c.ReplicaKill > 0 || c.ProbeDrop > 0 || c.CheckpointCorrupt > 0
+}
+
+// ClusterDefaults returns the default cluster-fault rates used by the
+// cluster chaos cells.
+func ClusterDefaults() ClusterConfig {
+	return ClusterConfig{ReplicaKill: 0.02, ProbeDrop: 0.1, CheckpointCorrupt: 0.25}
+}
+
+// ClusterStats counts injected cluster faults by class.
+type ClusterStats struct {
+	ReplicaKills          uint64
+	ProbeDrops            uint64
+	CheckpointCorruptions uint64
+}
+
+// ClusterInjector injects cluster-level faults. Unlike the other injectors
+// it is mutex-guarded: the gateway's prober, migrator, and request handlers
+// all consult it concurrently, and the cluster test lane runs under -race.
+type ClusterInjector struct {
+	mu    sync.Mutex
+	cfg   ClusterConfig
+	state uint64
+	stats ClusterStats
+}
+
+// NewCluster creates a cluster-fault injector.
+func NewCluster(cfg ClusterConfig) *ClusterInjector {
+	return &ClusterInjector{cfg: cfg, state: cfg.Seed ^ 0xA0761D6478BD642F}
+}
+
+// Stats snapshots the per-class cluster fault counters.
+func (ci *ClusterInjector) Stats() ClusterStats {
+	if ci == nil {
+		return ClusterStats{}
+	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return ci.stats
+}
+
+// next advances the stream. Callers hold mu.
+func (ci *ClusterInjector) next() uint64 {
+	ci.state += 0x9E3779B97F4A7C15
+	z := ci.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// roll draws once. Callers hold mu.
+func (ci *ClusterInjector) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return float64(ci.next()>>11)/(1<<53) < rate
+}
+
+// KillReplica reports whether a replica should be hard-killed at this
+// opportunity. A nil injector never fires.
+func (ci *ClusterInjector) KillReplica() bool {
+	if ci == nil {
+		return false
+	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if !ci.roll(ci.cfg.ReplicaKill) {
+		return false
+	}
+	ci.stats.ReplicaKills++
+	return true
+}
+
+// DropProbe reports whether this health probe should be swallowed —
+// indistinguishable, to the prober, from a timeout or partition. A nil
+// injector never fires.
+func (ci *ClusterInjector) DropProbe() bool {
+	if ci == nil {
+		return false
+	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if !ci.roll(ci.cfg.ProbeDrop) {
+		return false
+	}
+	ci.stats.ProbeDrops++
+	return true
+}
+
+// CorruptCheckpoint flips one stream-drawn bit of a checkpoint image in
+// transit and reports whether it did. The flip position is drawn even for
+// empty images (to keep the stream aligned across runs that differ only in
+// checkpoint presence) but nothing is modified then. The snapshot trailer
+// CRC must catch every corruption this injects — that is the property the
+// cluster chaos cell pins. A nil injector never corrupts.
+func (ci *ClusterInjector) CorruptCheckpoint(img []byte) bool {
+	if ci == nil {
+		return false
+	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if !ci.roll(ci.cfg.CheckpointCorrupt) {
+		return false
+	}
+	pos := ci.next()
+	if len(img) == 0 {
+		return false
+	}
+	img[pos%uint64(len(img))] ^= 1 << (pos % 8)
+	ci.stats.CheckpointCorruptions++
 	return true
 }

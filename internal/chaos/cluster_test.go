@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestClusterEnabled(t *testing.T) {
+	if (ClusterConfig{}).Enabled() {
+		t.Fatal("zero cluster config reports enabled")
+	}
+	if !(ClusterConfig{ProbeDrop: 0.1}).Enabled() {
+		t.Fatal("nonzero cluster rate reports disabled")
+	}
+	if !ClusterDefaults().Enabled() {
+		t.Fatal("cluster defaults report disabled")
+	}
+}
+
+func TestClusterNilSafe(t *testing.T) {
+	var ci *ClusterInjector
+	if ci.KillReplica() || ci.DropProbe() || ci.CorruptCheckpoint([]byte{1, 2, 3}) {
+		t.Fatal("nil cluster injector fired")
+	}
+	if ci.Stats() != (ClusterStats{}) {
+		t.Fatal("nil cluster injector has stats")
+	}
+}
+
+// Equal seeds must make identical kill/drop/corrupt decisions; different
+// seeds must diverge over 10k draws at rate 0.5.
+func TestClusterDeterministicStream(t *testing.T) {
+	decisions := func(seed uint64) []bool {
+		ci := NewCluster(ClusterConfig{Seed: seed, ProbeDrop: 0.5})
+		out := make([]bool, 10_000)
+		for j := range out {
+			out[j] = ci.DropProbe()
+		}
+		return out
+	}
+	a, b, c := decisions(7), decisions(7), decisions(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("equal seeds diverged")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds agree on all 10k draws")
+	}
+}
+
+// CorruptCheckpoint must change exactly one bit, never touch an empty
+// image, and count only actual corruptions.
+func TestCorruptCheckpointFlipsOneBit(t *testing.T) {
+	ci := NewCluster(ClusterConfig{Seed: 42, CheckpointCorrupt: 1})
+	img := bytes.Repeat([]byte{0xAA}, 512)
+	orig := append([]byte(nil), img...)
+	if !ci.CorruptCheckpoint(img) {
+		t.Fatal("rate-1 corruption did not fire")
+	}
+	diff := 0
+	for i := range img {
+		for b := 0; b < 8; b++ {
+			if (img[i]^orig[i])>>b&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption changed %d bits, want exactly 1", diff)
+	}
+	if ci.CorruptCheckpoint(nil) {
+		t.Fatal("corrupted an empty image")
+	}
+	if got := ci.Stats().CheckpointCorruptions; got != 1 {
+		t.Fatalf("corruption counter %d, want 1", got)
+	}
+}
+
+// The cluster stream is private: enabling cluster faults must not change
+// the decisions of a host injector sharing the seed.
+func TestClusterStreamIndependent(t *testing.T) {
+	seq := func(withCluster bool) []bool {
+		h := NewHost(HostConfig{Seed: 99, WorkerKill: 0.5})
+		var ci *ClusterInjector
+		if withCluster {
+			ci = NewCluster(ClusterConfig{Seed: 99, ProbeDrop: 0.5})
+		}
+		out := make([]bool, 1000)
+		for j := range out {
+			ci.DropProbe()
+			out[j] = h.KillWorker()
+		}
+		return out
+	}
+	a, b := seq(false), seq(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("host decision %d perturbed by cluster injector", i)
+		}
+	}
+}

@@ -1,0 +1,704 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"splitmem/internal/chaos"
+	"splitmem/internal/serve"
+)
+
+// Config shapes a Gateway.
+type Config struct {
+	// Replicas are the backend base URLs ("http://host:port", no trailing
+	// slash). Membership is fixed for the gateway's lifetime; a restarted
+	// replica keeps its URL and is recognized by its changed instance ID.
+	Replicas []string
+
+	ProbeInterval time.Duration // health-probe period (default 250ms)
+	ProbeTimeout  time.Duration // per-probe HTTP timeout (default 2s)
+	FailThreshold int           // consecutive failures before Down (default 3)
+
+	RetryBudget   int           // submission/resume attempts per job (default 8)
+	RetryBackoff  time.Duration // first retry delay, doubled per attempt (default 25ms)
+	MaxRetryDelay time.Duration // cap on any retry/Retry-After wait (default 1s)
+
+	MaxBodyBytes int64 // client request body limit (default 8 MiB)
+
+	// Chaos injects cluster-level faults (probe drops, checkpoint
+	// corruption in transit). Replica kills are the harness's job — the
+	// gateway only ever observes them.
+	Chaos chaos.ClusterConfig
+
+	// HTTP overrides the backend client (tests inject a transport with
+	// CloseIdleConnections control). Default: a fresh client, no timeout —
+	// job relays are long-lived streams, so per-call timeouts apply only to
+	// probes and checkpoint fetches.
+	HTTP *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 8
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.MaxRetryDelay <= 0 {
+		c.MaxRetryDelay = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{}
+	}
+	return c
+}
+
+// Gateway is the cluster front door: an http.Handler exposing the same
+// /v1/jobs surface as a single replica, backed by N replicas with
+// failover and live migration.
+type Gateway struct {
+	cfg        Config
+	replicas   []*Replica
+	ring       *ring
+	client     *http.Client
+	instanceID string
+	chaos      *chaos.ClusterInjector
+	mux        *http.ServeMux
+
+	nextID atomic.Uint64
+
+	jobsMu sync.Mutex
+	jobs   map[uint64]*gwJob
+
+	// Counters, surfaced on /healthz.
+	accepted      atomic.Uint64 // jobs acknowledged to clients
+	completed     atomic.Uint64 // acknowledged jobs that reached a result
+	retries       atomic.Uint64 // submission attempts re-routed (429/503/error)
+	migrations    atomic.Uint64 // successful live migrations (checkpoint resumes)
+	scratchResume atomic.Uint64 // migrations resumed from scratch (no checkpoint)
+	corruptFetch  atomic.Uint64 // checkpoint fetches rejected by the CRC gate
+	shed          atomic.Uint64 // client submissions refused (no replica available)
+	synthesized   atomic.Uint64 // results synthesized after the retry budget died
+
+	probeCtx    context.Context
+	probeCancel context.CancelFunc
+	probeWG     sync.WaitGroup
+}
+
+// New builds a Gateway over the given replicas and starts its prober.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("cluster: at least one replica required")
+	}
+	g := &Gateway{
+		cfg:        cfg,
+		client:     cfg.HTTP,
+		instanceID: newInstanceID(),
+		jobs:       make(map[uint64]*gwJob),
+	}
+	if cfg.Chaos.Enabled() {
+		g.chaos = chaos.NewCluster(cfg.Chaos)
+	}
+	ids := make([]string, len(cfg.Replicas))
+	for i, u := range cfg.Replicas {
+		g.replicas = append(g.replicas, &Replica{URL: u})
+		ids[i] = u
+	}
+	g.ring = newRing(ids)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", g.handleJobs)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux = mux
+
+	g.probeCtx, g.probeCancel = context.WithCancel(context.Background())
+	// Synchronous first sweep so the gateway never serves a request before
+	// it has seen every replica once.
+	for _, r := range g.replicas {
+		g.probeOnce(r)
+	}
+	g.probeWG.Add(1)
+	go g.probeLoop()
+	return g, nil
+}
+
+func newInstanceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// InstanceID returns the gateway's own process identity (part of every
+// migration key, so two gateway incarnations can never collide on one).
+func (g *Gateway) InstanceID() string { return g.instanceID }
+
+// Replicas returns the gateway's replica views (for tests and the CLI).
+func (g *Gateway) Replicas() []*Replica { return g.replicas }
+
+// Migrations reports completed checkpoint-based live migrations.
+func (g *Gateway) Migrations() uint64 { return g.migrations.Load() }
+
+// ScratchResumes reports migrations that re-ran from scratch (replica died
+// before any checkpoint; determinism + cursor dedupe keep the stream
+// seamless).
+func (g *Gateway) ScratchResumes() uint64 { return g.scratchResume.Load() }
+
+// CorruptFetches reports checkpoint transfers the CRC gate rejected.
+func (g *Gateway) CorruptFetches() uint64 { return g.corruptFetch.Load() }
+
+// OwnerIndex reports which replica (as an index into Replicas) currently
+// runs the given gateway job, or -1 if the job is unknown, queued, or
+// between hops. Harness tooling uses it to aim faults at a job's host.
+func (g *Gateway) OwnerIndex(jobID uint64) int {
+	g.jobsMu.Lock()
+	j := g.jobs[jobID]
+	g.jobsMu.Unlock()
+	if j == nil {
+		return -1
+	}
+	rep, upstream := j.owner()
+	if rep == nil || upstream == 0 {
+		return -1
+	}
+	for i, r := range g.replicas {
+		if r == rep {
+			return i
+		}
+	}
+	return -1
+}
+
+// Close stops the prober. In-flight relays are not interrupted.
+func (g *Gateway) Close() {
+	g.probeCancel()
+	g.probeWG.Wait()
+}
+
+// --- job state -------------------------------------------------------------
+
+// gwJob is the gateway's record of one client job across replica hops.
+type gwJob struct {
+	id   uint64
+	name string
+	body []byte
+
+	mu         sync.Mutex
+	replica    *Replica // current owner (nil between hops)
+	upstreamID uint64   // job ID on the current replica
+	cursor     int      // event lines relayed to the client so far
+	acked      bool     // accepted line sent to the client
+	hops       int      // migration hops (keys the per-hop idempotency token)
+}
+
+func (j *gwJob) owner() (*Replica, uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replica, j.upstreamID
+}
+
+func (j *gwJob) setOwner(r *Replica, upstreamID uint64) {
+	j.mu.Lock()
+	j.replica = r
+	j.upstreamID = upstreamID
+	j.mu.Unlock()
+}
+
+func (g *Gateway) trackJob(j *gwJob) {
+	g.jobsMu.Lock()
+	g.jobs[j.id] = j
+	g.jobsMu.Unlock()
+}
+
+func (g *Gateway) untrackJob(j *gwJob) {
+	g.jobsMu.Lock()
+	delete(g.jobs, j.id)
+	g.jobsMu.Unlock()
+}
+
+// jobsOn snapshots the gateway jobs currently owned by a replica.
+func (g *Gateway) jobsOn(r *Replica) []*gwJob {
+	g.jobsMu.Lock()
+	defer g.jobsMu.Unlock()
+	var out []*gwJob
+	for _, j := range g.jobs {
+		if rep, _ := j.owner(); rep == r {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// --- admission & routing ---------------------------------------------------
+
+// pickReplica chooses the next replica for a job: its consistent-hash walk
+// order, Up replicas first, Degraded as fallback, skipping the one replica
+// the caller wants to avoid (the one that just failed or is draining).
+func (g *Gateway) pickReplica(j *gwJob, avoid *Replica) *Replica {
+	order := g.ring.walk(j.id)
+	var degraded *Replica
+	for _, idx := range order {
+		r := g.replicas[idx]
+		if r == avoid {
+			continue
+		}
+		switch r.State() {
+		case StateUp:
+			return r
+		case StateDegraded:
+			if degraded == nil {
+				degraded = r
+			}
+		}
+	}
+	return degraded
+}
+
+func httpError(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"error": kind, "message": msg})
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	views := make([]snapshotView, len(g.replicas))
+	available := 0
+	for i, rep := range g.replicas {
+		views[i] = rep.view()
+		if s := rep.State(); s == StateUp || s == StateDegraded {
+			available++
+		}
+	}
+	status := "ok"
+	code := http.StatusOK
+	if available == 0 {
+		status = "no-replicas"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"instance": g.instanceID,
+		"replicas": views,
+		"jobs": map[string]any{
+			"accepted":          g.accepted.Load(),
+			"completed":         g.completed.Load(),
+			"retries":           g.retries.Load(),
+			"migrations":        g.migrations.Load(),
+			"scratch_resumes":   g.scratchResume.Load(),
+			"corrupt_fetches":   g.corruptFetch.Load(),
+			"shed":              g.shed.Load(),
+			"synthesized_fails": g.synthesized.Load(),
+		},
+	})
+}
+
+func wantsStream(r *http.Request) bool {
+	if q := r.URL.Query().Get("stream"); q == "1" || q == "true" {
+		return true
+	}
+	return r.Header.Get("Accept") == "application/x-ndjson"
+}
+
+// handleJobs is the client-facing submission endpoint. The gateway always
+// streams from the replica; a synchronous client gets only the final
+// result object (events are available on the streaming path).
+func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method-not-allowed", "POST a job object")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad-request", "reading body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > g.cfg.MaxBodyBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "too-large",
+			fmt.Sprintf("body exceeds %d bytes", g.cfg.MaxBodyBytes))
+		return
+	}
+	var peek struct {
+		Name string `json:"name"`
+	}
+	json.Unmarshal(body, &peek) // best-effort; replicas do the real validation
+
+	j := &gwJob{id: g.nextID.Add(1), name: peek.Name, body: body}
+	g.trackJob(j)
+	defer g.untrackJob(j)
+
+	out := newClientStream(w, wantsStream(r))
+	g.runJob(r.Context(), j, out)
+	out.finish()
+}
+
+// --- the relay loop --------------------------------------------------------
+
+// relayOutcome is what one replica attempt produced.
+type relayOutcome int
+
+const (
+	relayDone      relayOutcome = iota // result delivered (or terminal client error sent)
+	relayMigrated                      // replica emitted the migrated frame; resume elsewhere
+	relayRejected                      // explicitly not admitted (429/503); retry elsewhere
+	relayBroken                        // stream died after the accepted line; recover via checkpoint
+	relayDuplicate                     // resume key already claimed (409); reclaim via detach
+	relayUnknown                       // transport died before any line: admission unknown —
+	//                                    retry the SAME key on the SAME replica; the per-key
+	//                                    409 disambiguates (this is why every gateway
+	//                                    submission carries a key, hop 0 included)
+)
+
+// resumeSpec is the payload of the next hop when a job moves replicas.
+type resumeSpec struct {
+	checkpoint []byte
+	cycles     uint64
+}
+
+// relayResult is everything one replica attempt reports back to the loop.
+type relayResult struct {
+	outcome    relayOutcome
+	retryAfter time.Duration // parsed Retry-After on a 429/503
+	dupID      uint64        // upstream job id from a 409 duplicate-resume
+}
+
+// runJob drives one client job to exactly one terminal outcome, hopping
+// replicas as they drain or die. It owns the client stream: nothing else
+// writes to out.
+func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
+	var (
+		resume   *resumeSpec // checkpoint payload; nil on hop 0 (fresh run)
+		avoid    *Replica    // replica that just failed or drained
+		forceRep *Replica    // ambiguous attempt: must go back to this replica
+		backoff  = g.cfg.RetryBackoff
+	)
+	for attempt := 0; attempt < g.cfg.RetryBudget; attempt++ {
+		if ctx.Err() != nil {
+			g.failJob(j, out, "canceled", "client disconnected")
+			return
+		}
+		rep := forceRep
+		forceRep = nil
+		if rep == nil {
+			rep = g.pickReplica(j, avoid)
+		}
+		if rep == nil {
+			// No routable replica right now. Before acknowledgment that is
+			// the client's 503; after, patience — a restart is usually
+			// seconds away.
+			if !j.acked {
+				g.shed.Add(1)
+				out.reject(http.StatusServiceUnavailable, "no-replicas", "no replica available; retry later")
+				return
+			}
+			g.retries.Add(1)
+			g.sleep(ctx, backoff)
+			backoff = g.bumpBackoff(backoff)
+			avoid = nil // a drained home replica may be back by now
+			continue
+		}
+
+		rr := g.relayOnce(ctx, j, rep, resume, out)
+		switch rr.outcome {
+		case relayDone:
+			return
+
+		case relayMigrated:
+			// The replica stopped the job with its typed migrated frame
+			// (detached by migrateOff when the replica began draining). Fetch
+			// the checkpoint from its bounded export ring — CRC-gated,
+			// corruption means refetch — and resume on a peer.
+			resume = g.fetchCheckpoint(rep, j)
+			avoid = rep
+			j.setOwner(nil, 0)
+			j.hops++
+			// A migration hop is recovery, not failure: it does not consume
+			// the retry budget.
+			attempt--
+
+		case relayRejected:
+			g.retries.Add(1)
+			wait := backoff
+			if rr.retryAfter > wait {
+				wait = rr.retryAfter
+			}
+			if wait > g.cfg.MaxRetryDelay {
+				wait = g.cfg.MaxRetryDelay
+			}
+			g.sleep(ctx, wait)
+			backoff = g.bumpBackoff(backoff)
+			avoid = rep
+
+		case relayBroken:
+			// The stream died after acceptance — replica crash (or kill).
+			// Feed the failure detector, then try to salvage the latest
+			// checkpoint; a dead process yields nothing and the job re-runs
+			// from scratch, cursor-deduped.
+			rep.noteStreamFailure(g.cfg.FailThreshold)
+			resume = g.fetchCheckpoint(rep, j)
+			avoid = rep
+			j.setOwner(nil, 0)
+			j.hops++
+
+		case relayUnknown:
+			// The attempt died before any response line — we do not know
+			// whether the replica admitted it. Go back to the SAME replica
+			// with the SAME key: 409 means an orphan is running there
+			// (reclaimed via relayDuplicate next round); admission means it
+			// never happened and the retry is just a fresh run. Only when
+			// the prober has declared the replica dead do we move on — the
+			// orphan, if any, died with its process.
+			g.retries.Add(1)
+			if rep.State() == StateDown {
+				resume = g.fetchCheckpoint(rep, j)
+				avoid = rep
+				j.setOwner(nil, 0)
+				j.hops++
+			} else {
+				forceRep = rep
+				g.sleep(ctx, backoff)
+				backoff = g.bumpBackoff(backoff)
+			}
+
+		case relayDuplicate:
+			// Our own earlier resume was admitted but we lost its stream
+			// before reading the accepted line. The job is running there,
+			// orphaned (its events are going nowhere). Reclaim it: detach —
+			// stops it with the migrated frame, exports its checkpoint — and
+			// resume on the next hop with a fresh key. Exactly-once holds:
+			// the orphan never streamed a line to anyone.
+			if spec, ok := g.detachUpstream(rep, rr.dupID); ok {
+				resume = spec
+			} else {
+				resume = &resumeSpec{}
+			}
+			avoid = rep
+			j.setOwner(nil, 0)
+			j.hops++
+			attempt--
+		}
+	}
+	g.failJob(j, out, "failed-after-retries", "replica retry budget exhausted")
+}
+
+// failJob delivers the synthesized terminal outcome when the gateway runs
+// out of options. An unacknowledged job gets an HTTP error; an
+// acknowledged one gets a synthesized result line, because the framing
+// contract (exactly one result per accepted) outranks everything.
+func (g *Gateway) failJob(j *gwJob, out *clientStream, reason, msg string) {
+	if !j.acked {
+		out.reject(http.StatusServiceUnavailable, reason, msg)
+		return
+	}
+	g.synthesized.Add(1)
+	res := &serve.JobResult{ID: j.id, Name: j.name, Reason: reason, Canceled: true, Error: msg}
+	out.result(res)
+	g.completed.Add(1)
+}
+
+func (g *Gateway) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+func (g *Gateway) bumpBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > g.cfg.MaxRetryDelay {
+		d = g.cfg.MaxRetryDelay
+	}
+	return d
+}
+
+// resumeKey builds the per-hop idempotency token: gateway identity + job +
+// hop, so a retried POST of the same hop collides (409) and a new hop
+// never does.
+func (j *gwJob) resumeKey(gatewayID string) string {
+	return fmt.Sprintf("%s-%d-m%d", gatewayID, j.id, j.hops)
+}
+
+// relayOnce runs one replica attempt: submit (or resume), then relay the
+// NDJSON stream to the client until a terminal frame or a transport error.
+func (g *Gateway) relayOnce(ctx context.Context, j *gwJob, rep *Replica, resume *resumeSpec, out *clientStream) relayResult {
+	// Every attempt — hop 0 included — goes through the keyed resume path.
+	// A resume with no checkpoint and cursor 0 is exactly a fresh run, and
+	// carrying the key from the first byte means a POST that dies before
+	// any response line is never ambiguous: retry the same key and the
+	// replica's per-key 409 answers "was it admitted?".
+	spec := resume
+	if spec == nil {
+		spec = &resumeSpec{}
+	}
+	reqObj := map[string]any{
+		"job":    json.RawMessage(j.body),
+		"cursor": j.cursor,
+		"key":    j.resumeKey(g.instanceID),
+	}
+	if len(spec.checkpoint) > 0 {
+		reqObj["checkpoint"] = spec.checkpoint
+		reqObj["cycles"] = spec.cycles
+	}
+	body, err := json.Marshal(reqObj)
+	if err != nil {
+		return relayResult{outcome: relayRejected}
+	}
+	url := rep.URL + "/v1/jobs/resume?stream=1"
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return relayResult{outcome: relayRejected}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		// The transport died before we read a status line. The request may
+		// or may not have been admitted — relayUnknown makes runJob go back
+		// to the same replica with the same key to find out.
+		rep.noteStreamFailure(g.cfg.FailThreshold)
+		return relayResult{outcome: relayUnknown}
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through to the stream relay
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return relayResult{outcome: relayRejected, retryAfter: time.Duration(ra) * time.Second}
+	case http.StatusConflict:
+		// duplicate-resume: our key is claimed — an earlier attempt of this
+		// very hop was admitted. Extract the upstream id so runJob can
+		// reclaim the orphan.
+		var e struct {
+			Error string `json:"error"`
+			ID    uint64 `json:"id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "duplicate-resume" {
+			return relayResult{outcome: relayDuplicate, dupID: e.ID}
+		}
+		return relayResult{outcome: relayRejected}
+	case http.StatusBadRequest:
+		// A checkpoint the replica's CRC gate rejected (it re-verifies what
+		// we verified — defense in depth) is recoverable: drop the image and
+		// re-run from scratch. Anything else is the client's own bad job —
+		// forward it verbatim before acknowledgment, synthesize after.
+		b, _ := io.ReadAll(resp.Body)
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(b, &e)
+		if e.Error == "bad-checkpoint" {
+			g.corruptFetch.Add(1)
+			return relayResult{outcome: relayBroken}
+		}
+		if !j.acked {
+			out.forwardError(resp.StatusCode, b)
+			return relayResult{outcome: relayDone}
+		}
+		g.failJob(j, out, "failed-after-retries", "replica rejected resume: "+string(bytes.TrimSpace(b)))
+		return relayResult{outcome: relayDone}
+	default:
+		b, _ := io.ReadAll(resp.Body)
+		if !j.acked {
+			out.forwardError(resp.StatusCode, b)
+			return relayResult{outcome: relayDone}
+		}
+		return relayResult{outcome: relayRejected}
+	}
+
+	j.setOwner(rep, 0)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	sawLine := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		sawLine = true
+		var frame struct {
+			Type   string           `json:"type"`
+			ID     uint64           `json:"id"`
+			Result *serve.JobResult `json:"result"`
+		}
+		if err := json.Unmarshal(line, &frame); err != nil {
+			continue // never let a mangled frame kill an owned stream
+		}
+		switch frame.Type {
+		case "accepted":
+			j.setOwner(rep, frame.ID)
+			if !j.acked {
+				j.acked = true
+				g.accepted.Add(1)
+				out.accepted(j.id, j.name)
+			}
+		case "event":
+			out.event(line)
+			j.cursor++
+		case "result":
+			if frame.Result != nil && frame.Result.Reason == "migrated" {
+				return relayResult{outcome: relayMigrated}
+			}
+			if frame.Result == nil {
+				frame.Result = &serve.JobResult{Reason: "internal-error", Error: "replica result frame had no body"}
+			}
+			frame.Result.ID = j.id
+			// The gateway owns the Migrated flag: replicas mark every keyed
+			// resume migrated, but hop 0 is just a fresh run in disguise.
+			frame.Result.Migrated = j.hops > 0
+			if j.hops > 0 {
+				g.migrations.Add(1)
+				if resume == nil || len(resume.checkpoint) == 0 {
+					g.scratchResume.Add(1)
+				}
+			}
+			out.result(frame.Result)
+			g.completed.Add(1)
+			return relayResult{outcome: relayDone}
+		}
+	}
+	// Stream ended without a result: the replica died mid-job (or dropped
+	// the connection). If nothing was ever read the admission itself is
+	// unknown — retry the same key on the same replica and let the 409
+	// disambiguate. After the accepted line it is a plain crash: recover.
+	if !sawLine {
+		rep.noteStreamFailure(g.cfg.FailThreshold)
+		return relayResult{outcome: relayUnknown}
+	}
+	return relayResult{outcome: relayBroken}
+}

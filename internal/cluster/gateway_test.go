@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"splitmem/internal/serve"
+)
+
+const exitSrc = `
+_start:
+    mov ebx, 7
+    mov eax, 1
+    int 0x80
+`
+
+// longSpin burns ~2M cycles across many stream slices, then exits 9.
+const longSpin = `
+_start:
+    mov ecx, 400000
+spin:
+    sub ecx, 1
+    cmp ecx, 0
+    jnz spin
+    mov ebx, 9
+    mov eax, 1
+    int 0x80
+`
+
+// fastCfg is the replica config the cluster tests use: small slices and
+// frequent checkpoints so migration has material to work with.
+func fastCfg() serve.Config {
+	return serve.Config{
+		Workers:          2,
+		Backlog:          64,
+		StreamSlice:      50_000,
+		CheckpointCycles: 50_000,
+	}
+}
+
+// fastGW is a gateway config tuned for test speed.
+func fastGW() Config {
+	return Config{
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailThreshold: 3,
+		RetryBudget:   10,
+		RetryBackoff:  10 * time.Millisecond,
+		MaxRetryDelay: 100 * time.Millisecond,
+	}
+}
+
+type gwLine struct {
+	Type   string           `json:"type"`
+	ID     uint64           `json:"id"`
+	Name   string           `json:"name"`
+	Event  json.RawMessage  `json:"event"`
+	Result *serve.JobResult `json:"result"`
+}
+
+func postJob(t *testing.T, url string, body map[string]any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readLines(t *testing.T, r io.Reader) []gwLine {
+	t.Helper()
+	var lines []gwLine
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var l gwLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Bytes(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func TestRingWalkStableAndComplete(t *testing.T) {
+	r := newRing([]string{"a", "b", "c"})
+	for key := uint64(1); key <= 100; key++ {
+		w1, w2 := r.walk(key), r.walk(key)
+		if len(w1) != 3 {
+			t.Fatalf("walk(%d) visited %d replicas, want 3", key, len(w1))
+		}
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				t.Fatalf("walk(%d) not stable: %v vs %v", key, w1, w2)
+			}
+		}
+		seen := map[int]bool{}
+		for _, idx := range w1 {
+			if seen[idx] {
+				t.Fatalf("walk(%d) repeats replica %d", key, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	// Key distribution: each replica should own a nontrivial share of the
+	// first preference slot.
+	counts := map[int]int{}
+	for key := uint64(1); key <= 3000; key++ {
+		counts[r.walk(key)[0]]++
+	}
+	for idx, c := range counts {
+		if c < 300 {
+			t.Fatalf("replica %d owns only %d/3000 keys — ring badly skewed: %v", idx, c, counts)
+		}
+	}
+}
+
+func TestGatewayBasicRelay(t *testing.T) {
+	h, err := NewHarness(3, fastCfg(), fastGW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Streaming submission.
+	resp := postJob(t, h.URL()+"/v1/jobs?stream=1", map[string]any{"name": "hello", "source": exitSrc})
+	lines := readLines(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if lines[0].Type != "accepted" || lines[0].Name != "hello" {
+		t.Fatalf("first line %+v", lines[0])
+	}
+	last := lines[len(lines)-1]
+	if last.Type != "result" || last.Result == nil || last.Result.Reason != "all-done" ||
+		!last.Result.Exited || last.Result.ExitStatus != 7 {
+		t.Fatalf("result %+v", last.Result)
+	}
+	if last.Result.ID != lines[0].ID {
+		t.Fatalf("result id %d != accepted id %d", last.Result.ID, lines[0].ID)
+	}
+
+	// Synchronous submission.
+	resp = postJob(t, h.URL()+"/v1/jobs", map[string]any{"name": "sync", "source": exitSrc})
+	var res serve.JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Reason != "all-done" || res.ExitStatus != 7 {
+		t.Fatalf("sync result %+v", res)
+	}
+
+	// Bad job: the replica's 400 comes through verbatim.
+	resp = postJob(t, h.URL()+"/v1/jobs", map[string]any{"name": "bad"})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad job: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestGatewayMigratesOffDrainingReplica is the tentpole smoke: a long job
+// starts, its replica drains mid-run, and the client's single stream ends
+// with the full result — byte-compared against an uninterrupted oracle.
+func TestGatewayMigratesOffDrainingReplica(t *testing.T) {
+	h, err := NewHarness(3, fastCfg(), fastGW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Oracle: same job on a standalone single node.
+	oracle, err := newNode(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.close()
+	oresp := postJob(t, oracle.URL()+"/v1/jobs?stream=1", map[string]any{
+		"name": "mig", "source": longSpin, "timeout_ms": 30000,
+	})
+	olines := readLines(t, oresp.Body)
+	oresp.Body.Close()
+
+	resp := postJob(t, h.URL()+"/v1/jobs?stream=1", map[string]any{
+		"name": "mig", "source": longSpin, "timeout_ms": 30000,
+	})
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc gwLine
+	json.Unmarshal([]byte(first), &acc)
+	if acc.Type != "accepted" {
+		t.Fatalf("first line %q", first)
+	}
+
+	// Find the replica that owns the job and drain it mid-run.
+	deadline := time.Now().Add(5 * time.Second)
+	var ownerIdx = -1
+	for ownerIdx == -1 && time.Now().Before(deadline) {
+		h.Gateway.jobsMu.Lock()
+		for _, j := range h.Gateway.jobs {
+			if rep, up := j.owner(); rep != nil && up != 0 {
+				for i, r := range h.Gateway.Replicas() {
+					if r == rep {
+						ownerIdx = i
+					}
+				}
+			}
+		}
+		h.Gateway.jobsMu.Unlock()
+		if ownerIdx == -1 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if ownerIdx == -1 {
+		t.Fatal("job never got an upstream owner")
+	}
+	h.Nodes[ownerIdx].Drain()
+
+	lines := readLines(t, br)
+	lines = append([]gwLine{acc}, lines...)
+	last := lines[len(lines)-1]
+	if last.Type != "result" || last.Result == nil {
+		t.Fatalf("no terminal result; last line %+v", last)
+	}
+	if last.Result.Reason != "all-done" || last.Result.ExitStatus != 9 {
+		t.Fatalf("migrated result %+v", last.Result)
+	}
+	if !last.Result.Migrated {
+		t.Fatal("result not marked migrated")
+	}
+	if h.Gateway.Migrations() == 0 {
+		t.Fatal("gateway counted no migrations")
+	}
+
+	// Event stream must be byte-identical to the oracle's.
+	var got, want []json.RawMessage
+	for _, l := range lines {
+		if l.Type == "event" {
+			got = append(got, l.Event)
+		}
+	}
+	for _, l := range olines {
+		if l.Type == "event" {
+			want = append(want, l.Event)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("migrated stream has %d events, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("event %d differs:\n  got:  %s\n  want: %s", i, got[i], want[i])
+		}
+	}
+	ores := olines[len(olines)-1].Result
+	gres := last.Result
+	if gres.Cycles != ores.Cycles || gres.EventCount != ores.EventCount ||
+		gres.Detections != ores.Detections || gres.Stdout != ores.Stdout {
+		t.Fatalf("migrated result deterministic fields differ:\n  got:  %+v\n  want: %+v", gres, ores)
+	}
+}
+
+// TestGatewayHealthz checks the replica table and identity surface.
+func TestGatewayHealthz(t *testing.T) {
+	h, err := NewHarness(2, fastCfg(), fastGW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	resp, err := http.Get(h.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hb struct {
+		Status   string         `json:"status"`
+		Instance string         `json:"instance"`
+		Replicas []snapshotView `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Status != "ok" || hb.Instance == "" {
+		t.Fatalf("healthz %+v", hb)
+	}
+	if len(hb.Replicas) != 2 {
+		t.Fatalf("%d replicas in healthz, want 2", len(hb.Replicas))
+	}
+	for i, r := range hb.Replicas {
+		if r.State != "up" || r.Instance == "" || r.Workers != 2 {
+			t.Fatalf("replica %d view %+v", i, r)
+		}
+	}
+}
+
+// TestReplicaRestartDetection: killing and restarting a node must be seen
+// as Down (or Draining) then Up with a new instance ID and a restart count.
+func TestReplicaRestartDetection(t *testing.T) {
+	h, err := NewHarness(2, fastCfg(), fastGW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	rep := h.Gateway.Replicas()[0]
+	before := rep.InstanceID()
+	if before == "" {
+		t.Fatal("no instance id after first probe sweep")
+	}
+	h.Nodes[0].Kill()
+	if !h.AwaitState(0, StateDown, 5*time.Second) {
+		t.Fatalf("gateway never marked the killed replica down (state %v)", rep.State())
+	}
+	if err := h.Nodes[0].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.AwaitState(0, StateUp, 5*time.Second) {
+		t.Fatalf("gateway never re-admitted the restarted replica (state %v)", rep.State())
+	}
+	if rep.InstanceID() == before {
+		t.Fatal("instance id unchanged across restart")
+	}
+	if rep.Restarts() != 1 {
+		t.Fatalf("restart count %d, want 1", rep.Restarts())
+	}
+}

@@ -1,0 +1,249 @@
+package cluster
+
+// The acceptance run the gateway exists for: 200 concurrent clients against
+// three replicas while every replica is restarted once, with zero
+// acknowledged-then-lost jobs and migrated work oracle-verified against an
+// uninterrupted single node.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"splitmem/internal/serve"
+	"splitmem/internal/serve/loadtest"
+)
+
+// sentinelSpin burns ~20M cycles (a couple of seconds of wall time), long
+// enough to be mid-flight when its replica drains, then exits 3. Under the
+// race detector the simulator runs ~10x slower, so the spin shrinks to keep
+// the sentinel's lifetime comparable.
+const (
+	sentinelSpin = `
+_start:
+    mov ecx, 6600000
+spin:
+    sub ecx, 1
+    cmp ecx, 0
+    jnz spin
+    mov ebx, 3
+    mov eax, 1
+    int 0x80
+`
+	sentinelSpinRace = `
+_start:
+    mov ecx, 2200000
+spin:
+    sub ecx, 1
+    cmp ecx, 0
+    jnz spin
+    mov ebx, 3
+    mov eax, 1
+    int 0x80
+`
+)
+
+func TestClusterRollingRestart200(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 200-client rolling-restart run skipped in -short mode")
+	}
+	clients, spin := 200, sentinelSpin
+	if raceEnabled {
+		clients, spin = 60, sentinelSpinRace
+	}
+	rcfg := serve.Config{Workers: 4, Backlog: 128, StreamSlice: 100_000, CheckpointCycles: 250_000}
+	gcfg := fastGW()
+	gcfg.RetryBudget = 20
+	h, err := NewHarness(3, rcfg, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Oracle for the sentinel, on an uninterrupted standalone node.
+	sbody := map[string]any{"name": "sentinel", "source": spin, "timeout_ms": 120000}
+	oracle := oracleRun(t, rcfg, sbody)
+
+	// Launch the sentinel through the gateway and note which replica owns
+	// it — the rolling restart starts there, so the sentinel is guaranteed
+	// to live through a drain of its own host.
+	resp := postJob(t, h.URL()+"/v1/jobs?stream=1", sbody)
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc gwLine
+	json.Unmarshal([]byte(first), &acc)
+	if acc.Type != "accepted" {
+		t.Fatalf("sentinel first line %q", first)
+	}
+	sentOwner := awaitOwnerIdx(t, h, 5*time.Second)
+
+	type sentinelResult struct {
+		lines []gwLine
+		err   error
+	}
+	sch := make(chan sentinelResult, 1)
+	go func() {
+		var out []gwLine
+		sc := bufio.NewScanner(br)
+		sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var l gwLine
+			if err := json.Unmarshal(line, &l); err != nil {
+				sch <- sentinelResult{nil, fmt.Errorf("bad sentinel line %q: %v", line, err)}
+				return
+			}
+			out = append(out, l)
+		}
+		sch <- sentinelResult{out, sc.Err()}
+	}()
+
+	// The load: 200 clients x 2 jobs, streaming; every fifth client runs a
+	// long job so in-flight work exists whenever a node drains. Migrated
+	// results are captured for oracle comparison.
+	type captured struct {
+		c, j int
+		res  serve.JobResult
+	}
+	var (
+		capMu    sync.Mutex
+		migrated []captured
+	)
+	lcfg := loadtest.Config{
+		BaseURL:    h.URL(),
+		Clients:    clients,
+		Jobs:       2,
+		Stream:     true,
+		Retry503:   true,
+		MaxRetries: 500,
+		RetryDelay: 10 * time.Millisecond,
+		Body: func(c, j int) ([]byte, error) {
+			if c%5 == 0 {
+				return json.Marshal(map[string]any{
+					"name":       fmt.Sprintf("rr-c%d-j%d", c, j),
+					"source":     longSpin,
+					"timeout_ms": 60000,
+				})
+			}
+			return loadtest.DefaultJobBody(c, j)
+		},
+		OnResult: func(c, j int, raw []byte) {
+			var res serve.JobResult
+			if json.Unmarshal(raw, &res) == nil && res.Migrated {
+				capMu.Lock()
+				migrated = append(migrated, captured{c, j, res})
+				capMu.Unlock()
+			}
+		},
+	}
+	type loadDone struct {
+		rep *loadtest.Report
+		err error
+	}
+	lch := make(chan loadDone, 1)
+	go func() {
+		rep, err := loadtest.Run(lcfg)
+		lch <- loadDone{rep, err}
+	}()
+
+	// Let the load ramp, then restart every replica once, the sentinel's
+	// owner first.
+	time.Sleep(300 * time.Millisecond)
+	order := []int{sentOwner, (sentOwner + 1) % 3, (sentOwner + 2) % 3}
+	if err := h.RollingRestart(60*time.Second, order...); err != nil {
+		t.Fatalf("rolling restart: %v", err)
+	}
+
+	ld := <-lch
+	if ld.err != nil {
+		t.Fatalf("loadtest: %v", ld.err)
+	}
+	rep := ld.rep
+	t.Log(rep.String())
+	for _, f := range rep.Failures {
+		t.Errorf("loadtest failure: %s", f)
+	}
+	if rep.GaveUp != 0 {
+		t.Errorf("%d jobs gave up; the gateway should have absorbed every restart window", rep.GaveUp)
+	}
+	if want := rep.Clients * rep.Jobs; rep.Acknowledged != want {
+		t.Errorf("acknowledged %d of %d jobs", rep.Acknowledged, want)
+	}
+	if rep.Lost() != 0 {
+		t.Errorf("%d acknowledged jobs lost — the contract the cluster exists to keep", rep.Lost())
+	}
+	if got := h.Gateway.synthesized.Load(); got != 0 {
+		t.Errorf("%d results were synthesized failures; all jobs should have completed for real", got)
+	}
+	for i, r := range h.Gateway.Replicas() {
+		if r.Restarts() != 1 {
+			t.Errorf("replica %d restart count %d, want 1", i, r.Restarts())
+		}
+	}
+
+	// The sentinel lived through the drain of its own host: its stream must
+	// be complete, marked migrated, and byte-identical to the oracle's.
+	sr := <-sch
+	if sr.err != nil {
+		t.Fatalf("sentinel stream: %v", sr.err)
+	}
+	lines := append([]gwLine{acc}, sr.lines...)
+	last := lines[len(lines)-1]
+	if last.Type != "result" || last.Result == nil ||
+		last.Result.Reason != "all-done" || last.Result.ExitStatus != 3 {
+		t.Fatalf("sentinel result %+v", last.Result)
+	}
+	if !last.Result.Migrated {
+		t.Fatal("sentinel was never migrated despite its owner draining first")
+	}
+	assertMatchesOracle(t, lines, oracle)
+
+	// Spot-check migrated loadgen jobs against fresh single-node runs.
+	capMu.Lock()
+	check := append([]captured(nil), migrated...)
+	capMu.Unlock()
+	if rep.Migrated == 0 || len(check) == 0 {
+		t.Fatal("no loadgen job was migrated during three node drains")
+	}
+	if len(check) > 3 {
+		check = check[:3]
+	}
+	onode, err := newNode(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer onode.close()
+	for _, m := range check {
+		b, err := lcfg.Body(m.c, m.j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oresp, err := http.Post(onode.URL()+"/v1/jobs", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ores serve.JobResult
+		if err := json.NewDecoder(oresp.Body).Decode(&ores); err != nil {
+			t.Fatal(err)
+		}
+		oresp.Body.Close()
+		if m.res.Reason != ores.Reason || m.res.ExitStatus != ores.ExitStatus ||
+			m.res.Cycles != ores.Cycles || m.res.EventCount != ores.EventCount ||
+			m.res.Detections != ores.Detections || m.res.Stdout != ores.Stdout {
+			t.Errorf("migrated job c%d j%d differs from oracle:\n  got:  %+v\n  want: %+v",
+				m.c, m.j, m.res, ores)
+		}
+	}
+}

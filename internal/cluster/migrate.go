@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"splitmem"
+	"splitmem/internal/serve"
+)
+
+// checkpointFetchRetries bounds refetches of a checkpoint whose CRC gate
+// failed (corruption in transit). Past the budget the job resumes from
+// scratch — losing progress, never correctness, and never running a
+// corrupt image.
+const checkpointFetchRetries = 3
+
+// migrateOff detaches every gateway-owned job on a draining replica. The
+// detach stops each job at the source with the typed "migrated" frame;
+// the job's own relay goroutine observes it and completes the move. Jobs
+// belonging to other clients of the replica are untouched.
+func (g *Gateway) migrateOff(r *Replica) {
+	for _, j := range g.jobsOn(r) {
+		_, upstream := j.owner()
+		if upstream == 0 {
+			continue
+		}
+		g.detachUpstream(r, upstream)
+	}
+}
+
+// detachUpstream issues the atomic detach fetch for one upstream job and
+// returns its CRC-verified checkpoint. A corrupt transfer is refetched from
+// the export ring (the detach already happened); exhausting the budget
+// yields an empty spec — scratch resume, never a corrupt image.
+func (g *Gateway) detachUpstream(r *Replica, upstreamID uint64) (*resumeSpec, bool) {
+	for attempt := 0; attempt <= checkpointFetchRetries; attempt++ {
+		exp, err := g.fetchExport(r, upstreamID, attempt == 0)
+		if err != nil || exp == nil {
+			return nil, false
+		}
+		if len(exp.Checkpoint) == 0 {
+			return &resumeSpec{}, true
+		}
+		if verr := splitmem.VerifySnapshot(exp.Checkpoint); verr != nil {
+			g.corruptFetch.Add(1)
+			continue
+		}
+		return &resumeSpec{checkpoint: exp.Checkpoint, cycles: exp.Cycles}, true
+	}
+	return &resumeSpec{}, true
+}
+
+// fetchCheckpoint retrieves the freshest CRC-valid checkpoint for a job
+// that has already been detached (or whose replica died). Corrupt
+// transfers are refetched up to checkpointFetchRetries times; a dead or
+// checkpoint-less source yields an empty spec, which resumes the job from
+// scratch with the cursor suppressing the already-streamed prefix.
+func (g *Gateway) fetchCheckpoint(rep *Replica, j *gwJob) *resumeSpec {
+	_, upstream := j.owner()
+	if upstream == 0 {
+		j.mu.Lock()
+		upstream = j.upstreamID
+		j.mu.Unlock()
+	}
+	if upstream == 0 {
+		return &resumeSpec{}
+	}
+	for attempt := 0; attempt <= checkpointFetchRetries; attempt++ {
+		exp, err := g.fetchExport(rep, upstream, false)
+		if err != nil || exp == nil {
+			return &resumeSpec{} // source gone: scratch resume
+		}
+		if len(exp.Checkpoint) == 0 {
+			return &resumeSpec{} // no checkpoint yet: scratch resume
+		}
+		if verr := splitmem.VerifySnapshot(exp.Checkpoint); verr != nil {
+			// The transfer was corrupted on the wire (or by the chaos
+			// injector standing in for the wire). The CRC gate catches it;
+			// refetch. NEVER resume a corrupt image.
+			g.corruptFetch.Add(1)
+			continue
+		}
+		return &resumeSpec{checkpoint: exp.Checkpoint, cycles: exp.Cycles}
+	}
+	return &resumeSpec{}
+}
+
+// fetchExport performs one checkpoint-export GET. The chaos injector gets
+// a chance to corrupt the image in transit — the caller's CRC gate must
+// catch it.
+func (g *Gateway) fetchExport(r *Replica, upstreamID uint64, detach bool) (*serve.CheckpointExport, error) {
+	url := fmt.Sprintf("%s/v1/jobs/%d/checkpoint", r.URL, upstreamID)
+	if detach {
+		url += "?detach=1"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("checkpoint fetch: status %d", resp.StatusCode)
+	}
+	var exp serve.CheckpointExport
+	if err := json.NewDecoder(resp.Body).Decode(&exp); err != nil {
+		return nil, err
+	}
+	g.chaos.CorruptCheckpoint(exp.Checkpoint)
+	return &exp, nil
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// healthzBody is the slice of a replica's /healthz the prober reads.
+type healthzBody struct {
+	Status   string `json:"status"`
+	Workers  int    `json:"workers"`
+	Backlog  int    `json:"backlog"`
+	Depth    int    `json:"depth"`
+	Instance struct {
+		ID string `json:"id"`
+	} `json:"instance"`
+}
+
+// probeLoop polls every replica until the gateway closes.
+func (g *Gateway) probeLoop() {
+	defer g.probeWG.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.probeCtx.Done():
+			return
+		case <-t.C:
+			for _, r := range g.replicas {
+				g.probeOnce(r)
+			}
+		}
+	}
+}
+
+// probeOnce probes one replica and updates its state. A replica that
+// transitions to draining gets its gateway-owned jobs detached for
+// migration; one that comes back with a new instance ID is counted as a
+// restart and re-admitted.
+func (g *Gateway) probeOnce(r *Replica) {
+	// An injected probe drop is indistinguishable from a network partition:
+	// the prober just sees a failure.
+	if g.chaos.DropProbe() {
+		g.probeFailed(r)
+		return
+	}
+	ctx, cancel := context.WithTimeout(g.probeCtx, g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.URL+"/healthz", nil)
+	if err != nil {
+		g.probeFailed(r)
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.probeFailed(r)
+		return
+	}
+	defer resp.Body.Close()
+	var h healthzBody
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		// A draining replica answers 503 but still carries a well-formed
+		// body; only an unparseable response is a failed probe.
+		g.probeFailed(r)
+		return
+	}
+
+	r.mu.Lock()
+	r.probes++
+	r.failures = 0
+	if h.Instance.ID != "" && r.instanceID != "" && h.Instance.ID != r.instanceID {
+		r.restarts++
+	}
+	r.instanceID = h.Instance.ID
+	r.workers = h.Workers
+	r.backlog = h.Backlog
+	r.depth = h.Depth
+	switch {
+	case h.Status == "draining":
+		r.state = StateDraining
+	case h.Workers > 0 && h.Depth >= h.Workers+h.Backlog:
+		// Admission queue effectively full: submissions would shed. Keep it
+		// routable as a last resort only.
+		r.state = StateDegraded
+	default:
+		r.state = StateUp
+	}
+	cur := r.state
+	r.mu.Unlock()
+
+	if cur == StateDraining {
+		// The migration trigger: detach every gateway job on the draining
+		// replica. Each relay goroutine sees its job's migrated frame and
+		// carries the checkpoint to a peer. This runs on EVERY draining
+		// observation, not just the transition: a job whose accepted frame
+		// was still in flight during the first sweep is caught by the next
+		// one (detaching an already-detached job is a no-op).
+		go g.migrateOff(r)
+	}
+}
+
+func (g *Gateway) probeFailed(r *Replica) {
+	r.mu.Lock()
+	r.probes++
+	r.failures++
+	if r.failures >= g.cfg.FailThreshold {
+		r.state = StateDown
+	}
+	r.mu.Unlock()
+}

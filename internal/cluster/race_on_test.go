@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled lets the heavyweight load tests scale themselves down: the
+// race detector slows the simulator roughly an order of magnitude, and the
+// contract being checked (zero acknowledged-then-lost jobs through a full
+// rolling restart) does not depend on the absolute client count.
+const raceEnabled = true

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over replica indexes. Each replica owns
+// vnodesPerReplica points on a 64-bit circle; a job key walks the circle
+// clockwise from its own hash, yielding every replica exactly once in a
+// key-stable preference order. Routing by walk order (rather than a single
+// owner) is what makes failover cheap: when a job's home replica is
+// draining or down, the next replica in its walk takes it, and only keys
+// homed on the failed replica move.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // replica count
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+const vnodesPerReplica = 64
+
+// newRing builds the ring from the replicas' stable identities (URLs).
+func newRing(ids []string) *ring {
+	r := &ring{n: len(ids)}
+	for i, id := range ids {
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		base := h.Sum64()
+		for v := 0; v < vnodesPerReplica; v++ {
+			// FNV alone disperses short, similar identities poorly; run each
+			// vnode through the splitmix64 finalizer for avalanche.
+			r.points = append(r.points, ringPoint{
+				hash: keyHash(base + uint64(v)*0x9E3779B97F4A7C15),
+				idx:  i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// keyHash spreads a job ID over the circle (splitmix64 finalizer — job IDs
+// are sequential and need mixing).
+func keyHash(id uint64) uint64 {
+	z := id + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// walk returns every replica index exactly once, in the key's preference
+// order: the clockwise successor owns the key, the next distinct replica
+// is its first failover target, and so on.
+func (r *ring) walk(key uint64) []int {
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]int, 0, r.n)
+	seen := make(map[int]bool, r.n)
+	for i := 0; i < len(r.points) && len(order) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			order = append(order, p.idx)
+		}
+	}
+	return order
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"splitmem/internal/serve"
+)
+
+// clientStream is the gateway's single writer to the client. In stream
+// mode it relays NDJSON frames as they arrive (accepted, raw event lines,
+// one result); in sync mode it swallows events and answers with the final
+// result object, mirroring a single replica's synchronous response.
+type clientStream struct {
+	w      http.ResponseWriter
+	flush  http.Flusher
+	stream bool
+
+	started   bool
+	gotResult bool
+	final     *serve.JobResult // sync mode: held until finish
+}
+
+func newClientStream(w http.ResponseWriter, stream bool) *clientStream {
+	cs := &clientStream{w: w, stream: stream}
+	if f, ok := w.(http.Flusher); ok {
+		cs.flush = f
+	}
+	return cs
+}
+
+// reject answers a job that was never acknowledged. No-op once anything
+// has been written.
+func (cs *clientStream) reject(status int, kind, msg string) {
+	if cs.started {
+		return
+	}
+	cs.started = true
+	cs.gotResult = true
+	httpError(cs.w, status, kind, msg)
+}
+
+// forwardError relays a replica's own rejection body (e.g. a 400 for a
+// bad job) verbatim.
+func (cs *clientStream) forwardError(status int, body []byte) {
+	if cs.started {
+		return
+	}
+	cs.started = true
+	cs.gotResult = true
+	cs.w.Header().Set("Content-Type", "application/json")
+	cs.w.WriteHeader(status)
+	cs.w.Write(body)
+}
+
+func (cs *clientStream) line(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	cs.w.Write(b)
+	cs.w.Write([]byte{'\n'})
+	if cs.flush != nil {
+		cs.flush.Flush()
+	}
+}
+
+// accepted sends the acknowledgment exactly once (stream mode).
+func (cs *clientStream) accepted(id uint64, name string) {
+	if !cs.stream {
+		cs.started = true
+		return
+	}
+	if !cs.started {
+		cs.w.Header().Set("Content-Type", "application/x-ndjson")
+		cs.w.Header().Set("Cache-Control", "no-store")
+		cs.started = true
+	}
+	msg := map[string]any{"type": "accepted", "id": id}
+	if name != "" {
+		msg["name"] = name
+	}
+	cs.line(msg)
+}
+
+// event relays one raw event frame from the replica, byte for byte.
+func (cs *clientStream) event(raw []byte) {
+	if !cs.stream {
+		return
+	}
+	cs.w.Write(raw)
+	cs.w.Write([]byte{'\n'})
+	if cs.flush != nil {
+		cs.flush.Flush()
+	}
+}
+
+// result delivers the terminal frame. Exactly one wins; later calls are
+// dropped, upholding the framing contract whatever the relay loop does.
+func (cs *clientStream) result(res *serve.JobResult) {
+	if cs.gotResult {
+		return
+	}
+	cs.gotResult = true
+	if cs.stream {
+		cs.line(map[string]any{"type": "result", "result": res})
+		return
+	}
+	cs.final = res
+}
+
+// finish flushes the sync-mode response.
+func (cs *clientStream) finish() {
+	if cs.stream || cs.final == nil {
+		return
+	}
+	cs.w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(cs.w).Encode(cs.final)
+}

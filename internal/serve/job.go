@@ -93,6 +93,54 @@ type JobRequest struct {
 	TimeoutMS  int64  `json:"timeout_ms,omitempty"` // wall-clock limit (0 = server default)
 }
 
+// ResumeRequest is a migration submission: the original job body plus the
+// latest checkpoint image and the client-visible event cursor, shipped by
+// the cluster gateway when it moves an in-flight job off a draining or
+// crashed replica. Checkpoint may be empty — a job migrated before its
+// first checkpoint (or off a dead replica) resumes from scratch, and the
+// deterministic simulation re-produces the identical event stream, with
+// Cursor suppressing the prefix the client has already seen.
+type ResumeRequest struct {
+	// Job is the original submission body, byte for byte — it replays
+	// through DecodeJob exactly like a journal record.
+	Job json.RawMessage `json:"job"`
+
+	Checkpoint []byte `json:"checkpoint,omitempty"` // base64 snapshot image (may be empty)
+	Cycles     uint64 `json:"cycles,omitempty"`     // simulated cycles consumed at that checkpoint
+	Cursor     int    `json:"cursor,omitempty"`     // event lines already delivered to the client
+
+	// Key is the idempotency token for this migration hop. A replica
+	// accepts each key exactly once: a duplicate claim (a gateway retry
+	// racing a slow first attempt) gets 409, so a migrated job can never
+	// run twice on the same replica.
+	Key string `json:"key,omitempty"`
+}
+
+// DecodeResume parses a resume submission. The embedded job body is NOT
+// validated here — the caller runs it through DecodeJob like any other
+// submission so migration inherits the same 400 mapping.
+func DecodeResume(body []byte) (*ResumeRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var rr ResumeRequest
+	if err := dec.Decode(&rr); err != nil {
+		return nil, &SubmitError{Kind: "bad-request", Err: err}
+	}
+	if dec.More() {
+		return nil, &SubmitError{Kind: "bad-request", Err: errors.New("trailing data after resume object")}
+	}
+	if len(rr.Job) == 0 {
+		return nil, &SubmitError{Kind: "bad-request", Err: errors.New("resume needs the original job body")}
+	}
+	if len(rr.Checkpoint) == 0 && rr.Cycles != 0 {
+		return nil, &SubmitError{Kind: "bad-request", Err: errors.New("cycles without a checkpoint image")}
+	}
+	if rr.Cursor < 0 {
+		return nil, &SubmitError{Kind: "bad-request", Err: errors.New("negative cursor")}
+	}
+	return &rr, nil
+}
+
 // SubmitError is a job rejection attributable to the client. Kind is a
 // stable machine-readable discriminator; Line is nonzero for assembly
 // errors with a source position.
@@ -238,6 +286,7 @@ type JobResult struct {
 
 	Attempts  int  `json:"attempts,omitempty"`  // supervisor attempts consumed (1 = no retries)
 	Recovered bool `json:"recovered,omitempty"` // job was replayed from the crash journal
+	Migrated  bool `json:"migrated,omitempty"`  // job arrived as a cluster migration resume
 
 	Events []splitmem.Event `json:"events,omitempty"` // synchronous responses only
 	Stats  *splitmem.Stats  `json:"stats,omitempty"`

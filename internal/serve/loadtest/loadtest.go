@@ -58,6 +58,15 @@ type Config struct {
 	HTTP       *http.Client // default: a fresh client with no timeout
 	MaxRetries int          // 429 retries per job before giving up (default 200)
 	RetryDelay time.Duration // wait between 429 retries (default 20ms)
+
+	// Retry503 also retries 503 responses. Against a single replica a 503
+	// means draining (terminal); against a gateway it is a transient
+	// no-replica window during a rolling restart, worth waiting out.
+	Retry503 bool
+
+	// OnResult, when set, receives every terminal result as raw JSON —
+	// the hook cluster tests use to oracle-compare migrated jobs.
+	OnResult func(client, job int, result []byte)
 }
 
 // Report is the outcome of a load run.
@@ -68,6 +77,8 @@ type Report struct {
 	Acknowledged int // submissions the server accepted (2xx / accepted line)
 	Completed    int // acknowledged jobs that reached a terminal result
 	Rejected429  int // explicit queue-full shed responses (retried)
+	Rejected503  int // unavailable responses retried (Retry503 mode)
+	Migrated     int // completed jobs whose result was marked migrated
 	GaveUp       int // jobs that exhausted their 429 retry budget
 	Failures     []string
 
@@ -106,7 +117,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	var (
-		acked, completed, rejected, gaveUp atomic.Int64
+		acked, completed, rejected, rejected503, migrated, gaveUp atomic.Int64
 		mu       sync.Mutex
 		failures []string
 	)
@@ -143,10 +154,15 @@ func Run(cfg Config) (*Report, error) {
 						fail("c%d j%d: POST: %v", c, j, err)
 						break
 					}
-					if resp.StatusCode == http.StatusTooManyRequests {
+					if resp.StatusCode == http.StatusTooManyRequests ||
+						(cfg.Retry503 && resp.StatusCode == http.StatusServiceUnavailable) {
 						io.Copy(io.Discard, resp.Body)
 						resp.Body.Close()
-						rejected.Add(1)
+						if resp.StatusCode == http.StatusTooManyRequests {
+							rejected.Add(1)
+						} else {
+							rejected503.Add(1)
+						}
 						time.Sleep(cfg.RetryDelay)
 						continue
 					}
@@ -156,10 +172,15 @@ func Run(cfg Config) (*Report, error) {
 						fail("c%d j%d: status %d: %s", c, j, resp.StatusCode, bytes.TrimSpace(b))
 						break
 					}
+					sink := resultSink{acked: &acked, completed: &completed, migrated: &migrated}
+					if cfg.OnResult != nil {
+						c, j := c, j
+						sink.onResult = func(raw []byte) { cfg.OnResult(c, j, raw) }
+					}
 					if cfg.Stream {
-						err = consumeStream(resp.Body, &acked, &completed)
+						err = consumeStream(resp.Body, sink)
 					} else {
-						err = consumeSync(resp.Body, &acked, &completed)
+						err = consumeSync(resp.Body, sink)
 					}
 					resp.Body.Close()
 					if err != nil {
@@ -182,6 +203,8 @@ func Run(cfg Config) (*Report, error) {
 		Acknowledged: int(acked.Load()),
 		Completed:    int(completed.Load()),
 		Rejected429:  int(rejected.Load()),
+		Rejected503:  int(rejected503.Load()),
+		Migrated:     int(migrated.Load()),
 		GaveUp:       int(gaveUp.Load()),
 		Failures:     failures,
 		Wall:         time.Since(start),
@@ -192,21 +215,45 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// resultSink carries the run's counters plus the optional per-result hook
+// into the stream consumers.
+type resultSink struct {
+	acked, completed, migrated *atomic.Int64
+	onResult                   func(raw []byte)
+}
+
+func (s resultSink) result(raw []byte) {
+	s.completed.Add(1)
+	var res struct {
+		Migrated bool `json:"migrated"`
+	}
+	if json.Unmarshal(raw, &res) == nil && res.Migrated {
+		s.migrated.Add(1)
+	}
+	if s.onResult != nil {
+		s.onResult(raw)
+	}
+}
+
 // consumeSync reads a synchronous JSON result. A 200 is the acknowledgment
 // and the body is the terminal record, so both counters move together —
 // unless the body is garbage, which is a contract violation.
-func consumeSync(r io.Reader, acked, completed *atomic.Int64) error {
-	acked.Add(1)
+func consumeSync(r io.Reader, sink resultSink) error {
+	sink.acked.Add(1)
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("reading sync result: %v", err)
+	}
 	var res struct {
 		Reason string `json:"reason"`
 	}
-	if err := json.NewDecoder(r).Decode(&res); err != nil {
+	if err := json.Unmarshal(body, &res); err != nil {
 		return fmt.Errorf("bad sync result: %v", err)
 	}
 	if res.Reason == "" {
 		return fmt.Errorf("sync result missing reason")
 	}
-	completed.Add(1)
+	sink.result(body)
 	return nil
 }
 
@@ -214,7 +261,7 @@ func consumeSync(r io.Reader, acked, completed *atomic.Int64) error {
 // line, any number of event lines, exactly one terminal result line, and
 // nothing after it. A stream that ends without a result line is a
 // dropped-then-acknowledged job — the failure the harness exists to catch.
-func consumeStream(r io.Reader, acked, completed *atomic.Int64) error {
+func consumeStream(r io.Reader, sink resultSink) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
 	var sawAccepted, sawResult bool
@@ -224,7 +271,8 @@ func consumeStream(r io.Reader, acked, completed *atomic.Int64) error {
 			continue
 		}
 		var msg struct {
-			Type string `json:"type"`
+			Type   string          `json:"type"`
+			Result json.RawMessage `json:"result"`
 		}
 		if err := json.Unmarshal(line, &msg); err != nil {
 			return fmt.Errorf("unparseable stream line %q: %v", line, err)
@@ -235,7 +283,7 @@ func consumeStream(r io.Reader, acked, completed *atomic.Int64) error {
 				return fmt.Errorf("duplicate accepted line")
 			}
 			sawAccepted = true
-			acked.Add(1)
+			sink.acked.Add(1)
 		case "event":
 			if !sawAccepted {
 				return fmt.Errorf("event line before accepted")
@@ -248,7 +296,7 @@ func consumeStream(r io.Reader, acked, completed *atomic.Int64) error {
 				return fmt.Errorf("duplicate result line")
 			}
 			sawResult = true
-			completed.Add(1)
+			sink.result(msg.Result)
 		default:
 			return fmt.Errorf("unknown stream line type %q", msg.Type)
 		}
@@ -276,8 +324,8 @@ func consumeStream(r io.Reader, acked, completed *atomic.Int64) error {
 
 // String renders the report the way the selftest prints it.
 func (r *Report) String() string {
-	s := fmt.Sprintf("loadtest: %d clients x %d jobs: %d acknowledged, %d completed, %d lost, %d shed (429), %d gave up in %v (%.1f jobs/s)",
-		r.Clients, r.Jobs, r.Acknowledged, r.Completed, r.Lost(), r.Rejected429, r.GaveUp,
+	s := fmt.Sprintf("loadtest: %d clients x %d jobs: %d acknowledged, %d completed, %d lost, %d shed (429), %d unavailable (503), %d migrated, %d gave up in %v (%.1f jobs/s)",
+		r.Clients, r.Jobs, r.Acknowledged, r.Completed, r.Lost(), r.Rejected429, r.Rejected503, r.Migrated, r.GaveUp,
 		r.Wall.Round(time.Millisecond), r.JobsPerSec)
 	for _, f := range r.Failures {
 		s += "\n  FAIL: " + f

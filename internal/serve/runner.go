@@ -14,15 +14,17 @@ import (
 // plumbing. The worker goroutine owns the machine; the handler goroutine
 // only waits on done.
 type job struct {
-	id     uint64
-	req    *JobRequest
-	cfg    splitmem.Config
-	prog   *splitmem.Program
-	ctx    context.Context // request context: client disconnect cancels it
-	sink   eventSink       // nil for synchronous jobs
-	resume *journalJob     // non-nil for jobs replayed from the journal
-	result JobResult
-	done   chan struct{}
+	id       uint64
+	req      *JobRequest
+	cfg      splitmem.Config
+	prog     *splitmem.Program
+	ctx      context.Context // request context: client disconnect cancels it
+	sink     eventSink       // nil for synchronous jobs
+	resume   *journalJob     // non-nil for jobs replayed from the journal or resumed from a shipped checkpoint
+	cursor   int             // event lines already delivered to the client (migration stitch point)
+	migrated bool            // job arrived via /v1/jobs/resume (cluster migration)
+	result   JobResult
+	done     chan struct{}
 }
 
 // eventSink receives kernel events as the run produces them. Emit errors
@@ -41,6 +43,7 @@ var (
 	errClientGone = errors.New("client disconnected")
 	errDrained    = errors.New("server draining")
 	errJobExpired = errors.New("job wall clock expired")
+	errMigrated   = errors.New("job detached for migration")
 )
 
 // supervision is the retry state threaded through a job's attempts: the most
@@ -81,11 +84,23 @@ func (s *Server) runJob(poolCtx context.Context, j *job) {
 	expire := time.AfterFunc(timeout, func() { cancel(errJobExpired) })
 	defer expire.Stop()
 
-	sup := supervision{}
+	// Hook the run into the live registry so a gateway can detach it for
+	// migration; a job detached while still queued stops before it starts.
+	defer s.finishLive(j.id)
+	if lj := s.lookupLive(j.id); lj != nil {
+		if lj.attach(cancel) {
+			cancel(errMigrated)
+		}
+	}
+
+	sup := supervision{cursor: j.cursor}
 	if j.resume != nil {
 		sup.img, sup.cycles = j.resume.Checkpoint, j.resume.Cycles
-		res.Recovered = true
+		if !j.migrated {
+			res.Recovered = true
+		}
 	}
+	res.Migrated = j.migrated
 
 	attempts := s.cfg.RetryBudget
 	for attempt := 1; ; attempt++ {
@@ -128,6 +143,12 @@ func finishCanceled(res *JobResult, ctx context.Context) {
 	case errDrained:
 		res.Canceled = true
 		res.Reason = "drained"
+	case errMigrated:
+		// Detached for migration: a peer resumes from the shipped
+		// checkpoint; this replica's stream ends with the typed frame the
+		// gateway swallows.
+		res.Canceled = true
+		res.Reason = "migrated"
 	default: // client disconnect (or its request context's own deadline)
 		res.Canceled = true
 		res.Reason = "canceled"
@@ -265,6 +286,9 @@ func (s *Server) runAttempt(ctx context.Context, j *job, sup *supervision) (err 
 				sup.img, sup.cycles = img, used
 				lastCkpt = used
 				s.checkpoints.Add(1)
+				// The live registry gets the same image so a gateway can
+				// ship it to a peer mid-run.
+				s.liveCheckpoint(j.id, img, used)
 				// A failed append costs durability, not correctness: the
 				// in-memory image above still backs in-process retries.
 				s.journal.logCheckpoint(j.id, used, img)

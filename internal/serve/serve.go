@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -99,6 +101,13 @@ type Server struct {
 	pool *fleet.Pool
 	mux  *http.ServeMux
 
+	// Instance identity: a fresh random ID per process so a cluster
+	// gateway's prober can tell a restarted replica from a live one (the
+	// URL stays the same; the instance ID does not) and trigger
+	// journal-recovery accounting.
+	instanceID string
+	startTime  time.Time
+
 	draining atomic.Bool
 	nextID   atomic.Uint64
 
@@ -122,6 +131,21 @@ type Server struct {
 	recovered    atomic.Uint64 // journal-replayed jobs run to a terminal state
 	recovering   atomic.Int64  // journal-replayed jobs not yet terminal
 
+	// Migration counters.
+	migratedOut atomic.Uint64 // jobs detached and shipped to a peer replica
+	resumedIn   atomic.Uint64 // migration resumes accepted
+	resumeDups  atomic.Uint64 // duplicate resume claims rejected (409)
+
+	// Live-job registry: the latest checkpoint of every in-flight job, so
+	// the cluster gateway can ship it to a peer (GET /v1/jobs/{id}/checkpoint).
+	// Finished or detached jobs move to a small bounded export ring so a
+	// gateway whose first fetch was corrupted in transit can refetch.
+	liveMu      sync.Mutex
+	live        map[uint64]*liveJob
+	exports     map[uint64]*CheckpointExport
+	exportOrder []uint64          // FIFO eviction for exports
+	resumeKeys  map[string]uint64 // idempotency: migration key -> local job id
+
 	journal   *journal            // nil when Config.JournalPath is empty
 	hostChaos *chaos.HostInjector // nil unless Config.HostChaos has a live rate
 
@@ -141,10 +165,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:       cfg,
-		pool:      pool,
-		serverReg: telemetry.NewRegistry(),
-		jobs:      telemetry.NewRegistry(),
+		cfg:        cfg,
+		pool:       pool,
+		instanceID: newInstanceID(),
+		startTime:  time.Now(),
+		live:       make(map[uint64]*liveJob),
+		exports:    make(map[uint64]*CheckpointExport),
+		resumeKeys: make(map[string]uint64),
+		serverReg:  telemetry.NewRegistry(),
+		jobs:       telemetry.NewRegistry(),
 	}
 	if cfg.HostChaos.Enabled() {
 		s.hostChaos = chaos.NewHost(cfg.HostChaos)
@@ -189,13 +218,33 @@ func New(cfg Config) (*Server, error) {
 	s.serverReg.GaugeFunc("splitmem_serve_workers", "size of the simulation worker pool",
 		func() float64 { return float64(cfg.Workers) })
 
+	reg("splitmem_serve_jobs_migrated_out_total", "jobs detached and shipped to a peer replica", &s.migratedOut)
+	reg("splitmem_serve_jobs_resumed_in_total", "migration resumes accepted", &s.resumedIn)
+	reg("splitmem_serve_resume_duplicates_total", "duplicate resume claims rejected", &s.resumeDups)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJobsSubtree)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
 }
+
+// newInstanceID returns a fresh random identity for this server process.
+func newInstanceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the clock: uniqueness across restarts is what the
+		// prober needs, not cryptographic strength.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// InstanceID returns this process's random instance identity (also reported
+// on /healthz).
+func (s *Server) InstanceID() string { return s.instanceID }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -262,6 +311,7 @@ func (s *Server) resumeJournal(pending []*journalJob) {
 			resume: jj,
 			done:   make(chan struct{}),
 		}
+		s.registerLive(j.id, req.Name, jj.Body)
 		task := func(poolCtx context.Context) {
 			defer close(j.done)
 			s.runJob(poolCtx, j)
@@ -270,6 +320,7 @@ func (s *Server) resumeJournal(pending []*journalJob) {
 			if s.draining.Load() {
 				// Shutdown before resubmission: the job stays in the journal
 				// for the next incarnation. Not lost, just postponed.
+				s.discardLive(j.id)
 				s.recovering.Add(-1)
 				return
 			}
@@ -306,6 +357,14 @@ func (s *Server) mergeJobTelemetry(hub *telemetry.Hub) {
 
 // --- HTTP plumbing --------------------------------------------------------
 
+// retryAfter derives the Retry-After value from the actual backlog — one
+// unit of patience per queued-or-running job per worker — so every 429/503
+// path gives the gateway (and any client) the same consistent backoff
+// signal instead of a constant.
+func (s *Server) retryAfter() string {
+	return strconv.Itoa(1 + s.pool.Depth()/s.cfg.Workers)
+}
+
 // httpError writes a JSON error body. kind is the stable machine-readable
 // discriminator documented in docs/SERVICE.md.
 func httpError(w http.ResponseWriter, status int, kind, msg string, extra map[string]any) {
@@ -330,11 +389,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		state = "draining"
 	}
 	w.WriteHeader(status)
+	s.liveMu.Lock()
+	liveJobs := len(s.live)
+	s.liveMu.Unlock()
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":  state,
 		"workers": s.cfg.Workers,
 		"backlog": s.cfg.Backlog,
 		"depth":   s.pool.Depth(),
+		// Per-replica identity: lets a cluster prober distinguish a
+		// restarted replica (new instance id, same URL) from a live one.
+		"instance": map[string]any{
+			"id":         s.instanceID,
+			"start_time": s.startTime.UTC().Format(time.RFC3339Nano),
+			"uptime_ms":  time.Since(s.startTime).Milliseconds(),
+		},
+		"cluster": map[string]any{
+			"live_jobs":         liveJobs,
+			"migrated_out":      s.migratedOut.Load(),
+			"resumed_in":        s.resumedIn.Load(),
+			"resume_duplicates": s.resumeDups.Load(),
+		},
 		"recovery": map[string]any{
 			"journal":       s.journal != nil,
 			"recovering":    s.recovering.Load(),
@@ -374,7 +449,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfter())
 		s.refused.Add(1)
 		httpError(w, http.StatusServiceUnavailable, "draining", "server is draining; resubmit elsewhere", nil)
 		return
@@ -438,18 +513,20 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// TrySubmit never blocks: a full backlog is load the service must shed,
 	// not hide in a growing queue.
 	s.journal.logJob(j.id, body)
+	s.registerLive(j.id, req.Name, body)
 	task := func(poolCtx context.Context) {
 		defer close(j.done)
 		s.runJob(poolCtx, j)
 	}
 	if !s.pool.TrySubmit(task) {
+		s.discardLive(j.id)
 		// Retire the journal record: a shed job was never acknowledged, so
 		// the next incarnation must not replay it.
 		if res, err := json.Marshal(&JobResult{ID: j.id, Reason: "shed"}); err == nil {
 			s.journal.logDone(j.id, res)
 		}
 		if s.draining.Load() {
-			w.Header().Set("Retry-After", "5")
+			w.Header().Set("Retry-After", s.retryAfter())
 			s.refused.Add(1)
 			httpError(w, http.StatusServiceUnavailable, "draining", "server is draining", nil)
 			return
@@ -457,7 +534,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// Tell the client how long the backlog actually is, not a constant:
 		// one unit of patience per queued-or-running job per worker, so a
 		// deep queue pushes retries further out instead of stampeding back.
-		w.Header().Set("Retry-After", strconv.Itoa(1+s.pool.Depth()/s.cfg.Workers))
+		w.Header().Set("Retry-After", s.retryAfter())
 		s.rejected.Add(1)
 		httpError(w, http.StatusTooManyRequests, "queue-full",
 			"admission queue is full; retry after the indicated delay", nil)

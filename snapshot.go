@@ -159,6 +159,27 @@ var (
 // tests that inspect or patch images.
 func SnapshotChecksum(body []byte) uint32 { return snapshot.Checksum(body) }
 
+// VerifySnapshot checks an image's framing integrity — magic, minimum
+// length, and the trailer CRC over the whole body — without decoding any
+// state or allocating a machine. It is the cheap transfer-integrity gate for
+// checkpoint images shipped between processes (the cluster gateway verifies
+// every image it relays, and a replica re-verifies before resuming): a
+// corrupt image must be caught here and refetched, never handed to Restore.
+func VerifySnapshot(image []byte) error {
+	if len(image) < len(snapMagic)+8 {
+		return snapshot.ErrTruncated
+	}
+	if string(image[:len(snapMagic)]) != snapMagic {
+		return snapshot.Corruptf("bad magic")
+	}
+	body := image[:len(image)-4]
+	want := snapshot.NewReader(image[len(image)-4:]).U32()
+	if got := snapshot.Checksum(body); got != want {
+		return snapshot.Corruptf("checksum mismatch: image says %#x, content hashes to %#x", want, got)
+	}
+	return nil
+}
+
 // encodeConfig serializes every Config field except EventHook in a fixed
 // order. The config rides inside the image so Restore can rebuild an
 // identical machine without the caller re-supplying (and possibly
