@@ -12,7 +12,11 @@
 // 8-worker in-process server) and reports service throughput.
 // -cluster runs the sharded-cluster failover harness (64 clients against a
 // gateway over three replicas through a full rolling restart) and reports
-// throughput, migration counts, and checkpoint-migration latency.
+// throughput, migration counts, and checkpoint-migration latency; it also
+// measures the distributed-tracing overhead (same steady-state load with
+// host-span tracing off vs on). SPLITMEM_CLUSTER_TRACE_GUARD=1 turns the
+// overhead row into an assertion: traced throughput must stay within 5%
+// of untraced.
 // -parallel N fans the nbench workload out over a fleet of N machines and
 // reports the scaling figure.
 //
@@ -102,6 +106,13 @@ func main() {
 		}
 		fmt.Println(fig.Render())
 		results.AddFigure("cluster", fig)
+		tfig, err := bench.ClusterTracingOverhead(64, 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster tracing overhead: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tfig.Render())
+		results.AddFigure("cluster-tracing", tfig)
 	}
 	if n := *parallel; n > 0 || *all {
 		if n <= 0 {

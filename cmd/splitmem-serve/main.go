@@ -7,7 +7,8 @@
 // Usage:
 //
 //	splitmem-serve [-addr :8086] [-workers 8] [-backlog 16]
-//	               [-max-cycles N] [-timeout D] [-journal path] [-selftest]
+//	               [-max-cycles N] [-timeout D] [-journal path]
+//	               [-pprof-addr 127.0.0.1:6061] [-no-tracing] [-selftest]
 //
 // Endpoints:
 //
@@ -15,9 +16,19 @@
 //	POST /v1/jobs?stream=1   respond with an NDJSON stream: one accepted
 //	                         line, one line per kernel event as it happens,
 //	                         one terminal result line
-//	GET  /healthz            liveness + drain state
+//	GET  /healthz            liveness + drain state, build info, uptime,
+//	                         span-ring counters
 //	GET  /metrics            Prometheus text: service gauges plus the merged
 //	                         telemetry of every finished machine
+//	GET  /v1/traces/{id}     wall-clock lifecycle spans recorded under one
+//	                         X-Splitmem-Trace ID (admit, enqueue-wait, run
+//	                         slices, checkpoints, resume, result)
+//
+// Jobs are traced by default: every admission honors (or mints) an
+// X-Splitmem-Trace header and records host spans into a bounded ring;
+// -no-tracing turns it off. -pprof-addr serves net/http/pprof on a second
+// listener; bind it to localhost (for example 127.0.0.1:6061) unless you
+// mean to expose it.
 //
 // A full backlog answers 429 with Retry-After — the service sheds load, it
 // never queues unboundedly. SIGINT/SIGTERM starts a graceful drain: new
@@ -43,6 +54,8 @@ import (
 	"syscall"
 	"time"
 
+	_ "net/http/pprof"
+
 	"splitmem/internal/attacks"
 	"splitmem/internal/serve"
 	"splitmem/internal/serve/loadtest"
@@ -56,6 +69,9 @@ func main() {
 		maxCycles = flag.Uint64("max-cycles", 0, "default per-job cycle budget (0 = 200M)")
 		timeout   = flag.Duration("timeout", 0, "default per-job wall-clock limit (0 = 10s)")
 		journal   = flag.String("journal", "", "crash-recovery journal path: admissions are fsync'd before acknowledgment and replayed after a crash (\"\" = off)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (\"\" = off; bind to localhost, e.g. 127.0.0.1:6061)")
+		noTracing = flag.Bool("no-tracing", false, "disable host-span tracing (on by default)")
+		traceCap  = flag.Int("trace-span-cap", 0, "host-span ring capacity (0 = default)")
 		selftest  = flag.Bool("selftest", false, "run the in-process smoke + load test and exit")
 	)
 	flag.Parse()
@@ -66,7 +82,11 @@ func main() {
 		DefaultMaxCycles: *maxCycles,
 		DefaultTimeout:   *timeout,
 		JournalPath:      *journal,
+		NoTracing:        *noTracing,
+		TraceSpanCap:     *traceCap,
 	}
+
+	startPprof(*pprofAddr)
 
 	if *selftest {
 		if err := runSelftest(cfg); err != nil {
@@ -134,6 +154,22 @@ func main() {
 	fmt.Fprintln(os.Stderr, "splitmem-serve: drained")
 }
 
+// startPprof serves net/http/pprof (registered on the default mux by the
+// blank import) on its own listener when addr is non-empty. Keeping the
+// profiler off the service listener means exposing the job API never
+// exposes the debug surface; bind to localhost unless you mean otherwise.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		fmt.Fprintf(os.Stderr, "splitmem-serve: pprof on http://%s/debug/pprof/\n", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "splitmem-serve: pprof listener: %v\n", err)
+		}
+	}()
+}
+
 // quickstartVictim is the examples/quickstart program: read attacker bytes
 // into a stack buffer and jump into them.
 const quickstartVictim = `
@@ -160,7 +196,13 @@ func runSelftest(cfg serve.Config) error {
 		s.Close()
 	}()
 
-	// 1. Quickstart victim under split memory: the injected jump must be
+	// 1. /healthz must identify the build and report an uptime — the
+	// gateway's prober and any ops tooling key off these fields.
+	if err := checkHealthz(ts.URL); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// 2. Quickstart victim under split memory: the injected jump must be
 	// detected, streamed, and foiled.
 	if err := checkDetection(ts.URL, map[string]any{
 		"name":       "quickstart",
@@ -170,7 +212,7 @@ func runSelftest(cfg serve.Config) error {
 		return fmt.Errorf("quickstart: %w", err)
 	}
 
-	// 2. A Wilander grid cell as a one-shot job: precompute the probe-based
+	// 3. A Wilander grid cell as a one-shot job: precompute the probe-based
 	// payload, then replay it through the service.
 	src, stdin, err := attacks.OneShot(attacks.TechRet, attacks.SegStack)
 	if err != nil {
@@ -186,7 +228,7 @@ func runSelftest(cfg serve.Config) error {
 		return fmt.Errorf("wilander ret/stack: %w", err)
 	}
 
-	// 3. Sustained concurrent load, both transports.
+	// 4. Sustained concurrent load, both transports.
 	for _, stream := range []bool{false, true} {
 		rep, err := loadtest.Run(loadtest.Config{BaseURL: ts.URL, Clients: 32, Jobs: 2, Stream: stream})
 		if err != nil {
@@ -198,6 +240,41 @@ func runSelftest(cfg serve.Config) error {
 				stream, lost, rep.GaveUp, len(rep.Failures))
 		}
 	}
+	return nil
+}
+
+// checkHealthz requires /healthz to advertise build info, a positive
+// uptime, and the span-ring counters.
+func checkHealthz(baseURL string) error {
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Build struct {
+			Version string `json:"version"`
+			Go      string `json:"go"`
+		} `json:"build"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Tracing       struct {
+			Enabled bool `json:"enabled"`
+		} `json:"tracing"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return err
+	}
+	if h.Build.Go == "" {
+		return fmt.Errorf("no build.go in healthz")
+	}
+	if h.UptimeSeconds < 0 {
+		return fmt.Errorf("negative uptime %v", h.UptimeSeconds)
+	}
+	if !h.Tracing.Enabled {
+		return fmt.Errorf("tracing should be on by default")
+	}
+	fmt.Printf("selftest: healthz: build %s/%s, uptime %.3fs, tracing on\n",
+		h.Build.Version, h.Build.Go, h.UptimeSeconds)
 	return nil
 }
 

@@ -1,0 +1,215 @@
+package main
+
+// Cluster mode: instead of driving a local simulation, poll a
+// splitmem-gateway's /healthz and federated /metrics and render a
+// top(1)-style view of the whole cluster — replica states, job counters,
+// per-replica service series under their stable replica="rN" labels, and
+// the flight-recorder/tracing status.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// gatewayHealthz mirrors the slices of the gateway /healthz the dashboard
+// renders.
+type gatewayHealthz struct {
+	Status   string `json:"status"`
+	Instance string `json:"instance"`
+	Build    struct {
+		Version string `json:"version"`
+		Go      string `json:"go"`
+	} `json:"build"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Replicas      []struct {
+		URL          string `json:"url"`
+		Label        string `json:"label"`
+		State        string `json:"state"`
+		Instance     string `json:"instance"`
+		Depth        int    `json:"depth"`
+		Workers      int    `json:"workers"`
+		Restarts     int    `json:"restarts"`
+		Spans        uint64 `json:"spans_recorded"`
+		WorkerPanics uint64 `json:"worker_panics"`
+	} `json:"replicas"`
+	Jobs    map[string]uint64 `json:"jobs"`
+	Tracing struct {
+		Enabled  bool   `json:"enabled"`
+		Spans    int    `json:"spans"`
+		Recorded uint64 `json:"recorded"`
+		Dropped  uint64 `json:"dropped"`
+	} `json:"tracing"`
+	FlightRecorder struct {
+		Dir   string `json:"dir"`
+		Dumps uint64 `json:"dumps"`
+	} `json:"flight_recorder"`
+	Federation struct {
+		Errors uint64 `json:"errors"`
+	} `json:"federation"`
+}
+
+// clusterSeries holds the federated samples the dashboard tabulates:
+// metric name -> replica label -> value.
+type clusterSeries map[string]map[string]float64
+
+// runCluster polls the gateway until interrupted (or forever; ^C ends it).
+func runCluster(baseURL string, refresh time.Duration, noClear bool) error {
+	baseURL = strings.TrimSuffix(baseURL, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+	for frame := 1; ; frame++ {
+		h, herr := fetchGatewayHealthz(client, baseURL)
+		series, serr := fetchClusterSeries(client, baseURL)
+		if !noClear {
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Printf("splitmem-top — cluster %s  frame %d  %s\n", baseURL, frame, time.Now().Format("15:04:05"))
+		if herr != nil {
+			fmt.Printf("gateway unreachable: %v\n", herr)
+		} else {
+			renderClusterHealthz(h)
+		}
+		if serr != nil {
+			fmt.Printf("federated metrics unavailable: %v\n", serr)
+		} else if h != nil {
+			renderClusterSeries(h, series)
+		}
+		time.Sleep(refresh)
+	}
+}
+
+func fetchGatewayHealthz(client *http.Client, baseURL string) (*gatewayHealthz, error) {
+	resp, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h gatewayHealthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// fetchClusterSeries scrapes the federated exposition and keeps every
+// sample that carries a replica label, keyed metric -> replica.
+func fetchClusterSeries(client *http.Client, baseURL string) (clusterSeries, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := clusterSeries{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		brace := strings.IndexByte(line, '{')
+		end := strings.LastIndexByte(line, '}')
+		if brace < 0 || end <= brace {
+			continue
+		}
+		name := line[:brace]
+		labels := line[brace+1 : end]
+		rep := ""
+		for _, kv := range strings.Split(labels, ",") {
+			if k, v, ok := strings.Cut(kv, "="); ok && k == "replica" {
+				rep = strings.Trim(v, `"`)
+			}
+		}
+		if rep == "" {
+			continue
+		}
+		val, err := strconv.ParseFloat(strings.Fields(line[end+1:])[0], 64)
+		if err != nil {
+			continue
+		}
+		if out[name] == nil {
+			out[name] = map[string]float64{}
+		}
+		// Histogram series repeat per bucket; the last write wins, which is
+		// fine — the dashboard only tabulates plain counters and gauges.
+		out[name][rep] = val
+	}
+	return out, nil
+}
+
+func renderClusterHealthz(h *gatewayHealthz) {
+	fmt.Printf("gateway %s  status=%s  build %s/%s  up %s\n",
+		h.Instance, h.Status, h.Build.Version, h.Build.Go,
+		(time.Duration(h.UptimeSeconds * float64(time.Second))).Round(time.Second))
+	fmt.Printf("jobs: accepted=%d completed=%d retries=%d migrations=%d scratch=%d corrupt=%d shed=%d\n",
+		h.Jobs["accepted"], h.Jobs["completed"], h.Jobs["retries"],
+		h.Jobs["migrations"], h.Jobs["scratch_resumes"], h.Jobs["corrupt_fetches"], h.Jobs["shed"])
+	tracing := "off"
+	if h.Tracing.Enabled {
+		tracing = fmt.Sprintf("%d spans (%d recorded, %d dropped)", h.Tracing.Spans, h.Tracing.Recorded, h.Tracing.Dropped)
+	}
+	flight := "off"
+	if h.FlightRecorder.Dir != "" {
+		flight = fmt.Sprintf("%d dumps in %s", h.FlightRecorder.Dumps, h.FlightRecorder.Dir)
+	}
+	fmt.Printf("tracing: %s   flight recorder: %s   federation errors: %d\n\n",
+		tracing, flight, h.Federation.Errors)
+
+	fmt.Printf("%-4s %-9s %-18s %8s %8s %8s %10s %8s\n",
+		"REPL", "STATE", "INSTANCE", "WORKERS", "DEPTH", "RESTART", "SPANS", "PANICS")
+	for _, r := range h.Replicas {
+		inst := r.Instance
+		if len(inst) > 16 {
+			inst = inst[:16]
+		}
+		fmt.Printf("%-4s %-9s %-18s %8d %8d %8d %10d %8d\n",
+			r.Label, r.State, inst, r.Workers, r.Depth, r.Restarts, r.Spans, r.WorkerPanics)
+	}
+}
+
+// clusterTableMetrics are the federated series tabulated per replica.
+var clusterTableMetrics = []struct{ label, name string }{
+	{"accepted", "splitmem_serve_jobs_accepted_total"},
+	{"completed", "splitmem_serve_jobs_completed_total"},
+	{"queue depth", "splitmem_serve_queue_depth"},
+	{"checkpoints", "splitmem_serve_checkpoints_total"},
+	{"migrated out", "splitmem_serve_jobs_migrated_out_total"},
+	{"resumed in", "splitmem_serve_jobs_resumed_in_total"},
+	{"worker panics", "splitmem_serve_worker_panics_total"},
+	{"host spans", "splitmem_serve_hostspans_recorded_total"},
+}
+
+func renderClusterSeries(h *gatewayHealthz, series clusterSeries) {
+	var labels []string
+	for _, r := range h.Replicas {
+		labels = append(labels, r.Label)
+	}
+	sort.Strings(labels)
+	fmt.Printf("\nFEDERATED SERIES%-12s", "")
+	for _, l := range labels {
+		fmt.Printf(" %10s", l)
+	}
+	fmt.Println()
+	for _, m := range clusterTableMetrics {
+		vals := series[m.name]
+		if vals == nil {
+			continue
+		}
+		fmt.Printf("%-28s", m.label)
+		for _, l := range labels {
+			if v, ok := vals[l]; ok {
+				fmt.Printf(" %10.0f", v)
+			} else {
+				fmt.Printf(" %10s", "-")
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -11,6 +11,12 @@
 //
 //	splitmem-top [-prot split|split+nx] [-response break|observe|forensics]
 //	             [-crt] [-interval cycles] [-top n] [-no-clear] program.s
+//
+// Cluster mode renders a splitmem-gateway's view instead of a local run:
+// replica states from /healthz and per-replica service counters from the
+// federated /metrics, refreshed until interrupted:
+//
+//	splitmem-top -cluster http://gateway:8085 [-refresh 1s] [-no-clear]
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"splitmem"
 	"splitmem/internal/guest"
@@ -33,8 +40,17 @@ func main() {
 		topN     = flag.Int("top", 8, "rows in the hottest-pages/processes tables")
 		noClear  = flag.Bool("no-clear", false, "do not clear the screen between refreshes (append frames)")
 		spanCap  = flag.Int("span-cap", 0, "span ring capacity (0 = default)")
+		clusterG = flag.String("cluster", "", "gateway base URL: render the cluster dashboard instead of a local run")
+		refresh  = flag.Duration("refresh", time.Second, "cluster mode: poll period")
 	)
 	flag.Parse()
+	if *clusterG != "" {
+		if err := runCluster(*clusterG, *refresh, *noClear); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: splitmem-top [flags] program.s|program.self")
 		os.Exit(2)

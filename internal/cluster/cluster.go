@@ -64,6 +64,12 @@ func (s State) String() string {
 type Replica struct {
 	URL string // base URL, no trailing slash; also the ring identity
 
+	// Label is the stable metrics identity ("r0", "r1", ...), assigned by
+	// replica slot at gateway construction. Unlike the instance ID it
+	// survives process restarts, so federated series are continuous across
+	// a rolling restart.
+	Label string
+
 	mu         sync.Mutex
 	state      State
 	instanceID string // from /healthz; changes on process restart
@@ -73,6 +79,11 @@ type Replica struct {
 	failures   int // consecutive probe/stream failures
 	restarts   int // instance-ID changes observed (process restarts)
 	probes     uint64
+
+	// Observability counters mirrored from the replica's /healthz.
+	spansRecorded uint64 // host spans the replica has recorded
+	spansDropped  uint64 // host spans its ring evicted
+	workerPanics  uint64 // worker panics its supervisor recovered
 }
 
 // State returns the replica's current state.
@@ -98,35 +109,46 @@ func (r *Replica) InstanceID() string {
 
 // snapshotView is the /healthz row for one replica.
 type snapshotView struct {
-	URL      string `json:"url"`
-	State    string `json:"state"`
-	Instance string `json:"instance,omitempty"`
-	Depth    int    `json:"depth"`
-	Workers  int    `json:"workers"`
-	Restarts int    `json:"restarts"`
+	URL          string `json:"url"`
+	Label        string `json:"label"`
+	State        string `json:"state"`
+	Instance     string `json:"instance,omitempty"`
+	Depth        int    `json:"depth"`
+	Workers      int    `json:"workers"`
+	Restarts     int    `json:"restarts"`
+	Spans        uint64 `json:"spans_recorded"`
+	SpansDropped uint64 `json:"spans_dropped"`
+	WorkerPanics uint64 `json:"worker_panics"`
 }
 
 func (r *Replica) view() snapshotView {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return snapshotView{
-		URL:      r.URL,
-		State:    r.state.String(),
-		Instance: r.instanceID,
-		Depth:    r.depth,
-		Workers:  r.workers,
-		Restarts: r.restarts,
+		URL:          r.URL,
+		Label:        r.Label,
+		State:        r.state.String(),
+		Instance:     r.instanceID,
+		Depth:        r.depth,
+		Workers:      r.workers,
+		Restarts:     r.restarts,
+		Spans:        r.spansRecorded,
+		SpansDropped: r.spansDropped,
+		WorkerPanics: r.workerPanics,
 	}
 }
 
 // noteStreamFailure feeds a relay-observed stream break into the same
 // failure detector the prober uses, so a crashed replica stops receiving
-// traffic before the next probe tick.
-func (r *Replica) noteStreamFailure(threshold int) {
+// traffic before the next probe tick. It returns the before/after states
+// so the gateway can record the transition.
+func (r *Replica) noteStreamFailure(threshold int) (prev, cur State) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	prev = r.state
 	r.failures++
 	if r.failures >= threshold && r.state != StateDraining {
 		r.state = StateDown
 	}
+	return prev, r.state
 }

@@ -1,0 +1,206 @@
+package cluster
+
+// Metrics federation: the gateway's /metrics is the cluster's single
+// scrape target. It renders the gateway-tier registry first, then scrapes
+// every replica's Prometheus exposition, rewrites each sample with a
+// stable replica="rN" label (the slot label — it survives process
+// restarts, unlike the instance ID), and emits the merged families. Each
+// underlying series appears exactly once per replica: a migrated job's
+// counters live on whichever replicas ran it, disambiguated by label, so
+// nothing is double-counted by the merge itself.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics serves the federated exposition.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g.metricsMu.Lock()
+	err := g.metrics.WritePrometheus(w)
+	g.metricsMu.Unlock()
+	if err != nil {
+		return
+	}
+	g.writeFederated(w)
+}
+
+// promSample is one exposition sample line, split into name, raw label
+// text (inside the braces, no braces), and the value/timestamp remainder.
+type promSample struct {
+	name   string
+	labels string
+	value  string
+}
+
+// promFamily is one metric family: its metadata plus every sample
+// attributed to it (histogram _bucket/_sum/_count lines included).
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []promSample
+}
+
+// parseExposition splits a Prometheus text exposition into families.
+// Sample lines that follow a # TYPE/# HELP header and share its name (or
+// carry a suffix like _bucket) join that family; headerless samples get
+// an anonymous family of their own name. Unparseable lines are skipped —
+// federation degrades, never fails.
+func parseExposition(data []byte) []*promFamily {
+	var (
+		order []string
+		fams  = map[string]*promFamily{}
+		cur   *promFamily
+	)
+	family := func(name string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			kind := line[2:6]
+			rest := strings.TrimSpace(line[7:])
+			name, meta, _ := strings.Cut(rest, " ")
+			if name == "" {
+				continue
+			}
+			f := family(name)
+			if kind == "HELP" {
+				f.help = meta
+			} else {
+				f.typ = meta
+			}
+			cur = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments
+		}
+		s, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		// Attribute to the current family when the sample is one of its
+		// series (exact name or a suffixed histogram line); otherwise the
+		// sample starts or joins a family of its own name.
+		if cur != nil && (s.name == cur.name || strings.HasPrefix(s.name, cur.name+"_")) {
+			cur.samples = append(cur.samples, s)
+			continue
+		}
+		f := family(s.name)
+		f.samples = append(f.samples, s)
+		cur = f
+	}
+	out := make([]*promFamily, 0, len(order))
+	for _, name := range order {
+		out = append(out, fams[name])
+	}
+	return out
+}
+
+// parseSample splits one sample line into (name, labels, value).
+func parseSample(line string) (promSample, bool) {
+	if brace := strings.IndexByte(line, '{'); brace >= 0 && (strings.IndexByte(line, ' ') == -1 || brace < strings.IndexByte(line, ' ')) {
+		end := strings.LastIndexByte(line, '}')
+		if end <= brace {
+			return promSample{}, false
+		}
+		name := line[:brace]
+		labels := line[brace+1 : end]
+		value := strings.TrimSpace(line[end+1:])
+		if name == "" || value == "" {
+			return promSample{}, false
+		}
+		return promSample{name: name, labels: labels, value: value}, true
+	}
+	name, value, ok := strings.Cut(line, " ")
+	if !ok || name == "" || strings.TrimSpace(value) == "" {
+		return promSample{}, false
+	}
+	return promSample{name: name, value: strings.TrimSpace(value)}, true
+}
+
+// writeFederated scrapes every replica and writes the merged exposition.
+// A replica that cannot be scraped (down, mid-restart) is skipped and
+// counted — the merge shows the survivors rather than failing the scrape.
+func (g *Gateway) writeFederated(w io.Writer) {
+	var (
+		order  []string
+		merged = map[string]*promFamily{}
+	)
+	for _, rep := range g.replicas {
+		body, err := g.scrapeReplica(rep)
+		if err != nil {
+			g.federateErrs.Add(1)
+			continue
+		}
+		for _, fam := range parseExposition(body) {
+			mf, ok := merged[fam.name]
+			if !ok {
+				mf = &promFamily{name: fam.name, help: fam.help, typ: fam.typ}
+				merged[fam.name] = mf
+				order = append(order, fam.name)
+			}
+			for _, s := range fam.samples {
+				// The replica label goes first so every federated series
+				// reads replica-first, and any pre-existing labels survive.
+				if s.labels == "" {
+					s.labels = fmt.Sprintf("replica=%q", rep.Label)
+				} else {
+					s.labels = fmt.Sprintf("replica=%q,%s", rep.Label, s.labels)
+				}
+				mf.samples = append(mf.samples, s)
+			}
+		}
+	}
+	for _, name := range order {
+		fam := merged[name]
+		if fam.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam.name, fam.help)
+		}
+		if fam.typ != "" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.typ)
+		}
+		for _, s := range fam.samples {
+			if s.labels == "" {
+				fmt.Fprintf(w, "%s %s\n", s.name, s.value)
+			} else {
+				fmt.Fprintf(w, "%s{%s} %s\n", s.name, s.labels, s.value)
+			}
+		}
+	}
+}
+
+// scrapeReplica GETs one replica's /metrics under the probe timeout.
+func (g *Gateway) scrapeReplica(rep *Replica) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.URL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("federate: %s /metrics: status %d", rep.Label, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,97 @@
+package cluster
+
+// The flight recorder: when the cluster hits a failure worth a post-mortem
+// — a replica death, a checkpoint whose CRC gate fired, a worker panic on
+// a replica, a job the retry budget could not save — the gateway dumps a
+// self-contained JSON artifact into Config.FlightRecorderDir: the trigger,
+// the gateway's counters, every replica's probed view, and the tail of the
+// host-span ring (the last N wall-clock spans across all jobs). Each dump
+// stands alone: no grepping gateway logs, no correlating timestamps across
+// machines. Disabled unless a directory is configured.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// flightRecorder serializes dump writes and numbers them.
+type flightRecorder struct {
+	dir  string
+	tail int // host spans captured per dump
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// newFlightRecorder returns nil (disabled) when dir is empty.
+func newFlightRecorder(dir string, tail int) *flightRecorder {
+	if dir == "" {
+		return nil
+	}
+	if tail <= 0 {
+		tail = 256
+	}
+	return &flightRecorder{dir: dir, tail: tail}
+}
+
+// flightRecord writes one post-mortem dump. reason is a short stable slug
+// ("replica-down", "checkpoint-crc-mismatch", "worker-panic", "job-failed")
+// that also lands in the filename; detail carries the trigger-specific
+// evidence. Failures to write are swallowed — forensics must never take
+// the data path down.
+func (g *Gateway) flightRecord(reason string, detail map[string]any) {
+	fr := g.fr
+	if fr == nil {
+		return
+	}
+	views := make([]snapshotView, len(g.replicas))
+	for i, rep := range g.replicas {
+		views[i] = rep.view()
+	}
+	now := time.Now().UTC()
+	doc := map[string]any{
+		"reason":   reason,
+		"time":     now.Format(time.RFC3339Nano),
+		"gateway":  g.instanceID,
+		"detail":   detail,
+		"replicas": views,
+		"counters": map[string]any{
+			"accepted":          g.accepted.Load(),
+			"completed":         g.completed.Load(),
+			"retries":           g.retries.Load(),
+			"migrations":        g.migrations.Load(),
+			"scratch_resumes":   g.scratchResume.Load(),
+			"corrupt_fetches":   g.corruptFetch.Load(),
+			"shed":              g.shed.Load(),
+			"synthesized_fails": g.synthesized.Load(),
+		},
+		"spans": g.rec.Tail(fr.tail),
+	}
+
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.seq++
+	name := fmt.Sprintf("flight-%s-%04d-%s.json",
+		now.Format("20060102T150405.000"), fr.seq, reason)
+	if err := os.MkdirAll(fr.dir, 0o755); err != nil {
+		return
+	}
+	f, err := os.Create(filepath.Join(fr.dir, name))
+	if err != nil {
+		return
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	cerr := f.Close()
+	if werr == nil && cerr == nil {
+		g.flightDumps.Add(1)
+	}
+}
+
+// FlightDumps reports post-mortem dumps written (for tests and /healthz).
+func (g *Gateway) FlightDumps() uint64 { return g.flightDumps.Load() }

@@ -12,12 +12,15 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"splitmem/internal/chaos"
 	"splitmem/internal/serve"
+	"splitmem/internal/telemetry"
+	"splitmem/internal/telemetry/hostspan"
 )
 
 // Config shapes a Gateway.
@@ -47,6 +50,15 @@ type Config struct {
 	// job relays are long-lived streams, so per-call timeouts apply only to
 	// probes and checkpoint fetches.
 	HTTP *http.Client
+
+	// Host-span tracing and failure forensics. Tracing is on by default:
+	// the gateway mints a trace ID per submission, propagates it to
+	// replicas in the X-Splitmem-Trace header, and serves merged traces on
+	// GET /v1/traces/{id}. The flight recorder is opt-in by directory.
+	TraceSpanCap        int    // gateway span-ring capacity (0 = hostspan.DefaultCap)
+	NoTracing           bool   // disable gateway host-span tracing
+	FlightRecorderDir   string // post-mortem dump directory ("" = disabled)
+	FlightRecorderSpans int    // span tail captured per dump (default 256)
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +86,9 @@ func (c Config) withDefaults() Config {
 	if c.HTTP == nil {
 		c.HTTP = &http.Client{}
 	}
+	if c.FlightRecorderSpans <= 0 {
+		c.FlightRecorderSpans = 256
+	}
 	return c
 }
 
@@ -86,8 +101,12 @@ type Gateway struct {
 	ring       *ring
 	client     *http.Client
 	instanceID string
+	startTime  time.Time
 	chaos      *chaos.ClusterInjector
 	mux        *http.ServeMux
+
+	rec *hostspan.Recorder // nil when Config.NoTracing
+	fr  *flightRecorder    // nil when Config.FlightRecorderDir is empty
 
 	nextID atomic.Uint64
 
@@ -103,11 +122,28 @@ type Gateway struct {
 	corruptFetch  atomic.Uint64 // checkpoint fetches rejected by the CRC gate
 	shed          atomic.Uint64 // client submissions refused (no replica available)
 	synthesized   atomic.Uint64 // results synthesized after the retry budget died
+	flightDumps   atomic.Uint64 // flight-recorder post-mortems written
+	federateErrs  atomic.Uint64 // replica /metrics scrapes that failed
+
+	// Gateway-tier instruments. telemetry.Registry is not goroutine-safe,
+	// so every instrument touch and every /metrics render holds metricsMu.
+	metricsMu   sync.Mutex
+	metrics     *telemetry.Registry
+	retriesVec  *telemetry.CounterVec // splitmem_gateway_retries_total{reason}
+	probeRTT    *telemetry.Histogram  // probe round-trip microseconds
+	migrationMs *telemetry.Histogram  // migration hop wall milliseconds
 
 	probeCtx    context.Context
 	probeCancel context.CancelFunc
 	probeWG     sync.WaitGroup
 }
+
+// wallMsBuckets are the bucket bounds (milliseconds) for gateway wall-time
+// histograms: end-to-end job latency and migration hops.
+var wallMsBuckets = []uint64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// probeRTTBuckets are the bucket bounds (microseconds) for probe RTTs.
+var probeRTTBuckets = []uint64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000}
 
 // New builds a Gateway over the given replicas and starts its prober.
 func New(cfg Config) (*Gateway, error) {
@@ -119,21 +155,29 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:        cfg,
 		client:     cfg.HTTP,
 		instanceID: newInstanceID(),
+		startTime:  time.Now(),
 		jobs:       make(map[uint64]*gwJob),
 	}
 	if cfg.Chaos.Enabled() {
 		g.chaos = chaos.NewCluster(cfg.Chaos)
 	}
+	if !cfg.NoTracing {
+		g.rec = hostspan.NewRecorder("gateway:"+g.instanceID, cfg.TraceSpanCap)
+	}
+	g.fr = newFlightRecorder(cfg.FlightRecorderDir, cfg.FlightRecorderSpans)
 	ids := make([]string, len(cfg.Replicas))
 	for i, u := range cfg.Replicas {
-		g.replicas = append(g.replicas, &Replica{URL: u})
+		g.replicas = append(g.replicas, &Replica{URL: u, Label: fmt.Sprintf("r%d", i)})
 		ids[i] = u
 	}
 	g.ring = newRing(ids)
+	g.initMetrics()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", g.handleJobs)
+	mux.HandleFunc("/v1/traces/", g.handleTraces)
 	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/metrics", g.handleMetrics)
 	g.mux = mux
 
 	g.probeCtx, g.probeCancel = context.WithCancel(context.Background())
@@ -153,6 +197,130 @@ func newInstanceID() string {
 		return fmt.Sprintf("t%x", time.Now().UnixNano())
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// initMetrics builds the gateway-tier registry: GaugeFunc samplers over
+// the atomics the relay loop already maintains, plus the wall-time
+// histograms and the per-reason retry vector.
+func (g *Gateway) initMetrics() {
+	m := telemetry.NewRegistry()
+	reg := func(name, help string, v *atomic.Uint64) {
+		m.GaugeFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	reg("splitmem_gateway_jobs_accepted_total", "jobs acknowledged to clients", &g.accepted)
+	reg("splitmem_gateway_jobs_completed_total", "acknowledged jobs that reached a result", &g.completed)
+	reg("splitmem_gateway_migrations_total", "successful live migrations", &g.migrations)
+	reg("splitmem_gateway_scratch_resumes_total", "migrations resumed from scratch", &g.scratchResume)
+	reg("splitmem_gateway_corrupt_fetches_total", "checkpoint fetches rejected by the CRC gate", &g.corruptFetch)
+	reg("splitmem_gateway_shed_total", "client submissions refused (no replica available)", &g.shed)
+	reg("splitmem_gateway_synthesized_total", "results synthesized after the retry budget died", &g.synthesized)
+	reg("splitmem_gateway_flight_dumps_total", "flight-recorder post-mortems written", &g.flightDumps)
+	reg("splitmem_gateway_federate_errors_total", "replica /metrics scrapes that failed", &g.federateErrs)
+	m.GaugeFunc("splitmem_gateway_hostspans_recorded_total", "host spans recorded into the gateway trace ring",
+		func() float64 { return float64(g.rec.Recorded()) })
+	m.GaugeFunc("splitmem_gateway_hostspans_dropped_total", "host spans evicted from the gateway trace ring",
+		func() float64 { return float64(g.rec.Dropped()) })
+	g.retriesVec = m.CounterVec("splitmem_gateway_retries_total",
+		"gateway retry/shed events by reason", "reason")
+	g.probeRTT = m.Histogram("splitmem_gateway_probe_rtt_us",
+		"health-probe round trip in microseconds", probeRTTBuckets)
+	g.migrationMs = m.Histogram("splitmem_gateway_migration_ms",
+		"live-migration hop wall time in milliseconds", wallMsBuckets)
+	g.metrics = m
+}
+
+// noteRetryReason bumps the per-reason retry counter (satellite of the
+// healthz-visible total: the reason dimension is what makes a shed storm
+// diagnosable).
+func (g *Gateway) noteRetryReason(reason string) {
+	g.metricsMu.Lock()
+	g.retriesVec.Add(reason, 1)
+	g.metricsMu.Unlock()
+}
+
+// observeProbeRTT records one successful probe's round trip.
+func (g *Gateway) observeProbeRTT(d time.Duration) {
+	g.metricsMu.Lock()
+	g.probeRTT.Observe(uint64(d.Microseconds()))
+	g.metricsMu.Unlock()
+}
+
+// observeMigration records one completed migration hop's wall time.
+func (g *Gateway) observeMigration(d time.Duration) {
+	g.metricsMu.Lock()
+	g.migrationMs.Observe(uint64(d.Milliseconds()))
+	g.metricsMu.Unlock()
+}
+
+// observeJobWall records a job's end-to-end wall latency under its
+// outcome-specific histogram (lazily registered; Registry.Histogram is
+// idempotent per name, and outcomes are a small closed set).
+func (g *Gateway) observeJobWall(outcome string, d time.Duration) {
+	if outcome == "" {
+		outcome = "unknown"
+	}
+	name := "splitmem_gateway_job_wall_ms_" + strings.ReplaceAll(outcome, "-", "_")
+	g.metricsMu.Lock()
+	g.metrics.Histogram(name, "end-to-end job wall milliseconds, outcome "+outcome, wallMsBuckets).
+		Observe(uint64(d.Milliseconds()))
+	g.metricsMu.Unlock()
+}
+
+// handleTraces serves GET /v1/traces/{id}: the gateway's own spans for the
+// trace merged with every replica's (each replica keeps its half of a
+// migrated job's timeline). ?format=chrome renders the merged set as one
+// Chrome trace_event file — a migrated job appears as a single causal
+// track hopping across process lanes.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "method-not-allowed", "GET /v1/traces/{id}")
+		return
+	}
+	if g.rec == nil {
+		httpError(w, http.StatusNotFound, "tracing-disabled", "host-span tracing is disabled on this gateway")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusBadRequest, "bad-request", "expected /v1/traces/{id}")
+		return
+	}
+	spans := g.rec.SpansFor(id)
+	for _, rep := range g.replicas {
+		spans = append(spans, g.fetchReplicaTrace(rep, id)...)
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		hostspan.WriteTraceEvents(w, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	hostspan.NewTraceDoc(id, spans).WriteJSON(w)
+}
+
+// fetchReplicaTrace pulls one replica's spans for a trace; a dead or
+// tracing-disabled replica simply contributes nothing.
+func (g *Gateway) fetchReplicaTrace(rep *Replica, id string) []hostspan.Span {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.URL+"/v1/traces/"+id, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var doc hostspan.TraceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil
+	}
+	return doc.Spans
 }
 
 // Handler returns the gateway's HTTP handler.
@@ -208,9 +376,10 @@ func (g *Gateway) Close() {
 
 // gwJob is the gateway's record of one client job across replica hops.
 type gwJob struct {
-	id   uint64
-	name string
-	body []byte
+	id    uint64
+	name  string
+	body  []byte
+	trace string // host-span trace ID, propagated to every replica hop
 
 	mu         sync.Mutex
 	replica    *Replica // current owner (nil between hops)
@@ -218,6 +387,8 @@ type gwJob struct {
 	cursor     int      // event lines relayed to the client so far
 	acked      bool     // accepted line sent to the client
 	hops       int      // migration hops (keys the per-hop idempotency token)
+
+	outcome string // terminal outcome class, set by the relay loop
 }
 
 func (j *gwJob) owner() (*Replica, uint64) {
@@ -307,9 +478,11 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":   status,
-		"instance": g.instanceID,
-		"replicas": views,
+		"status":         status,
+		"instance":       g.instanceID,
+		"build":          hostspan.Build(),
+		"uptime_seconds": time.Since(g.startTime).Seconds(),
+		"replicas":       views,
 		"jobs": map[string]any{
 			"accepted":          g.accepted.Load(),
 			"completed":         g.completed.Load(),
@@ -319,6 +492,19 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"corrupt_fetches":   g.corruptFetch.Load(),
 			"shed":              g.shed.Load(),
 			"synthesized_fails": g.synthesized.Load(),
+		},
+		"tracing": map[string]any{
+			"enabled":  g.rec != nil,
+			"spans":    g.rec.Len(),
+			"recorded": g.rec.Recorded(),
+			"dropped":  g.rec.Dropped(),
+		},
+		"flight_recorder": map[string]any{
+			"dir":   g.cfg.FlightRecorderDir,
+			"dumps": g.flightDumps.Load(),
+		},
+		"federation": map[string]any{
+			"errors": g.federateErrs.Load(),
 		},
 	})
 }
@@ -353,13 +539,35 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	json.Unmarshal(body, &peek) // best-effort; replicas do the real validation
 
-	j := &gwJob{id: g.nextID.Add(1), name: peek.Name, body: body}
+	// Mint the job's trace identity (honoring one an upstream proxy already
+	// minted) before the job is tracked, so every later reader — migrateOff
+	// included — sees it. Echoed on the response header.
+	trace := r.Header.Get(hostspan.TraceHeader)
+	if trace == "" && g.rec != nil {
+		trace = hostspan.NewTraceID()
+	}
+	if trace != "" {
+		w.Header().Set(hostspan.TraceHeader, trace)
+	}
+
+	j := &gwJob{id: g.nextID.Add(1), name: peek.Name, body: body, trace: trace}
 	g.trackJob(j)
 	defer g.untrackJob(j)
+
+	g.rec.Instant(trace, "gw.admit",
+		"job", strconv.FormatUint(j.id, 10), "name", peek.Name)
+	root := g.rec.Begin(trace, "gw.job", "job", strconv.FormatUint(j.id, 10))
+	start := time.Now()
 
 	out := newClientStream(w, wantsStream(r))
 	g.runJob(r.Context(), j, out)
 	out.finish()
+
+	wall := time.Since(start)
+	g.rec.End(root, "outcome", j.outcome, "hops", strconv.Itoa(j.hops))
+	g.rec.Instant(trace, "gw.result",
+		"job", strconv.FormatUint(j.id, 10), "outcome", j.outcome)
+	g.observeJobWall(j.outcome, wall)
 }
 
 // --- the relay loop --------------------------------------------------------
@@ -378,6 +586,25 @@ const (
 	//                                    409 disambiguates (this is why every gateway
 	//                                    submission carries a key, hop 0 included)
 )
+
+// String names the outcome for span attributes and retry-reason labels.
+func (o relayOutcome) String() string {
+	switch o {
+	case relayDone:
+		return "done"
+	case relayMigrated:
+		return "migrated"
+	case relayRejected:
+		return "rejected"
+	case relayBroken:
+		return "broken-stream"
+	case relayDuplicate:
+		return "duplicate-resume"
+	case relayUnknown:
+		return "unknown-admission"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
 
 // resumeSpec is the payload of the next hop when a job moves replicas.
 type resumeSpec struct {
@@ -401,9 +628,22 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 		avoid    *Replica    // replica that just failed or drained
 		forceRep *Replica    // ambiguous attempt: must go back to this replica
 		backoff  = g.cfg.RetryBackoff
+		migSpan  hostspan.SpanID // open gw.migrate span while the job is between hops
+		migStart time.Time
 	)
+	// beginMigration opens the between-hops span when a job leaves a
+	// replica; it stays open until the next relay attempt starts, so its
+	// duration is the real client-visible migration gap.
+	beginMigration := func(from *Replica, kind string) {
+		if migSpan.Valid() {
+			return
+		}
+		migStart = time.Now()
+		migSpan = g.rec.Begin(j.trace, "gw.migrate", "from", from.Label, "kind", kind)
+	}
 	for attempt := 0; attempt < g.cfg.RetryBudget; attempt++ {
 		if ctx.Err() != nil {
+			g.rec.End(migSpan, "to", "", "failed", "client-gone")
 			g.failJob(j, out, "canceled", "client disconnected")
 			return
 		}
@@ -418,17 +658,32 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			// seconds away.
 			if !j.acked {
 				g.shed.Add(1)
+				g.noteRetryReason("no-replica")
+				j.outcome = "shed"
 				out.reject(http.StatusServiceUnavailable, "no-replicas", "no replica available; retry later")
 				return
 			}
 			g.retries.Add(1)
+			g.noteRetryReason("no-replica")
+			g.rec.Instant(j.trace, "gw.shed-retry",
+				"reason", "no-replica", "wait", backoff.String())
 			g.sleep(ctx, backoff)
 			backoff = g.bumpBackoff(backoff)
 			avoid = nil // a drained home replica may be back by now
 			continue
 		}
 
+		if migSpan.Valid() {
+			g.rec.End(migSpan, "to", rep.Label)
+			migSpan = hostspan.SpanID{}
+			g.observeMigration(time.Since(migStart))
+		}
+		g.rec.Instant(j.trace, "gw.route",
+			"replica", rep.Label, "attempt", strconv.Itoa(attempt), "hop", strconv.Itoa(j.hops))
+		relSpan := g.rec.Begin(j.trace, "gw.relay",
+			"replica", rep.Label, "attempt", strconv.Itoa(attempt))
 		rr := g.relayOnce(ctx, j, rep, resume, out)
+		g.rec.End(relSpan, "outcome", rr.outcome.String())
 		switch rr.outcome {
 		case relayDone:
 			return
@@ -438,6 +693,7 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			// (detached by migrateOff when the replica began draining). Fetch
 			// the checkpoint from its bounded export ring — CRC-gated,
 			// corruption means refetch — and resume on a peer.
+			beginMigration(rep, "drain")
 			resume = g.fetchCheckpoint(rep, j)
 			avoid = rep
 			j.setOwner(nil, 0)
@@ -448,6 +704,7 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 
 		case relayRejected:
 			g.retries.Add(1)
+			g.noteRetryReason("rejected")
 			wait := backoff
 			if rr.retryAfter > wait {
 				wait = rr.retryAfter
@@ -455,6 +712,8 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			if wait > g.cfg.MaxRetryDelay {
 				wait = g.cfg.MaxRetryDelay
 			}
+			g.rec.Instant(j.trace, "gw.shed-retry",
+				"reason", "rejected", "replica", rep.Label, "wait", wait.String())
 			g.sleep(ctx, wait)
 			backoff = g.bumpBackoff(backoff)
 			avoid = rep
@@ -464,7 +723,9 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			// Feed the failure detector, then try to salvage the latest
 			// checkpoint; a dead process yields nothing and the job re-runs
 			// from scratch, cursor-deduped.
-			rep.noteStreamFailure(g.cfg.FailThreshold)
+			g.noteRetryReason("broken-stream")
+			beginMigration(rep, "crash")
+			g.noteStreamFailureOn(rep)
 			resume = g.fetchCheckpoint(rep, j)
 			avoid = rep
 			j.setOwner(nil, 0)
@@ -479,12 +740,16 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			// the prober has declared the replica dead do we move on — the
 			// orphan, if any, died with its process.
 			g.retries.Add(1)
+			g.noteRetryReason("unknown-admission")
 			if rep.State() == StateDown {
+				beginMigration(rep, "dead")
 				resume = g.fetchCheckpoint(rep, j)
 				avoid = rep
 				j.setOwner(nil, 0)
 				j.hops++
 			} else {
+				g.rec.Instant(j.trace, "gw.shed-retry",
+					"reason", "unknown-admission", "replica", rep.Label, "wait", backoff.String())
 				forceRep = rep
 				g.sleep(ctx, backoff)
 				backoff = g.bumpBackoff(backoff)
@@ -497,7 +762,9 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			// stops it with the migrated frame, exports its checkpoint — and
 			// resume on the next hop with a fresh key. Exactly-once holds:
 			// the orphan never streamed a line to anyone.
-			if spec, ok := g.detachUpstream(rep, rr.dupID); ok {
+			g.noteRetryReason("duplicate-resume")
+			beginMigration(rep, "reclaim")
+			if spec, ok := g.detachUpstream(rep, rr.dupID, j.trace); ok {
 				resume = spec
 			} else {
 				resume = &resumeSpec{}
@@ -508,6 +775,7 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			attempt--
 		}
 	}
+	g.rec.End(migSpan, "failed", "retry-budget-exhausted")
 	g.failJob(j, out, "failed-after-retries", "replica retry budget exhausted")
 }
 
@@ -516,9 +784,22 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 // acknowledged one gets a synthesized result line, because the framing
 // contract (exactly one result per accepted) outranks everything.
 func (g *Gateway) failJob(j *gwJob, out *clientStream, reason, msg string) {
+	j.outcome = reason
 	if !j.acked {
 		out.reject(http.StatusServiceUnavailable, reason, msg)
 		return
+	}
+	if reason == "failed-after-retries" {
+		// An acked job the cluster could not finish is the flight
+		// recorder's marquee customer: dump the evidence before the
+		// synthesized result papers over it.
+		g.flightRecord("job-failed", map[string]any{
+			"job":    j.id,
+			"trace":  j.trace,
+			"reason": reason,
+			"detail": msg,
+			"hops":   j.hops,
+		})
 	}
 	g.synthesized.Add(1)
 	res := &serve.JobResult{ID: j.id, Name: j.name, Reason: reason, Canceled: true, Error: msg}
@@ -582,12 +863,15 @@ func (g *Gateway) relayOnce(ctx context.Context, j *gwJob, rep *Replica, resume 
 		return relayResult{outcome: relayRejected}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if j.trace != "" {
+		req.Header.Set(hostspan.TraceHeader, j.trace)
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		// The transport died before we read a status line. The request may
 		// or may not have been admitted — relayUnknown makes runJob go back
 		// to the same replica with the same key to find out.
-		rep.noteStreamFailure(g.cfg.FailThreshold)
+		g.noteStreamFailureOn(rep)
 		return relayResult{outcome: relayUnknown}
 	}
 	defer resp.Body.Close()
@@ -623,10 +907,23 @@ func (g *Gateway) relayOnce(ctx context.Context, j *gwJob, rep *Replica, resume 
 		}
 		json.Unmarshal(b, &e)
 		if e.Error == "bad-checkpoint" {
+			// The replica's own CRC gate rejected the image we shipped —
+			// corruption after our verify (or a verify bug). Forensics-grade
+			// event: dump it.
 			g.corruptFetch.Add(1)
+			g.noteRetryReason("bad-checkpoint")
+			g.flightRecord("checkpoint-crc-mismatch", map[string]any{
+				"stage":      "resume",
+				"replica":    rep.URL,
+				"label":      rep.Label,
+				"job":        j.id,
+				"trace":      j.trace,
+				"checkpoint": fmt.Sprintf("job %d hop %d (%d bytes, %d cycles)", j.id, j.hops, len(spec.checkpoint), spec.cycles),
+			})
 			return relayResult{outcome: relayBroken}
 		}
 		if !j.acked {
+			j.outcome = "client-error"
 			out.forwardError(resp.StatusCode, b)
 			return relayResult{outcome: relayDone}
 		}
@@ -635,6 +932,7 @@ func (g *Gateway) relayOnce(ctx context.Context, j *gwJob, rep *Replica, resume 
 	default:
 		b, _ := io.ReadAll(resp.Body)
 		if !j.acked {
+			j.outcome = "client-error"
 			out.forwardError(resp.StatusCode, b)
 			return relayResult{outcome: relayDone}
 		}
@@ -662,6 +960,15 @@ func (g *Gateway) relayOnce(ctx context.Context, j *gwJob, rep *Replica, resume 
 		switch frame.Type {
 		case "accepted":
 			j.setOwner(rep, frame.ID)
+			if j.hops > 0 {
+				// The resumed stream is live on the new replica: from here
+				// the cursor-deduped relay stitches it seamlessly onto what
+				// the client already saw.
+				g.rec.Instant(j.trace, "gw.stitch",
+					"replica", rep.Label,
+					"upstream", strconv.FormatUint(frame.ID, 10),
+					"cursor", strconv.Itoa(j.cursor))
+			}
 			if !j.acked {
 				j.acked = true
 				g.accepted.Add(1)
@@ -687,6 +994,7 @@ func (g *Gateway) relayOnce(ctx context.Context, j *gwJob, rep *Replica, resume 
 					g.scratchResume.Add(1)
 				}
 			}
+			j.outcome = "done"
 			out.result(frame.Result)
 			g.completed.Add(1)
 			return relayResult{outcome: relayDone}
@@ -697,7 +1005,7 @@ func (g *Gateway) relayOnce(ctx context.Context, j *gwJob, rep *Replica, resume 
 	// unknown — retry the same key on the same replica and let the 409
 	// disambiguate. After the accepted line it is a plain crash: recover.
 	if !sawLine {
-		rep.noteStreamFailure(g.cfg.FailThreshold)
+		g.noteStreamFailureOn(rep)
 		return relayResult{outcome: relayUnknown}
 	}
 	return relayResult{outcome: relayBroken}

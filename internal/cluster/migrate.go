@@ -26,7 +26,7 @@ func (g *Gateway) migrateOff(r *Replica) {
 		if upstream == 0 {
 			continue
 		}
-		g.detachUpstream(r, upstream)
+		g.detachUpstream(r, upstream, j.trace)
 	}
 }
 
@@ -34,7 +34,7 @@ func (g *Gateway) migrateOff(r *Replica) {
 // returns its CRC-verified checkpoint. A corrupt transfer is refetched from
 // the export ring (the detach already happened); exhausting the budget
 // yields an empty spec — scratch resume, never a corrupt image.
-func (g *Gateway) detachUpstream(r *Replica, upstreamID uint64) (*resumeSpec, bool) {
+func (g *Gateway) detachUpstream(r *Replica, upstreamID uint64, trace string) (*resumeSpec, bool) {
 	for attempt := 0; attempt <= checkpointFetchRetries; attempt++ {
 		exp, err := g.fetchExport(r, upstreamID, attempt == 0)
 		if err != nil || exp == nil {
@@ -44,12 +44,32 @@ func (g *Gateway) detachUpstream(r *Replica, upstreamID uint64) (*resumeSpec, bo
 			return &resumeSpec{}, true
 		}
 		if verr := splitmem.VerifySnapshot(exp.Checkpoint); verr != nil {
-			g.corruptFetch.Add(1)
+			g.noteCorruptCheckpoint(r, upstreamID, trace, len(exp.Checkpoint), exp.Cycles, verr)
 			continue
 		}
 		return &resumeSpec{checkpoint: exp.Checkpoint, cycles: exp.Cycles}, true
 	}
 	return &resumeSpec{}, true
+}
+
+// noteCorruptCheckpoint accounts one CRC-gate rejection and leaves a
+// flight-recorder dump naming the replica and checkpoint — chaos-injected
+// corruption must produce a self-contained post-mortem artifact.
+func (g *Gateway) noteCorruptCheckpoint(r *Replica, upstreamID uint64, trace string, size int, cycles uint64, verr error) {
+	g.corruptFetch.Add(1)
+	g.rec.Instant(trace, "gw.corrupt-checkpoint",
+		"replica", r.Label, "upstream", fmt.Sprintf("%d", upstreamID))
+	g.flightRecord("checkpoint-crc-mismatch", map[string]any{
+		"stage":      "fetch",
+		"replica":    r.URL,
+		"label":      r.Label,
+		"trace":      trace,
+		"checkpoint": fmt.Sprintf("upstream job %d (%d bytes, %d cycles)", upstreamID, size, cycles),
+		"upstream":   upstreamID,
+		"bytes":      size,
+		"cycles":     cycles,
+		"error":      verr.Error(),
+	})
 }
 
 // fetchCheckpoint retrieves the freshest CRC-valid checkpoint for a job
@@ -79,7 +99,7 @@ func (g *Gateway) fetchCheckpoint(rep *Replica, j *gwJob) *resumeSpec {
 			// The transfer was corrupted on the wire (or by the chaos
 			// injector standing in for the wire). The CRC gate catches it;
 			// refetch. NEVER resume a corrupt image.
-			g.corruptFetch.Add(1)
+			g.noteCorruptCheckpoint(rep, upstream, j.trace, len(exp.Checkpoint), exp.Cycles, verr)
 			continue
 		}
 		return &resumeSpec{checkpoint: exp.Checkpoint, cycles: exp.Cycles}

@@ -16,6 +16,13 @@ type healthzBody struct {
 	Instance struct {
 		ID string `json:"id"`
 	} `json:"instance"`
+	Tracing struct {
+		Recorded uint64 `json:"recorded"`
+		Dropped  uint64 `json:"dropped"`
+	} `json:"tracing"`
+	Recovery struct {
+		WorkerPanics uint64 `json:"worker_panics"`
+	} `json:"recovery"`
 }
 
 // probeLoop polls every replica until the gateway closes.
@@ -53,6 +60,7 @@ func (g *Gateway) probeOnce(r *Replica) {
 		g.probeFailed(r)
 		return
 	}
+	start := time.Now()
 	resp, err := g.client.Do(req)
 	if err != nil {
 		g.probeFailed(r)
@@ -66,9 +74,12 @@ func (g *Gateway) probeOnce(r *Replica) {
 		g.probeFailed(r)
 		return
 	}
+	g.observeProbeRTT(time.Since(start))
 
 	r.mu.Lock()
+	prev := r.state
 	r.probes++
+	firstProbe := r.probes == 1
 	r.failures = 0
 	if h.Instance.ID != "" && r.instanceID != "" && h.Instance.ID != r.instanceID {
 		r.restarts++
@@ -77,6 +88,10 @@ func (g *Gateway) probeOnce(r *Replica) {
 	r.workers = h.Workers
 	r.backlog = h.Backlog
 	r.depth = h.Depth
+	r.spansRecorded = h.Tracing.Recorded
+	r.spansDropped = h.Tracing.Dropped
+	panicsBefore := r.workerPanics
+	r.workerPanics = h.Recovery.WorkerPanics
 	switch {
 	case h.Status == "draining":
 		r.state = StateDraining
@@ -89,6 +104,19 @@ func (g *Gateway) probeOnce(r *Replica) {
 	}
 	cur := r.state
 	r.mu.Unlock()
+
+	if cur != prev {
+		g.noteTransition(r, prev, cur)
+	}
+	if !firstProbe && h.Recovery.WorkerPanics > panicsBefore {
+		// A replica worker panicked since the last probe: a recoverable
+		// fault, but exactly what the flight recorder is for.
+		g.flightRecord("worker-panic", map[string]any{
+			"replica":       r.URL,
+			"label":         r.Label,
+			"worker_panics": h.Recovery.WorkerPanics,
+		})
+	}
 
 	if cur == StateDraining {
 		// The migration trigger: detach every gateway job on the draining
@@ -103,10 +131,42 @@ func (g *Gateway) probeOnce(r *Replica) {
 
 func (g *Gateway) probeFailed(r *Replica) {
 	r.mu.Lock()
+	prev := r.state
 	r.probes++
 	r.failures++
 	if r.failures >= g.cfg.FailThreshold {
 		r.state = StateDown
 	}
+	cur := r.state
 	r.mu.Unlock()
+	if cur != prev {
+		g.noteTransition(r, prev, cur)
+	}
+}
+
+// noteStreamFailureOn routes a relay-observed stream break through the
+// failure detector and records any resulting state transition exactly as
+// a failed probe would — a crash detected by a breaking relay deserves
+// the same incident-timeline entry and flight-recorder dump.
+func (g *Gateway) noteStreamFailureOn(r *Replica) {
+	prev, cur := r.noteStreamFailure(g.cfg.FailThreshold)
+	if cur != prev {
+		g.noteTransition(r, prev, cur)
+	}
+}
+
+// noteTransition records a replica state change as a process-level span
+// and, when the change is a death, a flight-recorder dump: the prober is
+// the gateway's failure detector, so its transitions are the cluster's
+// incident timeline.
+func (g *Gateway) noteTransition(r *Replica, prev, cur State) {
+	g.rec.Instant("", "gw.probe-transition",
+		"replica", r.Label, "url", r.URL, "from", prev.String(), "to", cur.String())
+	if cur == StateDown {
+		g.flightRecord("replica-down", map[string]any{
+			"replica": r.URL,
+			"label":   r.Label,
+			"from":    prev.String(),
+		})
+	}
 }

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"splitmem"
+	"splitmem/internal/telemetry/hostspan"
 )
 
 // maxExports bounds the retained checkpoint exports of detached jobs, kept
@@ -44,9 +45,10 @@ const maxExports = 64
 // submission body, the latest checkpoint, and the cancel hook that detaches
 // the run.
 type liveJob struct {
-	id   uint64
-	name string
-	body []byte
+	id    uint64
+	name  string
+	body  []byte
+	trace string // host-span trace ID ("" when tracing is off)
 
 	mu       sync.Mutex
 	img      []byte // latest checkpoint image (nil before the first)
@@ -79,10 +81,10 @@ type CheckpointExport struct {
 
 // registerLive adds a job to the live registry. Called before the job is
 // offered to the pool so the runner's attach can never miss it.
-func (s *Server) registerLive(id uint64, name string, body []byte) {
+func (s *Server) registerLive(id uint64, name string, body []byte, trace string) {
 	s.liveMu.Lock()
 	defer s.liveMu.Unlock()
-	s.live[id] = &liveJob{id: id, name: name, body: body}
+	s.live[id] = &liveJob{id: id, name: name, body: body, trace: trace}
 }
 
 // discardLive removes a job that was never admitted (shed after
@@ -168,11 +170,14 @@ func (s *Server) exportCheckpoint(id uint64, detach bool) (*CheckpointExport, bo
 
 	lj.mu.Lock()
 	var cancel context.CancelCauseFunc
+	firstDetach := false
 	if detach && !lj.detached {
 		lj.detached = true
+		firstDetach = true
 		cancel = lj.cancel // nil while queued: the runner checks on attach
 	}
 	exp := lj.exportLocked()
+	trace := lj.trace
 	lj.mu.Unlock()
 	if detach {
 		exp.Detached = true
@@ -180,9 +185,14 @@ func (s *Server) exportCheckpoint(id uint64, detach bool) (*CheckpointExport, bo
 	if cancel != nil {
 		cancel(errMigrated)
 	}
-	if detach {
+	if firstDetach {
 		s.migratedOut.Add(1)
+		s.rec.Instant(trace, "rep.detach", "job", strconv.FormatUint(id, 10))
 	}
+	s.rec.Instant(trace, "rep.checkpoint-export",
+		"job", strconv.FormatUint(id, 10),
+		"bytes", strconv.Itoa(len(exp.Checkpoint)),
+		"cycles", strconv.FormatUint(exp.Cycles, 10))
 	return exp, true
 }
 
@@ -338,6 +348,17 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		s.liveMu.Unlock()
 	}
 
+	// Trace continuity: the gateway forwards the job's original trace ID in
+	// the header, so the spans this replica records join the same causal
+	// timeline the source replica started.
+	trace := r.Header.Get(hostspan.TraceHeader)
+	if trace == "" && s.rec != nil {
+		trace = hostspan.NewTraceID()
+	}
+	if trace != "" {
+		w.Header().Set(hostspan.TraceHeader, trace)
+	}
+
 	j := &job{
 		id:       id,
 		req:      req,
@@ -347,6 +368,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		done:     make(chan struct{}),
 		cursor:   rr.Cursor,
 		migrated: true,
+		trace:    trace,
 	}
 	if len(rr.Checkpoint) > 0 {
 		j.resume = &journalJob{ID: id, Body: rr.Job, Checkpoint: rr.Checkpoint, Cycles: rr.Cycles}
@@ -366,7 +388,13 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	if len(rr.Checkpoint) > 0 {
 		s.journal.logCheckpoint(id, rr.Cycles, rr.Checkpoint)
 	}
-	s.registerLive(id, req.Name, rr.Job)
+	s.registerLive(id, req.Name, rr.Job, trace)
+	s.rec.Instant(trace, "rep.resume",
+		"job", strconv.FormatUint(id, 10),
+		"key", rr.Key,
+		"cursor", strconv.Itoa(rr.Cursor),
+		"checkpoint_cycles", strconv.FormatUint(rr.Cycles, 10))
+	j.enqueue = s.rec.Begin(trace, "rep.enqueue-wait", "job", strconv.FormatUint(id, 10))
 	task := func(poolCtx context.Context) {
 		defer close(j.done)
 		s.runJob(poolCtx, j)
@@ -374,6 +402,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	if !s.pool.TrySubmit(task) {
 		s.discardLive(id)
 		releaseKey()
+		s.rec.End(j.enqueue, "outcome", "shed")
 		if res, jerr := json.Marshal(&JobResult{ID: id, Reason: "shed"}); jerr == nil {
 			s.journal.logDone(id, res)
 		}
@@ -393,7 +422,11 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	s.resumedIn.Add(1)
 
 	if stream {
-		ndj.Line(map[string]any{"type": "accepted", "id": id, "name": req.Name, "resumed": true})
+		accepted := map[string]any{"type": "accepted", "id": id, "name": req.Name, "resumed": true}
+		if trace != "" {
+			accepted["trace"] = trace
+		}
+		ndj.Line(accepted)
 		<-j.done
 		s.accountResult(&j.result)
 		ndj.Result(&j.result)

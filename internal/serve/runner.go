@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"splitmem"
+	"splitmem/internal/telemetry/hostspan"
 )
 
 // job is one admitted unit of work: the compiled request plus its delivery
@@ -23,6 +25,8 @@ type job struct {
 	resume   *journalJob     // non-nil for jobs replayed from the journal or resumed from a shipped checkpoint
 	cursor   int             // event lines already delivered to the client (migration stitch point)
 	migrated bool            // job arrived via /v1/jobs/resume (cluster migration)
+	trace    string          // host-span trace ID ("" when tracing is off)
+	enqueue  hostspan.SpanID // rep.enqueue-wait span, opened at admission
 	result   JobResult
 	done     chan struct{}
 }
@@ -63,6 +67,7 @@ type supervision struct {
 // worker pool's lifetime context (canceled only on hard shutdown).
 func (s *Server) runJob(poolCtx context.Context, j *job) {
 	start := time.Now()
+	s.rec.End(j.enqueue, "outcome", "run")
 	res := &j.result
 	res.ID = j.id
 	res.Name = j.req.Name
@@ -105,10 +110,14 @@ func (s *Server) runJob(poolCtx context.Context, j *job) {
 	attempts := s.cfg.RetryBudget
 	for attempt := 1; ; attempt++ {
 		res.Attempts = attempt
+		runSpan := s.rec.Begin(j.trace, "rep.run",
+			"job", strconv.FormatUint(j.id, 10), "attempt", strconv.Itoa(attempt))
 		perr := s.runAttempt(ctx, j, &sup)
 		if perr == nil {
+			s.rec.End(runSpan, "reason", res.Reason)
 			break // terminal result filled in
 		}
+		s.rec.End(runSpan, "error", perr.Error())
 		if attempt >= attempts {
 			res.Reason = "failed-after-retries"
 			res.Error = perr.Error()
@@ -128,6 +137,8 @@ func (s *Server) runJob(poolCtx context.Context, j *job) {
 		}
 	}
 	res.Wall = time.Since(start)
+	s.rec.Instant(j.trace, "rep.result",
+		"job", strconv.FormatUint(j.id, 10), "reason", res.Reason)
 	if b, err := json.Marshal(res); err == nil {
 		s.journal.logDone(j.id, b)
 	}
@@ -187,12 +198,16 @@ func (s *Server) runAttempt(ctx context.Context, j *job, sup *supervision) (err 
 		used uint64
 	)
 	if sup.img != nil {
+		rspan := s.rec.Begin(j.trace, "rep.restore",
+			"cycles", strconv.FormatUint(sup.cycles, 10), "bytes", strconv.Itoa(len(sup.img)))
 		if rm, rerr := splitmem.Restore(sup.img); rerr == nil {
 			m = rm
 			used = sup.cycles
 			s.restores.Add(1)
+			s.rec.End(rspan)
 		} else {
 			sup.img, sup.cycles = nil, 0
+			s.rec.End(rspan, "error", rerr.Error())
 		}
 	}
 	if m == nil {
@@ -258,11 +273,13 @@ func (s *Server) runAttempt(ctx context.Context, j *job, sup *supervision) (err 
 		if s.cfg.WatchdogSlice > 0 {
 			sliceCtx, sliceCancel = context.WithTimeout(ctx, s.cfg.WatchdogSlice)
 		}
+		sliceSpan := s.rec.Begin(j.trace, "rep.run-slice")
 		final = m.RunContext(sliceCtx, slice)
 		if sliceCancel != nil {
 			sliceCancel()
 		}
 		used += final.Cycles
+		s.rec.End(sliceSpan, "cycles", strconv.FormatUint(final.Cycles, 10))
 		if s.hostChaos.KillWorker() {
 			// Injected crash before this slice's events reach the wire: the
 			// retry must replay and deliver them exactly once.
@@ -282,6 +299,7 @@ func (s *Server) runAttempt(ctx context.Context, j *job, sup *supervision) (err 
 			break // the job's own budget, not just a slice boundary
 		}
 		if ck := s.cfg.CheckpointCycles; ck > 0 && used-lastCkpt >= ck {
+			ckSpan := s.rec.Begin(j.trace, "rep.checkpoint")
 			if img, serr := m.Snapshot(); serr == nil {
 				sup.img, sup.cycles = img, used
 				lastCkpt = used
@@ -292,6 +310,10 @@ func (s *Server) runAttempt(ctx context.Context, j *job, sup *supervision) (err 
 				// A failed append costs durability, not correctness: the
 				// in-memory image above still backs in-process retries.
 				s.journal.logCheckpoint(j.id, used, img)
+				s.rec.End(ckSpan,
+					"bytes", strconv.Itoa(len(img)), "cycles", strconv.FormatUint(used, 10))
+			} else {
+				s.rec.End(ckSpan, "error", serr.Error())
 			}
 		}
 	}

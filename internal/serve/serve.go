@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"splitmem/internal/chaos"
 	"splitmem/internal/fleet"
 	"splitmem/internal/telemetry"
+	"splitmem/internal/telemetry/hostspan"
 )
 
 // Config sizes the service. Zero values select the documented defaults.
@@ -25,8 +27,8 @@ type Config struct {
 	Workers int // concurrent simulation workers (default 8)
 	Backlog int // admission queue beyond the running jobs (default 2 * Workers)
 
-	DefaultMaxCycles uint64 // per-job simulated-cycle budget when the job names none (default 200M)
-	MaxCyclesCap     uint64 // hard per-job cycle ceiling (default 4G)
+	DefaultMaxCycles uint64        // per-job simulated-cycle budget when the job names none (default 200M)
+	MaxCyclesCap     uint64        // hard per-job cycle ceiling (default 4G)
 	DefaultTimeout   time.Duration // per-job wall clock when the job names none (default 10s)
 	MaxTimeout       time.Duration // hard per-job wall-clock ceiling (default 60s)
 
@@ -48,6 +50,15 @@ type Config struct {
 	// HostChaos injects host-level faults — worker kills mid-slice, torn
 	// journal writes — for the recovery chaos cells. Zero rates disable it.
 	HostChaos chaos.HostConfig
+
+	// Host-span tracing (wall-clock job lifecycle spans, distinct from the
+	// simulated-cycle machine telemetry). On by default: every job gets a
+	// trace ID — the gateway's X-Splitmem-Trace header when present, a
+	// fresh one otherwise — and its admission, queue wait, run slices,
+	// checkpoints, and migration detach/resume land in a bounded ring
+	// served by GET /v1/traces/{id}.
+	TraceSpanCap int  // span ring capacity (0 = hostspan.DefaultCap)
+	NoTracing    bool // disable host-span tracing entirely
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +159,7 @@ type Server struct {
 
 	journal   *journal            // nil when Config.JournalPath is empty
 	hostChaos *chaos.HostInjector // nil unless Config.HostChaos has a live rate
+	rec       *hostspan.Recorder  // nil when Config.NoTracing
 
 	// serverReg holds the service gauges; jobs holds the merged per-job
 	// machine registries. jobMu serializes job merges against /metrics
@@ -177,6 +189,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.HostChaos.Enabled() {
 		s.hostChaos = chaos.NewHost(cfg.HostChaos)
+	}
+	if !cfg.NoTracing {
+		s.rec = hostspan.NewRecorder("replica:"+s.instanceID, cfg.TraceSpanCap)
 	}
 	if cfg.JournalPath != "" {
 		jn, err := openJournal(cfg.JournalPath, cfg.JournalMaxBytes, s.hostChaos)
@@ -222,9 +237,15 @@ func New(cfg Config) (*Server, error) {
 	reg("splitmem_serve_jobs_resumed_in_total", "migration resumes accepted", &s.resumedIn)
 	reg("splitmem_serve_resume_duplicates_total", "duplicate resume claims rejected", &s.resumeDups)
 
+	s.serverReg.GaugeFunc("splitmem_serve_hostspans_recorded_total", "host spans recorded into the trace ring",
+		func() float64 { return float64(s.rec.Recorded()) })
+	s.serverReg.GaugeFunc("splitmem_serve_hostspans_dropped_total", "host spans evicted from the trace ring",
+		func() float64 { return float64(s.rec.Dropped()) })
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJobsSubtree)
+	mux.HandleFunc("/v1/traces/", s.handleTraces)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
@@ -302,16 +323,24 @@ func (s *Server) resumeJournal(pending []*journalJob) {
 			s.recovering.Add(-1)
 			continue
 		}
+		// Recovered jobs get a fresh trace: the pre-crash trace died with
+		// the old ring, and the replay is a new causal episode anyway.
+		var trace string
+		if s.rec != nil {
+			trace = hostspan.NewTraceID()
+		}
 		j := &job{
 			id:     jj.ID,
 			req:    req,
 			cfg:    cfg,
 			prog:   prog,
 			ctx:    context.Background(), // the original client is long gone
+			trace:  trace,
 			resume: jj,
 			done:   make(chan struct{}),
 		}
-		s.registerLive(j.id, req.Name, jj.Body)
+		s.registerLive(j.id, req.Name, jj.Body, trace)
+		s.rec.Instant(trace, "rep.admit", "job", strconv.FormatUint(j.id, 10), "recovered", "true")
 		task := func(poolCtx context.Context) {
 			defer close(j.done)
 			s.runJob(poolCtx, j)
@@ -393,10 +422,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	liveJobs := len(s.live)
 	s.liveMu.Unlock()
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":  state,
-		"workers": s.cfg.Workers,
-		"backlog": s.cfg.Backlog,
-		"depth":   s.pool.Depth(),
+		"status":         state,
+		"workers":        s.cfg.Workers,
+		"backlog":        s.cfg.Backlog,
+		"depth":          s.pool.Depth(),
+		"build":          hostspan.Build(),
+		"uptime_seconds": time.Since(s.startTime).Seconds(),
 		// Per-replica identity: lets a cluster prober distinguish a
 		// restarted replica (new instance id, same URL) from a live one.
 		"instance": map[string]any{
@@ -420,6 +451,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"checkpoints":   s.checkpoints.Load(),
 			"restores":      s.restores.Load(),
 		},
+		"tracing": map[string]any{
+			"enabled":  s.rec != nil,
+			"spans":    s.rec.Len(),
+			"recorded": s.rec.Recorded(),
+			"dropped":  s.rec.Dropped(),
+		},
 	})
 }
 
@@ -433,6 +470,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.jobMu.Lock()
 	defer s.jobMu.Unlock()
 	s.jobs.WritePrometheus(w)
+}
+
+// handleTraces serves GET /v1/traces/{id}: every host span this replica
+// recorded under the given trace ID, as a JSON TraceDoc. The cluster
+// gateway fans this out across replicas to assemble a migrated job's
+// merged timeline.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "method-not-allowed", "GET /v1/traces/{id}", nil)
+		return
+	}
+	if s.rec == nil {
+		httpError(w, http.StatusNotFound, "tracing-disabled", "host-span tracing is disabled on this replica", nil)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusBadRequest, "bad-request", "expected /v1/traces/{id}", nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	hostspan.NewTraceDoc(id, s.rec.SpansFor(id)).WriteJSON(w)
 }
 
 // wantsStream reports whether the client asked for NDJSON streaming.
@@ -491,13 +550,26 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Trace identity: honor the gateway's X-Splitmem-Trace header so the
+	// spans this replica records can be stitched to the gateway's; mint a
+	// fresh ID for standalone submissions. Echoed back on the response so
+	// direct clients learn their trace too.
+	trace := r.Header.Get(hostspan.TraceHeader)
+	if trace == "" && s.rec != nil {
+		trace = hostspan.NewTraceID()
+	}
+	if trace != "" {
+		w.Header().Set(hostspan.TraceHeader, trace)
+	}
+
 	j := &job{
-		id:   s.nextID.Add(1),
-		req:  req,
-		cfg:  cfg,
-		prog: prog,
-		ctx:  r.Context(),
-		done: make(chan struct{}),
+		id:    s.nextID.Add(1),
+		req:   req,
+		cfg:   cfg,
+		prog:  prog,
+		ctx:   r.Context(),
+		trace: trace,
+		done:  make(chan struct{}),
 	}
 
 	stream := wantsStream(r)
@@ -513,13 +585,16 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// TrySubmit never blocks: a full backlog is load the service must shed,
 	// not hide in a growing queue.
 	s.journal.logJob(j.id, body)
-	s.registerLive(j.id, req.Name, body)
+	s.registerLive(j.id, req.Name, body, trace)
+	s.rec.Instant(trace, "rep.admit", "job", strconv.FormatUint(j.id, 10), "name", req.Name)
+	j.enqueue = s.rec.Begin(trace, "rep.enqueue-wait", "job", strconv.FormatUint(j.id, 10))
 	task := func(poolCtx context.Context) {
 		defer close(j.done)
 		s.runJob(poolCtx, j)
 	}
 	if !s.pool.TrySubmit(task) {
 		s.discardLive(j.id)
+		s.rec.End(j.enqueue, "outcome", "shed")
 		// Retire the journal record: a shed job was never acknowledged, so
 		// the next incarnation must not replay it.
 		if res, err := json.Marshal(&JobResult{ID: j.id, Reason: "shed"}); err == nil {
@@ -546,7 +621,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// The accepted line is the admission acknowledgment: everything
 		// after it is the job's own event stream, terminated by exactly one
 		// result line — even when the server drains mid-run.
-		ndj.Line(map[string]any{"type": "accepted", "id": j.id, "name": req.Name})
+		accepted := map[string]any{"type": "accepted", "id": j.id, "name": req.Name}
+		if trace != "" {
+			accepted["trace"] = trace
+		}
+		ndj.Line(accepted)
 		<-j.done
 		s.accountResult(&j.result)
 		ndj.Result(&j.result)

@@ -1,0 +1,177 @@
+package hostspan
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// TraceDoc is the JSON wire form of one trace's spans as served by the
+// /v1/traces/{id} endpoints: the replica endpoint returns its own spans,
+// the gateway endpoint returns the merged set from every process the
+// trace touched.
+type TraceDoc struct {
+	Trace string   `json:"trace"`
+	Procs []string `json:"procs,omitempty"` // distinct recording processes, first-seen order
+	Spans []Span   `json:"spans"`
+}
+
+// NewTraceDoc assembles a TraceDoc from (possibly multi-process) spans,
+// sorted by start time so the document reads causally.
+func NewTraceDoc(trace string, spans []Span) *TraceDoc {
+	SortByStart(spans)
+	doc := &TraceDoc{Trace: trace, Spans: spans}
+	seen := map[string]bool{}
+	for _, s := range spans {
+		if !seen[s.Proc] {
+			seen[s.Proc] = true
+			doc.Procs = append(doc.Procs, s.Proc)
+		}
+	}
+	if doc.Spans == nil {
+		doc.Spans = []Span{}
+	}
+	return doc
+}
+
+// WriteJSON renders the trace document.
+func (d *TraceDoc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// SortByStart orders spans by start time (ties broken by process then
+// sequence) — the causal order, given that all recording processes share
+// one host clock (true for the in-process harness and single-host
+// clusters; multi-host deployments inherit their clock skew).
+func SortByStart(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		if spans[i].Proc != spans[j].Proc {
+			return spans[i].Proc < spans[j].Proc
+		}
+		return spans[i].Seq < spans[j].Seq
+	})
+}
+
+// traceEvent is one Chrome trace_event record ("X" = complete slice,
+// "i" = instant, "M" = metadata). Mirrors the simulated-cycle exporter
+// in internal/telemetry, but timestamps are real microseconds.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds since the earliest span
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteTraceEvents renders spans — typically one trace's merged spans
+// from the gateway and every replica it visited — as a single Chrome
+// trace_event timeline loadable in Perfetto or chrome://tracing. Each
+// recording process becomes a trace "process" and each trace ID a
+// "thread" within it, so a live-migrated job renders as one causal track
+// hopping across process lanes. Timestamps are wall-clock microseconds
+// relative to the earliest span.
+func WriteTraceEvents(w io.Writer, spans []Span) error {
+	spans = append([]Span(nil), spans...)
+	SortByStart(spans)
+
+	var epoch time.Time
+	if len(spans) > 0 {
+		epoch = spans[0].Start
+	}
+	us := func(t time.Time) int64 {
+		if t.IsZero() {
+			return 0
+		}
+		return t.Sub(epoch).Microseconds()
+	}
+
+	tf := traceFile{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]traceEvent, 0, len(spans)+8),
+		OtherData: map[string]string{
+			"clock": "host wall clock (us since earliest span)",
+		},
+	}
+
+	// Stable process and trace lanes: pid per recording process, tid per
+	// trace ID, both in first-seen (already start-sorted) order.
+	pids := map[string]int{}
+	tids := map[string]int{}
+	type lane struct{ pid, tid int }
+	named := map[lane]bool{}
+	for _, s := range spans {
+		pid, ok := pids[s.Proc]
+		if !ok {
+			pid = len(pids) + 1
+			pids[s.Proc] = pid
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "process_name", Phase: "M", PID: pid,
+				Args: map[string]any{"name": s.Proc},
+			})
+		}
+		tid, ok := tids[s.Trace]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Trace] = tid
+		}
+		if ln := (lane{pid, tid}); !named[ln] {
+			named[ln] = true
+			tname := "trace " + s.Trace
+			if s.Trace == "" {
+				tname = "process events"
+			}
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": tname},
+			})
+		}
+	}
+
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: s.Name,
+			TS:   us(s.Start),
+			PID:  pids[s.Proc],
+			TID:  tids[s.Trace],
+			Cat:  "hostspan",
+			Args: map[string]any{"seq": s.Seq, "proc": s.Proc},
+		}
+		if s.Trace != "" {
+			ev.Args["trace"] = s.Trace
+		}
+		if s.Parent != 0 {
+			ev.Args["parent"] = s.Parent
+		}
+		for k, v := range s.Attrs {
+			ev.Args[k] = v
+		}
+		if s.Instant {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		} else {
+			ev.Phase = "X"
+			ev.Dur = s.Dur().Microseconds()
+			if s.End.IsZero() {
+				ev.Args["unfinished"] = true
+			}
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+	}
+
+	return json.NewEncoder(w).Encode(tf)
+}

@@ -1,0 +1,319 @@
+// Package hostspan is the wall-clock sibling of internal/telemetry's
+// simulated-cycle span ring: a goroutine-safe bounded recorder of
+// host-side lifecycle episodes across the serve/cluster tier. Where the
+// telemetry SpanBuffer answers "where do a machine's simulated cycles
+// go?", a hostspan Recorder answers "where does a job's wall-clock
+// latency go?" — admission, queueing, run slices, checkpoint writes,
+// checkpoint export, migration hops, resume, stream stitching.
+//
+// Every span carries a trace ID. The gateway mints one per client
+// submission and propagates it to replicas in the X-Splitmem-Trace
+// header, so the spans a migrated job leaves on the gateway and on every
+// replica it visited can be reassembled into one causal timeline
+// (WriteTraceEvents in export.go renders it as a single Chrome
+// trace_event file).
+//
+// All methods are nil-safe: a nil *Recorder records nothing, which is
+// how tracing is disabled without touching call sites.
+package hostspan
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a job's trace ID between
+// the gateway and its replicas (and back to the client on the response).
+const TraceHeader = "X-Splitmem-Trace"
+
+// NewTraceID mints a fresh 16-hex-digit trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Build reports the binary's build identity — module version and Go
+// toolchain — for /healthz bodies and flight-recorder dumps.
+func Build() map[string]string {
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return map[string]string{"version": version, "go": runtime.Version()}
+}
+
+// Span is one wall-clock episode of host activity.
+type Span struct {
+	Trace   string            `json:"trace,omitempty"` // "" for process-level spans (probe transitions)
+	Seq     uint64            `json:"seq"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"` // "gw.relay", "rep.run-slice", ...
+	Proc    string            `json:"proc"` // recording process ("gateway:<id>", "replica:<id>")
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end,omitempty"` // zero while open (or if evicted before End)
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Instant bool              `json:"instant,omitempty"`
+}
+
+// Dur returns the span's wall duration (0 for instants and unfinished
+// spans).
+func (s Span) Dur() time.Duration {
+	if s.Instant || s.End.IsZero() || s.End.Before(s.Start) {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// SpanID refers to an in-flight span handed out by Begin. The zero value
+// is invalid and safely ignored by End and Annotate.
+type SpanID struct {
+	slot int32
+	seq  uint64
+}
+
+// Valid reports whether the id refers to a live Begin.
+func (id SpanID) Valid() bool { return id.seq != 0 }
+
+// Recorder is a bounded, mutex-guarded ring of host spans. Once full,
+// new spans overwrite the oldest; an evicted span's End quietly no-ops.
+type Recorder struct {
+	proc string
+
+	mu       sync.Mutex
+	buf      []Span
+	pos      int
+	full     bool
+	nextSeq  uint64
+	dropped  uint64
+	recorded uint64
+}
+
+// DefaultCap is the span-ring capacity when the caller passes 0.
+const DefaultCap = 4096
+
+// NewRecorder creates a recorder for the named process holding up to
+// capacity spans (0 selects DefaultCap; minimum 64).
+func NewRecorder(proc string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	if capacity < 64 {
+		capacity = 64
+	}
+	return &Recorder{proc: proc, buf: make([]Span, capacity)}
+}
+
+// Proc returns the recorder's process identity ("" for nil).
+func (r *Recorder) Proc() string {
+	if r == nil {
+		return ""
+	}
+	return r.proc
+}
+
+// attrMap folds variadic key/value pairs into a map (nil when empty).
+func attrMap(attrs []string) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs)/2)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		m[attrs[i]] = attrs[i+1]
+	}
+	return m
+}
+
+// push appends a span to the ring. Caller holds r.mu.
+func (r *Recorder) push(s Span) int {
+	slot := r.pos
+	if r.full {
+		r.dropped++
+	}
+	r.buf[slot] = s
+	r.recorded++
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+		r.full = true
+	}
+	return slot
+}
+
+// Begin opens a span under the given trace at time.Now. attrs are
+// alternating key/value pairs. Nil-safe.
+func (r *Recorder) Begin(trace, name string, attrs ...string) SpanID {
+	return r.BeginChild(trace, name, SpanID{}, attrs...)
+}
+
+// BeginChild opens a span parented under another span from the same
+// recorder. An invalid parent produces a root span.
+func (r *Recorder) BeginChild(trace, name string, parent SpanID, attrs ...string) SpanID {
+	if r == nil {
+		return SpanID{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextSeq++
+	seq := r.nextSeq
+	slot := r.push(Span{
+		Trace:  trace,
+		Seq:    seq,
+		Parent: parent.seq,
+		Name:   name,
+		Proc:   r.proc,
+		Start:  time.Now(),
+		Attrs:  attrMap(attrs),
+	})
+	return SpanID{slot: int32(slot), seq: seq}
+}
+
+// End finishes the span at time.Now, merging any extra attrs, and
+// returns its wall duration. If the span was evicted from the ring — or
+// the id is invalid — End does nothing and returns 0.
+func (r *Recorder) End(id SpanID, attrs ...string) time.Duration {
+	if r == nil || !id.Valid() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &r.buf[id.slot]
+	if s.Seq != id.seq {
+		return 0 // evicted and overwritten
+	}
+	s.End = time.Now()
+	for i := 0; i+1 < len(attrs); i += 2 {
+		if s.Attrs == nil {
+			s.Attrs = map[string]string{}
+		}
+		s.Attrs[attrs[i]] = attrs[i+1]
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Annotate adds one attribute to an in-flight span (no-op if evicted).
+func (r *Recorder) Annotate(id SpanID, key, value string) {
+	if r == nil || !id.Valid() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &r.buf[id.slot]
+	if s.Seq != id.seq {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = map[string]string{}
+	}
+	s.Attrs[key] = value
+}
+
+// Instant records a zero-duration marker span. Nil-safe.
+func (r *Recorder) Instant(trace, name string, attrs ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextSeq++
+	now := time.Now()
+	r.push(Span{
+		Trace:   trace,
+		Seq:     r.nextSeq,
+		Name:    name,
+		Proc:    r.proc,
+		Start:   now,
+		End:     now,
+		Attrs:   attrMap(attrs),
+		Instant: true,
+	})
+}
+
+// snapshotLocked copies the ring oldest-first. Caller holds r.mu.
+func (r *Recorder) snapshotLocked() []Span {
+	if !r.full {
+		out := make([]Span, r.pos)
+		copy(out, r.buf[:r.pos])
+		return out
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	out = append(out, r.buf[:r.pos]...)
+	return out
+}
+
+// Spans returns a copy of the recorded spans, oldest first. Nil-safe.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+// SpansFor returns the recorded spans belonging to one trace, oldest
+// first. Nil-safe; an empty trace matches nothing.
+func (r *Recorder) SpansFor(trace string) []Span {
+	if r == nil || trace == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Span
+	for _, s := range r.snapshotLocked() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Tail returns up to the n most recent spans, oldest first.
+func (r *Recorder) Tail(n int) []Span {
+	all := r.Spans()
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Len returns the number of spans currently held in the ring.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.pos
+}
+
+// Recorded returns the total spans ever recorded (including evicted).
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded
+}
+
+// Dropped returns the number of spans evicted by the ring.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

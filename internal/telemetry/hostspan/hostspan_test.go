@@ -1,0 +1,167 @@
+package hostspan
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHostspanBeginEnd(t *testing.T) {
+	r := NewRecorder("gateway:test", 0)
+	id := r.Begin("tr1", "gw.relay", "replica", "r0")
+	if !id.Valid() {
+		t.Fatal("Begin returned invalid id")
+	}
+	time.Sleep(time.Millisecond)
+	if d := r.End(id, "outcome", "done"); d <= 0 {
+		t.Fatalf("End duration = %v, want > 0", d)
+	}
+	spans := r.SpansFor("tr1")
+	if len(spans) != 1 {
+		t.Fatalf("SpansFor = %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "gw.relay" || s.Proc != "gateway:test" || s.Trace != "tr1" {
+		t.Fatalf("bad span %+v", s)
+	}
+	if s.Attrs["replica"] != "r0" || s.Attrs["outcome"] != "done" {
+		t.Fatalf("attrs not merged: %v", s.Attrs)
+	}
+	if s.Dur() <= 0 {
+		t.Fatalf("Dur = %v, want > 0", s.Dur())
+	}
+}
+
+func TestHostspanRingEviction(t *testing.T) {
+	r := NewRecorder("p", 64)
+	open := r.Begin("t", "will-be-evicted")
+	for i := 0; i < 200; i++ {
+		r.Instant("t", "filler")
+	}
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", r.Len())
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("Dropped = 0 after overfilling")
+	}
+	if r.Recorded() != 201 {
+		t.Fatalf("Recorded = %d, want 201", r.Recorded())
+	}
+	// Ending an evicted span must be a harmless no-op.
+	if d := r.End(open); d != 0 {
+		t.Fatalf("End of evicted span returned %v", d)
+	}
+	r.Annotate(open, "k", "v")
+}
+
+func TestHostspanNilSafety(t *testing.T) {
+	var r *Recorder
+	id := r.Begin("t", "x")
+	if id.Valid() {
+		t.Fatal("nil recorder handed out a valid id")
+	}
+	r.End(id)
+	r.Instant("t", "x")
+	r.Annotate(id, "k", "v")
+	if r.Spans() != nil || r.SpansFor("t") != nil || r.Len() != 0 ||
+		r.Recorded() != 0 || r.Dropped() != 0 || r.Proc() != "" {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestHostspanConcurrent(t *testing.T) {
+	r := NewRecorder("p", 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := r.Begin("t", "work")
+				r.Annotate(id, "i", "x")
+				r.End(id)
+				r.Instant("t", "mark")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Recorded() != 8*100*2 {
+		t.Fatalf("Recorded = %d, want %d", r.Recorded(), 8*100*2)
+	}
+}
+
+func TestHostspanTraceIDUnique(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b || len(a) == 0 {
+		t.Fatalf("trace ids not unique: %q %q", a, b)
+	}
+}
+
+func TestHostspanBuild(t *testing.T) {
+	b := Build()
+	if b["go"] == "" || b["version"] == "" {
+		t.Fatalf("Build() missing fields: %v", b)
+	}
+}
+
+func TestHostspanChromeExportMergesProcesses(t *testing.T) {
+	gw := NewRecorder("gateway:g1", 0)
+	r0 := NewRecorder("replica:a", 0)
+	r1 := NewRecorder("replica:b", 0)
+
+	id := gw.Begin("tr", "gw.job")
+	r0.Instant("tr", "rep.admit")
+	r1.Instant("tr", "rep.admit")
+	gw.End(id)
+
+	var all []Span
+	all = append(all, gw.SpansFor("tr")...)
+	all = append(all, r0.SpansFor("tr")...)
+	all = append(all, r1.SpansFor("tr")...)
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("chrome trace does not decode: %v", err)
+	}
+	procs := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "process_name" {
+			procs[ev.Args["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"gateway:g1", "replica:a", "replica:b"} {
+		if !procs[want] {
+			t.Fatalf("merged trace missing process %q (have %v)", want, procs)
+		}
+	}
+}
+
+func TestHostspanTraceDoc(t *testing.T) {
+	r := NewRecorder("p1", 0)
+	r.Instant("tr", "b")
+	doc := NewTraceDoc("tr", r.SpansFor("tr"))
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"trace":"tr"`) {
+		t.Fatalf("doc missing trace id: %s", buf.String())
+	}
+	if len(doc.Procs) != 1 || doc.Procs[0] != "p1" {
+		t.Fatalf("procs = %v", doc.Procs)
+	}
+}
