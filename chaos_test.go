@@ -13,10 +13,10 @@ package splitmem_test
 //   - the exploit still never succeeds under split protection (observe mode
 //     excepted: it deliberately lets attacks through, though chaos may stop
 //     them earlier);
-//   - the predecode fast path stays architecturally invisible even while
-//     chaos rewrites frames, flushes TLBs and double-delivers faults: every
-//     cell also runs with the decode cache disabled and the two arms must
-//     produce identical event logs and statistics.
+//   - the host fast paths — superblock engine and predecode cache — stay
+//     architecturally invisible even while chaos rewrites frames, flushes
+//     TLBs and double-delivers faults: every cell runs on all three engine
+//     arms and they must produce identical event logs and statistics.
 
 import (
 	"fmt"
@@ -74,15 +74,20 @@ func TestChaosMatrix(t *testing.T) {
 					if resp != splitmem.Observe && r.Succeeded() {
 						t.Fatalf("exploit succeeded under %v despite split protection: %+v", resp, r)
 					}
-					// Differential arm: the same cell with the predecode
-					// fast path disabled must be indistinguishable.
-					slowCfg := cfg
-					slowCfg.NoDecodeCache = true
-					slow, err := attacks.RunScenario("miniwuftp", slowCfg)
-					if err != nil {
-						t.Fatal(err)
+					// Differential arms: the same cell on the predecode-only
+					// and pure-interpreter engines must be indistinguishable
+					// (the default run above is the superblock arm).
+					prev, prevName := r, "superblock"
+					for _, arm := range engineArms[1:] {
+						armCfg := cfg
+						arm.mut(&armCfg)
+						next, err := attacks.RunScenario("miniwuftp", armCfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						compareAttack(t, name+"/"+prevName+"-vs-"+arm.name, prev, next)
+						prev, prevName = next, arm.name
 					}
-					compareAttack(t, name, r, slow)
 				})
 			}
 		}

@@ -144,8 +144,10 @@ func render(m *splitmem.Machine, frame, topN int) {
 		rate(s.ITLBHits, s.ITLBMisses), rate(s.DTLBHits, s.DTLBMisses))
 	fmt.Printf("split: pages=%d loads code/data=%d/%d detections=%d\n",
 		s.Split.SplitPages, s.Split.CodeTLBLoads, s.Split.DataTLBLoads, s.Split.Detections)
-	fmt.Printf("decode cache: %s  invalidations=%d\n\n",
+	fmt.Printf("decode cache: %s  invalidations=%d\n",
 		rate(s.DecodeHits, s.DecodeMisses), s.DecodeInvalidations)
+	fmt.Printf("superblocks: compiled=%d entered=%d side-exits=%d invalidations=%d\n\n",
+		s.SuperblockCompiled, s.SuperblockEntered, s.SuperblockSideExits, s.SuperblockInvalidations)
 
 	fmt.Println("LATENCY (simulated cycles)        count      mean       min       max")
 	for _, h := range []struct{ label, name string }{

@@ -1,6 +1,6 @@
 package splitmem_test
 
-// CI guards for the predecode fast path.
+// CI guards for the host fast paths (predecode cache + superblock engine).
 //
 // TestFastPathNoRegression pins the deterministic side: work per simulated
 // megacycle for each fast-path workload, compared against the committed
@@ -8,11 +8,11 @@ package splitmem_test
 // and the metric is host-independent, so a >10% drop is a real throughput
 // regression in the simulated architecture, never measurement noise.
 //
-// TestFastPathSpeedupGuard checks the host side — the speedup the decode
-// cache actually buys — and is env-gated because host timing is noisy on
-// shared runners:
+// TestFastPathSpeedupGuard and TestSuperblockSpeedupGuard check the host
+// side — the speedup each engine tier actually buys — and are env-gated
+// because host timing is noisy on shared runners:
 //
-//	SPLITMEM_FASTPATH_GUARD=1 go test -run TestFastPathSpeedupGuard -v .
+//	SPLITMEM_FASTPATH_GUARD=1 go test -run 'SpeedupGuard' -v .
 
 import (
 	"encoding/json"
@@ -25,9 +25,13 @@ import (
 )
 
 // fastPathSpeedupFloor is the minimum acceptable host speedup from the
-// decode cache on the compute-bound workloads (measured ~1.9-2.1x; the
-// floor leaves headroom for slow CI hosts).
+// decode cache over the interpreter on the compute-bound workloads
+// (measured ~1.9-2.1x; the floor leaves headroom for slow CI hosts).
 const fastPathSpeedupFloor = 1.3
+
+// superblockSpeedupFloor is the minimum acceptable host speedup from the
+// superblock engine over the predecode cache on the compute-bound workloads.
+const superblockSpeedupFloor = 2.0
 
 // simThroughput runs one cataloged workload under the split engine and
 // returns its deterministic work per simulated megacycle.
@@ -81,7 +85,7 @@ func TestFastPathNoRegression(t *testing.T) {
 			continue
 		}
 		for j := range res.Figures[i].Series {
-			if s := &res.Figures[i].Series[j]; s.Name == "sim work/Mcycle (cache on)" {
+			if s := &res.Figures[i].Series[j]; s.Name == "sim work/Mcycle" {
 				golden = s
 			}
 		}
@@ -105,40 +109,62 @@ func TestFastPathNoRegression(t *testing.T) {
 	}
 }
 
-func TestFastPathSpeedupGuard(t *testing.T) {
-	if os.Getenv("SPLITMEM_FASTPATH_GUARD") == "" {
-		t.Skip("host-timing guard; set SPLITMEM_FASTPATH_GUARD=1 to run")
-	}
+// fastPathRunsByEngine runs the full ablation once and indexes the result.
+func fastPathRunsByEngine(t *testing.T) map[string]map[string]bench.FastPathRun {
+	t.Helper()
 	_, runs, err := bench.FastPath()
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow := map[string]bench.FastPathRun{}
+	byEngine := map[string]map[string]bench.FastPathRun{}
 	for _, r := range runs {
-		if !r.Cached {
-			slow[r.Workload] = r
+		if byEngine[r.Engine] == nil {
+			byEngine[r.Engine] = map[string]bench.FastPathRun{}
+		}
+		byEngine[r.Engine][r.Workload] = r
+	}
+	return byEngine
+}
+
+// guardSpeedup checks fast-vs-slow host speedups against a floor on the
+// compute-bound workloads (syscall is trap-bound and informational only).
+func guardSpeedup(t *testing.T, byEngine map[string]map[string]bench.FastPathRun, fast, slow string, floor float64) {
+	t.Helper()
+	for name, f := range byEngine[fast] {
+		s, ok := byEngine[slow][name]
+		if !ok || s.HostMIPS() == 0 {
+			t.Fatalf("%s: no %s arm", name, slow)
+		}
+		speedup := f.HostMIPS() / s.HostMIPS()
+		if name == "syscall" {
+			t.Logf("%s: %s/%s %.2fx (informational)", name, fast, slow, speedup)
+			continue
+		}
+		if speedup < floor {
+			t.Errorf("%s: %s buys only %.2fx over %s, floor %.2fx (%.1f vs %.1f MIPS)",
+				name, fast, speedup, slow, floor, f.HostMIPS(), s.HostMIPS())
+		} else {
+			t.Logf("%s: %s/%s %.2fx speedup", name, fast, slow, speedup)
 		}
 	}
-	for _, r := range runs {
-		if !r.Cached {
-			continue
-		}
-		s, ok := slow[r.Workload]
-		if !ok || s.HostMIPS() == 0 {
-			t.Fatalf("%s: no slow arm", r.Workload)
-		}
-		speedup := r.HostMIPS() / s.HostMIPS()
-		if r.Workload == "syscall" {
-			// Trap-bound, not fetch-bound: the cache helps but the floor
-			// only binds the compute workloads.
-			t.Logf("%s: %.2fx (informational)", r.Workload, speedup)
-			continue
-		}
-		if speedup < fastPathSpeedupFloor {
-			t.Errorf("%s: decode cache buys only %.2fx, floor %.2fx (%.1f vs %.1f MIPS)",
-				r.Workload, speedup, fastPathSpeedupFloor, r.HostMIPS(), s.HostMIPS())
-		} else {
-			t.Logf("%s: %.2fx speedup, %.1f%% hit rate", r.Workload, speedup, 100*r.HitRate)
+}
+
+func TestFastPathSpeedupGuard(t *testing.T) {
+	if os.Getenv("SPLITMEM_FASTPATH_GUARD") == "" {
+		t.Skip("host-timing guard; set SPLITMEM_FASTPATH_GUARD=1 to run")
+	}
+	guardSpeedup(t, fastPathRunsByEngine(t), "predecode", "interp", fastPathSpeedupFloor)
+}
+
+func TestSuperblockSpeedupGuard(t *testing.T) {
+	if os.Getenv("SPLITMEM_FASTPATH_GUARD") == "" {
+		t.Skip("host-timing guard; set SPLITMEM_FASTPATH_GUARD=1 to run")
+	}
+	byEngine := fastPathRunsByEngine(t)
+	guardSpeedup(t, byEngine, "superblock", "predecode", superblockSpeedupFloor)
+	for name, sb := range byEngine["superblock"] {
+		if name != "syscall" && sb.SBEntered == 0 {
+			t.Errorf("%s: superblock engine never entered a block — guard is vacuous", name)
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"splitmem"
 	"splitmem/internal/attacks"
+	"splitmem/internal/workloads"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_traces.json from current behaviour")
@@ -66,6 +67,36 @@ func collectGolden(t *testing.T) map[string]string {
 		}
 		got["scenario/"+sc.Key] = digest(r.EventsJSONL)
 	}
+
+	// Hot compute loop under a deliberately tiny timeslice: compiled
+	// superblocks must side-exit at every slice boundary, and the
+	// cycle-stamped event log pins that those boundaries land on exactly the
+	// cycles an interpreter-driven scheduler would pick.
+	prog, ok := workloads.Lookup("nbench")
+	if !ok {
+		t.Fatal("nbench workload missing from catalog")
+	}
+	m, err := splitmem.New(splitmem.Config{
+		Protection:    splitmem.ProtSplit,
+		Timeslice:     1000,
+		TraceSyscalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadAsm(prog.Src, prog.Name); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(40_000_000_000)
+	s := m.Stats()
+	if s.SuperblockSideExits == 0 {
+		t.Fatal("hot-loop trace took no superblock side exits — the timeslice pin is vacuous")
+	}
+	ev, err := m.EventsJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got["workload/nbench-timeslice"] = digest(ev)
 	return got
 }
 

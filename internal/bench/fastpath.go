@@ -14,6 +14,11 @@ import (
 // program where it does not.
 var fastPathWorkloads = []string{"nbench", "gzip", "syscall"}
 
+// fastPathEngines are the three execution-engine tiers, slowest first: the
+// pure interpreter, the predecode cache, and the superblock threaded-code
+// engine stacked on top of it.
+var fastPathEngines = []string{"interp", "predecode", "superblock"}
+
 // fastPathReps is how many times each configuration runs; the minimum host
 // time is reported, which is the standard way to strip scheduler noise from
 // a throughput measurement.
@@ -22,18 +27,19 @@ const fastPathReps = 3
 // FastPathRun is one measured configuration of the ablation.
 type FastPathRun struct {
 	Workload     string
-	Cached       bool
-	Cycles       uint64  // simulated cycles (must not depend on Cached)
-	Instructions uint64  // retired instructions (must not depend on Cached)
+	Engine       string  // "interp", "predecode", or "superblock"
+	Cycles       uint64  // simulated cycles (must not depend on Engine)
+	Instructions uint64  // retired instructions (must not depend on Engine)
 	Work         float64 // workload work units
 	HostNS       int64   // best-of-reps host nanoseconds
-	HitRate      float64 // decode-cache hit rate (0 when Cached is false)
+	HitRate      float64 // decode-cache hit rate (0 for the interpreter)
+	SBEntered    uint64  // superblock entries (superblock engine only)
 }
 
 // SimThroughput is the deterministic figure of merit: work per simulated
-// megacycle. It is independent of the host machine AND of the decode cache
-// (the cache is architecturally invisible), so it is the value the CI
-// regression guard pins.
+// megacycle. It is independent of the host machine AND of the engine tier
+// (both fast paths are architecturally invisible), so it is the value the
+// CI regression guard pins.
 func (r FastPathRun) SimThroughput() float64 {
 	if r.Cycles == 0 {
 		return 0
@@ -49,19 +55,34 @@ func (r FastPathRun) HostMIPS() float64 {
 	return float64(r.Instructions) * 1e3 / float64(r.HostNS)
 }
 
-// measureFastPath runs one workload under one cache setting fastPathReps
-// times and keeps the fastest host time.
-func measureFastPath(name string, cached bool) (FastPathRun, error) {
+// engineConfig maps an engine tier onto the public config switches.
+func engineConfig(engine string, cfg *splitmem.Config) error {
+	switch engine {
+	case "interp":
+		cfg.NoDecodeCache, cfg.NoSuperblocks = true, true
+	case "predecode":
+		cfg.NoSuperblocks = true
+	case "superblock":
+	default:
+		return fmt.Errorf("fastpath: unknown engine %q", engine)
+	}
+	return nil
+}
+
+// measureFastPath runs one workload on one engine tier fastPathReps times
+// and keeps the fastest host time.
+func measureFastPath(name, engine string) (FastPathRun, error) {
 	prog, ok := workloads.Lookup(name)
 	if !ok {
 		return FastPathRun{}, fmt.Errorf("fastpath: unknown workload %q", name)
 	}
-	run := FastPathRun{Workload: name, Cached: cached}
+	run := FastPathRun{Workload: name, Engine: engine}
 	for rep := 0; rep < fastPathReps; rep++ {
-		m, err := splitmem.New(splitmem.Config{
-			Protection:    splitmem.ProtSplit,
-			NoDecodeCache: !cached,
-		})
+		cfg := splitmem.Config{Protection: splitmem.ProtSplit}
+		if err := engineConfig(engine, &cfg); err != nil {
+			return run, err
+		}
+		m, err := splitmem.New(cfg)
 		if err != nil {
 			return run, err
 		}
@@ -77,7 +98,7 @@ func measureFastPath(name string, cached bool) (FastPathRun, error) {
 		res := m.Run(40_000_000_000)
 		host := time.Since(t0).Nanoseconds()
 		if res.Reason != splitmem.ReasonAllDone {
-			return run, fmt.Errorf("fastpath %s: stopped: %v", name, res.Reason)
+			return run, fmt.Errorf("fastpath %s/%s: stopped: %v", name, engine, res.Reason)
 		}
 		s := m.Stats()
 		if rep == 0 {
@@ -85,11 +106,12 @@ func measureFastPath(name string, cached bool) (FastPathRun, error) {
 			if hm := s.DecodeHits + s.DecodeMisses; hm > 0 {
 				run.HitRate = float64(s.DecodeHits) / float64(hm)
 			}
+			run.SBEntered = s.SuperblockEntered
 			run.HostNS = host
 		} else {
 			if s.Cycles != run.Cycles || s.Instructions != run.Instructions {
-				return run, fmt.Errorf("fastpath %s: nondeterministic run (cycles %d vs %d)",
-					name, s.Cycles, run.Cycles)
+				return run, fmt.Errorf("fastpath %s/%s: nondeterministic run (cycles %d vs %d)",
+					name, engine, s.Cycles, run.Cycles)
 			}
 			if host < run.HostNS {
 				run.HostNS = host
@@ -99,76 +121,92 @@ func measureFastPath(name string, cached bool) (FastPathRun, error) {
 	return run, nil
 }
 
-// FastPath measures the predecode-cache ablation: every workload runs under
-// the split engine with the cache off and on. The simulated side (cycles,
-// instructions) must be bit-identical across the pair — that invariant is
-// enforced here, not just documented — while the host side reports the
-// speedup the cache buys.
+// FastPath measures the engine ablation: every workload runs under the
+// split engine on all three tiers — interpreter, predecode cache, superblock
+// engine. The simulated side (cycles, instructions) must be bit-identical
+// across the triple — that invariant is enforced here, not just documented —
+// while the host side reports the speedup each tier buys.
 func FastPath() (*Table, []FastPathRun, error) {
 	t := &Table{
-		Title:  "Fast path: predecode-cache ablation (split engine)",
-		Header: []string{"workload", "Mcycles", "work/Mcycle", "slow MIPS", "fast MIPS", "speedup", "hit rate"},
+		Title:  "Fast path: engine ablation (split engine)",
+		Header: []string{"workload", "Mcycles", "work/Mcycle", "interp MIPS", "predecode MIPS", "superblock MIPS", "sb/interp", "sb/predec", "hit rate"},
 		Notes: []string{
-			"simulated cycles and retired instructions are bit-identical with the cache on and off (enforced)",
+			"simulated cycles and retired instructions are bit-identical across all three engines (enforced)",
 			"MIPS = retired guest instructions per host second / 1e6; best of " +
 				fmt.Sprint(fastPathReps) + " runs",
 		},
 	}
 	var runs []FastPathRun
 	for _, name := range fastPathWorkloads {
-		slow, err := measureFastPath(name, false)
-		if err != nil {
-			return nil, nil, err
+		var triple [3]FastPathRun
+		for i, engine := range fastPathEngines {
+			r, err := measureFastPath(name, engine)
+			if err != nil {
+				return nil, nil, err
+			}
+			if i > 0 && (r.Cycles != triple[0].Cycles || r.Instructions != triple[0].Instructions) {
+				return nil, nil, fmt.Errorf(
+					"fastpath %s: engine %s changed the architecture: cycles %d vs %d, instrs %d vs %d",
+					name, engine, r.Cycles, triple[0].Cycles, r.Instructions, triple[0].Instructions)
+			}
+			triple[i] = r
 		}
-		fast, err := measureFastPath(name, true)
-		if err != nil {
-			return nil, nil, err
+		if triple[2].SBEntered == 0 {
+			return nil, nil, fmt.Errorf("fastpath %s: superblock engine never entered a block", name)
 		}
-		if slow.Cycles != fast.Cycles || slow.Instructions != fast.Instructions {
-			return nil, nil, fmt.Errorf(
-				"fastpath %s: cache changed the architecture: cycles %d vs %d, instrs %d vs %d",
-				name, slow.Cycles, fast.Cycles, slow.Instructions, fast.Instructions)
-		}
-		runs = append(runs, slow, fast)
+		runs = append(runs, triple[:]...)
+		interp, predec, sb := triple[0], triple[1], triple[2]
 		t.Rows = append(t.Rows, []string{
 			name,
-			fmt.Sprintf("%.1f", float64(fast.Cycles)/1e6),
-			fmt.Sprintf("%.2f", fast.SimThroughput()),
-			fmt.Sprintf("%.1f", slow.HostMIPS()),
-			fmt.Sprintf("%.1f", fast.HostMIPS()),
-			fmt.Sprintf("%.2fx", fast.HostMIPS()/slow.HostMIPS()),
-			fmt.Sprintf("%.1f%%", 100*fast.HitRate),
+			fmt.Sprintf("%.1f", float64(sb.Cycles)/1e6),
+			fmt.Sprintf("%.2f", sb.SimThroughput()),
+			fmt.Sprintf("%.1f", interp.HostMIPS()),
+			fmt.Sprintf("%.1f", predec.HostMIPS()),
+			fmt.Sprintf("%.1f", sb.HostMIPS()),
+			fmt.Sprintf("%.2fx", sb.HostMIPS()/interp.HostMIPS()),
+			fmt.Sprintf("%.2fx", sb.HostMIPS()/predec.HostMIPS()),
+			fmt.Sprintf("%.1f%%", 100*sb.HitRate),
 		})
 	}
 	return t, runs, nil
 }
 
 // FastPathSimFigure renders the deterministic side of the ablation —
-// simulated work per megacycle, per workload, cache on — as the figure the
-// CI perf guard pins against the committed BENCH_results.json: the values
-// are host-independent, so any drift is a real simulator regression, never
-// noise. The host speedup is a second, same-host-relative series.
+// simulated work per megacycle, per workload — as the figure the CI perf
+// guard pins against the committed BENCH_results.json: the values are
+// host-independent, so any drift is a real simulator regression, never
+// noise. The host speedups are second and third, same-host-relative series.
 func FastPathSimFigure(runs []FastPathRun) *Figure {
-	sim := Series{Name: "sim work/Mcycle (cache on)"}
-	speedup := Series{Name: "host speedup (on/off)"}
-	byName := map[string]*FastPathRun{}
-	for i := range runs {
-		r := &runs[i]
-		if r.Cached {
-			sim.Labels = append(sim.Labels, r.Workload)
-			sim.Values = append(sim.Values, r.SimThroughput())
-			if slow := byName[r.Workload]; slow != nil && slow.HostMIPS() > 0 {
-				speedup.Labels = append(speedup.Labels, r.Workload)
-				speedup.Values = append(speedup.Values, r.HostMIPS()/slow.HostMIPS())
-			}
-		} else {
-			byName[r.Workload] = r
+	sim := Series{Name: "sim work/Mcycle"}
+	sbVsInterp := Series{Name: "host speedup (superblock/interp)"}
+	sbVsPredec := Series{Name: "host speedup (superblock/predecode)"}
+	byEngine := map[string]map[string]FastPathRun{}
+	for _, r := range runs {
+		if byEngine[r.Engine] == nil {
+			byEngine[r.Engine] = map[string]FastPathRun{}
+		}
+		byEngine[r.Engine][r.Workload] = r
+	}
+	for _, name := range fastPathWorkloads {
+		sb, ok := byEngine["superblock"][name]
+		if !ok {
+			continue
+		}
+		sim.Labels = append(sim.Labels, name)
+		sim.Values = append(sim.Values, sb.SimThroughput())
+		if interp, ok := byEngine["interp"][name]; ok && interp.HostMIPS() > 0 {
+			sbVsInterp.Labels = append(sbVsInterp.Labels, name)
+			sbVsInterp.Values = append(sbVsInterp.Values, sb.HostMIPS()/interp.HostMIPS())
+		}
+		if predec, ok := byEngine["predecode"][name]; ok && predec.HostMIPS() > 0 {
+			sbVsPredec.Labels = append(sbVsPredec.Labels, name)
+			sbVsPredec.Values = append(sbVsPredec.Values, sb.HostMIPS()/predec.HostMIPS())
 		}
 	}
 	return &Figure{
-		Title:  "Fast path: deterministic throughput + host speedup",
+		Title:  "Fast path: deterministic throughput + host speedups",
 		YLabel: "work/Mcycle; speedup ratio",
-		Series: []Series{sim, speedup},
+		Series: []Series{sim, sbVsInterp, sbVsPredec},
 		Notes: []string{
 			"the sim series is deterministic and guarded by TestFastPathNoRegression (>10% drop fails CI)",
 		},

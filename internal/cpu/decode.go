@@ -94,24 +94,30 @@ func (m *Machine) decodeFill(pa uint32, in isa.Instr) {
 	df.ins[off] = in
 }
 
-// DropDecodeFrame discards any cached decodings of physical frame f. The
-// split engine calls it at every PTE re-restriction so the fast path can
-// never outlive the trap points Algorithms 1-2 depend on; it is also the
-// hook for any future path that changes what a frame means without writing
-// to it. No-op when the decode cache is disabled.
+// DropDecodeFrame discards any cached decodings — and compiled superblocks —
+// of physical frame f. The split engine calls it at every PTE re-restriction
+// so the fast paths can never outlive the trap points Algorithms 1-2 depend
+// on; it is also the hook for any future path that changes what a frame
+// means without writing to it. No-op when both fast paths are disabled.
 func (m *Machine) DropDecodeFrame(f uint32) {
-	if int(f) >= len(m.dec) || m.dec[f] == nil {
-		return
+	if int(f) < len(m.dec) && m.dec[f] != nil {
+		m.dec[f] = nil
+		m.Stats.DecodeInvalidations++
 	}
-	m.dec[f] = nil
-	m.Stats.DecodeInvalidations++
+	if int(f) < len(m.sb) && m.sb[f] != nil {
+		if m.sb[f].nblocks > 0 {
+			m.Stats.SuperblockInvalidations++
+		}
+		m.sb[f] = nil
+	}
 }
 
-// InvalidateDecode discards the entire decode cache by advancing the decode
-// epoch. Called on TLB flushes and invlpg shootdowns; cheap (the per-frame
-// caches are lazily restamped on their next fetch).
+// InvalidateDecode discards the entire decode cache and every compiled
+// superblock by advancing the shared decode epoch. Called on TLB flushes and
+// invlpg shootdowns; cheap (the per-frame state is lazily restamped on its
+// next fetch).
 func (m *Machine) InvalidateDecode() {
-	if m.dec == nil {
+	if m.dec == nil && m.sb == nil {
 		return
 	}
 	m.decEpoch++

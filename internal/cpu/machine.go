@@ -147,9 +147,10 @@ type TrapHandler interface {
 	DivideError() Action
 }
 
-// Stats aggregates architectural event counts. The Decode* fields count
-// host-side predecode-cache activity (see decode.go); they are the only
-// counters the fast path is allowed to change relative to a slow-path run.
+// Stats aggregates architectural event counts. The Decode* and Superblock*
+// fields count host-side fast-path activity (see decode.go, superblock.go);
+// they are the only counters the fast paths are allowed to change relative
+// to a slow-path run.
 type Stats struct {
 	Instructions uint64
 	DataAccesses uint64
@@ -162,6 +163,11 @@ type Stats struct {
 	DecodeHits          uint64 // fetches served from the predecode cache
 	DecodeMisses        uint64 // fetches that took the full decode path
 	DecodeInvalidations uint64 // cached frames discarded (gen/epoch/drop)
+
+	SuperblockCompiled      uint64 // hot regions compiled into superblocks
+	SuperblockEntered       uint64 // superblock dispatch-loop entries
+	SuperblockSideExits     uint64 // blocks left before their terminal op completed
+	SuperblockInvalidations uint64 // frames whose compiled blocks were discarded
 }
 
 // Machine is one simulated S86 processor with its physical memory and TLBs.
@@ -193,14 +199,29 @@ type Machine struct {
 	// trap paths only — never on the instruction hot loop.
 	Tel *Telemetry
 
+	// Preempt, when non-nil, is the kernel's forced-preemption draw
+	// (chaos.ForcePreempt), installed so the superblock engine can consume
+	// the between-instruction draw in-block with the exact per-instruction
+	// cadence the interpreter loop produces. See TakePreemptDraw.
+	Preempt func() bool
+
 	pt      *paging.Table
 	handler TrapHandler
 
 	// Predecoded-instruction cache (decode.go). dec is nil when the fast
 	// path is disabled; indexed by physical frame number. decEpoch is the
-	// global invalidation stamp bumped on TLB flushes and shootdowns.
+	// global invalidation stamp bumped on TLB flushes and shootdowns,
+	// shared with the superblock engine.
 	dec      []*decFrame
 	decEpoch uint64
+
+	// Superblock engine (superblock.go). sb is nil when disabled; indexed
+	// by physical frame number.
+	sb       []*sbFrame
+	sliceEnd uint64 // scheduler's timeslice bound, for in-block side-exits
+	sbPF     *PageFault
+	sbDrawDone    bool // the last Step consumed the kernel's preempt draw
+	sbDrawPreempt bool // ... and the draw said to preempt
 }
 
 // Telemetry is the set of metric instruments the machine feeds when
@@ -247,6 +268,14 @@ func (m *Machine) RegisterTelemetry(r *telemetry.Registry) {
 		func() float64 { return float64(m.Stats.DecodeMisses) })
 	r.GaugeFunc("splitmem_cpu_decode_invalidations_total", "predecode-cache frames discarded",
 		func() float64 { return float64(m.Stats.DecodeInvalidations) })
+	r.GaugeFunc("splitmem_cpu_superblock_compiled_total", "hot regions compiled into superblocks",
+		func() float64 { return float64(m.Stats.SuperblockCompiled) })
+	r.GaugeFunc("splitmem_cpu_superblock_entered_total", "superblock dispatch-loop entries",
+		func() float64 { return float64(m.Stats.SuperblockEntered) })
+	r.GaugeFunc("splitmem_cpu_superblock_side_exits_total", "superblocks left before their terminal op",
+		func() float64 { return float64(m.Stats.SuperblockSideExits) })
+	r.GaugeFunc("splitmem_cpu_superblock_invalidations_total", "frames whose compiled superblocks were discarded",
+		func() float64 { return float64(m.Stats.SuperblockInvalidations) })
 	m.ITLB.RegisterTelemetry(r, "splitmem_itlb")
 	m.DTLB.RegisterTelemetry(r, "splitmem_dtlb")
 	m.Phys.RegisterTelemetry(r)
@@ -261,6 +290,9 @@ type Config struct {
 	NXEnabled bool      // model hardware with the execute-disable bit
 	// DecodeCache enables the predecoded-instruction fast path (decode.go).
 	DecodeCache bool
+	// Superblocks enables the superblock threaded-code engine
+	// (superblock.go), the tier above the predecode cache.
+	Superblocks bool
 }
 
 // New creates a machine. The trap handler must be installed with SetHandler
@@ -292,7 +324,28 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.DecodeCache {
 		m.dec = make([]*decFrame, phys.NumFrames())
 	}
+	if cfg.Superblocks {
+		m.sb = make([]*sbFrame, phys.NumFrames())
+	}
 	return m, nil
+}
+
+// SetSliceEnd publishes the scheduler's current timeslice bound (in absolute
+// cycles). The superblock engine side-exits a block as soon as the bound is
+// reached, reproducing the kernel's between-Step cycle check; the kernel
+// calls this once per slice. The zero default makes blocks retire at most
+// one instruction, which keeps raw Step users exact without scheduling.
+func (m *Machine) SetSliceEnd(end uint64) { m.sliceEnd = end }
+
+// TakePreemptDraw reports (and clears) whether the superblock engine
+// consumed the kernel's post-Step forced-preemption draw during the last
+// Step, and what the draw decided. The kernel loop calls it after every
+// Step: when drawn is true it must not draw again for that instruction —
+// the draw stream stays aligned with an interpreter-only run.
+func (m *Machine) TakePreemptDraw() (drawn, preempt bool) {
+	drawn, preempt = m.sbDrawDone, m.sbDrawPreempt
+	m.sbDrawDone, m.sbDrawPreempt = false, false
+	return drawn, preempt
 }
 
 // SetHandler installs the trap handler (the kernel).
@@ -421,10 +474,11 @@ func (m *Machine) faultCode(acc Access, present bool) uint32 {
 
 // EncodeState serializes the processor core: register file, CR2, the cycle
 // counter and the architectural statistics. Physical memory, the TLBs and the
-// pagetable are serialized by their owners; the predecode cache is
-// deliberately absent (host-side only, rebuilt cold after restore — the
-// differential oracle proves it architecturally invisible, and its counters
-// are already the only Stats fields the oracle scrubs).
+// pagetable are serialized by their owners; the predecode cache and the
+// compiled superblocks are deliberately absent (host-side only, rebuilt cold
+// after restore — the differential oracle proves them architecturally
+// invisible, and their counters are already the only Stats fields the
+// oracle scrubs).
 func (m *Machine) EncodeState(w *snapshot.Writer) {
 	for _, r := range m.Ctx.R {
 		w.U32(r)
@@ -447,6 +501,10 @@ func (m *Machine) EncodeState(w *snapshot.Writer) {
 	w.U64(m.Stats.DecodeHits)
 	w.U64(m.Stats.DecodeMisses)
 	w.U64(m.Stats.DecodeInvalidations)
+	w.U64(m.Stats.SuperblockCompiled)
+	w.U64(m.Stats.SuperblockEntered)
+	w.U64(m.Stats.SuperblockSideExits)
+	w.U64(m.Stats.SuperblockInvalidations)
 }
 
 // DecodeState restores state serialized by EncodeState.
@@ -472,6 +530,10 @@ func (m *Machine) DecodeState(r *snapshot.Reader) error {
 	m.Stats.DecodeHits = r.U64()
 	m.Stats.DecodeMisses = r.U64()
 	m.Stats.DecodeInvalidations = r.U64()
+	m.Stats.SuperblockCompiled = r.U64()
+	m.Stats.SuperblockEntered = r.U64()
+	m.Stats.SuperblockSideExits = r.U64()
+	m.Stats.SuperblockInvalidations = r.U64()
 	return r.Err()
 }
 

@@ -18,7 +18,9 @@ const (
 	StepStopped
 )
 
-// Step executes (or attempts) one instruction of the current context.
+// Step executes (or attempts) one instruction of the current context — or,
+// when the fetch lands on a hot compiled superblock, a straight-line run of
+// instructions with identical architectural effects (see superblock.go).
 //
 // Faulting instructions have no architectural side effects: the register
 // file is restored to its pre-instruction state before the fault handler
@@ -28,10 +30,30 @@ func (m *Machine) Step() StepResult {
 	if m.Chaos != nil {
 		m.Chaos.PreStep(m)
 	}
-	saved := m.Ctx
-	tfAtStart := m.Ctx.Flags.TF
+	return m.stepRetire()
+}
 
-	in, pf, undef := m.fetch()
+// stepRetire is Step without the chaos pre-step hook (which must run exactly
+// once per retired instruction: the superblock engine re-invokes this after
+// running the hook itself on an in-block stale bail-out).
+func (m *Machine) stepRetire() StepResult {
+	saved := m.Ctx
+	pa, pf := m.Translate(m.Ctx.EIP, AccFetch)
+	if pf != nil {
+		return m.raisePF(pf)
+	}
+	if m.sb != nil && !m.Ctx.Flags.TF {
+		if res, entered := m.sbExec(pa); entered {
+			return res
+		}
+	}
+	return m.stepAt(pa, saved, m.Ctx.Flags.TF)
+}
+
+// stepAt interprets the single instruction whose first byte lives at
+// physical address pa (the already-performed fetch translation of EIP).
+func (m *Machine) stepAt(pa uint32, saved Context, tfAtStart bool) StepResult {
+	in, pf, undef := m.fetchAt(pa)
 	if pf != nil {
 		m.Ctx = saved
 		return m.raisePF(pf)
@@ -119,19 +141,17 @@ func (m *Machine) deliverPF(pf *PageFault) Action {
 	return act
 }
 
-// fetch reads and decodes the instruction at EIP. undef is true when the
+// fetchAt reads and decodes the instruction at EIP, whose first byte the
+// caller already translated to physical address pa. undef is true when the
 // bytes do not form a defined instruction (#UD).
 //
-// The translation always runs — ITLB fills, walk costs, and fetch faults
-// are architectural — but the byte reads and decode are skipped when the
-// predecode cache holds a current entry for the physical address (see
-// decode.go for the coherence rules).
-func (m *Machine) fetch() (isa.Instr, *PageFault, bool) {
+// The entry translation always runs in the caller — ITLB fills, walk costs,
+// and fetch faults are architectural — but the byte reads and decode are
+// skipped when the predecode cache holds a current entry for the physical
+// address (see decode.go for the coherence rules).
+func (m *Machine) fetchAt(pa uint32) (isa.Instr, *PageFault, bool) {
 	var buf [isa.MaxInstrLen]byte
-	pa, pf := m.Translate(m.Ctx.EIP, AccFetch)
-	if pf != nil {
-		return isa.Instr{}, pf, false
-	}
+	var pf *PageFault
 	if m.dec != nil {
 		if in, ok := m.decodeLookup(pa); ok {
 			m.Stats.DecodeHits++

@@ -263,6 +263,12 @@ func New(cfg Config) (*Kernel, error) {
 		k.prot = Unprotected{}
 	}
 	k.m.SetHandler(k)
+	if cfg.Chaos != nil {
+		// Hand the forced-preemption draw to the machine so the superblock
+		// engine can consume it between in-block instructions with the same
+		// per-instruction cadence the scheduler loop produces.
+		k.m.Preempt = cfg.Chaos.ForcePreempt
+	}
 	// Contained physical-memory faults (allocator misuse, out-of-range frame
 	// access) surface in the event log as machine checks.
 	k.m.Phys.FaultHook = func(err error) {

@@ -113,14 +113,24 @@ func (k *Kernel) RunContext(ctx context.Context, maxCycles uint64) (res RunResul
 		if sliceEnd > deadline {
 			sliceEnd = deadline
 		}
+		// Publish the bound so the superblock engine can side-exit compiled
+		// blocks at exactly the cycle this loop would stop stepping.
+		k.m.SetSliceEnd(sliceEnd)
 		for p.state == stateRunnable && k.m.Cycles < sliceEnd {
 			if k.m.Step() == cpu.StepStopped {
 				break
 			}
 			// Chaos: forced timeslice expiry, checked only after the process
 			// has made at least one step of progress so a high Preempt rate
-			// degrades into a context-switch storm, never a livelock.
-			if k.cfg.Chaos != nil && k.cfg.Chaos.ForcePreempt() {
+			// degrades into a context-switch storm, never a livelock. When a
+			// superblock consumed this instruction's draw in-block, honor its
+			// verdict instead of drawing again — the draw stream must stay
+			// aligned with an interpreter-only run.
+			if drawn, preempt := k.m.TakePreemptDraw(); drawn {
+				if preempt {
+					break
+				}
+			} else if k.cfg.Chaos != nil && k.cfg.Chaos.ForcePreempt() {
 				break
 			}
 		}

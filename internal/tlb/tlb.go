@@ -72,6 +72,27 @@ func (t *TLB) Lookup(vpn uint32) (Entry, bool) {
 	return Entry{}, false
 }
 
+// Slot returns the index of the slot currently caching vpn without touching
+// LRU state or statistics. It is the superblock engine's entry-pinning port:
+// the engine resolves the slot once per block entry (whose Lookup already
+// ran) and replays per-instruction hits through TouchSlot.
+func (t *TLB) Slot(vpn uint32) (int, bool) {
+	i, ok := t.index[vpn]
+	return i, ok
+}
+
+// TouchSlot replays the architectural bookkeeping of a Lookup hit on slot i:
+// the LRU tick advances, the slot becomes most-recently-used, and the hit
+// counter increments. Repeated touches of one entry leave every other
+// entry's relative LRU order unchanged, so N touches produce TLB state
+// bit-identical to N Lookups of the same vpn.
+func (t *TLB) TouchSlot(i int) {
+	s := &t.slots[i]
+	t.tick++
+	s.used = t.tick
+	t.hits++
+}
+
 // Probe is like Lookup but does not update LRU state or statistics. It is a
 // test/introspection helper (real hardware has no such port; the kernel
 // never uses it).

@@ -1,16 +1,18 @@
 package splitmem_test
 
-// The differential-execution oracle: the predecode cache (the machine's
-// host-side fast path) must be architecturally invisible. Every workload,
-// every attack form of the extended Wilander grid, and every real-world
-// scenario is executed twice — fast path on and off — and the two runs must
-// agree on EVERYTHING the architecture defines: the full retired-instruction
-// stream (EIP + decoded fields, hashed online), simulated cycles, kernel
-// event log bytes, exit status, and every statistic except the decode-cache
-// counters themselves (the only host-side-only numbers in Stats).
+// The differential-execution oracle: the machine's host-side fast paths —
+// the predecode cache and the superblock threaded-code engine — must be
+// architecturally invisible. Every workload, every attack form of the
+// extended Wilander grid, and every real-world scenario is executed by THREE
+// engine arms (superblocks + predecode, predecode only, pure interpreter)
+// and all arms must agree pairwise on EVERYTHING the architecture defines:
+// the full retired-instruction stream (EIP + decoded fields, hashed online),
+// simulated cycles, kernel event log bytes, exit status, and every statistic
+// except the Decode*/Superblock* counters themselves (the only
+// host-side-only numbers in Stats).
 //
 // The simulator is deterministic, so any divergence is a real coherence bug
-// in the fast path, never noise.
+// in a fast path, never noise.
 
 import (
 	"bytes"
@@ -24,11 +26,53 @@ import (
 	"splitmem/internal/workloads"
 )
 
-// scrubDecode zeroes the host-side decode-cache counters, the only Stats
-// fields allowed to differ between the two arms.
+// scrubDecode zeroes the host-side acceleration counters — decode cache and
+// superblock engine — the only Stats fields allowed to differ between arms.
 func scrubDecode(s splitmem.Stats) splitmem.Stats {
 	s.DecodeHits, s.DecodeMisses, s.DecodeInvalidations = 0, 0, 0
+	s.SuperblockCompiled, s.SuperblockEntered = 0, 0
+	s.SuperblockSideExits, s.SuperblockInvalidations = 0, 0
 	return s
+}
+
+// engineArm names one execution-engine configuration of the oracle.
+type engineArm struct {
+	name string
+	mut  func(*splitmem.Config)
+}
+
+// engineArms: the three arms, fastest first. Pairwise comparison of
+// consecutive arms covers all pairs transitively.
+var engineArms = []engineArm{
+	{"superblock", func(*splitmem.Config) {}},
+	{"predecode", func(c *splitmem.Config) { c.NoSuperblocks = true }},
+	{"interp", func(c *splitmem.Config) { c.NoSuperblocks, c.NoDecodeCache = true, true }},
+}
+
+// checkArmVacuity proves each arm really ran on its intended engine: the
+// superblock arm must have entered compiled blocks, the predecode arm must
+// have hit the decode cache without superblocks, and the interpreter arm must
+// have used neither.
+func checkArmVacuity(t *testing.T, arm string, s splitmem.Stats) {
+	t.Helper()
+	switch arm {
+	case "superblock":
+		if s.SuperblockEntered == 0 {
+			t.Error("superblock arm never entered a compiled block — oracle is vacuous")
+		}
+	case "predecode":
+		if s.SuperblockEntered != 0 {
+			t.Error("predecode arm entered a superblock — oracle is vacuous")
+		}
+		if s.DecodeHits == 0 {
+			t.Error("predecode arm never hit the decode cache — oracle is vacuous")
+		}
+	case "interp":
+		if s.SuperblockEntered != 0 || s.DecodeHits != 0 {
+			t.Errorf("interpreter arm used a fast path (sb %d, decode %d) — oracle is vacuous",
+				s.SuperblockEntered, s.DecodeHits)
+		}
+	}
 }
 
 // traceHash folds one retired instruction into an FNV-1a style running
@@ -52,9 +96,9 @@ type workloadDigest struct {
 	reason     splitmem.StopReason
 	exited     bool
 	status     int
-	stats      splitmem.Stats
-	events     []byte
-	decodeHits uint64 // not compared; proves the fast arm was really fast
+	stats  splitmem.Stats
+	events []byte
+	raw    splitmem.Stats // unscrubbed; not compared, proves arm vacuity
 }
 
 func runWorkload(t *testing.T, prog workloads.Program, cfg splitmem.Config) workloadDigest {
@@ -79,7 +123,7 @@ func runWorkload(t *testing.T, prog workloads.Program, cfg splitmem.Config) work
 	d.reason = res.Reason
 	d.exited, d.status = p.Exited()
 	s := m.Stats()
-	d.decodeHits = s.DecodeHits
+	d.raw = s
 	d.stats = scrubDecode(s)
 	d.retired = s.Instructions
 	d.cycles = s.Cycles
@@ -112,7 +156,7 @@ func compareDigests(t *testing.T, name string, fast, slow workloadDigest) {
 }
 
 // TestOracleWorkloads: every cataloged workload under every protection
-// policy, fast vs slow.
+// policy, all three engine arms pairwise.
 func TestOracleWorkloads(t *testing.T) {
 	if testing.Short() {
 		t.Skip("oracle sweep is broad")
@@ -124,16 +168,16 @@ func TestOracleWorkloads(t *testing.T) {
 		for _, prot := range prots {
 			prog, prot := prog, prot
 			t.Run(fmt.Sprintf("%s/%v", prog.Name, prot), func(t *testing.T) {
-				cfg := splitmem.Config{Protection: prot}
-				fast := runWorkload(t, prog, cfg)
-				cfg.NoDecodeCache = true
-				slow := runWorkload(t, prog, cfg)
-				compareDigests(t, prog.Name, fast, slow)
-				if fast.decodeHits == 0 {
-					t.Error("fast arm never hit the decode cache — oracle is vacuous")
+				digests := make([]workloadDigest, len(engineArms))
+				for i, arm := range engineArms {
+					cfg := splitmem.Config{Protection: prot}
+					arm.mut(&cfg)
+					digests[i] = runWorkload(t, prog, cfg)
+					checkArmVacuity(t, arm.name, digests[i].raw)
 				}
-				if slow.decodeHits != 0 {
-					t.Error("slow arm used the decode cache — oracle is vacuous")
+				for i := 1; i < len(engineArms); i++ {
+					pair := engineArms[i-1].name + "-vs-" + engineArms[i].name
+					compareDigests(t, prog.Name+"/"+pair, digests[i-1], digests[i])
 				}
 			})
 		}
@@ -301,10 +345,10 @@ func compareAttack(t *testing.T, name string, fast, slow attacks.Result) {
 }
 
 // TestOracleWilanderGrid: all techniques x all injection segments (the
-// paper's Table 1 benchmark, extended), fast vs slow, under both split
-// deployments. The detection event — kind, EIP, dumped shellcode bytes —
-// must be byte-for-byte identical: detection happens at the unique fetch of
-// the first injected instruction, and the fast path must not move it.
+// paper's Table 1 benchmark, extended), all three engine arms, under both
+// split deployments. The detection event — kind, EIP, dumped shellcode
+// bytes — must be byte-for-byte identical: detection happens at the unique
+// fetch of the first injected instruction, and no fast path may move it.
 func TestOracleWilanderGrid(t *testing.T) {
 	if testing.Short() {
 		t.Skip("oracle sweep is broad")
@@ -312,36 +356,52 @@ func TestOracleWilanderGrid(t *testing.T) {
 	for _, prot := range []splitmem.Protection{splitmem.ProtSplit, splitmem.ProtSplitNX} {
 		prot := prot
 		t.Run(prot.String(), func(t *testing.T) {
-			fastCells, err := attacks.RunExtendedWilander(splitmem.Config{Protection: prot})
-			if err != nil {
-				t.Fatal(err)
-			}
-			slowCells, err := attacks.RunExtendedWilander(splitmem.Config{
-				Protection: prot, NoDecodeCache: true,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(fastCells) != len(slowCells) {
-				t.Fatalf("cell counts diverge: %d vs %d", len(fastCells), len(slowCells))
-			}
-			for i := range fastCells {
-				f, s := fastCells[i], slowCells[i]
-				if f.Tech != s.Tech || f.Seg != s.Seg || f.NA != s.NA {
-					t.Fatalf("grid order diverged at %d", i)
+			grids := make([][]attacks.CellResult, len(engineArms))
+			for i, arm := range engineArms {
+				cfg := splitmem.Config{Protection: prot}
+				arm.mut(&cfg)
+				cells, err := attacks.RunExtendedWilander(cfg)
+				if err != nil {
+					t.Fatal(err)
 				}
-				if f.NA {
-					continue
+				grids[i] = cells
+				// Vacuity over the aggregate grid: individual one-shot forms
+				// may retire too few instructions to cross the hotness
+				// threshold, but the grid as a whole must exercise each arm's
+				// intended engine.
+				var agg splitmem.Stats
+				for _, c := range cells {
+					if !c.NA {
+						agg.SuperblockEntered += c.Result.Stats.SuperblockEntered
+						agg.DecodeHits += c.Result.Stats.DecodeHits
+					}
 				}
-				name := fmt.Sprintf("%v/%v", f.Tech, f.Seg)
-				compareAttack(t, name, f.Result, s.Result)
+				checkArmVacuity(t, arm.name, agg)
+			}
+			for ai := 1; ai < len(engineArms); ai++ {
+				a, b := grids[ai-1], grids[ai]
+				pair := engineArms[ai-1].name + "-vs-" + engineArms[ai].name
+				if len(a) != len(b) {
+					t.Fatalf("%s: cell counts diverge: %d vs %d", pair, len(a), len(b))
+				}
+				for i := range a {
+					f, s := a[i], b[i]
+					if f.Tech != s.Tech || f.Seg != s.Seg || f.NA != s.NA {
+						t.Fatalf("%s: grid order diverged at %d", pair, i)
+					}
+					if f.NA {
+						continue
+					}
+					name := fmt.Sprintf("%s/%v/%v", pair, f.Tech, f.Seg)
+					compareAttack(t, name, f.Result, s.Result)
+				}
 			}
 		})
 	}
 }
 
-// TestOracleScenarios: the real-world exploit scenarios (Table 2), fast vs
-// slow, across the response modes.
+// TestOracleScenarios: the real-world exploit scenarios (Table 2), all three
+// engine arms, across the response modes.
 func TestOracleScenarios(t *testing.T) {
 	if testing.Short() {
 		t.Skip("oracle sweep is broad")
@@ -351,22 +411,23 @@ func TestOracleScenarios(t *testing.T) {
 		for _, resp := range responses {
 			sc, resp := sc, resp
 			t.Run(fmt.Sprintf("%s/%v", sc.Key, resp), func(t *testing.T) {
-				cfg := splitmem.Config{Protection: splitmem.ProtSplit, Response: resp}
-				if resp == splitmem.Forensics {
-					cfg.ForensicShellcode = splitmem.ExitShellcode()
+				results := make([]attacks.Result, len(engineArms))
+				for i, arm := range engineArms {
+					cfg := splitmem.Config{Protection: splitmem.ProtSplit, Response: resp}
+					if resp == splitmem.Forensics {
+						cfg.ForensicShellcode = splitmem.ExitShellcode()
+					}
+					arm.mut(&cfg)
+					r, err := attacks.RunScenario(sc.Key, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					results[i] = r
+					checkArmVacuity(t, arm.name, r.Stats)
 				}
-				fast, err := attacks.RunScenario(sc.Key, cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				cfg.NoDecodeCache = true
-				slow, err := attacks.RunScenario(sc.Key, cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				compareAttack(t, sc.Key, fast, slow)
-				if fast.Stats.DecodeHits == 0 {
-					t.Error("fast arm never hit the decode cache — oracle is vacuous")
+				for i := 1; i < len(engineArms); i++ {
+					pair := engineArms[i-1].name + "-vs-" + engineArms[i].name
+					compareAttack(t, sc.Key+"/"+pair, results[i-1], results[i])
 				}
 			})
 		}

@@ -14,9 +14,11 @@ package splitmem
 //
 // Deliberately not captured:
 //
-//   - The predecoded-instruction cache: host-side acceleration state,
-//     rebuilt on demand. A restored machine starts cold; only the host-only
-//     Decode* counters can differ from an uninterrupted run.
+//   - The predecoded-instruction cache and the superblock engine's compiled
+//     blocks: host-side acceleration state, rebuilt on demand. A restored
+//     machine starts cold (superblock regions re-prove hotness and
+//     recompile); only the host-only Decode*/Superblock* counters can
+//     differ from an uninterrupted run.
 //   - Telemetry spans and metrics: host-side observability, not guest
 //     state. A restored machine starts a fresh timeline.
 //   - Config.EventHook: functions don't serialize; pass one to
@@ -33,7 +35,7 @@ import (
 // crash-recovery artifact, not an archival format).
 const (
 	snapMagic   = "S86SNAP\x00"
-	snapVersion = 1
+	snapVersion = 2 // v2: NoSuperblocks in the config, Superblock* counters in cpu state
 )
 
 // Snapshot serializes the machine's complete architectural state. Call it
@@ -218,6 +220,7 @@ func encodeConfig(w *snapshot.Writer, cfg *Config) {
 	w.Int(cfg.DTLBSize)
 	w.Int(cfg.PhysBytes)
 	w.Bool(cfg.NoDecodeCache)
+	w.Bool(cfg.NoSuperblocks)
 	w.Int(cfg.TraceDepth)
 	w.Bool(cfg.Telemetry)
 	w.Int(cfg.TelemetrySpanCap)
@@ -265,6 +268,7 @@ func decodeConfig(r *snapshot.Reader) (Config, error) {
 	cfg.DTLBSize = r.Int()
 	cfg.PhysBytes = r.Int()
 	cfg.NoDecodeCache = r.Bool()
+	cfg.NoSuperblocks = r.Bool()
 	cfg.TraceDepth = r.Int()
 	cfg.Telemetry = r.Bool()
 	cfg.TelemetrySpanCap = r.Int()

@@ -197,6 +197,13 @@ type Config struct {
 	// benchmarking the fast path itself, not for correctness.
 	NoDecodeCache bool
 
+	// NoSuperblocks disables the superblock threaded-code engine — the
+	// tier above the predecode cache, which compiles hot straight-line
+	// regions into arrays of pre-bound closures — forcing per-instruction
+	// dispatch. Like NoDecodeCache this knob exists for the three-arm
+	// differential oracle and the fastpath bench, not for correctness.
+	NoSuperblocks bool
+
 	// TraceDepth, when positive, records the last N executed instructions
 	// in a ring buffer (see TraceTail). Slows simulation slightly. With a
 	// split engine active, injection-detection events carry the ring's
@@ -251,6 +258,7 @@ func New(cfg Config) (*Machine, error) {
 		Cost:        cfg.CostModel,
 		NXEnabled:   nxEnabled,
 		DecodeCache: !cfg.NoDecodeCache,
+		Superblocks: !cfg.NoSuperblocks,
 	})
 	if err != nil {
 		return nil, err
@@ -451,12 +459,17 @@ type Stats struct {
 	Split          SplitStats // zero when no split engine is active
 	Chaos          ChaosStats // zero when no chaos injection is configured
 
-	// Predecode-cache (fast path) health. Host-side only: these are the
-	// sole counters allowed to differ between a fast-path and a slow-path
-	// run of the same program.
+	// Fast-path health (predecode cache and superblock engine). Host-side
+	// only: these are the sole counters allowed to differ between runs of
+	// the same program under different engine configurations.
 	DecodeHits          uint64
 	DecodeMisses        uint64
 	DecodeInvalidations uint64
+
+	SuperblockCompiled      uint64
+	SuperblockEntered       uint64
+	SuperblockSideExits     uint64
+	SuperblockInvalidations uint64
 }
 
 // Stats snapshots current counters.
@@ -471,6 +484,10 @@ func (m *Machine) Stats() Stats {
 	s.DecodeHits = m.mach.Stats.DecodeHits
 	s.DecodeMisses = m.mach.Stats.DecodeMisses
 	s.DecodeInvalidations = m.mach.Stats.DecodeInvalidations
+	s.SuperblockCompiled = m.mach.Stats.SuperblockCompiled
+	s.SuperblockEntered = m.mach.Stats.SuperblockEntered
+	s.SuperblockSideExits = m.mach.Stats.SuperblockSideExits
+	s.SuperblockInvalidations = m.mach.Stats.SuperblockInvalidations
 	s.ITLBHits, s.ITLBMisses, _, _ = m.mach.ITLB.Stats()
 	s.DTLBHits, s.DTLBMisses, _, _ = m.mach.DTLB.Stats()
 	s.Syscalls, s.KernelFaults, _ = m.kern.Counters()
