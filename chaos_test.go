@@ -125,6 +125,37 @@ func TestChaosSnapshotMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosForkMatrix: fork in the middle of a chaotic run, one fault class
+// at a time. The forked machine inherits the injector's PRNG stream and every
+// already-injected fault through the shared copy-on-write frames (flipped
+// bits included), so parent and child must draw identical fault sequences
+// independently and both must end indistinguishable from the uninterrupted
+// cold-booted run.
+func TestChaosForkMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is broad")
+	}
+	prog, ok := workloads.Lookup("gzip")
+	if !ok {
+		t.Fatal("gzip workload missing from catalog")
+	}
+	for class, chaosCfg := range faultClasses() {
+		class, chaosCfg := class, chaosCfg
+		t.Run(class, func(t *testing.T) {
+			cfg := splitmem.Config{
+				Protection: splitmem.ProtSplit,
+				Paranoid:   true,
+				Chaos:      chaosCfg,
+			}
+			cfg.Chaos.Seed = 0xC4A05
+			base := runWorkload(t, prog, cfg)
+			forkAt := pseudoCycle("fork"+class, base.cycles)
+			forked := runWorkloadForked(t, prog, cfg, forkAt)
+			compareDigests(t, class, base, forked)
+		})
+	}
+}
+
 // TestChaosStatsAccounting runs a long scenario with every class enabled and
 // checks the injector actually fired and that its activity is visible in the
 // aggregated Stats.

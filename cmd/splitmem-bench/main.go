@@ -4,10 +4,16 @@
 // Usage:
 //
 //	splitmem-bench [-table3] [-fig6] [-fig7] [-fig8] [-fig9] [-fastpath]
-//	               [-serve] [-cluster] [-parallel N] [-all] [-json BENCH_results.json]
+//	               [-forkpool] [-serve] [-cluster] [-parallel N] [-all]
+//	               [-json BENCH_results.json]
 //
 // -fastpath runs the predecode-cache ablation (cache on vs off; the
 // simulated side must be bit-identical, the host side reports the speedup).
+// -forkpool measures warm-pool economics: machine start latency cold-booted
+// vs snapshot-forked (with the fork == cold determinism gate enforced) and
+// the physical frames each fork shares with its template copy-on-write.
+// SPLITMEM_FORKPOOL_GUARD=1 go test -run TestForkPoolSpeedupGuard pins the
+// speedup floor in CI.
 // -serve runs the splitmem-serve load harness (64 clients against an
 // 8-worker in-process server) and reports service throughput.
 // -cluster runs the sharded-cluster failover harness (64 clients against a
@@ -41,6 +47,7 @@ func main() {
 		fig8     = flag.Bool("fig8", false, "run the Apache page-size sweep")
 		fig9     = flag.Bool("fig9", false, "run the fractional-splitting sweep")
 		fastpath = flag.Bool("fastpath", false, "run the predecode-cache ablation")
+		forkpool = flag.Bool("forkpool", false, "run the warm-pool cold-boot-vs-fork bench")
 		srv      = flag.Bool("serve", false, "run the splitmem-serve throughput load test")
 		clust    = flag.Bool("cluster", false, "run the sharded-cluster rolling-restart failover bench")
 		parallel = flag.Int("parallel", 0, "fan the nbench fleet out over N machines")
@@ -48,7 +55,7 @@ func main() {
 		jsonPath = flag.String("json", "", "also write results as JSON to this file")
 	)
 	flag.Parse()
-	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9 || *fastpath || *srv || *clust || *parallel > 0) {
+	if !(*table3 || *fig6 || *fig7 || *fig8 || *fig9 || *fastpath || *forkpool || *srv || *clust || *parallel > 0) {
 		*all = true
 	}
 	results := bench.NewResults()
@@ -88,6 +95,16 @@ func main() {
 		fmt.Println(t.Render())
 		results.AddTable("fastpath", t)
 		results.AddFigure("fastpath-sim", bench.FastPathSimFigure(runs))
+	}
+	if *all || *forkpool {
+		t, runs, err := bench.ForkPool()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "forkpool: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		results.AddTable("forkpool", t)
+		results.AddFigure("forkpool", bench.ForkPoolFigure(runs))
 	}
 	if *all || *srv {
 		fig, err := bench.ServeThroughput(64, 2, 8)

@@ -81,13 +81,14 @@ func main() {
 		traceCap      = flag.Int("trace-span-cap", 0, "host-span ring capacity (0 = default)")
 		selftest      = flag.Bool("selftest", false, "run the in-process kill-mid-load smoke test and exit")
 		traceOut      = flag.String("trace-out", "", "selftest: write the migration probe's merged Chrome trace here")
+		warmPool      = flag.Bool("warmpool", false, "selftest: run the harness replicas with snapshot-forked warm pools (jobs fork from template images copy-on-write)")
 	)
 	flag.Parse()
 
 	startPprof(*pprofAddr, "splitmem-gateway")
 
 	if *selftest {
-		if err := runSelftest(*flightDir, *traceOut); err != nil {
+		if err := runSelftest(*flightDir, *traceOut, *warmPool); err != nil {
 			fmt.Fprintln(os.Stderr, "selftest:", err)
 			os.Exit(1)
 		}
@@ -163,10 +164,11 @@ func startPprof(addr, who string) {
 }
 
 // selftestSpin keeps jobs in flight long enough for the mid-load kill to
-// catch some (~1.2M cycles).
+// catch some (~9M cycles; the count grew when sparse-frame snapshots made
+// per-slice checkpoints cheap enough to speed whole jobs up ~12x).
 const selftestSpin = `
 _start:
-    mov ecx, 400000
+    mov ecx, 3000000
 spin:
     sub ecx, 1
     cmp ecx, 0
@@ -176,11 +178,12 @@ spin:
     int 0x80
 `
 
-// selftestProbeSpin is the migration probe (~8M cycles): long enough that
-// draining its host catches it mid-run with a checkpoint to ship.
+// selftestProbeSpin is the migration probe (~100M cycles, a couple hundred
+// milliseconds): long enough that draining its host catches it mid-run with
+// a checkpoint to ship, sized like the spin constants in the cluster tests.
 const selftestProbeSpin = `
 _start:
-    mov ecx, 2700000
+    mov ecx, 33000000
 spin:
     sub ecx, 1
     cmp ecx, 0
@@ -195,7 +198,7 @@ spin:
 // trace must span both hosts, 64 concurrent clients with one replica killed
 // and restarted mid-load, federated metrics, and a flight-recorder dump
 // for the kill.
-func runSelftest(flightDir, traceOut string) error {
+func runSelftest(flightDir, traceOut string, warmPool bool) error {
 	if flightDir == "" {
 		// The flight-recorder assertion always runs; without an explicit
 		// destination the dumps go somewhere disposable.
@@ -207,7 +210,8 @@ func runSelftest(flightDir, traceOut string) error {
 		flightDir = d
 	}
 	h, err := cluster.NewHarness(3,
-		serve.Config{Workers: 4, Backlog: 128, StreamSlice: 100_000, CheckpointCycles: 250_000},
+		serve.Config{Workers: 4, Backlog: 128, StreamSlice: 100_000, CheckpointCycles: 250_000,
+			WarmPool: warmPool},
 		cluster.Config{
 			ProbeInterval:     25 * time.Millisecond,
 			FailThreshold:     3,

@@ -72,6 +72,8 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (\"\" = off; bind to localhost, e.g. 127.0.0.1:6061)")
 		noTracing = flag.Bool("no-tracing", false, "disable host-span tracing (on by default)")
 		traceCap  = flag.Int("trace-span-cap", 0, "host-span ring capacity (0 = default)")
+		warmPool  = flag.Bool("warmpool", false, "fork jobs from snapshot templates: the first job of each (program, config) class builds a template image, later jobs fork from it copy-on-write")
+		warmSize  = flag.Int("warmpool-size", 0, "distinct warm templates cached (0 = 32)")
 		selftest  = flag.Bool("selftest", false, "run the in-process smoke + load test and exit")
 	)
 	flag.Parse()
@@ -84,6 +86,8 @@ func main() {
 		JournalPath:      *journal,
 		NoTracing:        *noTracing,
 		TraceSpanCap:     *traceCap,
+		WarmPool:         *warmPool,
+		WarmPoolSize:     *warmSize,
 	}
 
 	startPprof(*pprofAddr)

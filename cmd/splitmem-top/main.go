@@ -146,8 +146,10 @@ func render(m *splitmem.Machine, frame, topN int) {
 		s.Split.SplitPages, s.Split.CodeTLBLoads, s.Split.DataTLBLoads, s.Split.Detections)
 	fmt.Printf("decode cache: %s  invalidations=%d\n",
 		rate(s.DecodeHits, s.DecodeMisses), s.DecodeInvalidations)
-	fmt.Printf("superblocks: compiled=%d entered=%d side-exits=%d invalidations=%d\n\n",
+	fmt.Printf("superblocks: compiled=%d entered=%d side-exits=%d invalidations=%d\n",
 		s.SuperblockCompiled, s.SuperblockEntered, s.SuperblockSideExits, s.SuperblockInvalidations)
+	fmt.Printf("mem: frames shared/private=%d/%d cow-copies=%d\n\n",
+		s.MemSharedFrames, s.MemPrivateFrames, s.MemCowCopies)
 
 	fmt.Println("LATENCY (simulated cycles)        count      mean       min       max")
 	for _, h := range []struct{ label, name string }{

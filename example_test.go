@@ -1,6 +1,7 @@
 package splitmem_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"splitmem"
@@ -110,4 +111,85 @@ buf: .space 64
 	// Output:
 	// shell=true observed=true
 	// attacker sees: root
+}
+
+// ExampleMachine_Fork is the warm-pool pattern: boot a template once, park it
+// at its input read, then fork a fresh bit-identical machine per request.
+// Forks share every physical frame with the template copy-on-write, so each
+// one costs only the frames it dirties — no reboot, no frame copying up front.
+func ExampleMachine_Fork() {
+	echo := `
+_start:
+    sub esp, 64
+    mov ebx, 0
+    mov ecx, esp
+    mov edx, 1
+    mov eax, 3          ; read(0, buf, 1) — parks until input arrives
+    int 0x80
+    load ebx, [esp]
+    and ebx, 255
+    mov eax, 1          ; exit(buf[0])
+    int 0x80
+`
+	template := splitmem.MustNew(splitmem.Config{Protection: splitmem.ProtSplit})
+	if _, err := template.LoadAsm(echo, "echo"); err != nil {
+		panic(err)
+	}
+	template.Run(1_000_000) // park at the blocking read
+
+	for _, in := range []byte{'A', 'B'} {
+		fork, err := template.Fork()
+		if err != nil {
+			panic(err)
+		}
+		p, _ := fork.Kernel().Process(1)
+		p.StdinWrite([]byte{in})
+		p.StdinClose()
+		fork.Run(1_000_000)
+		_, status := p.Exited()
+		fmt.Printf("fork exited with %c\n", status)
+		fork.Close() // release the shared frames
+	}
+	// Output:
+	// fork exited with A
+	// fork exited with B
+}
+
+// ExampleImage shows the serialized form of a warm-pool template: freeze a
+// parked machine into an Image, ship it as bytes (CRC-protected), and boot
+// any number of machines from the deserialized copy.
+func ExampleImage() {
+	m := splitmem.MustNew(splitmem.Config{Protection: splitmem.ProtSplit})
+	if _, err := m.LoadAsm(`
+_start:
+    mov ebx, 42
+    mov eax, 1
+    int 0x80
+`, "answer"); err != nil {
+		panic(err)
+	}
+	img, err := m.Image()
+	if err != nil {
+		panic(err)
+	}
+
+	var wire bytes.Buffer
+	if _, err := img.WriteTo(&wire); err != nil {
+		panic(err)
+	}
+	img2, err := splitmem.ReadImage(&wire)
+	if err != nil {
+		panic(err)
+	}
+
+	boot, err := img2.Boot()
+	if err != nil {
+		panic(err)
+	}
+	boot.Run(1_000_000)
+	p, _ := boot.Kernel().Process(1)
+	_, status := p.Exited()
+	fmt.Printf("booted machine exited with %d\n", status)
+	// Output:
+	// booted machine exited with 42
 }

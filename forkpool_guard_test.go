@@ -1,0 +1,49 @@
+package splitmem_test
+
+// CI guard for the warm-pool fork fast path.
+//
+// TestForkPoolSpeedupGuard checks that booting a worker from a sealed Image
+// (copy-on-write attach of frames and allocator state) beats a cold start
+// (assemble + build machine + load program) by a wide margin on every
+// cataloged job class. Like the other host-timing guards it is env-gated,
+// because wall-clock ratios are noisy on shared runners:
+//
+//	SPLITMEM_FORKPOOL_GUARD=1 go test -run ForkPoolSpeedupGuard -v .
+//
+// The determinism side needs no separate guard: ForkPool itself refuses to
+// report a measurement where the forked run's cycle or instruction count
+// differs from the cold run's.
+
+import (
+	"os"
+	"testing"
+
+	"splitmem/internal/bench"
+)
+
+// forkPoolSpeedupFloor is the minimum acceptable cold-start/fork-start ratio
+// (measured ~9-12x; the floor leaves headroom for slow CI hosts).
+const forkPoolSpeedupFloor = 5.0
+
+func TestForkPoolSpeedupGuard(t *testing.T) {
+	if os.Getenv("SPLITMEM_FORKPOOL_GUARD") == "" {
+		t.Skip("host-timing guard; set SPLITMEM_FORKPOOL_GUARD=1 to run")
+	}
+	_, runs, err := bench.ForkPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if s := r.Speedup(); s < forkPoolSpeedupFloor {
+			t.Errorf("%s: fork start buys only %.1fx over cold start, floor %.1fx (cold %.1fµs, fork %.1fµs)",
+				r.Workload, s, forkPoolSpeedupFloor,
+				float64(r.ColdNS)/1e3, float64(r.ForkNS)/1e3)
+		} else {
+			t.Logf("%s: %.1fx speedup (cold %.1fµs, fork %.1fµs), %d KiB shared per fork",
+				r.Workload, s, float64(r.ColdNS)/1e3, float64(r.ForkNS)/1e3, r.SharedKiB())
+		}
+		if r.SharedFrames == 0 {
+			t.Errorf("%s: fork shares no frames with its template — the guard is vacuous", r.Workload)
+		}
+	}
+}

@@ -237,7 +237,7 @@ func clusterMigrationLatency() (float64, error) {
 		return 0, err
 	}
 	soloStart := time.Now()
-	if err := runClusterJob(solo, body, -1); err != nil {
+	if _, err := runClusterJob(solo, body, -1); err != nil {
 		solo.Close()
 		return 0, err
 	}
@@ -245,17 +245,31 @@ func clusterMigrationLatency() (float64, error) {
 	solo.Close()
 
 	// Same job, host drained mid-run: checkpoint export, CRC gate, resume.
+	// A fast host can retire the probe before the drain lands; such runs
+	// measured nothing, so the drained node is restarted and the probe rerun.
 	h, err := cluster.NewHarness(3, clusterReplicaConfig(), clusterGatewayConfig())
 	if err != nil {
 		return 0, err
 	}
 	defer h.Close()
-	migStart := time.Now()
-	if err := runClusterJob(h, body, 0); err != nil {
-		return 0, err
+	var migWall time.Duration
+	migrated := false
+	for attempt := 0; attempt < 8 && !migrated; attempt++ {
+		before := h.Gateway.Migrations()
+		migStart := time.Now()
+		drained, err := runClusterJob(h, body, 0)
+		if err != nil {
+			return 0, err
+		}
+		migWall = time.Since(migStart)
+		migrated = h.Gateway.Migrations() > before
+		if !migrated && drained >= 0 {
+			if err := h.Nodes[drained].Restart(); err != nil {
+				return 0, err
+			}
+		}
 	}
-	migWall := time.Since(migStart)
-	if h.Gateway.Migrations() == 0 {
+	if !migrated {
 		return 0, fmt.Errorf("probe job finished without migrating")
 	}
 	overhead := migWall - soloWall
@@ -265,29 +279,31 @@ func clusterMigrationLatency() (float64, error) {
 	return float64(overhead.Milliseconds()), nil
 }
 
-// runClusterJob streams one job through a harness gateway. When drainOwner
-// is >= 0 it drains the job's host as soon as ownership is known, forcing a
-// live migration.
-func runClusterJob(h *cluster.Harness, body []byte, drainOwner int) error {
+// runClusterJob streams one job through a harness gateway and returns the
+// index of the node it drained (-1 when none). When drainOwner is >= 0 it
+// drains the job's host as soon as ownership is known, forcing a live
+// migration.
+func runClusterJob(h *cluster.Harness, body []byte, drainOwner int) (int, error) {
+	drained := -1
 	resp, err := http.Post(h.URL()+"/v1/jobs?stream=1", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return drained, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
+		return drained, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	br := bufio.NewReader(resp.Body)
 	line, err := br.ReadString('\n')
 	if err != nil {
-		return err
+		return drained, err
 	}
 	var acc struct {
 		Type string `json:"type"`
 		ID   uint64 `json:"id"`
 	}
 	if err := json.Unmarshal([]byte(line), &acc); err != nil || acc.Type != "accepted" {
-		return fmt.Errorf("bad accepted line %q", line)
+		return drained, fmt.Errorf("bad accepted line %q", line)
 	}
 	if drainOwner >= 0 {
 		deadline := time.Now().Add(10 * time.Second)
@@ -299,9 +315,10 @@ func runClusterJob(h *cluster.Harness, body []byte, drainOwner int) error {
 			}
 		}
 		if owner < 0 {
-			return fmt.Errorf("job never got an owner")
+			return drained, fmt.Errorf("job never got an owner")
 		}
 		h.Nodes[owner].Drain()
+		drained = owner
 	}
 	var sawResult bool
 	for {
@@ -316,7 +333,7 @@ func runClusterJob(h *cluster.Harness, body []byte, drainOwner int) error {
 			if jerr := json.Unmarshal([]byte(line), &frame); jerr == nil && frame.Type == "result" {
 				sawResult = true
 				if frame.Result == nil || frame.Result.Reason != "all-done" {
-					return fmt.Errorf("probe result %s", bytes.TrimSpace([]byte(line)))
+					return drained, fmt.Errorf("probe result %s", bytes.TrimSpace([]byte(line)))
 				}
 			}
 		}
@@ -325,7 +342,7 @@ func runClusterJob(h *cluster.Harness, body []byte, drainOwner int) error {
 		}
 	}
 	if !sawResult {
-		return fmt.Errorf("stream ended without a result")
+		return drained, fmt.Errorf("stream ended without a result")
 	}
-	return nil
+	return drained, nil
 }

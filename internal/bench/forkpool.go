@@ -1,0 +1,217 @@
+package bench
+
+// The warm-pool benchmark: machine start latency, cold boot vs snapshot fork.
+//
+// Cold start is everything a fresh job pays before its first instruction —
+// assemble the source, build the machine, load the program. Fork start is
+// what a warm-pool job pays: boot from the template Image, attaching every
+// physical frame copy-on-write (no frame bytes move). The determinism side
+// (forked run == cold run, cycle for cycle) is enforced here too, so the
+// latency numbers can never come from a fork that cut a corner.
+
+import (
+	"fmt"
+	"time"
+
+	"splitmem"
+	"splitmem/internal/workloads"
+)
+
+// forkPoolWorkloads are the measured job classes: a compute kernel, a
+// memory-heavy compressor, and a syscall-heavy program.
+var forkPoolWorkloads = []string{"nbench", "gzip", "syscall"}
+
+// forkPoolReps is how many times each start path runs; the minimum is
+// reported, the standard way to strip scheduler noise from a latency number.
+const forkPoolReps = 25
+
+// ForkPoolRun is one workload's cold-vs-fork measurement.
+type ForkPoolRun struct {
+	Workload string
+	ColdNS   int64 // best-of cold start: Assemble + New + LoadProgram
+	ForkNS   int64 // best-of fork start: Image.Boot (CoW attach)
+
+	Cycles        uint64 // simulated cycles to completion (fork == cold, enforced)
+	Instructions  uint64 // retired instructions (fork == cold, enforced)
+	SharedFrames  uint64 // frames a fresh fork shares with the template
+	PrivateFrames uint64 // frames one fork privatized running to completion
+}
+
+// Speedup is the figure the CI guard pins: cold-start over fork-start.
+func (r ForkPoolRun) Speedup() float64 {
+	if r.ForkNS == 0 {
+		return 0
+	}
+	return float64(r.ColdNS) / float64(r.ForkNS)
+}
+
+// SharedKiB is the per-fork dedup saving at boot: memory a cold boot would
+// have duplicated that a fork shares with its template instead.
+func (r ForkPoolRun) SharedKiB() uint64 { return r.SharedFrames * 4 }
+
+// measureForkPool measures one workload end to end.
+func measureForkPool(name string) (ForkPoolRun, error) {
+	prog, ok := workloads.Lookup(name)
+	if !ok {
+		return ForkPoolRun{}, fmt.Errorf("forkpool: unknown workload %q", name)
+	}
+	run := ForkPoolRun{Workload: name}
+	cfg := splitmem.Config{Protection: splitmem.ProtSplit}
+
+	// Template: one cold machine parked right after program load, frozen.
+	tm, err := splitmem.New(cfg)
+	if err != nil {
+		return run, err
+	}
+	if _, err := tm.LoadAsm(prog.Src, "wp-"+name); err != nil {
+		return run, err
+	}
+	img, err := tm.Image()
+	if err != nil {
+		return run, err
+	}
+	tm.Close()
+
+	finish := func(m *splitmem.Machine) (splitmem.Stats, error) {
+		p, ok := m.Kernel().Process(1)
+		if !ok {
+			return splitmem.Stats{}, fmt.Errorf("forkpool %s: root process missing", name)
+		}
+		if prog.Input != "" {
+			p.StdinWrite([]byte(prog.Input))
+		}
+		p.StdinClose()
+		if res := m.Run(40_000_000_000); res.Reason != splitmem.ReasonAllDone {
+			return splitmem.Stats{}, fmt.Errorf("forkpool %s: stopped: %v", name, res.Reason)
+		}
+		return m.Stats(), nil
+	}
+
+	// Determinism gate: a forked run must retire exactly what a cold run does.
+	cm, err := splitmem.New(cfg)
+	if err != nil {
+		return run, err
+	}
+	if _, err := cm.LoadAsm(prog.Src, "wp-"+name); err != nil {
+		return run, err
+	}
+	cold, err := finish(cm)
+	if err != nil {
+		return run, err
+	}
+	fm, err := img.Boot()
+	if err != nil {
+		return run, err
+	}
+	run.SharedFrames = fm.Stats().MemSharedFrames
+	forked, err := finish(fm)
+	if err != nil {
+		return run, err
+	}
+	if forked.Cycles != cold.Cycles || forked.Instructions != cold.Instructions {
+		return run, fmt.Errorf("forkpool %s: fork changed the architecture: cycles %d vs %d, instrs %d vs %d",
+			name, forked.Cycles, cold.Cycles, forked.Instructions, cold.Instructions)
+	}
+	run.Cycles, run.Instructions = cold.Cycles, cold.Instructions
+	run.PrivateFrames = forked.MemPrivateFrames
+	fm.Close()
+
+	// Cold-start latency: assemble + build + load, the full price of a
+	// from-scratch job (the serve cold path pays exactly this per admission).
+	for rep := 0; rep < forkPoolReps; rep++ {
+		t0 := time.Now()
+		p, err := splitmem.Assemble(prog.Src)
+		if err != nil {
+			return run, err
+		}
+		m, err := splitmem.New(cfg)
+		if err != nil {
+			return run, err
+		}
+		if _, err := m.LoadProgram(p, "wp-"+name); err != nil {
+			return run, err
+		}
+		host := time.Since(t0).Nanoseconds()
+		if rep == 0 || host < run.ColdNS {
+			run.ColdNS = host
+		}
+	}
+
+	// Fork-start latency: boot from the template image.
+	for rep := 0; rep < forkPoolReps; rep++ {
+		t0 := time.Now()
+		m, err := img.Boot()
+		if err != nil {
+			return run, err
+		}
+		host := time.Since(t0).Nanoseconds()
+		m.Close()
+		if rep == 0 || host < run.ForkNS {
+			run.ForkNS = host
+		}
+	}
+	return run, nil
+}
+
+// ForkPool measures warm-pool economics for every job class: cold-start vs
+// fork-start latency (with the fork == cold determinism gate enforced) and
+// the frames each fork shares with its template instead of duplicating.
+func ForkPool() (*Table, []ForkPoolRun, error) {
+	t := &Table{
+		Title: "Warm pool: cold boot vs snapshot fork",
+		Header: []string{"workload", "cold µs", "fork µs", "speedup",
+			"shared frames/fork", "shared KiB/fork", "privatized by run"},
+		Notes: []string{
+			"cold = assemble + build machine + load program; fork = Image.Boot (copy-on-write attach); best of " +
+				fmt.Sprint(forkPoolReps) + " runs",
+			"forked runs retire bit-identical cycles and instructions to cold runs (enforced)",
+			"shared frames are deduplicated across every concurrent fork of the same template",
+		},
+	}
+	var runs []ForkPoolRun
+	for _, name := range forkPoolWorkloads {
+		r, err := measureForkPool(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, r)
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.1f", float64(r.ColdNS)/1e3),
+			fmt.Sprintf("%.1f", float64(r.ForkNS)/1e3),
+			fmt.Sprintf("%.1fx", r.Speedup()),
+			fmt.Sprint(r.SharedFrames),
+			fmt.Sprint(r.SharedKiB()),
+			fmt.Sprint(r.PrivateFrames),
+		})
+	}
+	return t, runs, nil
+}
+
+// ForkPoolFigure renders the warm-pool figure for BENCH_results.json: start
+// latencies, the speedup the CI guard floors, and per-fork shared memory.
+func ForkPoolFigure(runs []ForkPoolRun) *Figure {
+	cold := Series{Name: "cold start µs"}
+	fork := Series{Name: "fork start µs"}
+	speedup := Series{Name: "speedup (cold/fork)"}
+	shared := Series{Name: "shared KiB/fork"}
+	for _, r := range runs {
+		cold.Labels = append(cold.Labels, r.Workload)
+		cold.Values = append(cold.Values, float64(r.ColdNS)/1e3)
+		fork.Labels = append(fork.Labels, r.Workload)
+		fork.Values = append(fork.Values, float64(r.ForkNS)/1e3)
+		speedup.Labels = append(speedup.Labels, r.Workload)
+		speedup.Values = append(speedup.Values, r.Speedup())
+		shared.Labels = append(shared.Labels, r.Workload)
+		shared.Values = append(shared.Values, float64(r.SharedKiB()))
+	}
+	return &Figure{
+		Title:  "Warm pool: cold boot vs snapshot fork",
+		YLabel: "µs; ratio; KiB",
+		Series: []Series{cold, fork, speedup, shared},
+		Notes: []string{
+			"host latencies (informational in the committed baseline); the speedup floor is enforced by " +
+				"TestForkPoolSpeedupGuard under SPLITMEM_FORKPOOL_GUARD=1",
+		},
+	}
+}

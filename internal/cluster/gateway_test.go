@@ -19,10 +19,14 @@ _start:
     int 0x80
 `
 
-// longSpin burns ~2M cycles across many stream slices, then exits 9.
+// longSpin burns ~36M cycles across many stream slices, then exits 9. Sized
+// to keep the job mid-flight for well over the drain-delivery latency even
+// on a fast, loaded host: the drain-based migration tests race the drain
+// against job completion, and the job must lose (the count has been raised
+// twice as machine construction and per-slice checkpoints got cheaper).
 const longSpin = `
 _start:
-    mov ecx, 400000
+    mov ecx, 12000000
 spin:
     sub ecx, 1
     cmp ecx, 0

@@ -19,14 +19,16 @@ import (
 	"splitmem/internal/serve/loadtest"
 )
 
-// sentinelSpin burns ~20M cycles (a couple of seconds of wall time), long
+// sentinelSpin burns ~100M cycles (a couple of seconds of wall time), long
 // enough to be mid-flight when its replica drains, then exits 3. Under the
 // race detector the simulator runs ~10x slower, so the spin shrinks to keep
-// the sentinel's lifetime comparable.
+// the sentinel's lifetime comparable. (Both counts grew when sparse-frame
+// snapshots made per-slice checkpoints cheap and jobs correspondingly
+// faster.)
 const (
 	sentinelSpin = `
 _start:
-    mov ecx, 6600000
+    mov ecx, 33000000
 spin:
     sub ecx, 1
     cmp ecx, 0
@@ -37,7 +39,7 @@ spin:
 `
 	sentinelSpinRace = `
 _start:
-    mov ecx, 2200000
+    mov ecx, 8000000
 spin:
     sub ecx, 1
     cmp ecx, 0

@@ -209,6 +209,48 @@ func TestFederationStableAcrossRollingRestart(t *testing.T) {
 	}
 }
 
+// drainOwnerMigrate posts a streamed job, drains its owner mid-run, and
+// returns the trace header and streamed lines once the run has exercised a
+// migration. Fast hosts can retire the whole job before the drain lands; such
+// attempts are discarded (the drained node is restarted, a fresh job goes in)
+// so the test checks the migration path instead of racing it. progressed
+// reports whether the migration machinery fired, from a gateway counter
+// sampled before the attempt.
+func drainOwnerMigrate(t *testing.T, h *Harness, name string, counter func() uint64) (trace string, owner int) {
+	t.Helper()
+	for attempt := 0; attempt < 8; attempt++ {
+		before := counter()
+		resp := postJob(t, h.URL()+"/v1/jobs?stream=1", map[string]any{
+			"name": fmt.Sprintf("%s-%d", name, attempt), "source": longSpin, "timeout_ms": 30000,
+		})
+		trace = resp.Header.Get(hostspan.TraceHeader)
+		br := bufio.NewReader(resp.Body)
+		first, _ := br.ReadString('\n')
+		var acc gwLine
+		json.Unmarshal([]byte(first), &acc)
+		if acc.Type != "accepted" {
+			resp.Body.Close()
+			t.Fatalf("first line %q", first)
+		}
+		owner = awaitOwnerIdx(t, h, 5*time.Second)
+		h.Nodes[owner].Drain()
+		lines := readLines(t, br)
+		resp.Body.Close()
+		last := lines[len(lines)-1]
+		if last.Type != "result" || last.Result == nil || last.Result.Reason != "all-done" {
+			t.Fatalf("terminal %+v", last)
+		}
+		if counter() > before {
+			return trace, owner
+		}
+		if err := h.Nodes[owner].Restart(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatal("job finished before the drain landed in every attempt")
+	return "", -1
+}
+
 // TestTraceMigratedJob is the tracing acceptance check: a job live-migrated
 // mid-run exports ONE merged trace — gateway admit/route spans plus spans
 // from BOTH replicas under the same trace ID, with the migration and
@@ -221,29 +263,9 @@ func TestTraceMigratedJob(t *testing.T) {
 	}
 	defer h.Close()
 
-	resp := postJob(t, h.URL()+"/v1/jobs?stream=1", map[string]any{
-		"name": "trace-migrate", "source": longSpin, "timeout_ms": 30000,
-	})
-	defer resp.Body.Close()
-	trace := resp.Header.Get(hostspan.TraceHeader)
+	trace, _ := drainOwnerMigrate(t, h, "trace-migrate", h.Gateway.Migrations)
 	if trace == "" {
 		t.Fatal("no trace header on the gateway response")
-	}
-	br := bufio.NewReader(resp.Body)
-	first, _ := br.ReadString('\n')
-	var acc gwLine
-	json.Unmarshal([]byte(first), &acc)
-	if acc.Type != "accepted" {
-		t.Fatalf("first line %q", first)
-	}
-	h.Nodes[awaitOwnerIdx(t, h, 5*time.Second)].Drain()
-	lines := readLines(t, br)
-	last := lines[len(lines)-1]
-	if last.Type != "result" || last.Result == nil || last.Result.Reason != "all-done" {
-		t.Fatalf("terminal %+v", last)
-	}
-	if h.Gateway.Migrations() == 0 {
-		t.Fatal("job finished without migrating")
 	}
 
 	tr, err := http.Get(h.URL() + "/v1/traces/" + trace)
@@ -426,24 +448,7 @@ func TestFlightRecorderCRCDump(t *testing.T) {
 	}
 	defer h.Close()
 
-	resp := postJob(t, h.URL()+"/v1/jobs?stream=1", map[string]any{
-		"name": "crc-crash", "source": longSpin, "timeout_ms": 30000,
-	})
-	defer resp.Body.Close()
-	br := bufio.NewReader(resp.Body)
-	first, _ := br.ReadString('\n')
-	var acc gwLine
-	json.Unmarshal([]byte(first), &acc)
-	if acc.Type != "accepted" {
-		t.Fatalf("first line %q", first)
-	}
-	owner := awaitOwnerIdx(t, h, 5*time.Second)
-	h.Nodes[owner].Drain()
-	lines := readLines(t, br)
-	last := lines[len(lines)-1]
-	if last.Type != "result" || last.Result == nil || last.Result.Reason != "all-done" {
-		t.Fatalf("terminal %+v", last)
-	}
+	_, owner := drainOwnerMigrate(t, h, "crc-crash", h.Gateway.CorruptFetches)
 	if h.Gateway.CorruptFetches() == 0 {
 		t.Fatal("CRC gate never fired despite 100% corruption")
 	}

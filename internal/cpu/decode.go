@@ -71,6 +71,9 @@ func (m *Machine) decodeLookup(pa uint32) (isa.Instr, bool) {
 // decodeFill caches a successfully decoded instruction at physical address
 // pa. Frame-crossing instructions are rejected (see the package comment).
 func (m *Machine) decodeFill(pa uint32, in isa.Instr) {
+	if m.dec == nil {
+		m.dec = make([]*decFrame, m.Phys.NumFrames())
+	}
 	f := pa >> mem.PageShift
 	if int(f) >= len(m.dec) {
 		return
@@ -117,7 +120,7 @@ func (m *Machine) DropDecodeFrame(f uint32) {
 // invlpg shootdowns; cheap (the per-frame state is lazily restamped on its
 // next fetch).
 func (m *Machine) InvalidateDecode() {
-	if m.dec == nil && m.sb == nil {
+	if !m.decOn && !m.sbOn {
 		return
 	}
 	m.decEpoch++

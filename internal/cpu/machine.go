@@ -208,16 +208,21 @@ type Machine struct {
 	pt      *paging.Table
 	handler TrapHandler
 
-	// Predecoded-instruction cache (decode.go). dec is nil when the fast
-	// path is disabled; indexed by physical frame number. decEpoch is the
+	// Predecoded-instruction cache (decode.go). decOn gates the fast path;
+	// dec is indexed by physical frame number and allocated lazily on the
+	// first fill — a frame-count pointer array is too expensive to build
+	// (and for the GC to scan) on machines that never execute, and boots
+	// from an Image keep it off the start-latency path. decEpoch is the
 	// global invalidation stamp bumped on TLB flushes and shootdowns,
 	// shared with the superblock engine.
 	dec      []*decFrame
+	decOn    bool
 	decEpoch uint64
 
-	// Superblock engine (superblock.go). sb is nil when disabled; indexed
-	// by physical frame number.
+	// Superblock engine (superblock.go). sbOn gates it; sb is indexed by
+	// physical frame number, allocated lazily like dec.
 	sb       []*sbFrame
+	sbOn     bool
 	sliceEnd uint64 // scheduler's timeslice bound, for in-block side-exits
 	sbPF     *PageFault
 	sbDrawDone    bool // the last Step consumed the kernel's preempt draw
@@ -293,6 +298,11 @@ type Config struct {
 	// Superblocks enables the superblock threaded-code engine
 	// (superblock.go), the tier above the predecode cache.
 	Superblocks bool
+	// Phys, when non-nil, becomes the machine's physical memory instead of a
+	// freshly built one — the Image boot fast path hands in a prebuilt
+	// copy-on-write attachment (mem.BootPhysical). Its size must match
+	// PhysBytes.
+	Phys *mem.Physical
 }
 
 // New creates a machine. The trap handler must be installed with SetHandler
@@ -310,9 +320,15 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = PentiumIII600()
 	}
-	phys, err := mem.NewPhysical(cfg.PhysBytes)
-	if err != nil {
-		return nil, err
+	phys := cfg.Phys
+	if phys == nil {
+		var err error
+		phys, err = mem.NewPhysical(cfg.PhysBytes)
+		if err != nil {
+			return nil, err
+		}
+	} else if phys.Size() != cfg.PhysBytes {
+		return nil, fmt.Errorf("cpu: prebuilt physical memory is %d bytes, config wants %d", phys.Size(), cfg.PhysBytes)
 	}
 	m := &Machine{
 		Phys:      phys,
@@ -321,12 +337,8 @@ func New(cfg Config) (*Machine, error) {
 		Cost:      cfg.Cost,
 		NXEnabled: cfg.NXEnabled,
 	}
-	if cfg.DecodeCache {
-		m.dec = make([]*decFrame, phys.NumFrames())
-	}
-	if cfg.Superblocks {
-		m.sb = make([]*sbFrame, phys.NumFrames())
-	}
+	m.decOn = cfg.DecodeCache
+	m.sbOn = cfg.Superblocks
 	return m, nil
 }
 

@@ -42,7 +42,7 @@ func (m *Machine) stepRetire() StepResult {
 	if pf != nil {
 		return m.raisePF(pf)
 	}
-	if m.sb != nil && !m.Ctx.Flags.TF {
+	if m.sbOn && !m.Ctx.Flags.TF {
 		if res, entered := m.sbExec(pa); entered {
 			return res
 		}
@@ -152,7 +152,7 @@ func (m *Machine) deliverPF(pf *PageFault) Action {
 func (m *Machine) fetchAt(pa uint32) (isa.Instr, *PageFault, bool) {
 	var buf [isa.MaxInstrLen]byte
 	var pf *PageFault
-	if m.dec != nil {
+	if m.decOn {
 		if in, ok := m.decodeLookup(pa); ok {
 			m.Stats.DecodeHits++
 			return in, nil, false
@@ -181,7 +181,7 @@ func (m *Machine) fetchAt(pa uint32) (isa.Instr, *PageFault, bool) {
 	if err != nil {
 		return isa.Instr{}, nil, true
 	}
-	if m.dec != nil {
+	if m.decOn {
 		m.Stats.DecodeMisses++
 		m.decodeFill(pa0, in)
 	}

@@ -120,6 +120,9 @@ func (s *sbFrame) reset(wgen, egen uint64) {
 // whether a block ran (entered=false sends the caller to the interpreter).
 func (m *Machine) sbExec(pa uint32) (res StepResult, entered bool) {
 	f := pa >> mem.PageShift
+	if m.sb == nil {
+		m.sb = make([]*sbFrame, m.Phys.NumFrames())
+	}
 	if int(f) >= len(m.sb) {
 		return 0, false
 	}

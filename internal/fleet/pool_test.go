@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"splitmem"
 )
 
 // TestPoolSaturationRecovery drives the pool to saturation, proves TrySubmit
@@ -123,5 +125,111 @@ func TestPoolCrashIsolation(t *testing.T) {
 	}
 	if _, _, done := p.Stats(); done != good+bad {
 		t.Fatalf("done=%d want %d: a panic stranded its slot", done, good+bad)
+	}
+}
+
+// TestPoolWarmTemplate installs a template image of a machine parked at its
+// stdin read and has every worker fork from it concurrently. Each fork must
+// run to its own answer (CoW isolation across workers), ForkCount must see
+// every fork, and closing the forks plus the template's source machine must
+// drain the shared frame refcount to zero.
+func TestPoolWarmTemplate(t *testing.T) {
+	src := `
+_start:
+    sub esp, 64
+    mov ebx, 0
+    mov ecx, esp
+    mov edx, 1
+    mov eax, 3
+    int 0x80
+    load ebx, [esp]
+    and ebx, 255
+    mov eax, 1
+    int 0x80
+`
+	tm := splitmem.MustNew(splitmem.Config{Protection: splitmem.ProtSplit})
+	if _, err := tm.LoadAsm(src, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	if res := tm.Run(1_000_000); res.Reason != splitmem.ReasonWaitingInput {
+		t.Fatalf("template parked with %v, want waiting-input", res.Reason)
+	}
+	img, err := tm.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := NewPool(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fork(); err == nil {
+		t.Fatal("Fork with no template installed succeeded")
+	}
+	p.SetTemplate(img)
+	if p.Template() != img {
+		t.Fatal("Template() does not return the installed image")
+	}
+
+	const jobs = 16
+	var mu sync.Mutex
+	got := make(map[int]int)
+	for i := 0; i < jobs; i++ {
+		i := i
+		ok := p.TrySubmit(func(context.Context) {
+			m, err := p.Fork()
+			if err != nil {
+				t.Errorf("job %d: fork: %v", i, err)
+				return
+			}
+			defer m.Close()
+			proc, ok := m.Kernel().Process(1)
+			if !ok {
+				t.Errorf("job %d: root process lost", i)
+				return
+			}
+			proc.StdinWrite([]byte{byte(0x10 + i)})
+			proc.StdinClose()
+			m.Run(40_000_000_000)
+			_, status := proc.Exited()
+			mu.Lock()
+			got[i] = status
+			mu.Unlock()
+		})
+		if !ok {
+			// Backlog full: run the fork inline so every job still happens.
+			i := i
+			m, err := p.Fork()
+			if err != nil {
+				t.Fatalf("inline fork %d: %v", i, err)
+			}
+			proc, _ := m.Kernel().Process(1)
+			proc.StdinWrite([]byte{byte(0x10 + i)})
+			proc.StdinClose()
+			m.Run(40_000_000_000)
+			_, status := proc.Exited()
+			mu.Lock()
+			got[i] = status
+			mu.Unlock()
+			m.Close()
+		}
+	}
+	p.Close()
+
+	for i := 0; i < jobs; i++ {
+		if got[i] != 0x10+i {
+			t.Errorf("job %d exited with %#x, want %#x — forks are not isolated", i, got[i], 0x10+i)
+		}
+	}
+	if n := p.ForkCount(); n != jobs {
+		t.Errorf("ForkCount=%d, want %d", n, jobs)
+	}
+	base := tm.SharedBase()
+	if base == nil {
+		t.Fatal("template machine has no shared base after Image()")
+	}
+	tm.Close()
+	if refs := base.Refs(); refs != 0 {
+		t.Errorf("shared base still has %d refs after all forks and the template closed", refs)
 	}
 }

@@ -223,8 +223,8 @@ type Kernel struct {
 	cur       *Process
 	nextPID   int
 	timeslice uint64
-	rng       *rand.Rand
-	rngDraws  uint64 // Intn draws consumed; replayed on snapshot restore
+	rng       *rand.Rand // lazily seeded; access through rand()
+	rngDraws  uint64     // Intn draws consumed; replayed on snapshot restore
 	cfg       Config
 
 	events    []Event
@@ -255,7 +255,6 @@ func New(cfg Config) (*Kernel, error) {
 		procs:     map[int]*Process{},
 		nextPID:   1,
 		timeslice: cfg.Timeslice,
-		rng:       rand.New(rand.NewSource(cfg.RandSeed)),
 		cfg:       cfg,
 		pipes:     map[int]*pipe{},
 	}
@@ -275,6 +274,17 @@ func New(cfg Config) (*Kernel, error) {
 		k.Emit(Event{Kind: EvMachineCheck, Text: "phys: " + err.Error()})
 	}
 	return k, nil
+}
+
+// rand returns the kernel's placement RNG, seeding it on first use. Seeding
+// a math/rand source costs more than the rest of kernel construction put
+// together, and most kernels (stack randomization off, zero draws replayed on
+// restore) never draw from it at all.
+func (k *Kernel) rand() *rand.Rand {
+	if k.rng == nil {
+		k.rng = rand.New(rand.NewSource(k.cfg.RandSeed))
+	}
+	return k.rng
 }
 
 // Machine returns the underlying machine.

@@ -230,7 +230,7 @@ func (k *Kernel) Spawn(prog *loader.Program, opts ProcOptions) (*Process, error)
 	top := uint32(StackTop)
 	if k.cfg.RandomizeStack {
 		k.rngDraws++
-		top -= uint32(k.rng.Intn(256)) << 4 // up to 4 KiB slide, 16-byte aligned
+		top -= uint32(k.rand().Intn(256)) << 4 // up to 4 KiB slide, 16-byte aligned
 	}
 	base := top&^uint32(mem.PageMask) - uint32(stackPages)*mem.PageSize
 	p.regions = append(p.regions, Region{Start: base, End: (top + mem.PageMask) &^ uint32(mem.PageMask), Perm: permR | permW, Name: "stack"})

@@ -191,7 +191,7 @@ func (k *Kernel) DecodeState(r *snapshot.Reader) error {
 	}
 
 	for i := uint64(0); i < draws; i++ {
-		k.rng.Intn(256)
+		k.rand().Intn(256)
 	}
 	k.rngDraws = draws
 	return nil

@@ -20,10 +20,12 @@ import (
 )
 
 // longSpinSrc burns enough cycles for several stream slices and
-// checkpoints, then exits 9.
+// checkpoints, then exits 9. The count is sized so the job stays alive for
+// hundreds of milliseconds even with cheap sparse-frame snapshots, giving
+// the checkpoint pollers below a real window to catch it mid-flight.
 const longSpinSrc = `
 _start:
-    mov ecx, 400000
+    mov ecx, 3000000
 spin:
     sub ecx, 1
     cmp ecx, 0

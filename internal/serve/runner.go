@@ -197,6 +197,14 @@ func (s *Server) runAttempt(ctx context.Context, j *job, sup *supervision) (err 
 		p    *splitmem.Process
 		used uint64
 	)
+	// Release the machine's reference on any shared template frames when the
+	// attempt ends, whichever path built it (forked machines hold a refcount
+	// on their template's frame store; Close is a no-op for cold boots).
+	defer func() {
+		if m != nil {
+			m.Close()
+		}
+	}()
 	if sup.img != nil {
 		rspan := s.rec.Begin(j.trace, "rep.restore",
 			"cycles", strconv.FormatUint(sup.cycles, 10), "bytes", strconv.Itoa(len(sup.img)))
@@ -208,6 +216,21 @@ func (s *Server) runAttempt(ctx context.Context, j *job, sup *supervision) (err 
 		} else {
 			sup.img, sup.cycles = nil, 0
 			s.rec.End(rspan, "error", rerr.Error())
+		}
+	}
+	if m == nil && s.warm != nil && j.ctx.Err() == nil {
+		// Warm path: fork a machine off the job class's template image —
+		// bit-identical to the cold boot below, minus the assemble/load/boot
+		// cost. Any failure inside warmFork leaves m nil and the cold path
+		// reproduces (and correctly attributes) the error.
+		if wm, wp := s.warmFork(j); wm != nil {
+			m, p = wm, wp
+			if in := j.req.InputBytes(); len(in) > 0 {
+				p.StdinWrite(in)
+			}
+			if !j.req.KeepStdin {
+				p.StdinClose()
+			}
 		}
 	}
 	if m == nil {

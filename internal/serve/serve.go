@@ -51,6 +51,15 @@ type Config struct {
 	// journal writes — for the recovery chaos cells. Zero rates disable it.
 	HostChaos chaos.HostConfig
 
+	// WarmPool enables snapshot-forked job starts: the first job of each
+	// distinct (program, config) class builds a template image (machine
+	// parked right after program load) and later jobs fork from it,
+	// sharing every physical frame copy-on-write instead of re-assembling
+	// and re-booting. Forked jobs are bit-identical to cold-booted ones;
+	// any warm-path failure silently falls back to a cold boot.
+	WarmPool     bool
+	WarmPoolSize int // distinct templates cached (default 32)
+
 	// Host-span tracing (wall-clock job lifecycle spans, distinct from the
 	// simulated-cycle machine telemetry). On by default: every job gets a
 	// trace ID — the gateway's X-Splitmem-Trace header when present, a
@@ -147,6 +156,12 @@ type Server struct {
 	resumedIn   atomic.Uint64 // migration resumes accepted
 	resumeDups  atomic.Uint64 // duplicate resume claims rejected (409)
 
+	// Warm-pool state and counters. warm is nil unless Config.WarmPool.
+	warm       *warmPool
+	forks      atomic.Uint64 // jobs started by forking a template image
+	warmHits   atomic.Uint64 // jobs that found their template already built
+	warmMisses atomic.Uint64 // jobs that had to build (or rebuild) a template
+
 	// Live-job registry: the latest checkpoint of every in-flight job, so
 	// the cluster gateway can ship it to a peer (GET /v1/jobs/{id}/checkpoint).
 	// Finished or detached jobs move to a small bounded export ring so a
@@ -190,6 +205,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.HostChaos.Enabled() {
 		s.hostChaos = chaos.NewHost(cfg.HostChaos)
 	}
+	if cfg.WarmPool {
+		s.warm = newWarmPool(cfg.WarmPoolSize)
+	}
 	if !cfg.NoTracing {
 		s.rec = hostspan.NewRecorder("replica:"+s.instanceID, cfg.TraceSpanCap)
 	}
@@ -232,6 +250,10 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.pool.Depth()) })
 	s.serverReg.GaugeFunc("splitmem_serve_workers", "size of the simulation worker pool",
 		func() float64 { return float64(cfg.Workers) })
+
+	reg("splitmem_serve_forks_total", "jobs started by forking a warm template image", &s.forks)
+	reg("splitmem_serve_warm_hits_total", "jobs whose template image was already built", &s.warmHits)
+	reg("splitmem_serve_warm_misses_total", "jobs that built a template image", &s.warmMisses)
 
 	reg("splitmem_serve_jobs_migrated_out_total", "jobs detached and shipped to a peer replica", &s.migratedOut)
 	reg("splitmem_serve_jobs_resumed_in_total", "migration resumes accepted", &s.resumedIn)
@@ -450,6 +472,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"retries":       s.retries.Load(),
 			"checkpoints":   s.checkpoints.Load(),
 			"restores":      s.restores.Load(),
+		},
+		"warm_pool": map[string]any{
+			"enabled":     s.warm != nil,
+			"templates":   s.warm.cachedTemplates(),
+			"forks":       s.forks.Load(),
+			"warm_hits":   s.warmHits.Load(),
+			"warm_misses": s.warmMisses.Load(),
 		},
 		"tracing": map[string]any{
 			"enabled":  s.rec != nil,

@@ -1,0 +1,145 @@
+package serve_test
+
+// Warm-pool integration tests: a job started by forking a template image
+// must be indistinguishable — result, detections, events, stdout — from the
+// same job cold-booted, and the warm counters must show the fork actually
+// happened (this is an equivalence gate, not a smoke test: if the warm path
+// silently fell back to cold boots, the fork counter assertions fail).
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"splitmem/internal/serve"
+)
+
+// warmShellcode is the quickstart exit shellcode, enough to trip detection.
+var warmShellcode = []byte{0x90, 0x90, 0xCD, 0x80}
+
+func submitVictim(t *testing.T, url string) serve.JobResult {
+	t.Helper()
+	resp, err := submit(t, url+"/v1/jobs", map[string]any{
+		"name":   "warm-victim",
+		"source": victimSrc,
+		"stdin":  base64.StdEncoding.EncodeToString(warmShellcode),
+		"config": map[string]any{"protection": "split"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	return decodeResult(t, resp.Body)
+}
+
+// comparable strips the per-run fields (id, wall clock) and the host-side
+// memory-sharing stats (a forked machine legitimately reports shared frames
+// and CoW copies where a cold boot reports none) and renders the rest as
+// JSON for a byte-level comparison.
+func comparable(t *testing.T, res serve.JobResult) string {
+	t.Helper()
+	res.ID = 0
+	res.Wall = 0
+	if res.Stats != nil {
+		s := *res.Stats
+		s.MemSharedFrames, s.MemPrivateFrames, s.MemCowCopies = 0, 0, 0
+		res.Stats = &s
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestWarmPoolMatchesCold runs the same detonation on a cold server and
+// twice on a warm-pool server (miss builds the template, hit forks from it)
+// and requires all three results identical modulo id/wall/memory-sharing.
+func TestWarmPoolMatchesCold(t *testing.T) {
+	_, coldTS := newTestServer(t, serve.Config{Workers: 2})
+	warmS, warmTS := newTestServer(t, serve.Config{Workers: 2, WarmPool: true})
+
+	cold := submitVictim(t, coldTS.URL)
+	first := submitVictim(t, warmTS.URL)
+	second := submitVictim(t, warmTS.URL)
+
+	if cold.Detections == 0 || !cold.Killed {
+		t.Fatalf("cold run did not detect the injection: %+v", cold)
+	}
+	coldJSON := comparable(t, cold)
+	if got := comparable(t, first); got != coldJSON {
+		t.Errorf("first warm run (template build) differs from cold:\n cold: %s\n warm: %s", coldJSON, got)
+	}
+	if got := comparable(t, second); got != coldJSON {
+		t.Errorf("second warm run (template hit) differs from cold:\n cold: %s\n warm: %s", coldJSON, got)
+	}
+
+	if forks := metricValue(t, warmTS.URL, "splitmem_serve_forks_total"); forks < 2 {
+		t.Errorf("forks_total=%v, want >=2 (both warm jobs should fork)", forks)
+	}
+	if hits := metricValue(t, warmTS.URL, "splitmem_serve_warm_hits_total"); hits < 1 {
+		t.Errorf("warm_hits_total=%v, want >=1 (second job reuses the template)", hits)
+	}
+	if misses := metricValue(t, warmTS.URL, "splitmem_serve_warm_misses_total"); misses != 1 {
+		t.Errorf("warm_misses_total=%v, want 1 (one template build)", misses)
+	}
+	if cold := metricValue(t, coldTS.URL, "splitmem_serve_forks_total"); cold != 0 {
+		t.Errorf("cold server forked %v times with the warm pool disabled", cold)
+	}
+	_ = warmS
+
+	// The healthz warm_pool block mirrors the counters.
+	resp, err := http.Get(warmTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		WarmPool struct {
+			Enabled   bool    `json:"enabled"`
+			Templates int     `json:"templates"`
+			Forks     float64 `json:"forks"`
+		} `json:"warm_pool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.WarmPool.Enabled || hz.WarmPool.Templates != 1 || hz.WarmPool.Forks < 2 {
+		t.Errorf("healthz warm_pool=%+v, want enabled with 1 template and >=2 forks", hz.WarmPool)
+	}
+}
+
+func TestWarmPoolStdinIsolation(t *testing.T) {
+	// Two different stdin payloads against the same cached template must
+	// produce their own outcomes (stdin is per-fork, never baked into the
+	// template): one benign input that just crashes the victim, one
+	// shellcode that trips detection.
+	_, ts := newTestServer(t, serve.Config{Workers: 2, WarmPool: true})
+
+	inj := submitVictim(t, ts.URL)
+	if inj.Detections == 0 {
+		t.Fatalf("shellcode fork saw no detection: %+v", inj)
+	}
+
+	resp, err := submit(t, ts.URL+"/v1/jobs", map[string]any{
+		"name":   "warm-victim",
+		"source": victimSrc,
+		"stdin":  base64.StdEncoding.EncodeToString([]byte{0x00, 0x00, 0x00, 0x00}),
+		"config": map[string]any{"protection": "split"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	benign := decodeResult(t, resp.Body)
+	if benign.Detections != inj.Detections && benign.ShellSpawned {
+		t.Fatalf("benign input spawned a shell: %+v", benign)
+	}
+	if forks := metricValue(t, ts.URL, "splitmem_serve_forks_total"); forks < 2 {
+		t.Errorf("forks_total=%v, want >=2", forks)
+	}
+}

@@ -26,12 +26,15 @@ import (
 	"splitmem/internal/workloads"
 )
 
-// scrubDecode zeroes the host-side acceleration counters — decode cache and
-// superblock engine — the only Stats fields allowed to differ between arms.
+// scrubDecode zeroes the host-side counters — decode cache, superblock
+// engine, and frame-store sharing — the only Stats fields allowed to differ
+// between arms (a forked arm shares frames its cold-booted twin owns
+// outright; neither difference is architecturally observable).
 func scrubDecode(s splitmem.Stats) splitmem.Stats {
 	s.DecodeHits, s.DecodeMisses, s.DecodeInvalidations = 0, 0, 0
 	s.SuperblockCompiled, s.SuperblockEntered = 0, 0
 	s.SuperblockSideExits, s.SuperblockInvalidations = 0, 0
+	s.MemSharedFrames, s.MemPrivateFrames, s.MemCowCopies = 0, 0, 0
 	return s
 }
 
@@ -262,6 +265,157 @@ func runWorkloadResumed(t *testing.T, prog workloads.Program, cfg splitmem.Confi
 		t.Fatal(err)
 	}
 	return d
+}
+
+// runWorkloadForked is runWorkload interrupted by a fork: the machine runs
+// for roughly forkAt cycles and Fork()s, and then BOTH machines — parent and
+// child, sharing every physical frame copy-on-write from that instant — run
+// to completion independently. The helper proves, in order:
+//
+//  1. the child is bit-identical to the parent at the fork point (their
+//     Snapshot images are byte-equal), and taking the fork did not perturb
+//     the parent (its snapshot before and after the fork is byte-equal);
+//  2. parent and child retire identical instruction streams, cycles, stats
+//     and event-log bytes despite hammering the same shared frames;
+//
+// and returns the child's digest so callers can hold it against an
+// uninterrupted cold-booted run — forked == cold-booted, the warm-pool
+// determinism gate.
+func runWorkloadForked(t *testing.T, prog workloads.Program, cfg splitmem.Config, forkAt uint64) workloadDigest {
+	t.Helper()
+	m, err := splitmem.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := workloadDigest{trace: 14695981039346656037}
+	m.CPU().TraceHook = func(eip uint32, in isa.Instr) {
+		prefix.trace = traceHash(prefix.trace, eip, in)
+	}
+	p, err := m.LoadAsm(prog.Src, prog.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := p.PID
+	if prog.Input != "" {
+		p.StdinWrite([]byte(prog.Input))
+		p.StdinClose()
+	}
+	res := m.Run(forkAt)
+
+	before, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := m.Fork()
+	if err != nil {
+		t.Fatalf("fork at cycle %d: %v", forkAt, err)
+	}
+	after, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("%s: taking a fork perturbed the parent (snapshot %d vs %d bytes)",
+			prog.Name, len(before), len(after))
+	}
+	childSnap, err := child.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, childSnap) {
+		t.Errorf("%s: forked machine is not bit-identical to its parent at the fork point (%d vs %d bytes)",
+			prog.Name, len(childSnap), len(before))
+	}
+
+	finish := func(fm *splitmem.Machine, r splitmem.RunResult) workloadDigest {
+		d := prefix // copy: both runs extend the same retired-stream prefix
+		fm.CPU().TraceHook = func(eip uint32, in isa.Instr) {
+			d.trace = traceHash(d.trace, eip, in)
+		}
+		if r.Reason == splitmem.ReasonBudget || r.Reason == splitmem.ReasonWaitingInput {
+			r = fm.Run(40_000_000_000)
+		}
+		fp, ok := fm.Kernel().Process(pid)
+		if !ok {
+			t.Fatalf("%s: pid %d lost across fork", prog.Name, pid)
+		}
+		d.reason = r.Reason
+		d.exited, d.status = fp.Exited()
+		s := fm.Stats()
+		d.raw = s
+		d.stats = scrubDecode(s)
+		d.retired = s.Instructions
+		d.cycles = s.Cycles
+		d.events, err = fm.EventsJSONL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	childD := finish(child, res)
+	parentD := finish(m, res)
+	compareDigests(t, prog.Name+"/parent-vs-child", parentD, childD)
+	child.Close()
+	m.Close()
+	return childD
+}
+
+// TestOracleForkWorkloads: every workload under every protection policy,
+// cold-booted vs forked-at-a-pseudo-random-cycle. The forked machine (and
+// its parent, running on after the fork over the same shared frames) must
+// retire the identical instruction stream and end with identical cycles,
+// stats and event-log bytes — the fork is architecturally invisible.
+func TestOracleForkWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is broad")
+	}
+	prots := []splitmem.Protection{
+		splitmem.ProtNone, splitmem.ProtNX, splitmem.ProtSplit, splitmem.ProtSplitNX,
+	}
+	for _, prog := range workloads.Catalog() {
+		for _, prot := range prots {
+			prog, prot := prog, prot
+			t.Run(fmt.Sprintf("%s/%v", prog.Name, prot), func(t *testing.T) {
+				cfg := splitmem.Config{Protection: prot, RandomizeStack: true, Seed: 7}
+				base := runWorkload(t, prog, cfg)
+				forkAt := pseudoCycle("fork"+prog.Name+prot.String(), base.cycles)
+				forked := runWorkloadForked(t, prog, cfg, forkAt)
+				compareDigests(t, fmt.Sprintf("%s@fork%d", prog.Name, forkAt), base, forked)
+			})
+		}
+	}
+}
+
+// TestOracleForkWilander: all 32 attack forms of the extended Wilander grid,
+// forked mid-attack vs uninterrupted, under both split deployments.
+// Detection must land on the same cycle with byte-identical events whether
+// the attacked machine was cold-booted or forked from a warm parent.
+func TestOracleForkWilander(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is broad")
+	}
+	for _, prot := range []splitmem.Protection{splitmem.ProtSplit, splitmem.ProtSplitNX} {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			for _, tech := range attacks.AllTechniques() {
+				for _, seg := range attacks.Segments() {
+					src, stdin, err := attacks.OneShot(tech, seg)
+					if err != nil {
+						continue // form not applicable
+					}
+					name := fmt.Sprintf("%v/%v", tech, seg)
+					t.Run(name, func(t *testing.T) {
+						prog := workloads.Program{Name: "wilander", Src: guest.WithCRT(src), Input: string(stdin)}
+						cfg := splitmem.Config{Protection: prot}
+						base := runWorkload(t, prog, cfg)
+						forkAt := pseudoCycle("fork"+name+prot.String(), base.cycles)
+						forked := runWorkloadForked(t, prog, cfg, forkAt)
+						compareDigests(t, name, base, forked)
+					})
+				}
+			}
+		})
+	}
 }
 
 // TestOracleSnapshotWorkloads: every workload under every protection policy,

@@ -27,6 +27,7 @@ package splitmem
 import (
 	"fmt"
 
+	"splitmem/internal/mem"
 	"splitmem/internal/snapshot"
 )
 
@@ -38,16 +39,19 @@ const (
 	snapVersion = 2 // v2: NoSuperblocks in the config, Superblock* counters in cpu state
 )
 
-// Snapshot serializes the machine's complete architectural state. Call it
-// only between Run/RunContext invocations (the scheduler parks the machine
-// at a timeslice boundary; mid-Step state is never observable from outside).
-func (m *Machine) Snapshot() ([]byte, error) {
-	w := snapshot.NewWriter()
-	w.Raw([]byte(snapMagic))
-	w.U32(snapVersion)
+// encodeBody serializes the machine's architectural state into w in the
+// canonical section order. With frames=true the physical frame contents ride
+// along (the Snapshot format); with frames=false only the allocator metadata
+// does (the Image meta section — frame contents live in the shared
+// mem.Base instead).
+func (m *Machine) encodeBody(w *snapshot.Writer, frames bool) {
 	encodeConfig(w, &m.cfg)
 	m.mach.EncodeState(w)
-	m.mach.Phys.EncodeState(w)
+	if frames {
+		m.mach.Phys.EncodeState(w)
+	} else {
+		m.mach.Phys.EncodeMeta(w)
+	}
 	m.mach.ITLB.EncodeState(w)
 	m.mach.DTLB.EncodeState(w)
 	m.kern.EncodeState(w)
@@ -57,6 +61,21 @@ func (m *Machine) Snapshot() ([]byte, error) {
 	if m.inj != nil {
 		m.inj.EncodeState(w)
 	}
+}
+
+// Snapshot serializes the machine's complete architectural state. Call it
+// only between Run/RunContext invocations (the scheduler parks the machine
+// at a timeslice boundary; mid-Step state is never observable from outside).
+//
+// Snapshot predates the typed Image API and remains the wire format for
+// checkpoints; new code that wants to boot many machines from one parked
+// state should prefer Machine.Image / Machine.Fork, which share physical
+// frames copy-on-write instead of duplicating them.
+func (m *Machine) Snapshot() ([]byte, error) {
+	w := snapshot.NewWriter()
+	w.Raw([]byte(snapMagic))
+	w.U32(snapVersion)
+	m.encodeBody(w, true)
 	w.U32(snapshot.Checksum(w.Bytes()))
 	return w.Bytes(), nil
 }
@@ -84,6 +103,18 @@ func RestoreWithHook(image []byte, hook func(Event)) (*Machine, error) {
 	if v := r.U32(); v != snapVersion {
 		return nil, fmt.Errorf("%w: image version %d, this build reads %d", snapshot.ErrVersion, v, snapVersion)
 	}
+	return decodeBody(r, hook, nil, nil)
+}
+
+// decodeBody rebuilds a machine from the canonical section sequence
+// (everything after the magic/version header). With base == nil the frame
+// contents are read inline (the Snapshot format); with a base the reader
+// carries only allocator metadata and the machine attaches to the shared
+// frames copy-on-write (the Image format). A non-nil pmeta is a cached decode
+// of that allocator metadata (it always comes from a prior decode of the same
+// bytes): the byte section is skipped and the allocator installed by copy,
+// which is what makes repeated boots from one Image cheap.
+func decodeBody(r *snapshot.Reader, hook func(Event), base *mem.Base, pmeta *mem.Meta) (*Machine, error) {
 	cfg, err := decodeConfig(r)
 	if err != nil {
 		return nil, err
@@ -97,7 +128,24 @@ func RestoreWithHook(image []byte, hook func(Event)) (*Machine, error) {
 			cfg.PhysBytes, cfg.ITLBSize, cfg.DTLBSize, cfg.TraceDepth, cfg.TelemetrySpanCap)
 	}
 	cfg.EventHook = hook
-	m, err := New(cfg)
+	// attached tracks a base-refcounted physical memory until the decode is
+	// known good, so a boot that fails partway never leaks a Base reference.
+	var attached *mem.Physical
+	defer func() {
+		if attached != nil {
+			attached.Close()
+		}
+	}()
+	var bootPhys *mem.Physical
+	if base != nil && pmeta != nil {
+		bp, err := mem.BootPhysical(base, pmeta)
+		if err != nil {
+			return nil, snapshot.Corruptf("%v", err)
+		}
+		bootPhys = bp
+		attached = bp
+	}
+	m, err := newMachine(cfg, bootPhys)
 	if err != nil {
 		// The checksum passed, so the bytes decode; a config no machine
 		// accepts is still a corrupt image from the caller's point of view.
@@ -106,8 +154,26 @@ func RestoreWithHook(image []byte, hook func(Event)) (*Machine, error) {
 	if err := m.mach.DecodeState(r); err != nil {
 		return nil, err
 	}
-	if err := m.mach.Phys.DecodeState(r); err != nil {
-		return nil, err
+	switch {
+	case base == nil:
+		if err := m.mach.Phys.DecodeState(r); err != nil {
+			return nil, err
+		}
+	case pmeta != nil:
+		// The machine was built around a prebuilt copy-on-write attachment
+		// (bootPhys above); only keep the reader aligned with the canonical
+		// section sequence.
+		if err := mem.SkipMeta(r); err != nil {
+			return nil, err
+		}
+	default:
+		if err := m.mach.Phys.DecodeMeta(r); err != nil {
+			return nil, err
+		}
+		if err := m.mach.Phys.Attach(base); err != nil {
+			return nil, snapshot.Corruptf("%v", err)
+		}
+		attached = m.mach.Phys
 	}
 	if err := m.mach.ITLB.DecodeState(r); err != nil {
 		return nil, err
@@ -145,6 +211,7 @@ func RestoreWithHook(image []byte, hook func(Event)) (*Machine, error) {
 	} else {
 		m.mach.RestorePagetable(nil)
 	}
+	attached = nil
 	return m, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"splitmem/internal/isa"
 	"splitmem/internal/kernel"
 	"splitmem/internal/loader"
+	"splitmem/internal/mem"
 	"splitmem/internal/nx"
 	"splitmem/internal/telemetry"
 	"splitmem/internal/tlb"
@@ -246,7 +247,12 @@ type Machine struct {
 // honor are rejected up front with an error wrapping ErrBadConfig (see
 // Config.Validate); any later failure is a construction problem, not the
 // caller's.
-func New(cfg Config) (*Machine, error) {
+func New(cfg Config) (*Machine, error) { return newMachine(cfg, nil) }
+
+// newMachine is New with an optional prebuilt physical memory, the seam the
+// Image boot fast path uses to hand in a copy-on-write attachment
+// (mem.BootPhysical) instead of paying for a cold allocator build.
+func newMachine(cfg Config, phys *mem.Physical) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -259,6 +265,7 @@ func New(cfg Config) (*Machine, error) {
 		NXEnabled:   nxEnabled,
 		DecodeCache: !cfg.NoDecodeCache,
 		Superblocks: !cfg.NoSuperblocks,
+		Phys:        phys,
 	})
 	if err != nil {
 		return nil, err
@@ -470,6 +477,14 @@ type Stats struct {
 	SuperblockEntered       uint64
 	SuperblockSideExits     uint64
 	SuperblockInvalidations uint64
+
+	// Frame-store sharing (warm pools / forks). Host-side only, like the
+	// fast-path counters: a forked machine shares frames its cold-booted
+	// twin owns outright, so these legitimately differ between the two and
+	// the differential oracle scrubs them the same way.
+	MemSharedFrames  uint64
+	MemPrivateFrames uint64
+	MemCowCopies     uint64
 }
 
 // Stats snapshots current counters.
@@ -493,6 +508,9 @@ func (m *Machine) Stats() Stats {
 	s.Syscalls, s.KernelFaults, _ = m.kern.Counters()
 	s.SpuriousFaults = m.kern.SpuriousFaults()
 	s.MemFaults = m.mach.Phys.Faults()
+	s.MemSharedFrames = uint64(m.mach.Phys.SharedFrames())
+	s.MemPrivateFrames = uint64(m.mach.Phys.PrivateFrames())
+	s.MemCowCopies = m.mach.Phys.CowCopies()
 	if m.split != nil {
 		s.Split = m.split.Stats()
 	}
