@@ -63,9 +63,53 @@ import (
 	_ "net/http/pprof"
 
 	"splitmem/internal/cluster"
+	"splitmem/internal/faultmesh"
 	"splitmem/internal/serve"
 	"splitmem/internal/serve/loadtest"
 )
+
+// runChaosCampaign boots the in-process hostile cluster (fault-injecting
+// transport between gateway and replicas, fault-injecting disks under the
+// journals, a conductor killing and draining replicas mid-load), drives the
+// seeded load, and prints the invariant table. The JSON report — the CI
+// artifact — is written even when the campaign fails, so a red run ships
+// its own forensics.
+func runChaosCampaign(seed uint64, clients int, reportPath string) error {
+	rep, err := faultmesh.RunCampaign(faultmesh.CampaignConfig{Seed: seed, Clients: clients})
+	if rep != nil && reportPath != "" {
+		f, ferr := os.Create(reportPath)
+		if ferr != nil {
+			return ferr
+		}
+		if werr := rep.WriteJSON(f); werr != nil {
+			f.Close()
+			return werr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(os.Stderr, "chaos-campaign: report written to %s\n", reportPath)
+	}
+	if err != nil {
+		return err
+	}
+	if rep.Load != nil {
+		fmt.Println(rep.Load)
+	}
+	fmt.Printf("chaos-campaign: mesh faults %+v\n", rep.MeshFault)
+	fmt.Printf("chaos-campaign: disk faults %+v\n", rep.DiskFault)
+	for _, inv := range rep.Invariants {
+		mark := "ok"
+		if !inv.Passed {
+			mark = "FAILED: " + inv.Detail
+		}
+		fmt.Printf("chaos-campaign: invariant %-24s %s\n", inv.Name, mark)
+	}
+	if !rep.Passed {
+		return fmt.Errorf("invariants violated (reproduce with -campaign-seed %d)", rep.Seed)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -76,16 +120,32 @@ func main() {
 		retryBudget   = flag.Int("retry-budget", 8, "submission/resume attempts per job")
 		flightDir     = flag.String("flightrecorder-dir", "", "directory for failure post-mortem dumps (\"\" = off)")
 		flightSpans   = flag.Int("flightrecorder-spans", 0, "host spans captured per flight-recorder dump (0 = 256)")
+		flightMax     = flag.Int("flightrecorder-max", 0, "rotate oldest dumps past this many flight-*.json files (0 = 512)")
+		flightMaxMB   = flag.Int("flightrecorder-max-bytes", 0, "rotate oldest dumps past this total byte size (0 = 256 MiB)")
 		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (\"\" = off; bind to localhost, e.g. 127.0.0.1:6060)")
 		noTracing     = flag.Bool("no-tracing", false, "disable host-span tracing (on by default)")
 		traceCap      = flag.Int("trace-span-cap", 0, "host-span ring capacity (0 = default)")
 		selftest      = flag.Bool("selftest", false, "run the in-process kill-mid-load smoke test and exit")
 		traceOut      = flag.String("trace-out", "", "selftest: write the migration probe's merged Chrome trace here")
 		warmPool      = flag.Bool("warmpool", false, "selftest: run the harness replicas with snapshot-forked warm pools (jobs fork from template images copy-on-write)")
+
+		chaosCampaign   = flag.Bool("chaos-campaign", false, "run the seeded fault-mesh chaos campaign against an in-process cluster and exit (nonzero on any invariant failure)")
+		campaignSeed    = flag.Uint64("campaign-seed", 1, "chaos campaign: fault-schedule seed (same seed, same schedule)")
+		campaignClients = flag.Int("campaign-clients", 0, "chaos campaign: concurrent clients (0 = 200)")
+		campaignReport  = flag.String("campaign-report", "", "chaos campaign: write the JSON invariant report to this file")
 	)
 	flag.Parse()
 
 	startPprof(*pprofAddr, "splitmem-gateway")
+
+	if *chaosCampaign {
+		if err := runChaosCampaign(*campaignSeed, *campaignClients, *campaignReport); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos-campaign:", err)
+			os.Exit(1)
+		}
+		fmt.Println("chaos-campaign: ok")
+		return
+	}
 
 	if *selftest {
 		if err := runSelftest(*flightDir, *traceOut, *warmPool); err != nil {
@@ -108,14 +168,16 @@ func main() {
 	}
 
 	gw, err := cluster.New(cluster.Config{
-		Replicas:            urls,
-		ProbeInterval:       *probeInterval,
-		FailThreshold:       *failThreshold,
-		RetryBudget:         *retryBudget,
-		FlightRecorderDir:   *flightDir,
-		FlightRecorderSpans: *flightSpans,
-		NoTracing:           *noTracing,
-		TraceSpanCap:        *traceCap,
+		Replicas:               urls,
+		ProbeInterval:          *probeInterval,
+		FailThreshold:          *failThreshold,
+		RetryBudget:            *retryBudget,
+		FlightRecorderDir:      *flightDir,
+		FlightRecorderSpans:    *flightSpans,
+		FlightRecorderMaxDumps: *flightMax,
+		FlightRecorderMaxBytes: int64(*flightMaxMB),
+		NoTracing:              *noTracing,
+		TraceSpanCap:           *traceCap,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

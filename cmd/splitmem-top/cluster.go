@@ -31,6 +31,7 @@ type gatewayHealthz struct {
 		URL          string `json:"url"`
 		Label        string `json:"label"`
 		State        string `json:"state"`
+		Breaker      string `json:"breaker"`
 		Instance     string `json:"instance"`
 		Depth        int    `json:"depth"`
 		Workers      int    `json:"workers"`
@@ -38,8 +39,9 @@ type gatewayHealthz struct {
 		Spans        uint64 `json:"spans_recorded"`
 		WorkerPanics uint64 `json:"worker_panics"`
 	} `json:"replicas"`
-	Jobs    map[string]uint64 `json:"jobs"`
-	Tracing struct {
+	Jobs       map[string]uint64 `json:"jobs"`
+	Resilience map[string]uint64 `json:"resilience"`
+	Tracing    struct {
 		Enabled  bool   `json:"enabled"`
 		Spans    int    `json:"spans"`
 		Recorded uint64 `json:"recorded"`
@@ -151,6 +153,10 @@ func renderClusterHealthz(h *gatewayHealthz) {
 	fmt.Printf("jobs: accepted=%d completed=%d retries=%d migrations=%d scratch=%d corrupt=%d shed=%d\n",
 		h.Jobs["accepted"], h.Jobs["completed"], h.Jobs["retries"],
 		h.Jobs["migrations"], h.Jobs["scratch_resumes"], h.Jobs["corrupt_fetches"], h.Jobs["shed"])
+	fmt.Printf("resilience: deadline-504=%d breaker-trips=%d hedged=%d (won %d, lost %d) stale-exports=%d\n",
+		h.Resilience["deadline_exceeded"], h.Resilience["breaker_trips"],
+		h.Resilience["hedged_fetches"], h.Resilience["hedge_wins"], h.Resilience["hedge_losses"],
+		h.Jobs["stale_exports"])
 	tracing := "off"
 	if h.Tracing.Enabled {
 		tracing = fmt.Sprintf("%d spans (%d recorded, %d dropped)", h.Tracing.Spans, h.Tracing.Recorded, h.Tracing.Dropped)
@@ -162,15 +168,15 @@ func renderClusterHealthz(h *gatewayHealthz) {
 	fmt.Printf("tracing: %s   flight recorder: %s   federation errors: %d\n\n",
 		tracing, flight, h.Federation.Errors)
 
-	fmt.Printf("%-4s %-9s %-18s %8s %8s %8s %10s %8s\n",
-		"REPL", "STATE", "INSTANCE", "WORKERS", "DEPTH", "RESTART", "SPANS", "PANICS")
+	fmt.Printf("%-4s %-9s %-9s %-18s %8s %8s %8s %10s %8s\n",
+		"REPL", "STATE", "BREAKER", "INSTANCE", "WORKERS", "DEPTH", "RESTART", "SPANS", "PANICS")
 	for _, r := range h.Replicas {
 		inst := r.Instance
 		if len(inst) > 16 {
 			inst = inst[:16]
 		}
-		fmt.Printf("%-4s %-9s %-18s %8d %8d %8d %10d %8d\n",
-			r.Label, r.State, inst, r.Workers, r.Depth, r.Restarts, r.Spans, r.WorkerPanics)
+		fmt.Printf("%-4s %-9s %-9s %-18s %8d %8d %8d %10d %8d\n",
+			r.Label, r.State, r.Breaker, inst, r.Workers, r.Depth, r.Restarts, r.Spans, r.WorkerPanics)
 	}
 }
 
@@ -184,6 +190,10 @@ var clusterTableMetrics = []struct{ label, name string }{
 	{"resumed in", "splitmem_serve_jobs_resumed_in_total"},
 	{"worker panics", "splitmem_serve_worker_panics_total"},
 	{"host spans", "splitmem_serve_hostspans_recorded_total"},
+	{"deadline 504s", "splitmem_serve_deadline_exceeded_total"},
+	{"journal degraded (0/1)", "splitmem_serve_journal_degraded"},
+	{"journal degraded secs", "splitmem_serve_journal_degraded_seconds_total"},
+	{"journal recoveries", "splitmem_serve_journal_recoveries_total"},
 }
 
 func renderClusterSeries(h *gatewayHealthz, series clusterSeries) {

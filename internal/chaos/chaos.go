@@ -22,6 +22,7 @@ package chaos
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"splitmem/internal/cpu"
 	"splitmem/internal/mem"
@@ -467,6 +468,44 @@ func (ci *ClusterInjector) DropProbe() bool {
 	}
 	ci.stats.ProbeDrops++
 	return true
+}
+
+// Jitter is a seeded source of retry-delay jitter, shared by every
+// backoff site in the tree (gateway shed-retry, worker restart backoff,
+// loadtest Retry503). Synchronized retries are a fault amplifier: when one
+// replica sheds, every client that hit it sleeps the same deterministic
+// backoff and stampedes back in lockstep. Scale breaks the lockstep with
+// "equal jitter": a base delay d maps to a uniform draw from [d/2, d), so
+// the mean stays at 3d/4 while no two seeded sources agree on the phase.
+// Mutex-guarded: retry loops on different goroutines share one source. A
+// nil Jitter scales nothing (Scale returns d unchanged).
+type Jitter struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// NewJitter creates a jitter source. The seed is XOR'd with a constant
+// distinct from every other injector stream so a zero seed still draws a
+// non-degenerate sequence.
+func NewJitter(seed uint64) *Jitter {
+	return &Jitter{state: seed ^ 0x6C62272E07BB0142}
+}
+
+// Scale maps a base delay to a uniform draw from [d/2, d). Non-positive
+// delays and nil sources pass through unchanged.
+func (j *Jitter) Scale(d time.Duration) time.Duration {
+	if j == nil || d <= time.Nanosecond {
+		return d
+	}
+	j.mu.Lock()
+	j.state += 0x9E3779B97F4A7C15
+	z := j.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	u := z ^ (z >> 31)
+	j.mu.Unlock()
+	half := d / 2
+	return half + time.Duration(u%uint64(d-half))
 }
 
 // CorruptCheckpoint flips one stream-drawn bit of a checkpoint image in

@@ -1,0 +1,167 @@
+package cluster
+
+// Per-replica circuit breaker. The prober's StateDown is a coarse,
+// threshold-delayed signal; the breaker is the fast path that stops the
+// router from feeding jobs to a replica whose streams are breaking RIGHT
+// NOW, before FailThreshold probes have confirmed the death. Classic
+// three-state machine:
+//
+//	closed    — healthy; failures count toward the threshold.
+//	open      — tripped; pickReplica skips the replica entirely. Every
+//	            further failure (probes included) refreshes the trip time,
+//	            so a dead replica never half-opens on the clock alone.
+//	half-open — trial; the replica is routable again, and the very next
+//	            outcome decides: success re-closes, failure re-opens.
+//
+// Two paths out of open: the cooldown elapsing (checked lazily by
+// allow()), or a successful probe (probe-driven recovery — the prober
+// reaching /healthz is direct evidence the host is back). Both land in
+// half-open, never straight in closed: one good probe after a partition
+// does not prove the data path.
+//
+// The relayUnknown retry deliberately bypasses the breaker: an ambiguous
+// attempt MUST go back to the same replica with the same key so the
+// per-key 409 can disambiguate admission. Correctness outranks shedding.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// breakerState is the breaker's position.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String returns the state's wire name (healthz, metrics label).
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breaker(%d)", int32(s))
+}
+
+// breaker is one replica's circuit breaker. Transitions are reported via
+// onTransition, invoked outside the breaker lock (it touches the gateway's
+// metrics mutex).
+type breaker struct {
+	threshold    int
+	cooldown     time.Duration
+	onTransition func(from, to breakerState)
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // last trip (or trip refresh) time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onTransition func(from, to breakerState)) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, onTransition: onTransition}
+}
+
+// transition moves the state under b.mu and returns the notification to
+// fire once the lock is released.
+func (b *breaker) transition(to breakerState) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	if to == breakerOpen {
+		b.openedAt = time.Now()
+	}
+	if b.onTransition == nil {
+		return nil
+	}
+	fn := b.onTransition
+	return func() { fn(from, to) }
+}
+
+func fire(note func()) {
+	if note != nil {
+		note()
+	}
+}
+
+// allow reports whether the router may send traffic to this replica. An
+// open breaker whose cooldown has elapsed moves to half-open (the clock
+// path out of open) and is allowed one trial.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	var note func()
+	if b.state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		note = b.transition(breakerHalfOpen)
+	}
+	ok := b.state != breakerOpen
+	b.mu.Unlock()
+	fire(note)
+	return ok
+}
+
+// noteProbeSuccess records a successful health probe: direct evidence the
+// host is reachable, but not that the data path works — open moves to
+// half-open, and only a second consecutive signal (another good probe, or
+// a relay success) re-closes.
+func (b *breaker) noteProbeSuccess() {
+	b.mu.Lock()
+	var note func()
+	switch b.state {
+	case breakerClosed:
+		b.failures = 0
+	case breakerOpen:
+		note = b.transition(breakerHalfOpen)
+	case breakerHalfOpen:
+		b.failures = 0
+		note = b.transition(breakerClosed)
+	}
+	b.mu.Unlock()
+	fire(note)
+}
+
+// noteSuccess records a successful relay outcome: the data path works, so
+// any state re-closes.
+func (b *breaker) noteSuccess() {
+	b.mu.Lock()
+	b.failures = 0
+	note := b.transition(breakerClosed)
+	b.mu.Unlock()
+	fire(note)
+}
+
+// noteFailure records a failed probe or a broken relay stream.
+func (b *breaker) noteFailure() {
+	b.mu.Lock()
+	var note func()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			note = b.transition(breakerOpen)
+		}
+	case breakerHalfOpen:
+		note = b.transition(breakerOpen)
+	case breakerOpen:
+		// Refresh the trip time: the cooldown clock restarts, so a replica
+		// that keeps failing probes never half-opens on time alone.
+		b.openedAt = time.Now()
+	}
+	b.mu.Unlock()
+	fire(note)
+}
+
+// current returns the state for healthz views and tests.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -70,6 +70,10 @@ type Replica struct {
 	// a rolling restart.
 	Label string
 
+	// br is the replica's circuit breaker: a faster, finer-grained gate
+	// than the probed State, fed by relay outcomes as well as probes.
+	br *breaker
+
 	mu         sync.Mutex
 	state      State
 	instanceID string // from /healthz; changes on process restart
@@ -107,11 +111,16 @@ func (r *Replica) InstanceID() string {
 	return r.instanceID
 }
 
+// Breaker returns the replica's circuit-breaker state name
+// ("closed", "open", "half-open").
+func (r *Replica) Breaker() string { return r.br.current().String() }
+
 // snapshotView is the /healthz row for one replica.
 type snapshotView struct {
 	URL          string `json:"url"`
 	Label        string `json:"label"`
 	State        string `json:"state"`
+	Breaker      string `json:"breaker"`
 	Instance     string `json:"instance,omitempty"`
 	Depth        int    `json:"depth"`
 	Workers      int    `json:"workers"`
@@ -128,6 +137,7 @@ func (r *Replica) view() snapshotView {
 		URL:          r.URL,
 		Label:        r.Label,
 		State:        r.state.String(),
+		Breaker:      r.br.current().String(),
 		Instance:     r.instanceID,
 		Depth:        r.depth,
 		Workers:      r.workers,

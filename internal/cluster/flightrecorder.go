@@ -14,28 +14,39 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
-// flightRecorder serializes dump writes and numbers them.
+// flightRecorder serializes dump writes, numbers them, and rotates old
+// dumps past the disk cap.
 type flightRecorder struct {
-	dir  string
-	tail int // host spans captured per dump
+	dir      string
+	tail     int   // host spans captured per dump
+	maxDumps int   // rotate past this many flight-*.json files
+	maxBytes int64 // ... or past this many total bytes
 
 	mu  sync.Mutex
 	seq uint64
 }
 
 // newFlightRecorder returns nil (disabled) when dir is empty.
-func newFlightRecorder(dir string, tail int) *flightRecorder {
+func newFlightRecorder(dir string, tail, maxDumps int, maxBytes int64) *flightRecorder {
 	if dir == "" {
 		return nil
 	}
 	if tail <= 0 {
 		tail = 256
 	}
-	return &flightRecorder{dir: dir, tail: tail}
+	if maxDumps <= 0 {
+		maxDumps = 512
+	}
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &flightRecorder{dir: dir, tail: tail, maxDumps: maxDumps, maxBytes: maxBytes}
 }
 
 // flightRecord writes one post-mortem dump. reason is a short stable slug
@@ -90,6 +101,46 @@ func (g *Gateway) flightRecord(reason string, detail map[string]any) {
 	cerr := f.Close()
 	if werr == nil && cerr == nil {
 		g.flightDumps.Add(1)
+	}
+	fr.rotate()
+}
+
+// rotate deletes the oldest dumps until the directory is back under both
+// caps (count and total bytes), always keeping the newest dump. Dump
+// names start with an RFC3339-ish UTC timestamp, so lexical order IS
+// chronological order. Called with fr.mu held; removal errors are
+// swallowed like write errors — rotation is best-effort forensics
+// hygiene, never a data-path hazard.
+func (fr *flightRecorder) rotate() {
+	entries, err := os.ReadDir(fr.dir)
+	if err != nil {
+		return
+	}
+	type dump struct {
+		name string
+		size int64
+	}
+	var dumps []dump
+	var total int64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "flight-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		dumps = append(dumps, dump{name, info.Size()})
+		total += info.Size()
+	}
+	sort.Slice(dumps, func(i, j int) bool { return dumps[i].name < dumps[j].name })
+	for len(dumps) > 1 && (len(dumps) > fr.maxDumps || total > fr.maxBytes) {
+		if err := os.Remove(filepath.Join(fr.dir, dumps[0].name)); err != nil {
+			return
+		}
+		total -= dumps[0].size
+		dumps = dumps[1:]
 	}
 }
 

@@ -38,6 +38,17 @@ type Config struct {
 	RetryBackoff  time.Duration // first retry delay, doubled per attempt (default 25ms)
 	MaxRetryDelay time.Duration // cap on any retry/Retry-After wait (default 1s)
 
+	// Circuit breaker per replica: BreakerThreshold consecutive failures
+	// (probe or relay) trip it open; after BreakerCooldown it half-opens
+	// for one trial. See breaker.go for the full state machine.
+	BreakerThreshold int           // failures to trip (default 5)
+	BreakerCooldown  time.Duration // open → half-open delay (default 500ms)
+
+	// HedgeDelay staggers the hedged checkpoint fetch during migration:
+	// the previous hop's export ring is raced against the current owner's
+	// after this head start for the primary (default 75ms).
+	HedgeDelay time.Duration
+
 	MaxBodyBytes int64 // client request body limit (default 8 MiB)
 
 	// Chaos injects cluster-level faults (probe drops, checkpoint
@@ -59,6 +70,13 @@ type Config struct {
 	NoTracing           bool   // disable gateway host-span tracing
 	FlightRecorderDir   string // post-mortem dump directory ("" = disabled)
 	FlightRecorderSpans int    // span tail captured per dump (default 256)
+
+	// Flight-recorder disk cap: after each dump the oldest flight-*.json
+	// files are pruned until at most FlightRecorderMaxDumps remain and
+	// their total size is at most FlightRecorderMaxBytes. A long chaos
+	// campaign must never fill the disk with forensics.
+	FlightRecorderMaxDumps int   // default 512
+	FlightRecorderMaxBytes int64 // default 256 MiB
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +98,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetryDelay <= 0 {
 		c.MaxRetryDelay = time.Second
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 75 * time.Millisecond
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
@@ -88,6 +115,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlightRecorderSpans <= 0 {
 		c.FlightRecorderSpans = 256
+	}
+	if c.FlightRecorderMaxDumps <= 0 {
+		c.FlightRecorderMaxDumps = 512
+	}
+	if c.FlightRecorderMaxBytes <= 0 {
+		c.FlightRecorderMaxBytes = 256 << 20
 	}
 	return c
 }
@@ -108,6 +141,10 @@ type Gateway struct {
 	rec *hostspan.Recorder // nil when Config.NoTracing
 	fr  *flightRecorder    // nil when Config.FlightRecorderDir is empty
 
+	// jitter decorrelates retry sleeps across gateway instances and jobs
+	// (equal jitter: a wait of d becomes uniform in [d/2, d)).
+	jitter *chaos.Jitter
+
 	nextID atomic.Uint64
 
 	jobsMu sync.Mutex
@@ -120,16 +157,25 @@ type Gateway struct {
 	migrations    atomic.Uint64 // successful live migrations (checkpoint resumes)
 	scratchResume atomic.Uint64 // migrations resumed from scratch (no checkpoint)
 	corruptFetch  atomic.Uint64 // checkpoint fetches rejected by the CRC gate
+	staleExport   atomic.Uint64 // checkpoint fetches rejected by the job-identity gate
 	shed          atomic.Uint64 // client submissions refused (no replica available)
 	synthesized   atomic.Uint64 // results synthesized after the retry budget died
 	flightDumps   atomic.Uint64 // flight-recorder post-mortems written
 	federateErrs  atomic.Uint64 // replica /metrics scrapes that failed
+
+	// Resilience counters (this PR's subsystem), also on /healthz.
+	deadlineExceeded atomic.Uint64 // jobs rejected or failed on the propagated deadline
+	breakerTrips     atomic.Uint64 // breaker transitions into open
+	hedgedFetches    atomic.Uint64 // checkpoint fetches that launched a hedge arm
+	hedgeWins        atomic.Uint64 // hedged fetches the secondary arm won
+	hedgeLosses      atomic.Uint64 // hedged fetches the primary arm won
 
 	// Gateway-tier instruments. telemetry.Registry is not goroutine-safe,
 	// so every instrument touch and every /metrics render holds metricsMu.
 	metricsMu   sync.Mutex
 	metrics     *telemetry.Registry
 	retriesVec  *telemetry.CounterVec // splitmem_gateway_retries_total{reason}
+	breakerVec  *telemetry.CounterVec // splitmem_gateway_breaker_transitions_total{transition}
 	probeRTT    *telemetry.Histogram  // probe round-trip microseconds
 	migrationMs *telemetry.Histogram  // migration hop wall milliseconds
 
@@ -164,10 +210,15 @@ func New(cfg Config) (*Gateway, error) {
 	if !cfg.NoTracing {
 		g.rec = hostspan.NewRecorder("gateway:"+g.instanceID, cfg.TraceSpanCap)
 	}
-	g.fr = newFlightRecorder(cfg.FlightRecorderDir, cfg.FlightRecorderSpans)
+	g.fr = newFlightRecorder(cfg.FlightRecorderDir, cfg.FlightRecorderSpans,
+		cfg.FlightRecorderMaxDumps, cfg.FlightRecorderMaxBytes)
+	g.jitter = chaos.NewJitter(fnvSeed(g.instanceID))
 	ids := make([]string, len(cfg.Replicas))
 	for i, u := range cfg.Replicas {
-		g.replicas = append(g.replicas, &Replica{URL: u, Label: fmt.Sprintf("r%d", i)})
+		r := &Replica{URL: u, Label: fmt.Sprintf("r%d", i)}
+		r.br = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
+			func(from, to breakerState) { g.noteBreakerTransition(r, from, to) })
+		g.replicas = append(g.replicas, r)
 		ids[i] = u
 	}
 	g.ring = newRing(ids)
@@ -191,6 +242,17 @@ func New(cfg Config) (*Gateway, error) {
 	return g, nil
 }
 
+// fnvSeed hashes an instance ID into a jitter seed (FNV-1a), so every
+// gateway incarnation jitters differently but reproducibly.
+func fnvSeed(s string) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001B3
+	}
+	return h
+}
+
 func newInstanceID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
@@ -212,21 +274,43 @@ func (g *Gateway) initMetrics() {
 	reg("splitmem_gateway_migrations_total", "successful live migrations", &g.migrations)
 	reg("splitmem_gateway_scratch_resumes_total", "migrations resumed from scratch", &g.scratchResume)
 	reg("splitmem_gateway_corrupt_fetches_total", "checkpoint fetches rejected by the CRC gate", &g.corruptFetch)
+	reg("splitmem_gateway_stale_exports_total", "checkpoint fetches rejected by the job-identity gate", &g.staleExport)
 	reg("splitmem_gateway_shed_total", "client submissions refused (no replica available)", &g.shed)
 	reg("splitmem_gateway_synthesized_total", "results synthesized after the retry budget died", &g.synthesized)
 	reg("splitmem_gateway_flight_dumps_total", "flight-recorder post-mortems written", &g.flightDumps)
 	reg("splitmem_gateway_federate_errors_total", "replica /metrics scrapes that failed", &g.federateErrs)
+	reg("splitmem_gateway_deadline_exceeded_total", "jobs rejected or failed on the propagated deadline", &g.deadlineExceeded)
+	reg("splitmem_gateway_breaker_trips_total", "replica circuit-breaker transitions into open", &g.breakerTrips)
+	reg("splitmem_gateway_hedged_fetches_total", "checkpoint fetches that launched a hedge arm", &g.hedgedFetches)
+	reg("splitmem_gateway_hedge_wins_total", "hedged fetches won by the secondary arm", &g.hedgeWins)
+	reg("splitmem_gateway_hedge_losses_total", "hedged fetches won by the primary arm", &g.hedgeLosses)
 	m.GaugeFunc("splitmem_gateway_hostspans_recorded_total", "host spans recorded into the gateway trace ring",
 		func() float64 { return float64(g.rec.Recorded()) })
 	m.GaugeFunc("splitmem_gateway_hostspans_dropped_total", "host spans evicted from the gateway trace ring",
 		func() float64 { return float64(g.rec.Dropped()) })
 	g.retriesVec = m.CounterVec("splitmem_gateway_retries_total",
 		"gateway retry/shed events by reason", "reason")
+	g.breakerVec = m.CounterVec("splitmem_gateway_breaker_transitions_total",
+		"replica circuit-breaker state transitions", "transition")
 	g.probeRTT = m.Histogram("splitmem_gateway_probe_rtt_us",
 		"health-probe round trip in microseconds", probeRTTBuckets)
 	g.migrationMs = m.Histogram("splitmem_gateway_migration_ms",
 		"live-migration hop wall time in milliseconds", wallMsBuckets)
 	g.metrics = m
+}
+
+// noteBreakerTransition records one replica breaker state change: the
+// labeled transition counter, the trips total, and an incident-timeline
+// span instant — a breaker storm must be as diagnosable as a shed storm.
+func (g *Gateway) noteBreakerTransition(r *Replica, from, to breakerState) {
+	g.metricsMu.Lock()
+	g.breakerVec.Add(from.String()+"-"+to.String(), 1)
+	g.metricsMu.Unlock()
+	if to == breakerOpen {
+		g.breakerTrips.Add(1)
+	}
+	g.rec.Instant("", "gw.breaker",
+		"replica", r.Label, "from", from.String(), "to", to.String())
 }
 
 // noteRetryReason bumps the per-reason retry counter (satellite of the
@@ -381,12 +465,23 @@ type gwJob struct {
 	body  []byte
 	trace string // host-span trace ID, propagated to every replica hop
 
+	// deadline is the client's propagated absolute deadline (zero = none).
+	// Checked before every relay attempt, caps every retry sleep, and is
+	// forwarded to replicas in the X-Splitmem-Deadline header.
+	deadline time.Time
+
 	mu         sync.Mutex
 	replica    *Replica // current owner (nil between hops)
 	upstreamID uint64   // job ID on the current replica
 	cursor     int      // event lines relayed to the client so far
 	acked      bool     // accepted line sent to the client
 	hops       int      // migration hops (keys the per-hop idempotency token)
+
+	// The hop before the current one: its export ring may still hold an
+	// older (but valid) checkpoint, which the hedged fetch races against
+	// the current owner's when the job migrates again.
+	prevReplica  *Replica
+	prevUpstream uint64
 
 	outcome string // terminal outcome class, set by the relay loop
 }
@@ -402,6 +497,27 @@ func (j *gwJob) setOwner(r *Replica, upstreamID uint64) {
 	j.replica = r
 	j.upstreamID = upstreamID
 	j.mu.Unlock()
+}
+
+// clearOwner detaches the job between hops, archiving the outgoing owner
+// as the previous hop (hedge material for the NEXT migration) when it had
+// an admitted upstream job.
+func (j *gwJob) clearOwner() {
+	j.mu.Lock()
+	if j.replica != nil && j.upstreamID != 0 {
+		j.prevReplica = j.replica
+		j.prevUpstream = j.upstreamID
+	}
+	j.replica = nil
+	j.upstreamID = 0
+	j.mu.Unlock()
+}
+
+// prevOwner returns the hop-before-last's replica and upstream job ID.
+func (j *gwJob) prevOwner() (*Replica, uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.prevReplica, j.prevUpstream
 }
 
 func (g *Gateway) trackJob(j *gwJob) {
@@ -433,13 +549,15 @@ func (g *Gateway) jobsOn(r *Replica) []*gwJob {
 
 // pickReplica chooses the next replica for a job: its consistent-hash walk
 // order, Up replicas first, Degraded as fallback, skipping the one replica
-// the caller wants to avoid (the one that just failed or is draining).
+// the caller wants to avoid (the one that just failed or is draining) and
+// any replica whose circuit breaker is open — the job sheds to the next
+// replica on its ring walk instead of feeding a known-bad host.
 func (g *Gateway) pickReplica(j *gwJob, avoid *Replica) *Replica {
 	order := g.ring.walk(j.id)
 	var degraded *Replica
 	for _, idx := range order {
 		r := g.replicas[idx]
-		if r == avoid {
+		if r == avoid || !r.br.allow() {
 			continue
 		}
 		switch r.State() {
@@ -490,8 +608,16 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"migrations":        g.migrations.Load(),
 			"scratch_resumes":   g.scratchResume.Load(),
 			"corrupt_fetches":   g.corruptFetch.Load(),
+			"stale_exports":     g.staleExport.Load(),
 			"shed":              g.shed.Load(),
 			"synthesized_fails": g.synthesized.Load(),
+		},
+		"resilience": map[string]any{
+			"deadline_exceeded": g.deadlineExceeded.Load(),
+			"breaker_trips":     g.breakerTrips.Load(),
+			"hedged_fetches":    g.hedgedFetches.Load(),
+			"hedge_wins":        g.hedgeWins.Load(),
+			"hedge_losses":      g.hedgeLosses.Load(),
 		},
 		"tracing": map[string]any{
 			"enabled":  g.rec != nil,
@@ -539,6 +665,21 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	json.Unmarshal(body, &peek) // best-effort; replicas do the real validation
 
+	// End-to-end deadline propagation: parse the client's absolute
+	// deadline up front so an already-hopeless job is rejected before any
+	// replica sees it, and every later hop inherits the same budget.
+	deadline, err := serve.ParseDeadline(r.Header)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad-deadline", err.Error())
+		return
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		g.deadlineExceeded.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "deadline-exceeded",
+			"propagated deadline already expired on arrival")
+		return
+	}
+
 	// Mint the job's trace identity (honoring one an upstream proxy already
 	// minted) before the job is tracked, so every later reader — migrateOff
 	// included — sees it. Echoed on the response header.
@@ -550,7 +691,7 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(hostspan.TraceHeader, trace)
 	}
 
-	j := &gwJob{id: g.nextID.Add(1), name: peek.Name, body: body, trace: trace}
+	j := &gwJob{id: g.nextID.Add(1), name: peek.Name, body: body, trace: trace, deadline: deadline}
 	g.trackJob(j)
 	defer g.untrackJob(j)
 
@@ -647,6 +788,13 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			g.failJob(j, out, "canceled", "client disconnected")
 			return
 		}
+		if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+			g.deadlineExceeded.Add(1)
+			g.rec.End(migSpan, "failed", "deadline-exceeded")
+			g.failJobStatus(j, out, http.StatusGatewayTimeout, "deadline-exceeded",
+				"propagated deadline expired at the gateway")
+			return
+		}
 		rep := forceRep
 		forceRep = nil
 		if rep == nil {
@@ -667,7 +815,7 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			g.noteRetryReason("no-replica")
 			g.rec.Instant(j.trace, "gw.shed-retry",
 				"reason", "no-replica", "wait", backoff.String())
-			g.sleep(ctx, backoff)
+			g.sleep(ctx, g.retryWait(j, backoff))
 			backoff = g.bumpBackoff(backoff)
 			avoid = nil // a drained home replica may be back by now
 			continue
@@ -684,6 +832,16 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			"replica", rep.Label, "attempt", strconv.Itoa(attempt))
 		rr := g.relayOnce(ctx, j, rep, resume, out)
 		g.rec.End(relSpan, "outcome", rr.outcome.String())
+		// Feed the replica's circuit breaker. Done and migrated prove the
+		// data path; broken streams and unknown admissions are transport
+		// failures. An explicit rejection (429/503) or duplicate 409 is a
+		// healthy replica talking — neither success nor failure.
+		switch rr.outcome {
+		case relayDone, relayMigrated:
+			rep.br.noteSuccess()
+		case relayBroken, relayUnknown:
+			rep.br.noteFailure()
+		}
 		switch rr.outcome {
 		case relayDone:
 			return
@@ -696,7 +854,7 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			beginMigration(rep, "drain")
 			resume = g.fetchCheckpoint(rep, j)
 			avoid = rep
-			j.setOwner(nil, 0)
+			j.clearOwner()
 			j.hops++
 			// A migration hop is recovery, not failure: it does not consume
 			// the retry budget.
@@ -714,7 +872,7 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			}
 			g.rec.Instant(j.trace, "gw.shed-retry",
 				"reason", "rejected", "replica", rep.Label, "wait", wait.String())
-			g.sleep(ctx, wait)
+			g.sleep(ctx, g.retryWait(j, wait))
 			backoff = g.bumpBackoff(backoff)
 			avoid = rep
 
@@ -728,7 +886,7 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			g.noteStreamFailureOn(rep)
 			resume = g.fetchCheckpoint(rep, j)
 			avoid = rep
-			j.setOwner(nil, 0)
+			j.clearOwner()
 			j.hops++
 
 		case relayUnknown:
@@ -745,13 +903,13 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 				beginMigration(rep, "dead")
 				resume = g.fetchCheckpoint(rep, j)
 				avoid = rep
-				j.setOwner(nil, 0)
+				j.clearOwner()
 				j.hops++
 			} else {
 				g.rec.Instant(j.trace, "gw.shed-retry",
 					"reason", "unknown-admission", "replica", rep.Label, "wait", backoff.String())
 				forceRep = rep
-				g.sleep(ctx, backoff)
+				g.sleep(ctx, g.retryWait(j, backoff))
 				backoff = g.bumpBackoff(backoff)
 			}
 
@@ -764,13 +922,13 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 			// the orphan never streamed a line to anyone.
 			g.noteRetryReason("duplicate-resume")
 			beginMigration(rep, "reclaim")
-			if spec, ok := g.detachUpstream(rep, rr.dupID, j.trace); ok {
+			if spec, ok := g.detachUpstream(rep, rr.dupID, j); ok {
 				resume = spec
 			} else {
 				resume = &resumeSpec{}
 			}
 			avoid = rep
-			j.setOwner(nil, 0)
+			j.clearOwner()
 			j.hops++
 			attempt--
 		}
@@ -784,9 +942,16 @@ func (g *Gateway) runJob(ctx context.Context, j *gwJob, out *clientStream) {
 // acknowledged one gets a synthesized result line, because the framing
 // contract (exactly one result per accepted) outranks everything.
 func (g *Gateway) failJob(j *gwJob, out *clientStream, reason, msg string) {
+	g.failJobStatus(j, out, http.StatusServiceUnavailable, reason, msg)
+}
+
+// failJobStatus is failJob with an explicit HTTP status for the
+// not-yet-acknowledged case (a deadline failure is the client's 504, not
+// a 503 inviting a retry that cannot succeed).
+func (g *Gateway) failJobStatus(j *gwJob, out *clientStream, status int, reason, msg string) {
 	j.outcome = reason
 	if !j.acked {
-		out.reject(http.StatusServiceUnavailable, reason, msg)
+		out.reject(status, reason, msg)
 		return
 	}
 	if reason == "failed-after-retries" {
@@ -802,9 +967,26 @@ func (g *Gateway) failJob(j *gwJob, out *clientStream, reason, msg string) {
 		})
 	}
 	g.synthesized.Add(1)
-	res := &serve.JobResult{ID: j.id, Name: j.name, Reason: reason, Canceled: true, Error: msg}
+	res := &serve.JobResult{ID: j.id, Name: j.name, Reason: reason, Canceled: true,
+		TimedOut: reason == "deadline-exceeded", Error: msg}
 	out.result(res)
 	g.completed.Add(1)
+}
+
+// retryWait shapes one retry sleep: equal jitter in [d/2, d) decorrelates
+// the fleet's backoff, and the job's propagated deadline caps the wait —
+// sleeping past the deadline would only delay the client's 504.
+func (g *Gateway) retryWait(j *gwJob, d time.Duration) time.Duration {
+	d = g.jitter.Scale(d)
+	if !j.deadline.IsZero() {
+		if rem := time.Until(j.deadline); rem < d {
+			d = rem
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 func (g *Gateway) sleep(ctx context.Context, d time.Duration) {
@@ -866,6 +1048,9 @@ func (g *Gateway) relayOnce(ctx context.Context, j *gwJob, rep *Replica, resume 
 	if j.trace != "" {
 		req.Header.Set(hostspan.TraceHeader, j.trace)
 	}
+	if !j.deadline.IsZero() {
+		req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(j.deadline.UnixMilli(), 10))
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		// The transport died before we read a status line. The request may
@@ -879,6 +1064,19 @@ func (g *Gateway) relayOnce(ctx context.Context, j *gwJob, rep *Replica, resume 
 	switch resp.StatusCode {
 	case http.StatusOK:
 		// fall through to the stream relay
+	case http.StatusGatewayTimeout:
+		// The replica's own deadline gate fired (the budget expired while
+		// the request was in flight). Terminal: no replica can beat it.
+		b, _ := io.ReadAll(resp.Body)
+		g.deadlineExceeded.Add(1)
+		if !j.acked {
+			j.outcome = "deadline-exceeded"
+			out.forwardError(resp.StatusCode, b)
+			return relayResult{outcome: relayDone}
+		}
+		g.failJobStatus(j, out, http.StatusGatewayTimeout, "deadline-exceeded",
+			"replica rejected the hop: propagated deadline expired")
+		return relayResult{outcome: relayDone}
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		io.Copy(io.Discard, resp.Body)
 		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))

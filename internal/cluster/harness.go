@@ -141,12 +141,19 @@ type Harness struct {
 // NewHarness boots n replicas and a gateway over them. gcfg.Replicas is
 // filled in by the harness.
 func NewHarness(n int, rcfg serve.Config, gcfg Config) (*Harness, error) {
+	return NewHarnessFunc(n, func(int) serve.Config { return rcfg }, gcfg)
+}
+
+// NewHarnessFunc is NewHarness with a per-node config: node i gets
+// rcfg(i). The chaos campaign uses it to give every replica its own
+// journal path while sharing one disk-fault injector.
+func NewHarnessFunc(n int, rcfg func(i int) serve.Config, gcfg Config) (*Harness, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one node")
 	}
 	h := &Harness{}
 	for i := 0; i < n; i++ {
-		node, err := newNode(rcfg)
+		node, err := newNode(rcfg(i))
 		if err != nil {
 			h.Close()
 			return nil, err

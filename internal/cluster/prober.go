@@ -104,6 +104,9 @@ func (g *Gateway) probeOnce(r *Replica) {
 	}
 	cur := r.state
 	r.mu.Unlock()
+	// A successful probe is the breaker's recovery signal: an open breaker
+	// half-opens (probe-driven recovery), a half-open one re-closes.
+	r.br.noteProbeSuccess()
 
 	if cur != prev {
 		g.noteTransition(r, prev, cur)
@@ -139,6 +142,7 @@ func (g *Gateway) probeFailed(r *Replica) {
 	}
 	cur := r.state
 	r.mu.Unlock()
+	r.br.noteFailure()
 	if cur != prev {
 		g.noteTransition(r, prev, cur)
 	}

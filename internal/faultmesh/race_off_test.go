@@ -1,0 +1,7 @@
+//go:build !race
+
+package faultmesh
+
+// campaignClients is the chaos-campaign client count without the race
+// detector: the full acceptance-scale load.
+const campaignClients = 200

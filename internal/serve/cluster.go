@@ -305,6 +305,10 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	deadline, ok := s.checkDeadline(w, r)
+	if !ok {
+		return
+	}
 	// The transfer-integrity gate: a checkpoint that was corrupted on the
 	// wire fails its own CRC here and is rejected before anything runs —
 	// a corrupt image is refetched by the gateway, never resumed.
@@ -368,6 +372,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		done:     make(chan struct{}),
 		cursor:   rr.Cursor,
 		migrated: true,
+		deadline: deadline,
 		trace:    trace,
 	}
 	if len(rr.Checkpoint) > 0 {

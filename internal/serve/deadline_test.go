@@ -1,0 +1,116 @@
+package serve_test
+
+// Deadline-propagation tests, driven through the public HTTP surface: the
+// X-Splitmem-Deadline header parses (or rejects) cleanly, an
+// already-expired deadline is refused with 504 before any work is queued,
+// and a deadline that lands mid-run clamps the job with the typed
+// "deadline-exceeded" reason — the signal the gateway uses to stop
+// retrying a hop that can no longer meet the client's budget.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"splitmem/internal/serve"
+)
+
+func TestParseDeadline(t *testing.T) {
+	h := http.Header{}
+
+	// Absent header: no deadline, no error.
+	if dl, err := serve.ParseDeadline(h); err != nil || !dl.IsZero() {
+		t.Fatalf("absent header: (%v, %v), want zero time and nil", dl, err)
+	}
+
+	// A future deadline round-trips at millisecond precision.
+	want := time.Now().Add(3 * time.Second).Truncate(time.Millisecond)
+	h.Set(serve.DeadlineHeader, strconv.FormatInt(want.UnixMilli(), 10))
+	dl, err := serve.ParseDeadline(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dl.Equal(want) {
+		t.Fatalf("parsed %v, want %v", dl, want)
+	}
+
+	// Garbage and non-positive values are typed errors, not silent zeros:
+	// a client that TRIED to set a deadline must never run unbounded.
+	for _, bad := range []string{"soon", "-5", "0", "1.5"} {
+		h.Set(serve.DeadlineHeader, bad)
+		if _, err := serve.ParseDeadline(h); err == nil {
+			t.Fatalf("header %q parsed without error", bad)
+		}
+	}
+}
+
+// deadlineSubmit posts a job with the deadline header set.
+func deadlineSubmit(t *testing.T, url, source string, deadline time.Time, timeoutMS int) *http.Response {
+	t.Helper()
+	body := fmt.Sprintf(`{"name": "deadline", "source": %q, "timeout_ms": %d}`, source, timeoutMS)
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(deadline.UnixMilli(), 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestDeadlineExpiredOnArrival(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	resp := deadlineSubmit(t, ts.URL+"/v1/jobs", exitSrc, time.Now().Add(-time.Second), 5000)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestDeadlineBadHeaderRejected(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"name": "bad", "source": "_start:"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(serve.DeadlineHeader, "whenever")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDeadlineClampsRunningJob submits an infinite spin whose own timeout
+// (30s) would far outlive the 300ms propagated deadline: the deadline must
+// win, and the result must say so with the typed reason — not the generic
+// "timeout" the job's own budget produces.
+func TestDeadlineClampsRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	start := time.Now()
+	resp := deadlineSubmit(t, ts.URL+"/v1/jobs", spinSrc, time.Now().Add(300*time.Millisecond), 30_000)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	res := decodeResult(t, resp.Body)
+	if res.Reason != "deadline-exceeded" {
+		t.Fatalf("reason %q, want deadline-exceeded (%+v)", res.Reason, res)
+	}
+	if !res.TimedOut {
+		t.Fatalf("deadline-clamped result not marked timed out: %+v", res)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline did not clamp the 30s job budget: took %v", elapsed)
+	}
+}

@@ -13,24 +13,80 @@ package serve
 //
 // with all integers little-endian. The payload's first byte is the record
 // kind (job submission, checkpoint, done); the rest is encoded with the
-// snapshot codec. A torn tail — a partial frame or a CRC mismatch, the
-// signature of a crash mid-write — ends the replay: everything before it is
-// adopted, the file is truncated back to the last whole record, and the torn
-// record is counted (surfaced on /healthz and /metrics). The journal is
-// compacted in place once it outgrows its byte budget: finished jobs vanish,
-// unfinished ones are rewritten as one submission plus their latest
-// checkpoint.
+// snapshot codec. A torn *tail* — a partial frame or a CRC mismatch at the
+// very end of the file, the signature of a crash mid-write — ends the
+// replay: everything before it is adopted, the file is truncated back to
+// the last whole record, and the torn record is counted (surfaced on
+// /healthz and /metrics). A CRC-failing record with data *after* it is a
+// different animal — mid-file corruption of a record that was once durable
+// — and fails the open loudly with ErrJournalCorrupt rather than silently
+// dropping the valid suffix. The journal is compacted in place once it
+// outgrows its byte budget: finished jobs vanish, unfinished ones are
+// rewritten as one submission plus their latest checkpoint.
+//
+// Persistent write failures (a full disk, a dying device — injectable via
+// DiskFaultInjector) degrade the journal to a documented in-memory mode:
+// admission keeps working from the live table, /healthz flips to degraded,
+// and a periodic compact-rewrite restores durability the moment writes
+// succeed again. See persist.
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"splitmem/internal/chaos"
 	"splitmem/internal/snapshot"
+)
+
+// DiskFaultInjector injects storage-level faults into the journal's write,
+// sync, and replay paths. It is an interface (implemented by
+// internal/faultmesh.DiskFaults) so this package never imports the fault
+// mesh — the mesh imports serve, not the other way around. All methods are
+// consulted under the journal lock.
+type DiskFaultInjector interface {
+	// BeforeWrite is consulted once per file write of n bytes. It returns
+	// how many bytes may reach the file; when fewer than n, err is the
+	// error the write must report (a short write or ENOSPC).
+	BeforeWrite(n int) (allow int, err error)
+	// BeforeSync is consulted once per fsync; non-nil means the fsync
+	// failed and the data's durability is unknown.
+	BeforeSync() error
+	// OnRead may corrupt a replayed record's payload in place (bit rot);
+	// it returns true if it did.
+	OnRead(p []byte) bool
+}
+
+// ErrJournalCorrupt is returned by openJournal when replay meets a
+// CRC-failing record with more data after it. A bad frame at the exact end
+// of the file is a torn tail — the signature of a crash mid-write — and is
+// safely truncated; a bad frame in the middle means bits changed under a
+// record that was once durable, and silently dropping the valid suffix
+// would un-acknowledge jobs. That must fail loudly and leave the file
+// untouched for forensics.
+var ErrJournalCorrupt = errors.New("journal: corrupt record mid-file")
+
+// errTornWrite marks a chaos-injected torn write: a simulated crash
+// mid-append, not a persistent disk failure. It is excluded from the
+// degradation counter — a full disk keeps failing, a crash window doesn't.
+var errTornWrite = errors.New("journal: torn write injected")
+
+// errJournalDegraded is returned while the journal is in in-memory mode
+// and the next recovery attempt is not yet due.
+var errJournalDegraded = errors.New("journal: degraded to in-memory mode (writes failing)")
+
+const (
+	// journalDegradeThreshold is how many consecutive append failures flip
+	// the journal into degraded in-memory mode.
+	journalDegradeThreshold = 3
+	// defaultJournalRecoveryInterval is how often a degraded journal
+	// retries a full rewrite from the live table.
+	defaultJournalRecoveryInterval = 100 * time.Millisecond
 )
 
 const (
@@ -55,26 +111,45 @@ type journalJob struct {
 // runner can call them unconditionally on a server with no journal
 // configured.
 type journal struct {
-	mu       sync.Mutex
-	f        *os.File
-	path     string
-	size     int64
-	maxBytes int64
-	torn     int    // torn/corrupt records detected (replay + in-process tears)
-	maxSeen  uint64 // highest job id in any replayed record, live or done
-	chaos    *chaos.HostInjector
-	live     map[uint64]*journalJob // admitted, not yet done
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	size      int64 // end offset of the last known-good record
+	dirtyTail bool  // a failed append may have left partial bytes past size
+	maxBytes  int64
+	torn      int    // torn/corrupt records detected (replay + in-process tears)
+	maxSeen   uint64 // highest job id in any replayed record, live or done
+	chaos     *chaos.HostInjector
+	faults    DiskFaultInjector
+	live      map[uint64]*journalJob // admitted, not yet done
+
+	// Degradation state: after journalDegradeThreshold consecutive append
+	// failures the journal stops touching the disk and serves from the
+	// live table alone (admission never wedges on a full disk); every
+	// recoveryEvery it retries a full compact-rewrite, and the first one
+	// that succeeds restores durability.
+	degraded      bool
+	degradedAt    time.Time     // start of the current degradation window
+	degradedPrior time.Duration // sum of completed degradation windows
+	consecFails   int
+	lastRecovery  time.Time
+	recoveries    uint64
+	recoveryEvery time.Duration
+	recovering    bool // background recovery loop running
+	closed        bool
 }
 
 // openJournal opens (or creates) the journal at path, replays it, truncates
 // any torn tail, and positions for appending. inj, when non-nil, injects
-// torn writes for the recovery chaos cells.
-func openJournal(path string, maxBytes int64, inj *chaos.HostInjector) (*journal, error) {
+// torn writes for the recovery chaos cells; faults, when non-nil, injects
+// disk-level faults (ENOSPC, short writes, fsync failures, read
+// corruption) into every subsequent write and the replay itself.
+func openJournal(path string, maxBytes int64, inj *chaos.HostInjector, faults DiskFaultInjector) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	j := &journal{f: f, path: path, maxBytes: maxBytes, chaos: inj, live: make(map[uint64]*journalJob)}
+	j := &journal{f: f, path: path, maxBytes: maxBytes, chaos: inj, faults: faults, live: make(map[uint64]*journalJob)}
 	if err := j.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -82,9 +157,18 @@ func openJournal(path string, maxBytes int64, inj *chaos.HostInjector) (*journal
 	return j, nil
 }
 
-// replay scans the file record by record, rebuilding the live-job table and
-// truncating at the first torn or corrupt frame.
+// replay scans the file record by record, rebuilding the live-job table
+// and truncating at the first torn frame. A torn frame is only trusted as
+// a crash artifact when it is the file's tail; a CRC-failing record with
+// data after it is mid-file corruption and aborts the open with
+// ErrJournalCorrupt — truncating there would silently un-acknowledge every
+// job recorded after the bad frame.
 func (j *journal) replay() error {
+	fi, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	fileSize := fi.Size()
 	var off int64
 	var hdr [8]byte
 	for {
@@ -106,8 +190,15 @@ func (j *journal) replay() error {
 			j.torn++ // partial payload: crash mid-write
 			break
 		}
+		if j.faults != nil {
+			j.faults.OnRead(payload) // injected bit rot: the CRC must catch it
+		}
 		if snapshot.Checksum(payload) != crc {
-			j.torn++ // bits changed under us: stop trusting the rest
+			if end := off + 8 + int64(length); end < fileSize {
+				return fmt.Errorf("journal: record at offset %d fails CRC with %d bytes following: %w",
+					off, fileSize-end, ErrJournalCorrupt)
+			}
+			j.torn++ // bad frame at the tail: crash mid-write
 			break
 		}
 		j.apply(payload)
@@ -163,12 +254,62 @@ func (j *journal) apply(payload []byte) {
 	}
 }
 
+// write sends b to a file through the disk-fault layer: the injector
+// decides how many bytes actually land (0 for ENOSPC, a prefix for a
+// short write) and what error the caller sees.
+func (j *journal) write(f *os.File, b []byte) error {
+	allow, ferr := len(b), error(nil)
+	if j.faults != nil {
+		allow, ferr = j.faults.BeforeWrite(len(b))
+		if allow > len(b) {
+			allow = len(b)
+		}
+		if allow < 0 {
+			allow = 0
+		}
+	}
+	if allow > 0 {
+		if _, werr := f.Write(b[:allow]); werr != nil {
+			return werr
+		}
+	}
+	return ferr
+}
+
+// sync fsyncs through the fault layer. An injected failure returns before
+// the real fsync: the data may or may not be durable, and the journal must
+// assume not.
+func (j *journal) sync(f *os.File) error {
+	if j.faults != nil {
+		if err := j.faults.BeforeSync(); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
 // append frames, writes, and fsyncs one record, compacting first when the
 // file has outgrown its budget. When the chaos injector fires, the write is
 // deliberately torn — a partial frame with no fsync, exactly what a crash
 // mid-write leaves behind — and an error is returned so the caller knows the
 // record is not durable.
+//
+// A failed append marks the tail dirty instead of advancing size: the next
+// append truncates back to the last good record before writing, so an
+// in-process failure can never leave a bad frame *mid-file* (which replay
+// would have to treat as corruption). Only a crash between the failure and
+// the repair leaves the torn bytes behind — as a tail, where replay
+// truncates them safely.
 func (j *journal) append(payload []byte) error {
+	if j.dirtyTail {
+		if err := j.f.Truncate(j.size); err != nil {
+			return err
+		}
+		if _, err := j.f.Seek(j.size, io.SeekStart); err != nil {
+			return err
+		}
+		j.dirtyTail = false
+	}
 	if j.size > j.maxBytes {
 		if err := j.compact(); err != nil {
 			return err
@@ -180,17 +321,20 @@ func (j *journal) append(payload []byte) error {
 	if j.chaos.TearJournal() {
 		torn := append(hdr[:], payload[:len(payload)/2]...)
 		j.f.Write(torn)
-		j.size += int64(len(torn))
+		j.dirtyTail = true
 		j.torn++
-		return fmt.Errorf("journal: torn write injected")
+		return errTornWrite
 	}
-	if _, err := j.f.Write(hdr[:]); err != nil {
+	if err := j.write(j.f, hdr[:]); err != nil {
+		j.dirtyTail = true
 		return err
 	}
-	if _, err := j.f.Write(payload); err != nil {
+	if err := j.write(j.f, payload); err != nil {
+		j.dirtyTail = true
 		return err
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.sync(j.f); err != nil {
+		j.dirtyTail = true // durability unknown: rewrite the frame next time
 		return err
 	}
 	j.size += 8 + int64(len(payload))
@@ -206,6 +350,13 @@ func (j *journal) compact() error {
 	if err != nil {
 		return err
 	}
+	// A failed compaction leaves the old journal untouched; just drop the
+	// half-written temp file.
+	abort := func(err error) error {
+		tmp.Close()
+		os.Remove(j.path + ".tmp")
+		return err
+	}
 	ids := make([]uint64, 0, len(j.live))
 	for id := range j.live {
 		ids = append(ids, id)
@@ -216,10 +367,10 @@ func (j *journal) compact() error {
 		var hdr [8]byte
 		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(hdr[4:8], snapshot.Checksum(payload))
-		if _, err := tmp.Write(hdr[:]); err != nil {
+		if err := j.write(tmp, hdr[:]); err != nil {
 			return err
 		}
-		if _, err := tmp.Write(payload); err != nil {
+		if err := j.write(tmp, payload); err != nil {
 			return err
 		}
 		size += 8 + int64(len(payload))
@@ -228,29 +379,26 @@ func (j *journal) compact() error {
 	for _, id := range ids {
 		jj := j.live[id]
 		if err := writeRec(encodeJobRecord(jj.ID, jj.Body)); err != nil {
-			tmp.Close()
-			return err
+			return abort(err)
 		}
 		if jj.Checkpoint != nil {
 			if err := writeRec(encodeCheckpointRecord(jj.ID, jj.Cycles, jj.Checkpoint)); err != nil {
-				tmp.Close()
-				return err
+				return abort(err)
 			}
 		}
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
+	if err := j.sync(tmp); err != nil {
+		return abort(err)
 	}
 	if err := os.Rename(j.path+".tmp", j.path); err != nil {
-		tmp.Close()
-		return err
+		return abort(err)
 	}
 	// The renamed fd IS the new journal; the old fd points at an unlinked
 	// inode and just needs closing.
 	j.f.Close()
 	j.f = tmp
 	j.size = size
+	j.dirtyTail = false
 	return nil
 }
 
@@ -279,19 +427,107 @@ func encodeDoneRecord(id uint64, result []byte) []byte {
 	return w.Bytes()
 }
 
+// persist tries to make one already-applied record durable, running the
+// degradation state machine. In healthy mode it appends; after
+// journalDegradeThreshold consecutive failures (injected torn writes
+// excluded — those are crash simulations, not persistent disk faults) it
+// flips to degraded in-memory mode. While degraded, at most once per
+// recoveryEvery it attempts a full compact-rewrite from the live table —
+// which, because every log* method updates the live table before calling
+// persist, recovers every record accepted during the outage the moment the
+// disk heals. Callers hold j.mu.
+func (j *journal) persist(payload []byte) error {
+	if j.degraded {
+		every := j.recoveryEvery
+		if every <= 0 {
+			every = defaultJournalRecoveryInterval
+		}
+		if time.Since(j.lastRecovery) < every {
+			return errJournalDegraded
+		}
+		j.lastRecovery = time.Now()
+		if err := j.compact(); err != nil {
+			return fmt.Errorf("%w: recovery rewrite failed: %v", errJournalDegraded, err)
+		}
+		j.markRecoveredLocked()
+		return nil
+	}
+	err := j.append(payload)
+	if err == nil {
+		j.consecFails = 0
+		return nil
+	}
+	if !errors.Is(err, errTornWrite) {
+		j.consecFails++
+		if j.consecFails >= journalDegradeThreshold {
+			j.degraded = true
+			j.degradedAt = time.Now()
+			j.lastRecovery = j.degradedAt
+			j.startRecoveryLoopLocked()
+		}
+	}
+	return err
+}
+
+// markRecoveredLocked closes the degradation window after a successful
+// compact-rewrite. Caller holds j.mu.
+func (j *journal) markRecoveredLocked() {
+	j.degradedPrior += time.Since(j.degradedAt)
+	j.degraded = false
+	j.consecFails = 0
+	j.recoveries++
+}
+
+// startRecoveryLoopLocked launches the background recovery retry for the
+// current degradation episode. Write-path recovery alone is not enough: a
+// degraded journal on a replica that never admits another job would stay
+// degraded forever. The loop exits as soon as durability is restored (by
+// either path) or the journal closes. Caller holds j.mu.
+func (j *journal) startRecoveryLoopLocked() {
+	if j.recovering || j.closed {
+		return
+	}
+	j.recovering = true
+	every := j.recoveryEvery
+	if every <= 0 {
+		every = defaultJournalRecoveryInterval
+	}
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for range t.C {
+			j.mu.Lock()
+			if j.closed || !j.degraded {
+				j.recovering = false
+				j.mu.Unlock()
+				return
+			}
+			if time.Since(j.lastRecovery) >= every {
+				j.lastRecovery = time.Now()
+				if err := j.compact(); err == nil {
+					j.markRecoveredLocked()
+				}
+			}
+			j.mu.Unlock()
+		}
+	}()
+}
+
 // logJob records an admission. Must be durable before the client sees its
 // acknowledgment — this is the write that makes "accepted" mean something.
+// The live table is updated before the disk is touched: in degraded mode
+// the table is the journal, and the recovery rewrite replays it to disk.
 func (j *journal) logJob(id uint64, body []byte) error {
 	if j == nil {
 		return nil
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.append(encodeJobRecord(id, body)); err != nil {
-		return err
-	}
 	j.live[id] = &journalJob{ID: id, Body: body}
-	return nil
+	if id > j.maxSeen {
+		j.maxSeen = id
+	}
+	return j.persist(encodeJobRecord(id, body))
 }
 
 // logCheckpoint records a checkpoint image. A failed (or torn) append is
@@ -304,13 +540,10 @@ func (j *journal) logCheckpoint(id, cycles uint64, img []byte) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.append(encodeCheckpointRecord(id, cycles, img)); err != nil {
-		return err
-	}
 	if jj, ok := j.live[id]; ok {
 		jj.Checkpoint, jj.Cycles = img, cycles
 	}
-	return nil
+	return j.persist(encodeCheckpointRecord(id, cycles, img))
 }
 
 // logDone records a terminal result and retires the job from replay.
@@ -320,11 +553,44 @@ func (j *journal) logDone(id uint64, result []byte) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.append(encodeDoneRecord(id, result)); err != nil {
-		return err
-	}
 	delete(j.live, id)
-	return nil
+	return j.persist(encodeDoneRecord(id, result))
+}
+
+// isDegraded reports whether the journal is in in-memory mode.
+func (j *journal) isDegraded() bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
+// degradedSeconds reports the cumulative wall time spent degraded,
+// including the current window if one is open.
+func (j *journal) degradedSeconds() float64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	d := j.degradedPrior
+	if j.degraded {
+		d += time.Since(j.degradedAt)
+	}
+	return d.Seconds()
+}
+
+// recoveryCount reports how many times a degraded journal has restored
+// durability.
+func (j *journal) recoveryCount() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recoveries
 }
 
 // unfinished returns the replayable jobs (admitted, never marked done) in
@@ -370,5 +636,6 @@ func (j *journal) close() error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.closed = true // stops the background recovery loop at its next tick
 	return j.f.Close()
 }

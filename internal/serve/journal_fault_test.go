@@ -1,0 +1,147 @@
+package serve
+
+// White-box tests for the journal's disk-fault behavior: the typed
+// mid-file-corruption error (silent truncation there would un-acknowledge
+// durable jobs) and the degraded in-memory mode with write-path recovery.
+
+import (
+	"errors"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyDisk is a switchable DiskFaultInjector: every write fails while
+// fail is set, everything else passes through.
+type flakyDisk struct {
+	fail   atomic.Bool
+	writes atomic.Int64
+}
+
+func (f *flakyDisk) BeforeWrite(n int) (int, error) {
+	f.writes.Add(1)
+	if f.fail.Load() {
+		return 0, errors.New("injected: no space left on device")
+	}
+	return n, nil
+}
+func (f *flakyDisk) BeforeSync() error    { return nil }
+func (f *flakyDisk) OnRead(p []byte) bool { return false }
+
+// TestJournalMidFileCorruptTypedError pins the corruption taxonomy: a
+// CRC-failing record with data after it is mid-file corruption and must
+// fail the open with the typed ErrJournalCorrupt — never a silent truncate
+// that would drop the valid records (and the acknowledged jobs) after it.
+func TestJournalMidFileCorruptTypedError(t *testing.T) {
+	j, path := tempJournal(t, 1<<20, nil)
+	for id := uint64(1); id <= 3; id++ {
+		if err := j.logJob(id, []byte(`{"source": "x"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.close()
+
+	// Flip one payload byte of the FIRST record: two valid records follow,
+	// so this is bit rot under a once-durable record, not a torn tail.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[8+4] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = openJournal(path, 1<<20, nil, nil)
+	if err == nil {
+		t.Fatal("mid-file corruption opened silently")
+	}
+	if !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("want ErrJournalCorrupt, got %v", err)
+	}
+	// The open must leave the file untouched for forensics.
+	after, ferr := os.ReadFile(path)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if len(after) != len(raw) {
+		t.Fatalf("failed open mutated the journal: %d bytes, was %d", len(after), len(raw))
+	}
+}
+
+// TestJournalDegradesAndRecovers drives the degradation state machine: a
+// persistently failing disk flips the journal to in-memory mode after the
+// threshold, admission keeps updating the live table, and the first
+// recovery rewrite after the disk heals restores durability with every
+// record accepted during the outage intact.
+func TestJournalDegradesAndRecovers(t *testing.T) {
+	fd := &flakyDisk{}
+	path := t.TempDir() + "/jobs.journal"
+	j, err := openJournal(path, 1<<20, nil, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	j.recoveryEvery = time.Millisecond
+
+	if err := j.logJob(1, []byte(`{"source": "before"}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Threshold consecutive append failures flip the journal to degraded.
+	fd.fail.Store(true)
+	for id := uint64(2); id < 2+journalDegradeThreshold; id++ {
+		if err := j.logJob(id, []byte(`{"source": "during"}`)); err == nil {
+			t.Fatalf("job %d: failing disk reported a durable append", id)
+		}
+	}
+	if !j.isDegraded() {
+		t.Fatalf("%d consecutive append failures did not degrade the journal", journalDegradeThreshold)
+	}
+
+	// Degraded mode: appends report the typed degradation error but the
+	// live table still admits — the journal never wedges admission.
+	time.Sleep(2 * j.recoveryEvery) // make the next persist attempt a recovery try (which still fails)
+	if err := j.logJob(10, []byte(`{"source": "degraded"}`)); !errors.Is(err, errJournalDegraded) {
+		t.Fatalf("degraded append: want errJournalDegraded, got %v", err)
+	}
+	if got := len(j.unfinished()); got != 2+journalDegradeThreshold {
+		t.Fatalf("live table lost records while degraded: %d jobs", got)
+	}
+	if j.degradedSeconds() <= 0 {
+		t.Fatal("degraded window not accounted")
+	}
+
+	// Heal the disk: the next persist due a recovery attempt rewrites the
+	// whole live table and restores durability.
+	fd.fail.Store(false)
+	time.Sleep(2 * j.recoveryEvery)
+	if err := j.logJob(11, []byte(`{"source": "after"}`)); err != nil {
+		t.Fatalf("post-heal append: %v", err)
+	}
+	if j.isDegraded() {
+		t.Fatal("journal still degraded after a successful recovery rewrite")
+	}
+	if got := j.recoveryCount(); got != 1 {
+		t.Fatalf("recoveries=%d want 1", got)
+	}
+	j.close()
+
+	// Everything accepted before, during, and after the outage must replay.
+	j2, err := openJournal(path, 1<<20, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	un := j2.unfinished()
+	want := []uint64{1, 2, 3, 4, 10, 11}
+	if len(un) != len(want) {
+		t.Fatalf("replayed %d jobs, want %d: %+v", len(un), len(want), un)
+	}
+	for i, id := range want {
+		if un[i].ID != id {
+			t.Fatalf("replayed job %d has id %d, want %d", i, un[i].ID, id)
+		}
+	}
+}

@@ -16,7 +16,7 @@ import (
 func tempJournal(t *testing.T, maxBytes int64, inj *chaos.HostInjector) (*journal, string) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "jobs.journal")
-	j, err := openJournal(path, maxBytes, inj)
+	j, err := openJournal(path, maxBytes, inj, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 	j.close()
 
-	j2, err := openJournal(path, 1<<20, nil)
+	j2, err := openJournal(path, 1<<20, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestJournalTornTail(t *testing.T) {
 	f.Write([]byte("only a few bytes"))
 	f.Close()
 
-	j2, err := openJournal(path, 1<<20, nil)
+	j2, err := openJournal(path, 1<<20, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestJournalTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	j2.close()
-	j3, err := openJournal(path, 1<<20, nil)
+	j3, err := openJournal(path, 1<<20, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestJournalCorruptRecordStopsReplay(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	j2, err := openJournal(path, 1<<20, nil)
+	j2, err := openJournal(path, 1<<20, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestJournalCompaction(t *testing.T) {
 	}
 	j.close()
 
-	j2, err := openJournal(path, maxBytes, nil)
+	j2, err := openJournal(path, maxBytes, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestJournalChaosTear(t *testing.T) {
 
 	// The torn record is exactly what a crash mid-write leaves: the next
 	// open detects it, truncates, and carries on.
-	j2, err := openJournal(path, 1<<20, nil)
+	j2, err := openJournal(path, 1<<20, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"splitmem/internal/chaos"
 )
 
 // busyLoop is the default job: a source program that spins long enough to
@@ -48,15 +50,15 @@ func DefaultJobBody(client, job int) ([]byte, error) {
 type Config struct {
 	BaseURL string // e.g. "http://127.0.0.1:8086" (no trailing slash)
 
-	Clients int // concurrent clients (default 64)
-	Jobs    int // jobs per client (default 4)
+	Clients int  // concurrent clients (default 64)
+	Jobs    int  // jobs per client (default 4)
 	Stream  bool // exercise the NDJSON streaming path
 
 	// Body builds the submission for (client, job). Default: DefaultJobBody.
 	Body func(client, job int) ([]byte, error)
 
-	HTTP       *http.Client // default: a fresh client with no timeout
-	MaxRetries int          // 429 retries per job before giving up (default 200)
+	HTTP       *http.Client  // default: a fresh client with no timeout
+	MaxRetries int           // 429 retries per job before giving up (default 200)
 	RetryDelay time.Duration // wait between 429 retries (default 20ms)
 
 	// Retry503 also retries 503 responses. Against a single replica a 503
@@ -64,9 +66,19 @@ type Config struct {
 	// no-replica window during a rolling restart, worth waiting out.
 	Retry503 bool
 
+	// Seed drives the per-client retry jitter streams (each client waits a
+	// jittered RetryDelay in [d/2, d) so a shed storm's retries do not
+	// re-arrive in lockstep). Equal seeds give equal schedules.
+	Seed uint64
+
 	// OnResult, when set, receives every terminal result as raw JSON —
 	// the hook cluster tests use to oracle-compare migrated jobs.
 	OnResult func(client, job int, result []byte)
+
+	// OnEvent, when set, receives every streamed event line as raw JSON
+	// (stream mode only) — the hook the chaos campaign uses to byte-compare
+	// stitched event streams against the fault-free oracle.
+	OnEvent func(client, job int, event []byte)
 }
 
 // Report is the outcome of a load run.
@@ -118,8 +130,8 @@ func Run(cfg Config) (*Report, error) {
 
 	var (
 		acked, completed, rejected, rejected503, migrated, gaveUp atomic.Int64
-		mu       sync.Mutex
-		failures []string
+		mu                                                        sync.Mutex
+		failures                                                  []string
 	)
 	fail := func(format string, args ...any) {
 		mu.Lock()
@@ -141,6 +153,7 @@ func Run(cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			jit := chaos.NewJitter(cfg.Seed ^ (uint64(c)+1)*0x9E3779B97F4A7C15)
 			for j := 0; j < cfg.Jobs; j++ {
 				body, err := cfg.Body(c, j)
 				if err != nil {
@@ -163,7 +176,7 @@ func Run(cfg Config) (*Report, error) {
 						} else {
 							rejected503.Add(1)
 						}
-						time.Sleep(cfg.RetryDelay)
+						time.Sleep(jit.Scale(cfg.RetryDelay))
 						continue
 					}
 					if resp.StatusCode != http.StatusOK {
@@ -176,6 +189,10 @@ func Run(cfg Config) (*Report, error) {
 					if cfg.OnResult != nil {
 						c, j := c, j
 						sink.onResult = func(raw []byte) { cfg.OnResult(c, j, raw) }
+					}
+					if cfg.OnEvent != nil {
+						c, j := c, j
+						sink.onEvent = func(raw []byte) { cfg.OnEvent(c, j, raw) }
 					}
 					if cfg.Stream {
 						err = consumeStream(resp.Body, sink)
@@ -215,11 +232,12 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// resultSink carries the run's counters plus the optional per-result hook
-// into the stream consumers.
+// resultSink carries the run's counters plus the optional per-result and
+// per-event hooks into the stream consumers.
 type resultSink struct {
 	acked, completed, migrated *atomic.Int64
 	onResult                   func(raw []byte)
+	onEvent                    func(raw []byte)
 }
 
 func (s resultSink) result(raw []byte) {
@@ -287,6 +305,9 @@ func consumeStream(r io.Reader, sink resultSink) error {
 		case "event":
 			if !sawAccepted {
 				return fmt.Errorf("event line before accepted")
+			}
+			if sink.onEvent != nil {
+				sink.onEvent(append([]byte(nil), line...))
 			}
 		case "result":
 			if !sawAccepted {

@@ -186,7 +186,7 @@ func TestJournalRecoveryAcrossRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jn, err := openJournal(path, 64<<20, nil)
+	jn, err := openJournal(path, 64<<20, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestJournalRecoveryAcrossRestart(t *testing.T) {
 	}
 
 	// And the journal is quiescent: nothing left to replay next time.
-	jn2, err := openJournal(path, 64<<20, nil)
+	jn2, err := openJournal(path, 64<<20, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

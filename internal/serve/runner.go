@@ -25,6 +25,7 @@ type job struct {
 	resume   *journalJob     // non-nil for jobs replayed from the journal or resumed from a shipped checkpoint
 	cursor   int             // event lines already delivered to the client (migration stitch point)
 	migrated bool            // job arrived via /v1/jobs/resume (cluster migration)
+	deadline time.Time       // propagated X-Splitmem-Deadline (zero = none)
 	trace    string          // host-span trace ID ("" when tracing is off)
 	enqueue  hostspan.SpanID // rep.enqueue-wait span, opened at admission
 	result   JobResult
@@ -47,6 +48,7 @@ var (
 	errClientGone = errors.New("client disconnected")
 	errDrained    = errors.New("server draining")
 	errJobExpired = errors.New("job wall clock expired")
+	errDeadline   = errors.New("propagated deadline expired")
 	errMigrated   = errors.New("job detached for migration")
 )
 
@@ -79,6 +81,18 @@ func (s *Server) runJob(poolCtx context.Context, j *job) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
+	// The propagated deadline caps the wall budget: the client stops
+	// waiting at that instant no matter what the job asked for.
+	expireCause := errJobExpired
+	if !j.deadline.IsZero() {
+		if rem := time.Until(j.deadline); rem < timeout {
+			timeout = rem
+			expireCause = errDeadline
+		}
+	}
+	if timeout < time.Millisecond {
+		timeout = time.Millisecond
+	}
 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	defer cancel(context.Canceled)
@@ -86,7 +100,7 @@ func (s *Server) runJob(poolCtx context.Context, j *job) {
 	defer stopClient()
 	stopPool := context.AfterFunc(poolCtx, func() { cancel(errDrained) })
 	defer stopPool()
-	expire := time.AfterFunc(timeout, func() { cancel(errJobExpired) })
+	expire := time.AfterFunc(timeout, func() { cancel(expireCause) })
 	defer expire.Stop()
 
 	// Hook the run into the live registry so a gateway can detach it for
@@ -125,7 +139,10 @@ func (s *Server) runJob(poolCtx context.Context, j *job) {
 			break
 		}
 		s.retries.Add(1)
-		backoff := s.cfg.RetryBackoff << (attempt - 1)
+		// Jittered exponential backoff: a worker-kill chaos storm (or a
+		// genuinely sick host) restarts many attempts at once, and without
+		// jitter they all re-land on the pool in the same instant.
+		backoff := s.jitter.Scale(s.cfg.RetryBackoff << (attempt - 1))
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -151,6 +168,9 @@ func finishCanceled(res *JobResult, ctx context.Context) {
 	case errJobExpired:
 		res.TimedOut = true
 		res.Reason = "timeout"
+	case errDeadline:
+		res.TimedOut = true
+		res.Reason = "deadline-exceeded"
 	case errDrained:
 		res.Canceled = true
 		res.Reason = "drained"

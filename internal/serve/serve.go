@@ -47,6 +47,14 @@ type Config struct {
 	RetryBackoff     time.Duration // first retry delay, doubled per attempt (default 10ms)
 	WatchdogSlice    time.Duration // wall-clock deadline for one stream slice (default 15s)
 
+	// DiskFaults, when non-nil, injects storage faults (ENOSPC, short
+	// writes, fsync failures, read corruption) into every journal write and
+	// replay — the fault-mesh chaos campaigns plug in here.
+	// JournalRecoveryInterval is how often a degraded journal retries the
+	// rewrite that restores durability (default 100ms).
+	DiskFaults              DiskFaultInjector
+	JournalRecoveryInterval time.Duration
+
 	// HostChaos injects host-level faults — worker kills mid-slice, torn
 	// journal writes — for the recovery chaos cells. Zero rates disable it.
 	HostChaos chaos.HostConfig
@@ -134,14 +142,15 @@ type Server struct {
 	// Service-level counters. Plain atomics read by GaugeFunc samplers at
 	// export time — handler goroutines never touch the (single-threaded)
 	// registry instruments directly.
-	accepted  atomic.Uint64
-	rejected  atomic.Uint64 // queue-full 429s
-	refused   atomic.Uint64 // draining 503s
-	badInput  atomic.Uint64 // 400s
-	completed atomic.Uint64
-	canceled  atomic.Uint64
-	timedOut  atomic.Uint64
-	streamed  atomic.Uint64 // NDJSON event lines written
+	accepted         atomic.Uint64
+	rejected         atomic.Uint64 // queue-full 429s
+	refused          atomic.Uint64 // draining 503s
+	badInput         atomic.Uint64 // 400s
+	deadlineExceeded atomic.Uint64 // 504s: the propagated deadline passed before admission
+	completed        atomic.Uint64
+	canceled         atomic.Uint64
+	timedOut         atomic.Uint64
+	streamed         atomic.Uint64 // NDJSON event lines written
 
 	// Supervision counters.
 	checkpoints  atomic.Uint64 // checkpoint images written
@@ -175,6 +184,7 @@ type Server struct {
 	journal   *journal            // nil when Config.JournalPath is empty
 	hostChaos *chaos.HostInjector // nil unless Config.HostChaos has a live rate
 	rec       *hostspan.Recorder  // nil when Config.NoTracing
+	jitter    *chaos.Jitter       // desynchronizes the supervisor's retry backoff
 
 	// serverReg holds the service gauges; jobs holds the merged per-job
 	// machine registries. jobMu serializes job merges against /metrics
@@ -211,12 +221,17 @@ func New(cfg Config) (*Server, error) {
 	if !cfg.NoTracing {
 		s.rec = hostspan.NewRecorder("replica:"+s.instanceID, cfg.TraceSpanCap)
 	}
+	// The backoff jitter is seeded from the instance identity: every
+	// replica restarts with a new phase, so a fleet that dies together
+	// never retries together.
+	s.jitter = chaos.NewJitter(instanceSeed(s.instanceID))
 	if cfg.JournalPath != "" {
-		jn, err := openJournal(cfg.JournalPath, cfg.JournalMaxBytes, s.hostChaos)
+		jn, err := openJournal(cfg.JournalPath, cfg.JournalMaxBytes, s.hostChaos, cfg.DiskFaults)
 		if err != nil {
 			pool.Close()
 			return nil, fmt.Errorf("serve: opening journal: %w", err)
 		}
+		jn.recoveryEvery = cfg.JournalRecoveryInterval
 		s.journal = jn
 		s.nextID.Store(jn.maxID())
 		if pending := jn.unfinished(); len(pending) > 0 {
@@ -231,6 +246,7 @@ func New(cfg Config) (*Server, error) {
 	reg("splitmem_serve_jobs_rejected_total", "submissions rejected with 429 (queue full)", &s.rejected)
 	reg("splitmem_serve_jobs_refused_total", "submissions refused with 503 (draining)", &s.refused)
 	reg("splitmem_serve_jobs_bad_total", "submissions rejected with 400 (bad input)", &s.badInput)
+	reg("splitmem_serve_deadline_exceeded_total", "submissions rejected with 504 (propagated deadline passed)", &s.deadlineExceeded)
 	reg("splitmem_serve_jobs_completed_total", "jobs run to a terminal state", &s.completed)
 	reg("splitmem_serve_jobs_canceled_total", "jobs ended by cancellation or disconnect", &s.canceled)
 	reg("splitmem_serve_jobs_timeout_total", "jobs ended by their wall-clock limit", &s.timedOut)
@@ -244,6 +260,17 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.recovering.Load()) })
 	s.serverReg.GaugeFunc("splitmem_serve_journal_torn_total", "torn or corrupt journal records detected",
 		func() float64 { return float64(s.journal.tornRecords()) })
+	s.serverReg.GaugeFunc("splitmem_serve_journal_degraded", "1 while the journal is in in-memory degraded mode",
+		func() float64 {
+			if s.journal.isDegraded() {
+				return 1
+			}
+			return 0
+		})
+	s.serverReg.GaugeFunc("splitmem_serve_journal_degraded_seconds_total", "cumulative wall time the journal has spent degraded",
+		func() float64 { return s.journal.degradedSeconds() })
+	s.serverReg.GaugeFunc("splitmem_serve_journal_recoveries_total", "times a degraded journal restored durability",
+		func() float64 { return float64(s.journal.recoveryCount()) })
 	s.serverReg.GaugeFunc("splitmem_serve_pool_panics_total", "tasks that escaped the supervisor and died in the pool",
 		func() float64 { return float64(s.pool.Panics()) })
 	s.serverReg.GaugeFunc("splitmem_serve_queue_depth", "jobs admitted but not yet finished",
@@ -272,6 +299,65 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
+}
+
+// DeadlineHeader carries a job's absolute deadline — unix milliseconds —
+// end to end: client → gateway → every relay, migration resume, and
+// checkpoint fetch. Any tier that sees the deadline already passed rejects
+// with 504 deadline-exceeded instead of burning a worker on an answer
+// nobody is waiting for; a replica admitting the job clamps its wall-clock
+// budget to the time remaining.
+const DeadlineHeader = "X-Splitmem-Deadline"
+
+// ParseDeadline reads the deadline header. The zero time (and nil error)
+// means no deadline was propagated.
+func ParseDeadline(h http.Header) (time.Time, error) {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return time.Time{}, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}, fmt.Errorf("bad %s header %q: want positive unix milliseconds", DeadlineHeader, v)
+	}
+	return time.UnixMilli(ms), nil
+}
+
+// checkDeadline parses and enforces the propagated deadline before
+// admission. It writes the rejection itself and reports whether the
+// request may proceed; a zero returned time means no deadline.
+func (s *Server) checkDeadline(w http.ResponseWriter, r *http.Request) (time.Time, bool) {
+	deadline, err := ParseDeadline(r.Header)
+	if err != nil {
+		s.badInput.Add(1)
+		httpError(w, http.StatusBadRequest, "bad-deadline", err.Error(), nil)
+		return time.Time{}, false
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		s.deadlineExceeded.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "deadline-exceeded",
+			"job deadline passed before admission", nil)
+		return time.Time{}, false
+	}
+	return deadline, true
+}
+
+// JournalDegraded reports whether the journal is in in-memory degraded
+// mode (persistent disk faults; durability suspended until recovery).
+func (s *Server) JournalDegraded() bool { return s.journal.isDegraded() }
+
+// JournalRecoveries reports how many times a degraded journal has
+// restored durability.
+func (s *Server) JournalRecoveries() uint64 { return s.journal.recoveryCount() }
+
+// instanceSeed hashes an instance ID into a jitter seed.
+func instanceSeed(id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // newInstanceID returns a fresh random identity for this server process.
@@ -435,6 +521,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.recovering.Load() > 0 {
 		state = "recovering" // serving, but journal replay is still in flight
 	}
+	if s.journal.isDegraded() {
+		// Still 200: a degraded journal serves (that is the point), it just
+		// is not durable. Routing tiers may deprioritize, not evict.
+		state = "degraded"
+	}
 	if s.draining.Load() {
 		status = http.StatusServiceUnavailable
 		state = "draining"
@@ -464,14 +555,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"resume_duplicates": s.resumeDups.Load(),
 		},
 		"recovery": map[string]any{
-			"journal":       s.journal != nil,
-			"recovering":    s.recovering.Load(),
-			"recovered":     s.recovered.Load(),
-			"torn_records":  s.journal.tornRecords(),
-			"worker_panics": s.workerPanics.Load(),
-			"retries":       s.retries.Load(),
-			"checkpoints":   s.checkpoints.Load(),
-			"restores":      s.restores.Load(),
+			"journal":                  s.journal != nil,
+			"journal_degraded":         s.journal.isDegraded(),
+			"journal_degraded_seconds": s.journal.degradedSeconds(),
+			"journal_recoveries":       s.journal.recoveryCount(),
+			"recovering":               s.recovering.Load(),
+			"recovered":                s.recovered.Load(),
+			"torn_records":             s.journal.tornRecords(),
+			"worker_panics":            s.workerPanics.Load(),
+			"retries":                  s.retries.Load(),
+			"checkpoints":              s.checkpoints.Load(),
+			"restores":                 s.restores.Load(),
 		},
 		"warm_pool": map[string]any{
 			"enabled":     s.warm != nil,
@@ -578,6 +672,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	deadline, ok := s.checkDeadline(w, r)
+	if !ok {
+		return
+	}
 
 	// Trace identity: honor the gateway's X-Splitmem-Trace header so the
 	// spans this replica records can be stitched to the gateway's; mint a
@@ -592,13 +690,14 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := &job{
-		id:    s.nextID.Add(1),
-		req:   req,
-		cfg:   cfg,
-		prog:  prog,
-		ctx:   r.Context(),
-		trace: trace,
-		done:  make(chan struct{}),
+		id:       s.nextID.Add(1),
+		req:      req,
+		cfg:      cfg,
+		prog:     prog,
+		ctx:      r.Context(),
+		trace:    trace,
+		deadline: deadline,
+		done:     make(chan struct{}),
 	}
 
 	stream := wantsStream(r)
